@@ -1,0 +1,262 @@
+// Benchmarks: one per reproduced table/figure (regenerating the
+// experiment from a small cached suite), plus microbenchmarks for every
+// substrate layer (simulator, TCP, session, learners). Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks measure the analysis cost on fixed datasets;
+// BenchmarkSessionSimulation measures the cost of producing one labeled
+// instance end to end.
+package vqprobe_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vqprobe/internal/experiments"
+	"vqprobe/internal/features"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/bayes"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/ml/svm"
+	"vqprobe/internal/probe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite returns a small shared suite; datasets generate once and
+// are reused by every figure benchmark.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.Config{
+			ControlledSessions: 220, RealWorldSessions: 120, WildSessions: 150, Seed: 1,
+		})
+		// Pre-generate outside the timed region of any benchmark.
+		suite.Controlled()
+		suite.RealWorld()
+		suite.Wild()
+	})
+	return suite
+}
+
+func benchExperiment(b *testing.B, id string) {
+	s := benchSuite(b)
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Run(s); len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// ---- one benchmark per table and figure ----
+
+func BenchmarkTable1FeatureSelection(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig3ProblemDetection(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkLocationDetection(b *testing.B)      { benchExperiment(b, "loc") }
+func BenchmarkFig4ExactProblem(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkTable4FeatureRanking(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkFig5FeatureSets(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkAlgorithmComparison(b *testing.B)    { benchExperiment(b, "algos") }
+func BenchmarkFig6RealWorldDetection(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7RealWorldExact(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8InTheWild(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9ServerEstimates(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkTable5WildRootCause(b *testing.B)    { benchExperiment(b, "table5") }
+
+// ---- ablation benchmarks (design choices called out in DESIGN.md) ----
+
+func BenchmarkAblationFCvsFS(b *testing.B)          { benchExperiment(b, "ablate-fc") }
+func BenchmarkAblationPruning(b *testing.B)         { benchExperiment(b, "ablate-prune") }
+func BenchmarkAblationVPPairs(b *testing.B)         { benchExperiment(b, "ablate-pairs") }
+func BenchmarkAblationFluidBackground(b *testing.B) { benchExperiment(b, "ablate-fluid") }
+
+// ---- substrate microbenchmarks ----
+
+// BenchmarkSimnetForwarding measures raw packet forwarding through the
+// discrete-event core (two links + router per packet).
+func BenchmarkSimnetForwarding(b *testing.B) {
+	sim := simnet.New(1)
+	h := sim.NewNode("h", 1)
+	r := sim.NewNode("r", 100)
+	d := sim.NewNode("d", 2)
+	hn := h.AddNIC("0")
+	r0, r1 := r.AddNIC("0"), r.AddNIC("1")
+	dn := d.AddNIC("0")
+	simnet.ConnectSym(sim, "a", hn, r0, simnet.LinkConfig{Rate: 1e9, QueueBytes: 1 << 30})
+	simnet.ConnectSym(sim, "b", r1, dn, simnet.LinkConfig{Rate: 1e9, QueueBytes: 1 << 30})
+	rt := simnet.NewRouter(r)
+	rt.AddRoute(2, r1)
+	d.SetHandler(simnet.HandlerFunc(func(*simnet.NIC, *simnet.Packet) {}))
+	flow := simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 1, Dst: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Send(hn, sim.NewPacket(flow, 1460, nil))
+		sim.RunAll()
+	}
+}
+
+// BenchmarkTCPTransfer measures a complete 1MB TCP transfer over a
+// 20Mb/s path, including handshake and teardown.
+func BenchmarkTCPTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i + 1))
+		cn := sim.NewNode("c", 1)
+		sn := sim.NewNode("s", 2)
+		cnic, snic := cn.AddNIC("0"), sn.AddNIC("0")
+		simnet.ConnectSym(sim, "l", cnic, snic,
+			simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, QueueBytes: 128 * 1024})
+		client := tcpsim.NewHost(cn, cnic)
+		server := tcpsim.NewHost(sn, snic)
+		server.Listen(80, func(c *tcpsim.Conn) {
+			c.OnEstablished = func() { c.Write(1_000_000); c.Close() }
+		})
+		cc := client.Dial(2, 80)
+		cc.OnPeerClose = func() { cc.Close(); sim.Halt() }
+		sim.Run(2 * time.Minute)
+	}
+}
+
+// BenchmarkSessionSimulation measures producing one fully labeled
+// session: topology build, streaming, probes, teardown.
+func BenchmarkSessionSimulation(b *testing.B) {
+	clip := video.Clip{ID: 1, Quality: video.SD, Bitrate: 1e6, Duration: 30 * time.Second, FPS: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testbed.RunSession(testbed.SessionConfig{
+			Opts: testbed.Options{
+				Seed: int64(i + 1), BackgroundScale: 0.4, ServerLoadMean: 0.1,
+				InstrumentRouter: true, InstrumentServer: true,
+			},
+			Clip: clip,
+		})
+	}
+}
+
+// benchmark dataset for the learner benchmarks.
+func learnerData(b *testing.B) *ml.Dataset {
+	b.Helper()
+	s := benchSuite(b)
+	return testbed.ToDataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.ExactLabel)
+}
+
+func BenchmarkFeatureConstruction(b *testing.B) {
+	d := learnerData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.Construct(d)
+	}
+}
+
+func BenchmarkFCBFSelection(b *testing.B) {
+	d := learnerData(b)
+	constructed, _ := features.Construct(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.FCBF(constructed, 0.02)
+	}
+}
+
+func BenchmarkC45Training(b *testing.B) {
+	d := learnerData(b)
+	reduced, _, _ := features.Select(d, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c45.Default().TrainTree(reduced)
+	}
+}
+
+func BenchmarkC45Prediction(b *testing.B) {
+	d := learnerData(b)
+	reduced, _, _ := features.Select(d, 0.02)
+	tree := c45.Default().TrainTree(reduced)
+	fv := reduced.Instances[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(fv)
+	}
+}
+
+func BenchmarkNaiveBayesTraining(b *testing.B) {
+	d := learnerData(b)
+	reduced, _, _ := features.Select(d, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bayes.New().Train(reduced)
+	}
+}
+
+func BenchmarkSVMTraining(b *testing.B) {
+	d := learnerData(b)
+	reduced, _, _ := features.Select(d, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svm.New(svm.Config{Seed: int64(i)}).Train(reduced)
+	}
+}
+
+func BenchmarkCrossValidation(b *testing.B) {
+	d := learnerData(b)
+	reduced, _, _ := features.Select(d, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.CrossValidate(c45.Default(), reduced, 10, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkFlowMeter measures the probe's per-data-segment cost: a
+// b.N-segment transfer observed by a tstat-style meter at the receiver.
+func BenchmarkFlowMeter(b *testing.B) {
+	sim := simnet.New(1)
+	cn := sim.NewNode("c", 1)
+	sn := sim.NewNode("s", 2)
+	cnic, snic := cn.AddNIC("0"), sn.AddNIC("0")
+	simnet.ConnectSym(sim, "l", cnic, snic, simnet.LinkConfig{Rate: 1e10, QueueBytes: 1 << 30})
+	client := tcpsim.NewHost(cn, cnic)
+	server := tcpsim.NewHost(sn, snic)
+	meter := probe.NewFlowMeter(cn)
+	server.Listen(80, func(c *tcpsim.Conn) {
+		c.OnEstablished = func() { c.Write(int64(b.N) * 1460); c.Close() }
+	})
+	cc := client.Dial(2, 80)
+	cc.OnPeerClose = func() { cc.Close(); sim.Halt() }
+	b.ResetTimer()
+	sim.Run(10 * time.Hour)
+	b.StopTimer()
+	if rec := meter.Flow(cc.Flow()); rec == nil {
+		b.Fatal("meter missed the flow")
+	}
+	var _ metrics.Vector
+}
+
+// ---- extension benchmarks (paper Sections 7 and 9 proposals) ----
+
+func BenchmarkExtIterativeRCA(b *testing.B)       { benchExperiment(b, "ext-iterative") }
+func BenchmarkExtContinuousTraining(b *testing.B) { benchExperiment(b, "ext-continuous") }
+func BenchmarkExtMissingVP(b *testing.B)          { benchExperiment(b, "ext-missingvp") }
+func BenchmarkExtMultiProblem(b *testing.B)       { benchExperiment(b, "ext-multiproblem") }
+
+func BenchmarkExtAdaptiveDelivery(b *testing.B) { benchExperiment(b, "ext-adaptive") }
+
+func BenchmarkAblationForest(b *testing.B) { benchExperiment(b, "ablate-forest") }
+
+func BenchmarkAblationMDL(b *testing.B) { benchExperiment(b, "ablate-mdl") }
+
+func BenchmarkAblationSeeds(b *testing.B) { benchExperiment(b, "ablate-seeds") }
+
+func BenchmarkExtFineSeverity(b *testing.B) { benchExperiment(b, "ext-fine") }

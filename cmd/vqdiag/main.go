@@ -1,0 +1,77 @@
+// Command vqdiag classifies session records with a trained model: the
+// deployable diagnostic tool of the reproduction.
+//
+// Usage:
+//
+//	vqdiag -model model.json -in sessions.csv [-confusion]
+//
+// The input CSV uses the same format vqlab writes; if its class column
+// is non-empty the tool also reports accuracy (and, with -confusion,
+// the full per-class precision/recall breakdown).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vqprobe"
+	"vqprobe/internal/ml"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "trained model JSON")
+		in        = flag.String("in", "", "sessions CSV to diagnose (required)")
+		confusion = flag.Bool("confusion", false, "print the full confusion summary")
+		quiet     = flag.Bool("quiet", false, "suppress per-session lines")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vqdiag: -in is required")
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	model, err := vqprobe.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	df, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := ml.ReadCSV(df)
+	df.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	conf := ml.NewConfusion(nil)
+	labeled := 0
+	for i, inst := range data.Instances {
+		pred := model.PredictVector(inst.Features)
+		if !*quiet {
+			fmt.Printf("session %4d: predicted=%-20s actual=%s\n", i, pred, inst.Class)
+		}
+		if inst.Class != "" {
+			conf.Add(inst.Class, pred)
+			labeled++
+		}
+	}
+	if labeled > 0 {
+		fmt.Printf("accuracy: %.1f%% over %d labeled sessions\n", conf.Accuracy()*100, labeled)
+		if *confusion {
+			fmt.Print(conf.String())
+		}
+	}
+}

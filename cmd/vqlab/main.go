@@ -1,0 +1,97 @@
+// Command vqlab generates labeled datasets from the simulated testbed
+// and writes them as CSV for vqtrain/vqdiag or external tools.
+//
+// Usage:
+//
+//	vqlab -setting controlled|realworld|wild [-sessions N] [-seed N]
+//	      -task severity|location|exact|binary
+//	      [-vps mobile,router,server] [-out dataset.csv] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vqprobe"
+)
+
+func main() {
+	var (
+		setting  = flag.String("setting", "controlled", "dataset kind: controlled, realworld or wild")
+		sessions = flag.Int("sessions", 400, "number of video sessions to simulate")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		task     = flag.String("task", "exact", "label task: severity, location, exact or binary")
+		vps      = flag.String("vps", "mobile,router,server", "vantage points to include, comma separated")
+		out      = flag.String("out", "", "output path (default stdout)")
+		format   = flag.String("format", "csv", "output format: csv, arff (Weka) or json (raw sessions)")
+		stats    = flag.Bool("stats", false, "print label distribution to stderr")
+	)
+	flag.Parse()
+
+	cfg := vqprobe.SimulationConfig{Sessions: *sessions, Seed: *seed}
+	var results []vqprobe.Session
+	switch *setting {
+	case "controlled":
+		results = vqprobe.SimulateControlled(cfg)
+	case "realworld":
+		results = vqprobe.SimulateRealWorld(cfg)
+	case "wild":
+		results = vqprobe.SimulateWild(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown setting %q\n", *setting)
+		os.Exit(2)
+	}
+
+	vpList := strings.Split(*vps, ",")
+	d, err := vqprobe.Dataset(results, vqprobe.Task(*task), vpList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *stats {
+		counts := d.ClassCounts()
+		classes := make([]string, 0, len(counts))
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(os.Stderr, "%d instances, %d features\n", d.Len(), len(d.Features()))
+		for _, c := range classes {
+			fmt.Fprintf(os.Stderr, "  %-22s %d\n", c, counts[c])
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = d.WriteCSV(w)
+	case "arff":
+		err = d.WriteARFF(w, "vqprobe-"+*setting+"-"+*task)
+	case "json":
+		// Raw sessions: ground truth, labels, context, timeline and all
+		// per-VP records — everything an external analysis could want.
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		err = enc.Encode(results)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command vqreport regenerates the paper's tables and figures from
+// freshly simulated datasets.
+//
+// Usage:
+//
+//	vqreport [-exp all|<id>[,<id>...]] [-controlled N] [-realworld N] [-wild N]
+//	         [-seed N] [-paperscale] [-list]
+//
+// With -paperscale the dataset sizes match the paper (3919 controlled,
+// 2619 real-world, 3495 wild sessions); expect a multi-minute run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vqprobe/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		controlled = flag.Int("controlled", 0, "controlled sessions (0 = default 1200)")
+		realworld  = flag.Int("realworld", 0, "real-world sessions (0 = default 800)")
+		wild       = flag.Int("wild", 0, "wild sessions (0 = default 1000)")
+		seed       = flag.Int64("seed", 1, "master RNG seed")
+		paperScale = flag.Bool("paperscale", false, "use the paper's dataset sizes (3919/2619/3495)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		markdown   = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-14s %s (needs: %s)\n", e.ID, e.What, e.Needs)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		ControlledSessions: *controlled,
+		RealWorldSessions:  *realworld,
+		WildSessions:       *wild,
+		Seed:               *seed,
+	}
+	if *paperScale {
+		cfg = experiments.PaperScale()
+		cfg.Seed = *seed
+	}
+	suite := experiments.NewSuite(cfg)
+
+	var entries []experiments.Entry
+	if *exp == "all" {
+		entries = experiments.Registry
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range entries {
+		t0 := time.Now()
+		tbl := e.Run(suite)
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl)
+		}
+		fmt.Printf("-- %s finished in %v --\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("report complete in %v (controlled=%d realworld=%d wild=%d seed=%d)\n",
+		time.Since(start).Round(time.Second),
+		suite.Config().ControlledSessions, suite.Config().RealWorldSessions,
+		suite.Config().WildSessions, suite.Config().Seed)
+}

@@ -1,0 +1,120 @@
+// Command vqsim runs a single video session in the simulated testbed
+// with a chosen fault and prints what happened: the playback timeline,
+// the QoE summary and MOS, and the headline metrics each vantage point
+// collected. With -model it also diagnoses the session, making the whole
+// probe-to-verdict pipeline visible for one concrete case.
+//
+// Usage:
+//
+//	vqsim [-fault none|wan_cong|wan_shaped|lan_cong|lan_shaped|mobile_load|low_rssi|wifi_interf]
+//	      [-intensity 0.7] [-seed 1] [-wan dsl|mobile] [-bitrate 1.2e6]
+//	      [-duration 40s] [-model model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"vqprobe"
+	"vqprobe/internal/faults"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+)
+
+func main() {
+	var (
+		faultName = flag.String("fault", "lan_cong", "fault to induce (or 'none')")
+		intensity = flag.Float64("intensity", 0.7, "fault intensity in [0,1]")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		wan       = flag.String("wan", "dsl", "WAN profile: dsl or mobile")
+		bitrate   = flag.Float64("bitrate", 1.2e6, "clip bitrate, bits/s")
+		duration  = flag.Duration("duration", 40*time.Second, "clip duration")
+		modelPath = flag.String("model", "", "optional trained model to diagnose the session")
+	)
+	flag.Parse()
+
+	fault := qoe.FaultNone
+	if *faultName != "none" {
+		found := false
+		for _, f := range qoe.Faults {
+			if f.String() == *faultName {
+				fault, found = f, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultName)
+			os.Exit(2)
+		}
+	}
+	wanProfile := testbed.WANDSL
+	if *wan == "mobile" {
+		wanProfile = testbed.WANMobile
+	}
+
+	res := testbed.RunSession(testbed.SessionConfig{
+		Opts: testbed.Options{
+			Seed: *seed, WAN: wanProfile,
+			BackgroundScale: 0.4, ServerLoadMean: 0.1,
+			InstrumentRouter: true, InstrumentServer: true,
+		},
+		Spec: faults.Spec{Fault: fault, Intensity: *intensity},
+		Clip: video.Clip{ID: 1, Quality: video.SD, Bitrate: *bitrate, Duration: *duration, FPS: 30},
+	})
+
+	fmt.Printf("session: fault=%s intensity=%.2f wan=%s clip=%.1fMb/s %v\n\n",
+		fault, *intensity, wanProfile, *bitrate/1e6, *duration)
+
+	fmt.Println("timeline:")
+	for _, e := range res.Timeline {
+		fmt.Printf("  %8.1fs  %-11s %s\n", e.At.Seconds(), e.Kind, e.Detail)
+	}
+
+	r := res.Report
+	fmt.Printf("\nQoE: MOS=%.2f (%s)  startup=%v  stalls=%d (%v total)  skips=%d  completed=%v\n",
+		res.MOS, res.Label.Severity, r.StartupDelay.Round(time.Millisecond),
+		r.Stalls, r.StallTime.Round(time.Millisecond), r.SkippedFrames, r.Completed)
+	if r.Failed {
+		fmt.Printf("FAILED: %s\n", r.FailReason)
+	}
+
+	headline := []string{
+		"tcp_s2c_throughput_bps", "tcp_s2c_rtt_ms_avg", "tcp_s2c_retrans_pkts",
+		"tcp_s2c_ooo_pkts", "tcp_first_data_delay_s", "hw_cpu_pct_avg",
+		"wlan0_nic_rssi_dbm_avg", "wlan0_nic_retries",
+	}
+	fmt.Println("\nvantage point headline metrics:")
+	vps := make([]string, 0, len(res.Records))
+	for vp := range res.Records {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	for _, vp := range vps {
+		rec := res.Records[vp]
+		fmt.Printf("  %s:\n", vp)
+		for _, k := range headline {
+			if v, ok := rec[k]; ok {
+				fmt.Printf("    %-26s %12.2f\n", k, v)
+			}
+		}
+	}
+
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		model, err := vqprobe.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d := model.DiagnoseSession(res)
+		fmt.Printf("\ndiagnosis (%s model): %s  [truth: %s]\n", model.Task, d.Class, res.Label.ExactClass())
+	}
+}

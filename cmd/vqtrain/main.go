@@ -1,0 +1,68 @@
+// Command vqtrain fits the paper's diagnosis pipeline (feature
+// construction, FCBF selection, C4.5) on a CSV dataset produced by
+// vqlab and writes the trained model as JSON.
+//
+// Usage:
+//
+//	vqtrain -in dataset.csv -out model.json [-task exact]
+//	        [-vps mobile,router,server] [-tree] [-features]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vqprobe"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "training dataset CSV (required)")
+		out      = flag.String("out", "model.json", "output model path")
+		task     = flag.String("task", "exact", "task label recorded in the model")
+		vps      = flag.String("vps", "mobile,router,server", "vantage points recorded in the model")
+		showTree = flag.Bool("tree", false, "print the trained decision tree")
+		showSel  = flag.Bool("features", false, "print the selected features")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vqtrain: -in is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	model, err := vqprobe.TrainFromCSV(f, vqprobe.Task(*task), strings.Split(*vps, ","))
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *showSel {
+		fmt.Println("selected features:")
+		for i, name := range model.SelectedFeatures() {
+			fmt.Printf("  %2d  %s\n", i+1, name)
+		}
+	}
+	if *showTree {
+		fmt.Println(model.TreeText())
+	}
+
+	of, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer of.Close()
+	if err := model.Save(of); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("model written to %s (%d selected features)\n", *out, len(model.SelectedFeatures()))
+}

@@ -1,0 +1,56 @@
+package vqprobe_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"vqprobe"
+)
+
+// Example demonstrates the full loop: simulate lab sessions, train the
+// diagnosis model, and classify a fresh session.
+func Example() {
+	train := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 120, Seed: 42})
+	model, err := vqprobe.Train(train, vqprobe.DetectSeverity, vqprobe.AllVantagePoints)
+	if err != nil {
+		panic(err)
+	}
+	fresh := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 1, Seed: 7})
+	d := model.DiagnoseSession(fresh[0])
+	fmt.Println(d.Severity == "good" || d.Severity == "mild" || d.Severity == "severe")
+	// Output: true
+}
+
+// ExampleModel_Diagnose shows diagnosing from a partial deployment: only
+// the mobile device's record is available.
+func ExampleModel_Diagnose() {
+	sessions := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 120, Seed: 42})
+	model, err := vqprobe.Train(sessions, vqprobe.LocateProblem, vqprobe.AllVantagePoints)
+	if err != nil {
+		panic(err)
+	}
+	d := model.Diagnose(map[string]map[string]float64{
+		vqprobe.VPMobile: sessions[0].Records[vqprobe.VPMobile],
+	})
+	fmt.Println(len(d.Class) > 0)
+	// Output: true
+}
+
+// ExampleModel_Save demonstrates model persistence round-tripping.
+func ExampleModel_Save() {
+	sessions := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 100, Seed: 42})
+	model, err := vqprobe.Train(sessions, vqprobe.DetectProblem, []string{vqprobe.VPMobile})
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		panic(err)
+	}
+	back, err := vqprobe.LoadModel(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.Task)
+	// Output: binary
+}

@@ -1,0 +1,65 @@
+// Content-provider monitoring: the paper's most surprising result
+// (Figure 9). The server vantage point sees nothing but its own TCP
+// stack's view of each flow — yet a lab-trained model can flag sessions
+// whose problems are on the *client's* side (overloaded handset, weak
+// radio signal), without any client instrumentation.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vqprobe"
+)
+
+func main() {
+	fmt.Println("training a root-cause model from the SERVER vantage point only...")
+	train := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 600, Seed: 31})
+	model, err := vqprobe.Train(train, vqprobe.IdentifyRootCause, []string{vqprobe.VPServer})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("observing 400 in-the-wild sessions from the CDN's side...")
+	wild := vqprobe.SimulateWild(vqprobe.SimulationConfig{Sessions: 400, Seed: 999})
+
+	var loadCPU, otherCPU, rssiFlag, rssiOther []float64
+	for _, s := range wild {
+		srv, ok := s.Records[vqprobe.VPServer]
+		if !ok {
+			continue // session went to a third-party service
+		}
+		diag := model.Diagnose(map[string]map[string]float64{vqprobe.VPServer: srv})
+		// Compare against client-side ground truth the server never saw.
+		mob := s.Records[vqprobe.VPMobile]
+		cpu, rssi := mob["hw_cpu_pct_avg"], mob["wlan0_nic_rssi_dbm_avg"]
+		if strings.HasPrefix(diag.Cause, "mobile_load") {
+			loadCPU = append(loadCPU, cpu)
+		} else {
+			otherCPU = append(otherCPU, cpu)
+		}
+		if strings.HasPrefix(diag.Cause, "low_rssi") {
+			rssiFlag = append(rssiFlag, rssi)
+		} else {
+			rssiOther = append(rssiOther, rssi)
+		}
+	}
+
+	fmt.Println("client CPU ground truth (which the server cannot see):")
+	fmt.Printf("  flagged 'mobile load' : median %5.1f%%  (n=%d)\n", median(loadCPU), len(loadCPU))
+	fmt.Printf("  everything else       : median %5.1f%%  (n=%d)\n", median(otherCPU), len(otherCPU))
+	fmt.Println("client RSSI ground truth:")
+	fmt.Printf("  flagged 'low RSSI'    : median %5.1f dBm (n=%d)\n", median(rssiFlag), len(rssiFlag))
+	fmt.Printf("  everything else       : median %5.1f dBm (n=%d)\n", median(rssiOther), len(rssiOther))
+	fmt.Println("\nhigher CPU / lower RSSI in the flagged groups = the server is")
+	fmt.Println("inferring client-local state from TCP behaviour alone (Figure 9).")
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}

@@ -1,0 +1,55 @@
+// Home-network troubleshooting: the end-user story from the paper's
+// Section 7. A phone-only deployment (no router or server cooperation)
+// learns to tell whether poor video QoE is the fault of the home
+// network, the ISP, or the user's own device — so the user knows whom
+// to call before calling anyone.
+package main
+
+import (
+	"fmt"
+
+	"vqprobe"
+)
+
+func main() {
+	fmt.Println("training a location model from the MOBILE vantage point only...")
+	train := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 500, Seed: 11})
+	model, err := vqprobe.Train(train, vqprobe.LocateProblem, []string{vqprobe.VPMobile})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("replaying a week of living-room streaming with assorted troubles...")
+	test := vqprobe.SimulateControlled(vqprobe.SimulationConfig{Sessions: 120, Seed: 777})
+
+	advice := map[string]string{
+		"good":   "nothing to do",
+		"mobile": "close background apps / reboot the phone",
+		"lan":    "check the WiFi: move closer to the AP or change channel",
+		"wan":    "problem beyond your home network: contact the ISP or provider",
+	}
+	blamed := map[string]int{}
+	correct, problems := 0, 0
+	for _, s := range test {
+		d := model.DiagnoseSession(s)
+		blamed[d.Cause]++
+		truth := s.Label.LocationClass()
+		if truth != "good" {
+			problems++
+			if d.Class == truth {
+				correct++
+			}
+		}
+	}
+	fmt.Println("diagnosis summary over 120 sessions:")
+	for _, cause := range []string{"good", "mobile", "lan", "wan"} {
+		fmt.Printf("  %-7s blamed %3d times -> %s\n", cause, blamed[cause], advice[cause])
+	}
+	fmt.Printf("\nlocation correctly pinned for %d of %d problematic sessions\n", correct, problems)
+
+	conf, err := model.Evaluate(test)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("overall accuracy from the phone alone: %.1f%%\n", conf.Accuracy()*100)
+}

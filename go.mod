@@ -1,0 +1,3 @@
+module vqprobe
+
+go 1.22

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/traffic"
+)
+
+// AblationFC separates the contributions of Feature Construction and
+// Feature Selection (Figure 5 only shows them together): exact-problem
+// CV accuracy with neither, FC only, FS only, and both.
+func AblationFC(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-fc",
+		Title:  "Ablation: feature construction vs feature selection (combined VPs, exact labels)",
+		Header: []string{"variant", "features", "accuracy", "macro precision", "macro recall"},
+	}
+	d := dataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.ExactLabel)
+	constructed, _ := features.Construct(d)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(s.cfg.Seed + 21)) }
+
+	eval := func(name string, ds *ml.Dataset) {
+		conf := ml.CrossValidate(c45.Default(), ds, s.cfg.Folds, rng())
+		t.AddRow(name, itoa(len(ds.Features())), pct(conf.Accuracy()), f3(conf.MacroPrecision()), f3(conf.MacroRecall()))
+	}
+	eval("raw (no FC, no FS)", d)
+	eval("FC only", constructed)
+	rawSel := features.FCBF(d, fcbfDelta)
+	eval("FS only", d.Project(features.Names(rawSel)))
+	sel := features.FCBF(constructed, fcbfDelta)
+	eval("FC + FS", constructed.Project(features.Names(sel)))
+	return t
+}
+
+// AblationPruning measures how C4.5 pruning affects lab-to-wild
+// generalization (the pruned tree should transfer at least as well with
+// far fewer nodes).
+func AblationPruning(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-prune",
+		Title:  "Ablation: C4.5 pruning and lab-to-real-world transfer (severity task, combined VPs)",
+		Header: []string{"variant", "tree nodes", "cv accuracy", "transfer accuracy"},
+	}
+	train := dataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.SeverityLabel)
+	test := dataset(s.RealWorld(), []string{"mobile", "router", "server"}, testbed.SeverityLabel)
+	constructed, norm := features.Construct(train)
+	sel := features.Names(features.FCBF(constructed, fcbfDelta))
+	reduced := constructed.Project(sel)
+	testReduced := norm.Apply(test).Project(sel)
+
+	for _, v := range []struct {
+		name string
+		tr   *c45.Trainer
+	}{
+		{"pruned (CF 0.25)", c45.Default()},
+		{"unpruned", c45.New(c45.Config{NoPrune: true})},
+	} {
+		tree := v.tr.TrainTree(reduced)
+		cv := ml.CrossValidate(v.tr, reduced, s.cfg.Folds, rand.New(rand.NewSource(s.cfg.Seed+22)))
+		transfer := ml.Evaluate(tree, testReduced)
+		t.AddRow(v.name, itoa(tree.Size()), pct(cv.Accuracy()), pct(transfer.Accuracy()))
+	}
+	return t
+}
+
+// AblationVPPairs checks the Section 5.2 remark that vantage-point pairs
+// bring no significant gain for location detection.
+func AblationVPPairs(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-pairs",
+		Title:  "Ablation: VP pairs for location detection (10-fold CV)",
+		Header: []string{"vps", "accuracy"},
+	}
+	sets := [][]string{
+		{"mobile"}, {"router"}, {"server"},
+		{"mobile", "router"}, {"mobile", "server"}, {"router", "server"},
+		{"mobile", "router", "server"},
+	}
+	for _, vps := range sets {
+		d := dataset(s.Controlled(), vps, testbed.LocationLabel)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed+23)
+		name := vps[0]
+		for _, v := range vps[1:] {
+			name += "+" + v
+		}
+		t.AddRow(name, pct(conf.Accuracy()))
+	}
+	return t
+}
+
+// AblationFluidBackground validates the fluid cross-traffic
+// approximation: a TCP transfer competing with a fluid congestor should
+// see throughput within a reasonable factor of one competing with a
+// real packet-level UDP blaster at the same offered load.
+func AblationFluidBackground(*Suite) *Table {
+	t := &Table{
+		ID:     "ablate-fluid",
+		Title:  "Ablation: fluid vs packet-level cross traffic (8Mb/s link, 2MB transfer)",
+		Header: []string{"cross traffic", "offered load", "transfer time", "throughput"},
+	}
+	run := func(kind string, load float64) (time.Duration, float64) {
+		sim := simnet.New(99)
+		a := sim.NewNode("sender", 1)
+		b := sim.NewNode("receiver", 2)
+		an, bn := a.AddNIC("0"), b.AddNIC("0")
+		link := simnet.ConnectSym(sim, "l", an, bn,
+			simnet.LinkConfig{Rate: 8e6, Delay: 20 * time.Millisecond, QueueBytes: 96 * 1024})
+		switch kind {
+		case "fluid":
+			traffic.AttachCongestor(sim, link, simnet.AtoB, load, 0, time.Hour)
+		case "packet":
+			traffic.NewUDPSource(sim, a, an, 2, load*8e6, 1000, 0, time.Hour)
+		}
+		srv := newTCPSender(sim, a, an, b, bn, 2_000_000)
+		sim.Run(10 * time.Minute)
+		return srv.doneAt, srv.throughput()
+	}
+	dur, thr := run("none", 0)
+	t.AddRow("none", "0.00", dur.Round(time.Millisecond).String(), f2(thr/1e6)+" Mb/s")
+	for _, load := range []float64{0.3, 0.6, 0.85} {
+		for _, kind := range []string{"fluid", "packet"} {
+			dur, thr := run(kind, load)
+			t.AddRow(kind, f2(load), dur.Round(time.Millisecond).String(), f2(thr/1e6)+" Mb/s")
+		}
+	}
+	t.AddNote("fluid and packet rows at equal load should show same-ballpark throughput")
+	return t
+}
+
+// AblationForest quantifies the paper's interpretability-vs-accuracy
+// trade: the single C4.5 tree the paper chose against a bagged forest,
+// on both in-domain CV and lab-to-real-world transfer.
+func AblationForest(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-forest",
+		Title:  "Ablation: single C4.5 tree vs bagged forest (exact task, combined VPs)",
+		Header: []string{"model", "cv accuracy", "transfer accuracy", "nodes"},
+	}
+	vps := []string{"mobile", "router", "server"}
+	train := dataset(s.Controlled(), vps, testbed.ExactLabel)
+	test := dataset(s.RealWorld(), vps, testbed.ExactLabel)
+	constructed, norm := features.Construct(train)
+	sel := features.Names(features.FCBF(constructed, fcbfDelta))
+	reduced := constructed.Project(sel)
+	testReduced := norm.Apply(test).Project(sel)
+
+	tree := c45.Default().TrainTree(reduced)
+	cvTree := ml.CrossValidate(c45.Default(), reduced, s.cfg.Folds, rand.New(rand.NewSource(s.cfg.Seed+31)))
+	t.AddRow("single C4.5 (paper's choice)", pct(cvTree.Accuracy()),
+		pct(ml.Evaluate(tree, testReduced).Accuracy()), itoa(tree.Size()))
+
+	ft := c45.NewForest(c45.ForestConfig{Trees: 25, Seed: s.cfg.Seed})
+	forest := ft.TrainForest(reduced)
+	cvForest := ml.CrossValidate(ft, reduced, s.cfg.Folds, rand.New(rand.NewSource(s.cfg.Seed+31)))
+	t.AddRow("bagged forest (25 trees)", pct(cvForest.Accuracy()),
+		pct(ml.Evaluate(forest, testReduced).Accuracy()), itoa(forest.Size()))
+	t.AddNote("the forest trades the paper's tree interpretability (Table 4) for ensemble accuracy")
+	return t
+}
+
+// AblationMDL compares the two FCBF discretizers: the repo's default
+// equal-frequency binning against Fayyad-Irani MDL (used by the original
+// FCBF paper and Weka).
+func AblationMDL(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-mdl",
+		Title:  "Ablation: FCBF discretization — equal-frequency vs Fayyad-Irani MDL (exact task)",
+		Header: []string{"discretizer", "features selected", "cv accuracy", "macro recall"},
+	}
+	d := dataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.ExactLabel)
+	constructed, _ := features.Construct(d)
+	for _, v := range []struct {
+		name string
+		disc features.Discretizer
+	}{
+		{"equal-frequency (default)", features.EqualFrequency()},
+		{"Fayyad-Irani MDL", features.MDL()},
+	} {
+		sel := features.FCBFWith(constructed, fcbfDelta, v.disc)
+		reduced := constructed.Project(features.Names(sel))
+		conf := ml.CrossValidate(c45.Default(), reduced, s.cfg.Folds, rand.New(rand.NewSource(s.cfg.Seed+41)))
+		t.AddRow(v.name, itoa(len(sel)), pct(conf.Accuracy()), f3(conf.MacroRecall()))
+	}
+	return t
+}
+
+// AblationSeeds checks that the headline conclusion (per-VP detection
+// accuracy ordering) is stable across simulation seeds, reporting
+// mean +/- std of severity-task CV accuracy over three independent
+// worlds.
+func AblationSeeds(s *Suite) *Table {
+	t := &Table{
+		ID:     "ablate-seeds",
+		Title:  "Ablation: seed sensitivity of per-VP detection accuracy (severity task)",
+		Header: []string{"vp", "mean accuracy", "std", "runs"},
+	}
+	n := s.cfg.ControlledSessions
+	if n > 600 {
+		n = 600
+	}
+	seeds := []int64{s.cfg.Seed + 101, s.cfg.Seed + 202, s.cfg.Seed + 303}
+	acc := map[string][]float64{}
+	for _, seed := range seeds {
+		res := testbed.GenerateControlled(testbed.GenConfig{Sessions: n, Seed: seed, Workers: s.cfg.Workers})
+		for _, set := range VPSets {
+			d := dataset(res, set.VPs, testbed.SeverityLabel)
+			conf := cvPipeline(d, s.cfg.Folds, seed)
+			acc[set.Name] = append(acc[set.Name], conf.Accuracy())
+		}
+	}
+	for _, set := range VPSets {
+		xs := acc[set.Name]
+		var sum, sumsq float64
+		for _, x := range xs {
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / float64(len(xs))
+		std := math.Sqrt(maxf0(sumsq/float64(len(xs)) - mean*mean))
+		t.AddRow(set.Name, pct(mean), pct(std), itoa(len(xs)))
+	}
+	t.AddNote("each run simulates %d fresh sessions with an independent seed", n)
+	return t
+}
+
+func maxf0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

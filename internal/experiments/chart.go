@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Minimal text charting for experiment output: the paper's Figure 9 is
+// a pair of CDFs, rendered here as aligned ASCII curves so vqreport can
+// show the distribution shape, not just quantiles.
+
+// cdfSeries is one named empirical distribution.
+type cdfSeries struct {
+	Name   string
+	Values []float64
+}
+
+// renderCDF draws the CDFs of several series on a shared x axis as a
+// rows x cols character grid. Each series gets its own glyph; exact
+// overlaps show the later series' glyph.
+func renderCDF(title, xlabel string, series []cdfSeries, rows, cols int) string {
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			any = true
+		}
+	}
+	if !any {
+		return title + ": (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		vs := append([]float64{}, s.Values...)
+		sort.Float64s(vs)
+		g := glyphs[si%len(glyphs)]
+		for c := 0; c < cols; c++ {
+			x := lo + (hi-lo)*float64(c)/float64(cols-1)
+			// F(x): fraction of values <= x.
+			f := float64(sort.SearchFloat64s(vs, x+1e-12)) / float64(len(vs))
+			r := rows - 1 - int(f*float64(rows-1)+0.5)
+			grid[r][c] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := 0; r < rows; r++ {
+		f := float64(rows-1-r) / float64(rows-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", f, grid[r])
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", cols+2))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g  (%s)\n", cols/2, lo, cols-cols/2, hi, xlabel)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s (n=%d)", glyphs[si%len(glyphs)], s.Name, len(s.Values)))
+	}
+	fmt.Fprintf(&b, "      legend: %s\n", strings.Join(legend, "   "))
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderCDFBasics(t *testing.T) {
+	out := renderCDF("demo", "ms", []cdfSeries{
+		{"low", []float64{1, 2, 3, 4, 5}},
+		{"high", []float64{50, 60, 70}},
+	}, 8, 40)
+	for _, want := range []string{"demo", "legend:", "low (n=5)", "high (n=3)", "(ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CDF output missing %q:\n%s", want, out)
+		}
+	}
+	// 8 grid rows plus title, axis and legend lines.
+	if lines := strings.Count(out, "\n"); lines < 11 {
+		t.Errorf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+func TestRenderCDFEmptyAndConstant(t *testing.T) {
+	if out := renderCDF("empty", "x", []cdfSeries{{"none", nil}}, 5, 20); !strings.Contains(out, "no data") {
+		t.Errorf("empty series: %q", out)
+	}
+	out := renderCDF("const", "x", []cdfSeries{{"c", []float64{7, 7, 7}}}, 5, 20)
+	if !strings.Contains(out, "legend") {
+		t.Errorf("constant series failed to render:\n%s", out)
+	}
+}
+
+func TestRenderCDFMonotone(t *testing.T) {
+	// For a single series, the curve must be non-increasing in row index
+	// across columns (CDF is monotone).
+	out := renderCDF("m", "x", []cdfSeries{{"s", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}}, 12, 40)
+	lines := strings.Split(out, "\n")
+	lastRowForCol := map[int]int{}
+	for r, line := range lines {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		start := strings.Index(line, "|") + 1
+		for c, ch := range line[start:] {
+			if ch == '*' {
+				if prev, ok := lastRowForCol[c]; ok && r < prev {
+					t.Fatalf("CDF not monotone at col %d", c)
+				}
+				lastRowForCol[c] = r
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/bayes"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/ml/svm"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+)
+
+// Table1FeatureSelection reproduces Table 1: the feature set surviving
+// FCBF on the combined controlled dataset (the paper went from 354
+// metrics to 22).
+func Table1FeatureSelection(s *Suite) *Table {
+	d := dataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.ExactLabel)
+	constructed, _ := features.Construct(d)
+	scores := features.FCBF(constructed, fcbfDelta)
+	t := &Table{
+		ID:     "table1",
+		Title:  "Features after Feature Selection (FCBF on the combined controlled dataset)",
+		Header: []string{"rank", "feature", "SU(class)"},
+	}
+	for i, sc := range scores {
+		t.AddRow(itoa(i+1), sc.Feature, f3(sc.SU))
+	}
+	t.AddNote("feature space reduced from %d to %d (paper: 354 to 22)",
+		len(constructed.Features()), len(scores))
+	return t
+}
+
+// severityOrder fixes the row order of detection tables.
+var severityOrder = []string{"good", "mild", "severe"}
+
+// Fig3ProblemDetection reproduces Figure 3 and the Section 5.1
+// accuracies: per-VP precision/recall for good/mild/severe with 10-fold
+// cross-validation on the controlled dataset.
+func Fig3ProblemDetection(s *Suite) *Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Problem detection (good/mild/severe), controlled dataset, 10-fold CV",
+		Header: []string{"vp", "accuracy", "class", "precision", "recall"},
+	}
+	for _, set := range VPSets {
+		d := dataset(s.Controlled(), set.VPs, testbed.SeverityLabel)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		for _, cls := range severityOrder {
+			t.AddRow(set.Name, pct(conf.Accuracy()), cls, f3(conf.Precision(cls)), f3(conf.Recall(cls)))
+		}
+	}
+	t.AddNote("paper overall accuracy: mobile 88.1%%, router 86.4%%, server 85.6%%, combined 88.8%%")
+	return t
+}
+
+// LocationDetection reproduces Section 5.2: detecting the problem's
+// segment (mobile/LAN/WAN x severity).
+func LocationDetection(s *Suite) *Table {
+	t := &Table{
+		ID:     "loc",
+		Title:  "Problem location detection (segment x severity), controlled dataset, 10-fold CV",
+		Header: []string{"vp", "accuracy", "class", "precision", "recall"},
+	}
+	for _, set := range VPSets {
+		d := dataset(s.Controlled(), set.VPs, testbed.LocationLabel)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		classes := conf.Classes()
+		sort.Strings(classes)
+		for _, cls := range classes {
+			t.AddRow(set.Name, pct(conf.Accuracy()), cls, f3(conf.Precision(cls)), f3(conf.Recall(cls)))
+		}
+	}
+	t.AddNote("paper: server VP localizes LAN problems nearly as well as the router VP")
+	return t
+}
+
+// Fig4ExactProblem reproduces Figure 4 and the Section 5.3 accuracies:
+// per-VP precision/recall over the 15 exact classes.
+func Fig4ExactProblem(s *Suite) *Table {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Exact problem detection (fault x severity), controlled dataset, 10-fold CV",
+		Header: []string{"vp", "accuracy", "class", "precision", "recall", "n"},
+	}
+	for _, set := range VPSets {
+		d := dataset(s.Controlled(), set.VPs, testbed.ExactLabel)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		counts := d.ClassCounts()
+		for _, cls := range qoe.ExactClasses() {
+			if counts[cls] == 0 {
+				continue
+			}
+			t.AddRow(set.Name, pct(conf.Accuracy()), cls, f3(conf.Precision(cls)), f3(conf.Recall(cls)), itoa(counts[cls]))
+		}
+	}
+	t.AddNote("paper overall accuracy: mobile 88.18%%, router 85.74%%, server 84.2%%, combined 88.95%%")
+	return t
+}
+
+// Table4FeatureRanking reproduces Table 4: the three highest-ranked
+// features per fault for each vantage point.
+func Table4FeatureRanking(s *Suite) *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "Top-3 features per exact problem per vantage point (tree path importance)",
+		Header: []string{"vp", "class", "1st", "2nd", "3rd"},
+	}
+	for _, set := range VPSets {
+		d := dataset(s.Controlled(), set.VPs, testbed.ExactLabel)
+		reduced, _, _ := features.Select(d, fcbfDelta)
+		tree := c45.Default().TrainTree(reduced)
+		per := tree.PerClassImportance()
+		for _, cls := range qoe.ExactClasses() {
+			if cls == "good" {
+				continue
+			}
+			scores := per[cls]
+			row := []string{set.Name, cls}
+			for i := 0; i < 3; i++ {
+				if i < len(scores) {
+					row = append(row, scores[i].Feature)
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// featureSets defines Figure 5's input groups by name predicates over
+// the constructed feature space.
+var featureSets = []struct {
+	Name  string
+	Match func(f string) bool
+}{
+	{"RSSI", func(f string) bool { return strings.Contains(f, "rssi") }},
+	{"HW", func(f string) bool { return strings.Contains(f, "hw_") }},
+	{"UTILIZATION", func(f string) bool { return strings.Contains(f, "nic_rx_util") || strings.Contains(f, "nic_tx_util") }},
+	{"DELAY", func(f string) bool { return strings.Contains(f, "rtt") || strings.Contains(f, "handshake") }},
+	{"TCP", func(f string) bool { return strings.Contains(f, "tcp_") }},
+	{"ALL", func(string) bool { return true }},
+}
+
+// Fig5FeatureSets reproduces Figure 5: exact-problem detection quality
+// (macro precision/recall over the classes) using different feature
+// subsets on the combined VPs, with FS&FC last.
+func Fig5FeatureSets(s *Suite) *Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Detection quality by feature set (combined VPs, exact labels, 10-fold CV)",
+		Header: []string{"feature set", "features", "macro precision", "macro recall", "accuracy"},
+	}
+	d := dataset(s.Controlled(), []string{"mobile", "router", "server"}, testbed.ExactLabel)
+	constructed, _ := features.Construct(d)
+	all := constructed.Features()
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(s.cfg.Seed + 5)) }
+
+	for _, fs := range featureSets {
+		var names []string
+		for _, f := range all {
+			if fs.Match(f) {
+				names = append(names, f)
+			}
+		}
+		sub := constructed.Project(names)
+		conf := ml.CrossValidate(c45.Default(), sub, s.cfg.Folds, rng())
+		t.AddRow(fs.Name, itoa(len(names)), f3(conf.MacroPrecision()), f3(conf.MacroRecall()), pct(conf.Accuracy()))
+	}
+	// FS & FC: the full pipeline.
+	scores := features.FCBF(constructed, fcbfDelta)
+	sel := constructed.Project(features.Names(scores))
+	conf := ml.CrossValidate(c45.Default(), sel, s.cfg.Folds, rng())
+	t.AddRow("FS & FC", itoa(len(scores)), f3(conf.MacroPrecision()), f3(conf.MacroRecall()), pct(conf.Accuracy()))
+	t.AddNote("paper shape: RSSI ~ HW < UTILIZATION < DELAY < ALL < FS&FC")
+	return t
+}
+
+// AlgorithmComparison reproduces the Section 3.2 claim: C4.5 outperforms
+// Naive Bayes and SVM on this problem.
+func AlgorithmComparison(s *Suite) *Table {
+	t := &Table{
+		ID:     "algos",
+		Title:  "Classifier comparison (combined VPs, 10-fold CV)",
+		Header: []string{"task", "algorithm", "accuracy", "macro precision", "macro recall"},
+	}
+	for _, task := range []struct {
+		name  string
+		label testbed.Labeler
+	}{{"severity", testbed.SeverityLabel}, {"exact", testbed.ExactLabel}} {
+		d := dataset(s.Controlled(), []string{"mobile", "router", "server"}, task.label)
+		reduced, _, _ := features.Select(d, fcbfDelta)
+		for _, alg := range []struct {
+			name string
+			tr   ml.Trainer
+		}{
+			{"C4.5", c45.Default()},
+			{"NaiveBayes", bayes.New()},
+			{"LinearSVM", svm.New(svm.Config{Seed: s.cfg.Seed})},
+		} {
+			conf := ml.CrossValidate(alg.tr, reduced, s.cfg.Folds, rand.New(rand.NewSource(s.cfg.Seed+9)))
+			t.AddRow(task.name, alg.name, pct(conf.Accuracy()), f3(conf.MacroPrecision()), f3(conf.MacroRecall()))
+		}
+	}
+	return t
+}

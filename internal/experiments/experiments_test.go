@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/testbed"
+)
+
+// tinySuite is shared across the package's tests; generating datasets is
+// the expensive part, so do it once.
+var tinySuite = NewSuite(Config{ControlledSessions: 150, RealWorldSessions: 70, WildSessions: 80, Seed: 5})
+
+func TestRegistryIDsUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := Find(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("Find(%q) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := Find("nonsense"); err == nil {
+		t.Error("Find accepted an unknown id")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("n=%d", 3)
+	s := tbl.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note: n=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1ProducesRanking(t *testing.T) {
+	tbl := Table1FeatureSelection(tinySuite)
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("only %d features selected", len(tbl.Rows))
+	}
+	// SU column must be non-increasing.
+	prev := 2.0
+	for _, row := range tbl.Rows {
+		var su float64
+		if _, err := sscan(row[2], &su); err != nil {
+			t.Fatalf("bad SU cell %q", row[2])
+		}
+		if su > prev+1e-9 {
+			t.Fatalf("SU ranking not sorted: %v after %v", su, prev)
+		}
+		prev = su
+	}
+}
+
+func TestFig3CoversAllVPSets(t *testing.T) {
+	tbl := Fig3ProblemDetection(tinySuite)
+	vps := map[string]bool{}
+	for _, row := range tbl.Rows {
+		vps[row[0]] = true
+	}
+	for _, want := range []string{"mobile", "router", "server", "combined"} {
+		if !vps[want] {
+			t.Errorf("fig3 missing VP %s", want)
+		}
+	}
+}
+
+func TestFig3AccuraciesInPlausibleBand(t *testing.T) {
+	tbl := Fig3ProblemDetection(tinySuite)
+	for _, row := range tbl.Rows {
+		var acc float64
+		if _, err := sscan(strings.TrimSuffix(row[1], "%"), &acc); err != nil {
+			t.Fatalf("bad accuracy cell %q", row[1])
+		}
+		if acc < 60 || acc > 100 {
+			t.Errorf("%s accuracy %.1f%% outside the plausible band", row[0], acc)
+		}
+	}
+}
+
+func TestPipelineTransferNoLeakage(t *testing.T) {
+	train := dataset(tinySuite.Controlled(), []string{"mobile"}, testbed.SeverityLabel)
+	p := TrainPipeline(train)
+	if len(p.Selected) == 0 {
+		t.Fatal("pipeline selected no features")
+	}
+	test := dataset(tinySuite.RealWorld(), []string{"mobile"}, testbed.SeverityLabel)
+	conf := p.Evaluate(test)
+	if conf.Total() != test.Len() {
+		t.Errorf("evaluated %d of %d test instances", conf.Total(), test.Len())
+	}
+	if conf.Accuracy() < 0.5 {
+		t.Errorf("transfer accuracy %.2f implausibly low", conf.Accuracy())
+	}
+}
+
+func TestPredictVectorHandlesMissingEverything(t *testing.T) {
+	train := dataset(tinySuite.Controlled(), []string{"mobile"}, testbed.SeverityLabel)
+	p := TrainPipeline(train)
+	if got := p.PredictVector(nil); got == "" {
+		t.Error("empty vector prediction returned nothing")
+	}
+}
+
+func TestWildExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wild experiments need dataset generation")
+	}
+	for _, id := range []string{"fig8", "fig9", "table5"} {
+		e, _ := Find(id)
+		tbl := e.Run(tinySuite)
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestAblationFluid(t *testing.T) {
+	tbl := AblationFluidBackground(nil)
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("fluid ablation rows = %d, want 7 (none + 3 loads x 2 kinds)", len(tbl.Rows))
+	}
+	// Loaded transfers must be slower than the unloaded one.
+	base := tbl.Rows[0][2]
+	for _, row := range tbl.Rows[1:] {
+		if row[2] == base && row[1] != "0.00" {
+			t.Errorf("loaded transfer time equals unloaded: %v", row)
+		}
+	}
+}
+
+// sscan parses a float cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestExtensionsRun(t *testing.T) {
+	for _, id := range []string{"ext-iterative", "ext-missingvp"} {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := e.Run(tinySuite)
+		if len(tbl.Rows) < 2 {
+			t.Errorf("%s produced %d rows", id, len(tbl.Rows))
+		}
+	}
+}
+
+func TestExtMissingVPGracefulDegradation(t *testing.T) {
+	tbl := ExtMissingVP(tinySuite)
+	// First row is the full deployment; every reduced deployment must
+	// stay within a plausible band (no collapse to zero).
+	for _, row := range tbl.Rows {
+		var acc float64
+		if _, err := sscan(strings.TrimSuffix(row[1], "%"), &acc); err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		if acc < 50 {
+			t.Errorf("deployment %s collapsed to %.1f%%", row[0], acc)
+		}
+	}
+}
+
+func TestExtContinuousTrainingRuns(t *testing.T) {
+	tbl := ExtContinuousTraining(tinySuite)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("continuous training rows = %d, want 4", len(tbl.Rows))
+	}
+}
+
+func TestExtMultiProblemRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-problem extension simulates extra sessions")
+	}
+	tbl := ExtMultiProblem(tinySuite)
+	if len(tbl.Rows) != len(multiFaultPairs) {
+		t.Fatalf("multi-problem rows = %d, want %d", len(tbl.Rows), len(multiFaultPairs))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("hello")
+	md := tbl.Markdown()
+	for _, want := range []string{"### x: demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "> hello"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestSuiteGeneratesOnce(t *testing.T) {
+	s := NewSuite(Config{ControlledSessions: 8, RealWorldSessions: 8, WildSessions: 8, Seed: 77})
+	a := s.Controlled()
+	b := s.Controlled()
+	if &a[0] != &b[0] {
+		t.Error("suite regenerated the controlled dataset")
+	}
+	if len(s.Wild()) != 8 || len(s.RealWorld()) != 8 {
+		t.Error("wrong dataset sizes")
+	}
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+)
+
+// This file implements the extensions the paper proposes but does not
+// evaluate: iterative per-entity root cause analysis (Section 7,
+// "Collaboration"), continuous training (Section 7), robustness to
+// vantage points missing at inference time (Section 2, third challenge),
+// and multi-problem sessions (Section 9, future work).
+
+// segmentOf maps a vantage point to the path segment it owns in the
+// iterative protocol.
+var segmentOf = map[string]qoe.Location{
+	"mobile": qoe.LocMobile,
+	"router": qoe.LocLAN,
+	"server": qoe.LocWAN,
+}
+
+// iterativeLabel builds the per-entity training label: an entity only
+// learns to recognize "the problem is in MY segment" vs "it is
+// somewhere else" vs "all good" — no cross-entity data needed.
+func iterativeLabel(seg qoe.Location) testbed.Labeler {
+	return func(r testbed.SessionResult) string {
+		if r.Label.Severity == qoe.Good || r.Spec.Fault == qoe.FaultNone {
+			return "good"
+		}
+		if r.Spec.Fault.Location() == seg {
+			return "mine"
+		}
+		return "elsewhere"
+	}
+}
+
+// ExtIterativeRCA evaluates the paper's proposed privacy-preserving
+// protocol: each entity trains only on its own measurements with
+// my-segment/elsewhere/good labels, then at diagnosis time the entities
+// are polled mobile -> router -> server and the first "mine" verdict
+// assigns the location. Compared against the centralized combined model.
+func ExtIterativeRCA(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-iterative",
+		Title:  "Extension: iterative per-entity RCA vs centralized combination (location task)",
+		Header: []string{"approach", "location accuracy", "notes"},
+	}
+	order := []string{"mobile", "router", "server"}
+
+	// Split the controlled corpus into train/eval halves.
+	all := s.Controlled()
+	half := len(all) / 2
+	trainRes, evalRes := all[:half], all[half:]
+
+	// Per-entity local models.
+	local := map[string]*Pipeline{}
+	for _, vp := range order {
+		d := dataset(trainRes, []string{vp}, iterativeLabel(segmentOf[vp]))
+		local[vp] = TrainPipeline(d)
+	}
+
+	truth := func(r testbed.SessionResult) string {
+		if r.Label.Severity == qoe.Good || r.Spec.Fault == qoe.FaultNone {
+			return "good"
+		}
+		return r.Spec.Fault.Location().String()
+	}
+
+	correct, total := 0, 0
+	for _, r := range evalRes {
+		want := truth(r)
+		got := "good"
+		for _, vp := range order {
+			verdict := local[vp].PredictVector(r.Combined(vp))
+			if verdict == "mine" {
+				got = segmentOf[vp].String()
+				break
+			}
+		}
+		if got == want {
+			correct++
+		}
+		total++
+	}
+	t.AddRow("iterative (no data sharing)", pct(float64(correct)/float64(total)),
+		"each entity reports only in-my-segment / not")
+
+	// Centralized baseline: combined model with location labels,
+	// trained on the same half, evaluated on the other.
+	train := dataset(trainRes, order, testbed.LocationLabel)
+	p := TrainPipeline(train)
+	correct, total = 0, 0
+	for _, r := range evalRes {
+		want := truth(r)
+		pred := p.PredictVector(r.Combined(order...))
+		base, _ := splitClass(pred)
+		if base == want {
+			correct++
+		}
+		total++
+	}
+	t.AddRow("centralized (all raw data shared)", pct(float64(correct)/float64(total)),
+		"upper bound requiring full collaboration")
+	t.AddNote("the paper argues iterative RCA trades little accuracy for full privacy")
+	return t
+}
+
+// ExtContinuousTraining evaluates Section 7's continuous-training claim:
+// folding progressively more labeled real-world instances into the lab
+// training set improves real-world accuracy.
+func ExtContinuousTraining(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-continuous",
+		Title:  "Extension: continuous training with labeled real-world instances (exact task)",
+		Header: []string{"real-world share added", "accuracy on held-out real-world data"},
+	}
+	vps := []string{"mobile", "router", "server"}
+	rw := s.RealWorld()
+	half := len(rw) / 2
+	pool, held := rw[:half], rw[half:]
+	heldDS := dataset(held, vps, testbed.ExactLabel)
+
+	base := dataset(s.Controlled(), vps, testbed.ExactLabel)
+	for _, share := range []float64{0, 0.25, 0.5, 1.0} {
+		n := int(share * float64(len(pool)))
+		combined := make([]ml.Instance, 0, base.Len()+n)
+		combined = append(combined, base.Instances...)
+		extra := dataset(pool[:n], vps, testbed.ExactLabel)
+		combined = append(combined, extra.Instances...)
+		p := TrainPipeline(ml.NewDataset(combined))
+		conf := p.Evaluate(heldDS)
+		t.AddRow(pct(share), pct(conf.Accuracy()))
+	}
+	t.AddNote("accuracy should be non-decreasing as labeled field data accumulates")
+	return t
+}
+
+// ExtMissingVP evaluates inference-time robustness: the combined model
+// diagnoses sessions whose records are missing entire vantage points
+// (C4.5 fractional-instance handling follows both branches on missing
+// split values).
+func ExtMissingVP(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-missingvp",
+		Title:  "Extension: combined model with vantage points missing at diagnosis time (severity task)",
+		Header: []string{"available VPs", "accuracy"},
+	}
+	vps := []string{"mobile", "router", "server"}
+	all := s.Controlled()
+	half := len(all) / 2
+	p := TrainPipeline(dataset(all[:half], vps, testbed.SeverityLabel))
+
+	for _, avail := range [][]string{
+		{"mobile", "router", "server"},
+		{"mobile", "router"},
+		{"mobile", "server"},
+		{"router", "server"},
+		{"mobile"},
+		{"router"},
+		{"server"},
+	} {
+		correct, total := 0, 0
+		for _, r := range all[half:] {
+			pred := p.PredictVector(r.Combined(avail...))
+			if pred == testbed.SeverityLabel(r) {
+				correct++
+			}
+			total++
+		}
+		name := avail[0]
+		for _, v := range avail[1:] {
+			name += "+" + v
+		}
+		t.AddRow(name, pct(float64(correct)/float64(total)))
+	}
+	t.AddNote("accuracy degrades gracefully rather than collapsing when probes disappear")
+	return t
+}
+
+// multiFaultPairs are plausibly co-occurring problem pairs.
+var multiFaultPairs = [][2]qoe.Fault{
+	{qoe.MobileLoad, qoe.LowRSSI},
+	{qoe.WANCongestion, qoe.LANCongestion},
+	{qoe.LANShaping, qoe.MobileLoad},
+	{qoe.WiFiInterference, qoe.WANCongestion},
+	{qoe.LowRSSI, qoe.WANShaping},
+}
+
+// ExtMultiProblem evaluates the paper's future-work scenario: two faults
+// injected simultaneously. The single-fault-trained model cannot name
+// both; it is scored on whether its prediction matches either induced
+// fault ("any-match") and on how often it at least detects a problem.
+func ExtMultiProblem(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-multiproblem",
+		Title:  "Extension: sessions with two co-occurring faults, single-fault-trained model",
+		Header: []string{"fault pair", "n", "detected problem", "matched either fault"},
+	}
+	vps := []string{"mobile", "router", "server"}
+	p := TrainPipeline(dataset(s.Controlled(), vps, testbed.ExactLabel))
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 99))
+	perPair := s.cfg.ControlledSessions / 40
+	if perPair < 4 {
+		perPair = 4
+	}
+	for _, pair := range multiFaultPairs {
+		detected, matched, n := 0, 0, 0
+		for i := 0; i < perPair; i++ {
+			clip := video.Clip{
+				ID: i, Quality: video.SD, Bitrate: 0.8e6 + rng.Float64()*1.2e6,
+				Duration: time.Duration(20+rng.Intn(40)) * time.Second, FPS: 30,
+			}
+			res := testbed.RunSession(testbed.SessionConfig{
+				Opts: testbed.Options{
+					Seed:             s.cfg.Seed*1000 + int64(i)*37 + int64(pair[0])*7 + int64(pair[1]),
+					BackgroundScale:  0.3,
+					InstrumentRouter: true, InstrumentServer: true,
+				},
+				Spec:  faults.Spec{Fault: pair[0], Intensity: 0.5 + 0.5*rng.Float64()},
+				Extra: []faults.Spec{{Fault: pair[1], Intensity: 0.5 + 0.5*rng.Float64()}},
+				Clip:  clip,
+			})
+			if res.Label.Severity == qoe.Good {
+				continue // the pair happened not to hurt this session
+			}
+			n++
+			pred := p.PredictVector(res.Combined(vps...))
+			if pred != "good" {
+				detected++
+				base, _ := splitClass(pred)
+				if base == pair[0].String() || base == pair[1].String() {
+					matched++
+				}
+			}
+		}
+		if n == 0 {
+			t.AddRow(pair[0].String()+"+"+pair[1].String(), "0", "-", "-")
+			continue
+		}
+		t.AddRow(pair[0].String()+"+"+pair[1].String(), itoa(n),
+			pct(float64(detected)/float64(n)), pct(float64(matched)/float64(n)))
+	}
+	t.AddNote("detection should stay high; naming a specific co-occurring fault is the open problem")
+	return t
+}
+
+// ExtAdaptiveDelivery tests the Section 2 agnosticism claim directly:
+// the exact-problem model trained on progressive/paced downloads is
+// evaluated on DASH-style adaptive sessions with the same fault
+// catalogue. Feature construction (count/byte/duration normalization)
+// is what should make the transfer work.
+func ExtAdaptiveDelivery(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-adaptive",
+		Title:  "Extension: progressive-trained model on adaptive (DASH-like) sessions",
+		Header: []string{"metric", "value"},
+	}
+	vps := []string{"mobile", "router", "server"}
+	p := TrainPipeline(dataset(s.Controlled(), vps, testbed.ExactLabel))
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 131))
+	n := s.cfg.ControlledSessions / 6
+	if n < 30 {
+		n = 30
+	}
+	correct, detected, problems, goodRight, goods := 0, 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		spec := faults.Spec{Fault: qoe.FaultNone}
+		if rng.Float64() < 0.45 {
+			spec = faults.Spec{
+				Fault:     qoe.Faults[rng.Intn(len(qoe.Faults))],
+				Intensity: 0.1 + 0.9*rng.Float64(),
+			}
+		}
+		clip := video.Clip{
+			ID: i, Duration: time.Duration(24+rng.Intn(50)) * time.Second,
+			Bitrate: 1e6, FPS: 30, Quality: "ABR",
+		}
+		res, _ := testbed.RunAdaptiveSession(testbed.SessionConfig{
+			Opts: testbed.Options{
+				Seed:             s.cfg.Seed*77 + int64(i)*13,
+				WAN:              testbed.WANDSL,
+				BackgroundScale:  0.2 + 0.45*rng.Float64(),
+				InstrumentRouter: true, InstrumentServer: true,
+			},
+			Spec: spec,
+			Clip: clip,
+		}, video.AdaptiveConfig{})
+		pred := p.PredictVector(res.Combined(vps...))
+		truth := testbed.ExactLabel(res)
+		if truth == "" {
+			continue
+		}
+		if truth == "good" {
+			goods++
+			if pred == "good" {
+				goodRight++
+			}
+			continue
+		}
+		problems++
+		if pred != "good" {
+			detected++
+		}
+		if pred == truth {
+			correct++
+		}
+	}
+	t.AddRow("adaptive sessions evaluated", itoa(goods+problems))
+	if goods > 0 {
+		t.AddRow("good sessions recognized", pct(float64(goodRight)/float64(goods)))
+	}
+	if problems > 0 {
+		t.AddRow("problems detected (any class)", pct(float64(detected)/float64(problems)))
+		t.AddRow("exact class matched", pct(float64(correct)/float64(problems)))
+	}
+	t.AddNote("adaptation masks mild network faults by design (quality drops instead of stalls)")
+	return t
+}
+
+// ExtFineSeverity evaluates the paper's Section 9 proposal of a finer
+// severity scale: the same pipeline on five MOS bands instead of three,
+// per vantage point.
+func ExtFineSeverity(s *Suite) *Table {
+	t := &Table{
+		ID:     "ext-fine",
+		Title:  "Extension: five-band severity classification (Sec 9 future work)",
+		Header: []string{"vp", "3-band accuracy", "5-band accuracy", "5-band macro recall"},
+	}
+	for _, set := range VPSets {
+		coarse := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.SeverityLabel), s.cfg.Folds, s.cfg.Seed+51)
+		fine := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.FineSeverityLabel), s.cfg.Folds, s.cfg.Seed+51)
+		t.AddRow(set.Name, pct(coarse.Accuracy()), pct(fine.Accuracy()), f3(fine.MacroRecall()))
+	}
+	t.AddNote("finer bands cost accuracy at the band edges; the paper anticipated needing more training data")
+	return t
+}

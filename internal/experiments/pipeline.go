@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"vqprobe/internal/metrics"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/testbed"
+)
+
+// VPSets enumerates the vantage-point combinations the paper evaluates.
+var VPSets = []struct {
+	Name string
+	VPs  []string
+}{
+	{"mobile", []string{"mobile"}},
+	{"router", []string{"router"}},
+	{"server", []string{"server"}},
+	{"combined", []string{"mobile", "router", "server"}},
+}
+
+// fcbfDelta is the SU threshold for feature selection throughout the
+// experiments.
+const fcbfDelta = 0.02
+
+// Pipeline is the paper's full learning stack: feature construction
+// (with train-set scale factors), FCBF selection, and a C4.5 tree.
+type Pipeline struct {
+	Norm     *features.Normalizer
+	Selected []string
+	Tree     *c45.Tree
+}
+
+// TrainPipeline fits the full FC+FS+C4.5 stack on a training dataset.
+func TrainPipeline(train *ml.Dataset) *Pipeline {
+	constructed, norm := features.Construct(train)
+	scores := features.FCBF(constructed, fcbfDelta)
+	names := features.Names(scores)
+	projected := constructed.Project(names)
+	tree := c45.Default().TrainTree(projected)
+	return &Pipeline{Norm: norm, Selected: names, Tree: tree}
+}
+
+// Transform applies the train-set feature construction and selection to
+// an evaluation dataset.
+func (p *Pipeline) Transform(test *ml.Dataset) *ml.Dataset {
+	return p.Norm.Apply(test).Project(p.Selected)
+}
+
+// Evaluate scores the pipeline on an independent dataset.
+func (p *Pipeline) Evaluate(test *ml.Dataset) *ml.Confusion {
+	return ml.Evaluate(p.Tree, p.Transform(test))
+}
+
+// cvPipeline runs the paper's 10-fold protocol: feature construction and
+// selection are performed once on the corpus (as Weka workflows of the
+// era did), then the classifier is cross-validated on the reduced
+// dataset.
+func cvPipeline(d *ml.Dataset, folds int, seed int64) *ml.Confusion {
+	reduced, _, _ := features.Select(d, fcbfDelta)
+	return ml.CrossValidate(c45.Default(), reduced, folds, rand.New(rand.NewSource(seed)))
+}
+
+// dataset builds the labeled per-VP dataset from session results.
+func dataset(results []testbed.SessionResult, vps []string, label testbed.Labeler) *ml.Dataset {
+	return testbed.ToDataset(results, vps, label)
+}
+
+// PredictVector classifies one raw (un-normalized) feature vector
+// through the pipeline's construction and tree.
+func (p *Pipeline) PredictVector(fv metrics.Vector) string {
+	d := ml.NewDataset([]ml.Instance{{Features: fv, Class: "?"}})
+	return p.Tree.Predict(p.Norm.Apply(d).Instances[0].Features)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "fmt"
+
+// Runner produces one experiment table from a suite.
+type Runner func(*Suite) *Table
+
+// Entry describes one reproducible experiment.
+type Entry struct {
+	ID    string
+	What  string
+	Run   Runner
+	Needs string // which datasets the experiment generates on demand
+}
+
+// Registry lists every table/figure reproduction and ablation, in report
+// order.
+var Registry = []Entry{
+	{"table1", "Table 1: features surviving FCBF", Table1FeatureSelection, "controlled"},
+	{"fig3", "Figure 3 + Sec 5.1: problem detection per VP", Fig3ProblemDetection, "controlled"},
+	{"loc", "Sec 5.2: problem location detection", LocationDetection, "controlled"},
+	{"fig4", "Figure 4 + Sec 5.3: exact problem detection", Fig4ExactProblem, "controlled"},
+	{"table4", "Table 4: per-problem feature ranking", Table4FeatureRanking, "controlled"},
+	{"fig5", "Figure 5: detection quality by feature set", Fig5FeatureSets, "controlled"},
+	{"algos", "Sec 3.2: C4.5 vs NaiveBayes vs SVM", AlgorithmComparison, "controlled"},
+	{"fig6", "Figure 6: real-world severity detection", Fig6RealWorldDetection, "controlled+realworld"},
+	{"fig7", "Figure 7: real-world exact detection", Fig7RealWorldExact, "controlled+realworld"},
+	{"fig8", "Figure 8: in-the-wild detection", Fig8InTheWild, "controlled+wild"},
+	{"fig9", "Figure 9: server-side CPU/RSSI inference", Fig9ServerEstimates, "controlled+wild"},
+	{"table5", "Table 5: wild root-cause predictions", Table5WildRootCause, "controlled+wild"},
+	{"ablate-fc", "Ablation: FC vs FS contributions", AblationFC, "controlled"},
+	{"ablate-prune", "Ablation: pruning and transfer", AblationPruning, "controlled+realworld"},
+	{"ablate-pairs", "Ablation: VP pairs for location", AblationVPPairs, "controlled"},
+	{"ablate-fluid", "Ablation: fluid vs packet cross traffic", AblationFluidBackground, "-"},
+	{"ablate-seeds", "Ablation: seed sensitivity of conclusions", AblationSeeds, "-"},
+	{"ablate-mdl", "Ablation: FCBF discretization method", AblationMDL, "controlled"},
+	{"ablate-forest", "Ablation: single tree vs bagged forest", AblationForest, "controlled+realworld"},
+	{"ext-iterative", "Extension: iterative per-entity RCA (Sec 7)", ExtIterativeRCA, "controlled"},
+	{"ext-continuous", "Extension: continuous training (Sec 7)", ExtContinuousTraining, "controlled+realworld"},
+	{"ext-missingvp", "Extension: VPs missing at diagnosis time", ExtMissingVP, "controlled"},
+	{"ext-multiproblem", "Extension: co-occurring faults (Sec 9)", ExtMultiProblem, "controlled"},
+	{"ext-adaptive", "Extension: adaptive (DASH) delivery agnosticism", ExtAdaptiveDelivery, "controlled"},
+	{"ext-fine", "Extension: five-band severity (Sec 9)", ExtFineSeverity, "controlled"},
+}
+
+// Find returns the registry entry with the given ID.
+func Find(id string) (Entry, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("unknown experiment %q", id)
+}

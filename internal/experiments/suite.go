@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"sync"
+
+	"vqprobe/internal/testbed"
+)
+
+// Config sizes the experiment suite. The paper's datasets had 3919
+// controlled, 2619 real-world-induced and 3495 in-the-wild instances;
+// defaults are scaled down to keep a full report run in CPU-minutes.
+type Config struct {
+	ControlledSessions int // default 1200
+	RealWorldSessions  int // default 800
+	WildSessions       int // default 1000
+	Seed               int64
+	Folds              int // cross-validation folds; default 10
+	Workers            int
+}
+
+func (c *Config) defaults() {
+	if c.ControlledSessions == 0 {
+		c.ControlledSessions = 1200
+	}
+	if c.RealWorldSessions == 0 {
+		c.RealWorldSessions = 800
+	}
+	if c.WildSessions == 0 {
+		c.WildSessions = 1000
+	}
+	if c.Folds == 0 {
+		c.Folds = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// PaperScale returns a config matching the paper's dataset sizes.
+func PaperScale() Config {
+	return Config{ControlledSessions: 3919, RealWorldSessions: 2619, WildSessions: 3495, Seed: 1}
+}
+
+// Suite owns the three datasets and generates each lazily, exactly once.
+type Suite struct {
+	cfg Config
+
+	onceC, onceR, onceW sync.Once
+	controlled          []testbed.SessionResult
+	realworld           []testbed.SessionResult
+	wild                []testbed.SessionResult
+}
+
+// NewSuite creates a suite with the given config.
+func NewSuite(cfg Config) *Suite {
+	cfg.defaults()
+	return &Suite{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Controlled returns (generating on first use) the Section 4 dataset.
+func (s *Suite) Controlled() []testbed.SessionResult {
+	s.onceC.Do(func() {
+		s.controlled = testbed.GenerateControlled(testbed.GenConfig{
+			Sessions: s.cfg.ControlledSessions, Seed: s.cfg.Seed, Workers: s.cfg.Workers,
+		})
+	})
+	return s.controlled
+}
+
+// RealWorld returns the Section 6.1 induced-fault dataset.
+func (s *Suite) RealWorld() []testbed.SessionResult {
+	s.onceR.Do(func() {
+		s.realworld = testbed.GenerateRealWorldInduced(testbed.GenConfig{
+			Sessions: s.cfg.RealWorldSessions, Seed: s.cfg.Seed + 1_000_003, Workers: s.cfg.Workers,
+		})
+	})
+	return s.realworld
+}
+
+// Wild returns the Section 6.2 in-the-wild dataset.
+func (s *Suite) Wild() []testbed.SessionResult {
+	s.onceW.Do(func() {
+		s.wild = testbed.GenerateWild(testbed.GenConfig{
+			Sessions: s.cfg.WildSessions, Seed: s.cfg.Seed + 2_000_003, Workers: s.cfg.Workers,
+		})
+	})
+	return s.wild
+}

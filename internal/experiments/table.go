@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from freshly simulated datasets: the feature-selection
+// table (Table 1), the detection/location/exact-problem results
+// (Figures 3-4, Section 5.2), the feature rankings (Table 4), the
+// feature-set comparison (Figure 5), the real-world evaluations
+// (Figures 6-8), the server-side inference CDFs (Figure 9) and the wild
+// root-cause table (Table 5), plus the ablations DESIGN.md calls out.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // experiment identifier ("fig3", "table4", ...)
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form footnote.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table in aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+
+// Markdown renders the table as a GitHub-flavored markdown table with
+// the notes as a trailing blockquote.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", strings.ReplaceAll(n, "\n", "\n> "))
+	}
+	return b.String()
+}

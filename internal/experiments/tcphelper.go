@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"time"
+
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// tcpSender drives a plain bulk TCP transfer inside an ablation
+// scenario and records when it finished.
+type tcpSender struct {
+	sim    *simnet.Sim
+	bytes  int64
+	start  time.Duration
+	doneAt time.Duration
+}
+
+// newTCPSender wires TCP hosts onto two already-linked nodes and starts
+// a bulk transfer a->b of n bytes.
+func newTCPSender(sim *simnet.Sim, a *simnet.Node, an *simnet.NIC, b *simnet.Node, bn *simnet.NIC, n int64) *tcpSender {
+	s := &tcpSender{sim: sim, bytes: n, start: sim.Now()}
+	sender := tcpsim.NewHost(a, an)
+	receiver := tcpsim.NewHost(b, bn)
+	receiver.Listen(80, func(c *tcpsim.Conn) {
+		c.OnPeerClose = func() {
+			s.doneAt = sim.Now()
+			c.Close()
+			sim.Halt()
+		}
+	})
+	conn := sender.Dial(b.Addr, 80)
+	conn.OnEstablished = func() {
+		conn.Write(n)
+		conn.Close()
+	}
+	return s
+}
+
+// throughput returns the achieved goodput in bits per second (zero if
+// the transfer never completed).
+func (s *tcpSender) throughput() float64 {
+	if s.doneAt <= s.start {
+		return 0
+	}
+	return float64(s.bytes) * 8 / (s.doneAt - s.start).Seconds()
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+)
+
+// wildVPSets: the in-the-wild deployment removed the router probe, so
+// only mobile, server and their combination exist (Figure 8).
+var wildVPSets = []struct {
+	Name string
+	VPs  []string
+}{
+	{"mobile", []string{"mobile"}},
+	{"server", []string{"server"}},
+	{"combined", []string{"mobile", "server"}},
+}
+
+// Fig8InTheWild reproduces Figure 8: good/problematic detection in the
+// wild (3G and WiFi, natural faults, missing VPs), with the lab-trained
+// model.
+func Fig8InTheWild(s *Suite) *Table {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "In-the-wild problem detection (good/problematic), trained on controlled data",
+		Header: []string{"vp", "accuracy", "class", "precision", "recall"},
+	}
+	for _, set := range wildVPSets {
+		conf := trainEval(s, set.VPs, testbed.BinaryLabel, s.Wild())
+		for _, cls := range []string{"good", "problematic"} {
+			t.AddRow(set.Name, pct(conf.Accuracy()), cls, f3(conf.Precision(cls)), f3(conf.Recall(cls)))
+		}
+	}
+	t.AddNote("server rows cover only sessions served by the instrumented private service")
+	return t
+}
+
+// Fig9ServerEstimates reproduces Figure 9: the server vantage point —
+// with transport-layer metrics only — predicts "mobile load" and "low
+// RSSI" for wild sessions; the table compares the ground-truth CPU and
+// RSSI distributions of flagged vs unflagged sessions.
+func Fig9ServerEstimates(s *Suite) *Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Server-side inference of client-local state (wild problematic sessions)",
+		Header: []string{"estimate", "group", "n", "p25", "median", "p75"},
+	}
+
+	// Train the exact-problem pipeline on the server VP only.
+	train := dataset(s.Controlled(), []string{"server"}, testbed.ExactLabel)
+	p := TrainPipeline(train)
+
+	var cpuFlag, cpuRest, rssiFlag, rssiRest []float64
+	for _, r := range s.Wild() {
+		if r.Label.Severity == qoe.Good {
+			continue
+		}
+		srv, ok := r.Records["server"]
+		if !ok {
+			continue // YouTube sessions have no server probe
+		}
+		_ = srv
+		mob := r.Records["mobile"]
+		pred := p.PredictVector(r.Combined("server"))
+
+		cpu := mob["hw_cpu_pct_avg"]
+		rssi := mob["wlan0_nic_rssi_dbm_avg"]
+		if strings.HasPrefix(pred, "mobile_load") {
+			cpuFlag = append(cpuFlag, cpu)
+		} else {
+			cpuRest = append(cpuRest, cpu)
+		}
+		if strings.HasPrefix(pred, "low_rssi") {
+			rssiFlag = append(rssiFlag, rssi)
+		} else {
+			rssiRest = append(rssiRest, rssi)
+		}
+	}
+	addDist := func(name, group string, xs []float64) {
+		if len(xs) == 0 {
+			t.AddRow(name, group, "0", "-", "-", "-")
+			return
+		}
+		sort.Float64s(xs)
+		q := func(f float64) string { return f1(xs[int(f*float64(len(xs)-1))]) }
+		t.AddRow(name, group, itoa(len(xs)), q(0.25), q(0.5), q(0.75))
+	}
+	addDist("mobile CPU %", "predicted mobile_load", cpuFlag)
+	addDist("mobile CPU %", "not predicted", cpuRest)
+	addDist("RSSI dBm", "predicted low_rssi", rssiFlag)
+	addDist("RSSI dBm", "not predicted", rssiRest)
+	t.AddNote("paper: flagged sessions show clearly higher CPU / lower RSSI ground truth")
+	t.AddNote("\n%s\n%s",
+		renderCDF("CDF: ground-truth mobile CPU of wild problematic sessions", "CPU %",
+			[]cdfSeries{{"predicted mobile_load", cpuFlag}, {"not predicted", cpuRest}}, 10, 56),
+		renderCDF("CDF: ground-truth RSSI of wild problematic sessions", "RSSI dBm",
+			[]cdfSeries{{"predicted low_rssi", rssiFlag}, {"not predicted", rssiRest}}, 10, 56))
+	return t
+}
+
+// Table5WildRootCause reproduces Table 5: root-cause predictions over
+// the wild dataset using the available VPs (mobile + server where
+// present), with mild/severe counts per cause.
+func Table5WildRootCause(s *Suite) *Table {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Root-cause predictions in the wild (lab-trained model, mobile+server VPs)",
+		Header: []string{"prediction", "mild", "severe", "total"},
+	}
+	train := dataset(s.Controlled(), []string{"mobile", "server"}, testbed.ExactLabel)
+	p := TrainPipeline(train)
+
+	type ms struct{ mild, severe, total int }
+	counts := map[string]*ms{}
+	goodCount, correctGood, totalGood := 0, 0, 0
+	for _, r := range s.Wild() {
+		pred := p.PredictVector(r.Combined("mobile", "server"))
+		if pred == "good" {
+			goodCount++
+			if r.Label.Severity == qoe.Good {
+				correctGood++
+			}
+		}
+		if r.Label.Severity == qoe.Good {
+			totalGood++
+		}
+		base, sev := splitClass(pred)
+		c := counts[base]
+		if c == nil {
+			c = &ms{}
+			counts[base] = c
+		}
+		c.total++
+		switch sev {
+		case "mild":
+			c.mild++
+		case "severe":
+			c.severe++
+		}
+	}
+	order := []string{"good"}
+	for _, f := range qoe.Faults {
+		order = append(order, f.String())
+	}
+	for _, base := range order {
+		c := counts[base]
+		if c == nil {
+			continue
+		}
+		t.AddRow(base, itoa(c.mild), itoa(c.severe), itoa(c.total))
+	}
+	if totalGood > 0 {
+		t.AddNote("good sessions correctly identified: %s (paper: 85%%)",
+			pct(float64(correctGood)/float64(totalGood)))
+	}
+	return t
+}
+
+// splitClass separates "<fault>_<severity>" into its parts; "good" has
+// no severity.
+func splitClass(cls string) (base, severity string) {
+	for _, suffix := range []string{"_mild", "_severe"} {
+		if strings.HasSuffix(cls, suffix) {
+			return strings.TrimSuffix(cls, suffix), suffix[1:]
+		}
+	}
+	return cls, ""
+}

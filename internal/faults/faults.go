@@ -1,0 +1,128 @@
+// Package faults implements the induced-problem catalogue of the paper's
+// Table 2. Each injector maps a fault kind plus a continuous intensity
+// in [0,1] onto concrete knob settings of the simulated testbed, the
+// same way the authors drove tc/netem, iperf, stress, attenuation and a
+// competing WLAN.
+//
+//	Simulated Problem       Paper's tool          This package
+//	LAN shaping             tc/netem (1-70Mb/s)   wireless rate cap
+//	WAN shaping             tc/netem (Table 3)    WAN rate/delay/loss change
+//	LAN congestion          iperf UDP             fluid congestor on the WiFi link
+//	WAN congestion          iperf UDP             fluid congestor on the WAN link
+//	Mobile load             stress                hardware.Device.Stress
+//	Poor signal             distance/attenuation  lower base RSSI
+//	WiFi interference       adjacent WLAN         channel busy fraction + collisions
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/traffic"
+	"vqprobe/internal/wireless"
+)
+
+// Spec is one induced problem instance.
+type Spec struct {
+	Fault qoe.Fault
+	// Intensity in [0,1]: 0 is barely perceptible, 1 is the worst the
+	// testbed produces. The QoE label (mild/severe) is derived from the
+	// measured MOS, not from this knob, mirroring the paper's protocol.
+	Intensity float64
+}
+
+// Target collects the testbed components an injector may touch.
+type Target struct {
+	Rng     *rand.Rand
+	Sim     *simnet.Sim
+	WANLink *simnet.Link
+	// WANDown is the direction of the WAN link that carries video data
+	// toward the client.
+	WANDown simnet.Direction
+	WiFi    *simnet.Link
+	// WiFiDown is the direction of the WiFi link toward the client.
+	WiFiDown simnet.Direction
+	Channel  *wireless.Channel
+	Device   *hardware.Device
+	SrvLoad  *traffic.ServerLoad
+}
+
+// Apply injects the fault into the target during [from, from+dur).
+// Shaping faults and poor signal act on static link/channel state and
+// are applied for the whole run when from is zero (the controlled
+// testbed keeps a fault active for the entire session, as the paper's
+// scenarios did).
+func Apply(t Target, s Spec, from, dur time.Duration) {
+	i := clamp01(s.Intensity)
+	switch s.Fault {
+	case qoe.FaultNone:
+		return
+
+	case qoe.LANShaping:
+		// 802.11 a/b/g/n per-stream rates span 1-70 Mbit/s; shaping
+		// drags the cap from comfortable down to painful.
+		cap := lerp(12e6, 0.5e6, i)
+		t.Channel.SetRateCap(jitter(t.Rng, cap, 0.1))
+
+	case qoe.WANShaping:
+		base := t.WANLink.Config(t.WANDown)
+		rate := base.Rate * lerp(0.85, 0.15, i)
+		t.WANLink.SetRateFn(t.WANDown, func(time.Duration) float64 { return rate })
+		t.WANLink.SetDelay(t.WANDown, base.Delay+time.Duration(lerp(20, 250, i))*time.Millisecond)
+		t.WANLink.SetLoss(t.WANDown, lerp(0.003, 0.03, i)) // up to and past the Table 2 values
+
+	case qoe.LANCongestion:
+		level := lerp(0.8, 0.975, i)
+		traffic.AttachCongestor(t.Sim, t.WiFi, t.WiFiDown, level, from, dur)
+		// The reverse path shares the medium; ACKs contend too.
+		traffic.AttachCongestor(t.Sim, t.WiFi, 1-t.WiFiDown, level*0.5, from, dur)
+
+	case qoe.WANCongestion:
+		level := lerp(0.35, 0.95, i)
+		traffic.AttachCongestor(t.Sim, t.WANLink, t.WANDown, level, from, dur)
+		if t.SrvLoad != nil {
+			t.SrvLoad.Boost(lerp(0.1, 0.5, i), from, dur)
+		}
+
+	case qoe.MobileLoad:
+		cpu := lerp(50, 95, i)
+		mem := lerp(80, 400, i)
+		io := lerp(10, 45, i)
+		t.Device.Stress(jitter(t.Rng, cpu, 0.08), mem, io, from, dur)
+
+	case qoe.LowRSSI:
+		// Distance plus attenuation: from the edge of comfort down to
+		// the edge of association.
+		t.Channel.SetBaseRSSI(lerp(-74, -90, i) + t.Rng.NormFloat64()*1.5)
+
+	case qoe.WiFiInterference:
+		level := lerp(0.45, 0.9, i)
+		rng := t.Rng
+		t.Channel.SetInterference(func(now time.Duration) float64 {
+			if now < from || now >= from+dur {
+				return 0
+			}
+			// A competing WLAN duty-cycles; its offered load breathes.
+			return clamp01(level * (0.75 + 0.5*rng.Float64()))
+		})
+	}
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func jitter(rng *rand.Rand, v, frac float64) float64 {
+	return v * (1 + frac*(rng.Float64()*2-1))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

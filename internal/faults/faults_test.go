@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/traffic"
+	"vqprobe/internal/wireless"
+)
+
+// world builds a minimal two-link topology with every knob an injector
+// can touch.
+func world(seed int64) (Target, *simnet.Sim) {
+	sim := simnet.New(seed)
+	phone := sim.NewNode("phone", 1)
+	router := sim.NewNode("router", 100)
+	server := sim.NewNode("server", 2)
+	pn := phone.AddNIC("wlan0")
+	rl := router.AddNIC("wlan0")
+	rw := router.AddNIC("eth0")
+	sn := server.AddNIC("eth0")
+	wifi := simnet.ConnectSym(sim, "wifi", pn, rl,
+		simnet.LinkConfig{Rate: 70e6, Delay: 2 * time.Millisecond, Retries: 7})
+	wan := simnet.ConnectSym(sim, "wan", rw, sn,
+		simnet.LinkConfig{Rate: 7.8e6, Delay: 50 * time.Millisecond})
+	chn := wireless.Attach(sim, wifi, wireless.ChannelConfig{BaseRSSI: -50})
+	dev := hardware.NewDevice(sim, hardware.ProfileGalaxyS2)
+	load := traffic.NewServerLoad(sim, 0.1, 0.02)
+	return Target{
+		Rng: rand.New(rand.NewSource(seed)), Sim: sim,
+		WANLink: wan, WANDown: simnet.BtoA,
+		WiFi: wifi, WiFiDown: simnet.BtoA,
+		Channel: chn, Device: dev, SrvLoad: load,
+	}, sim
+}
+
+func TestFaultNoneIsNoOp(t *testing.T) {
+	tgt, sim := world(1)
+	before := tgt.WANLink.Config(simnet.BtoA)
+	Apply(tgt, Spec{Fault: qoe.FaultNone, Intensity: 1}, 0, time.Hour)
+	sim.Run(5 * time.Second)
+	after := tgt.WANLink.Config(simnet.BtoA)
+	if before != after {
+		t.Error("FaultNone modified the WAN link")
+	}
+}
+
+func TestWANShapingChangesLink(t *testing.T) {
+	tgt, _ := world(2)
+	base := tgt.WANLink.Config(simnet.BtoA)
+	Apply(tgt, Spec{Fault: qoe.WANShaping, Intensity: 0.8}, 0, time.Hour)
+	cfgAfter := tgt.WANLink.Config(simnet.BtoA)
+	if cfgAfter.Delay <= base.Delay {
+		t.Error("WAN shaping did not add delay")
+	}
+	if cfgAfter.Loss <= base.Loss {
+		t.Error("WAN shaping did not add loss")
+	}
+}
+
+func TestWANShapingIntensityMonotone(t *testing.T) {
+	delayAt := func(i float64) time.Duration {
+		tgt, _ := world(3)
+		Apply(tgt, Spec{Fault: qoe.WANShaping, Intensity: i}, 0, time.Hour)
+		return tgt.WANLink.Config(simnet.BtoA).Delay
+	}
+	if delayAt(0.9) <= delayAt(0.1) {
+		t.Error("higher intensity should add more delay")
+	}
+}
+
+func TestLANShapingCapsChannelRate(t *testing.T) {
+	// Build an inline world so the router node is reachable, drain a
+	// packet train router->phone, and compare with/without the cap.
+	elapsed := func(intensity float64) time.Duration {
+		sim := simnet.New(5)
+		phone := sim.NewNode("phone", 1)
+		router := sim.NewNode("router", 100)
+		pn, rl := phone.AddNIC("wlan0"), router.AddNIC("wlan0")
+		wifi := simnet.ConnectSym(sim, "wifi", pn, rl,
+			simnet.LinkConfig{Rate: 70e6, Delay: 2 * time.Millisecond, Retries: 7, QueueBytes: 1 << 20})
+		chn := wireless.Attach(sim, wifi, wireless.ChannelConfig{BaseRSSI: -50})
+		tgt := Target{Rng: rand.New(rand.NewSource(5)), Sim: sim,
+			WiFi: wifi, WiFiDown: simnet.BtoA, Channel: chn,
+			Device: hardware.NewDevice(sim, hardware.ProfileGalaxyS2)}
+		if intensity > 0 {
+			Apply(tgt, Spec{Fault: qoe.LANShaping, Intensity: intensity}, 0, time.Hour)
+		}
+		var last time.Duration
+		phone.SetHandler(simnet.HandlerFunc(func(*simnet.NIC, *simnet.Packet) { last = sim.Now() }))
+		for i := 0; i < 50; i++ {
+			router.Send(rl, sim.NewPacket(simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 100, Dst: 1}, 1460, nil))
+		}
+		sim.Run(time.Minute)
+		return last
+	}
+	fast, slow := elapsed(0), elapsed(1)
+	if slow < 5*fast {
+		t.Errorf("LAN shaping barely slowed the link: %v vs %v", slow, fast)
+	}
+}
+
+func TestMobileLoadStressesDevice(t *testing.T) {
+	tgt, sim := world(6)
+	Apply(tgt, Spec{Fault: qoe.MobileLoad, Intensity: 0.9}, 0, time.Minute)
+	sim.Run(10 * time.Second)
+	if tgt.Device.CPU() < 60 {
+		t.Errorf("mobile load fault: CPU %.1f, want high", tgt.Device.CPU())
+	}
+}
+
+func TestLowRSSIDropsSignal(t *testing.T) {
+	tgt, sim := world(7)
+	before := tgt.Channel.RSSI()
+	Apply(tgt, Spec{Fault: qoe.LowRSSI, Intensity: 0.9}, 0, time.Hour)
+	sim.Run(3 * time.Second)
+	if tgt.Channel.RSSI() > before-20 {
+		t.Errorf("low-RSSI fault: %.1f -> %.1f, want a big drop", before, tgt.Channel.RSSI())
+	}
+}
+
+func TestInterferenceWindowed(t *testing.T) {
+	tgt, sim := world(8)
+	Apply(tgt, Spec{Fault: qoe.WiFiInterference, Intensity: 0.9}, 10*time.Second, 10*time.Second)
+	sim.Run(5 * time.Second)
+	if tgt.Channel.Interference() > 0.01 {
+		t.Errorf("interference active before its window: %.2f", tgt.Channel.Interference())
+	}
+	sim.Run(15 * time.Second)
+	if tgt.Channel.Interference() < 0.3 {
+		t.Errorf("interference %.2f inside window, want strong", tgt.Channel.Interference())
+	}
+	sim.Run(25 * time.Second)
+	if tgt.Channel.Interference() > 0.01 {
+		t.Errorf("interference %.2f after window, want zero", tgt.Channel.Interference())
+	}
+}
+
+func TestCongestionBoostsServerLoad(t *testing.T) {
+	tgt, sim := world(9)
+	Apply(tgt, Spec{Fault: qoe.WANCongestion, Intensity: 1}, 0, time.Minute)
+	sim.Run(5 * time.Second)
+	if tgt.SrvLoad.Level(sim.Now()) < 0.3 {
+		t.Errorf("WAN congestion should boost server load, got %.2f", tgt.SrvLoad.Level(sim.Now()))
+	}
+}
+
+func TestIntensityClamped(t *testing.T) {
+	tgt, _ := world(10)
+	// Out-of-range intensities must not panic or produce absurd knobs.
+	Apply(tgt, Spec{Fault: qoe.WANShaping, Intensity: 5}, 0, time.Hour)
+	Apply(tgt, Spec{Fault: qoe.LowRSSI, Intensity: -3}, 0, time.Hour)
+	if tgt.Channel.RSSI() < -120 {
+		t.Errorf("clamping failed: RSSI %.1f", tgt.Channel.RSSI())
+	}
+}

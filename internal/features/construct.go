@@ -1,0 +1,161 @@
+// Package features implements the paper's two pre-learning steps
+// (Section 3.2): Feature Construction — normalizations that make the
+// model agnostic to video type, delivery mechanism and link technology —
+// and Feature Selection with the Fast Correlation-Based Filter (FCBF).
+package features
+
+import (
+	"strings"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// Per-direction count features normalized by the session's total packet
+// count (same vantage point), exactly the paper's list: data packets,
+// retransmitted packets, out-of-order packets, and friends.
+var pktNormalized = []string{
+	"data_pkts", "retrans_pkts", "ooo_pkts", "pure_acks", "dup_acks",
+	"push_pkts", "zero_wnd_pkts", "pkts",
+}
+
+// Per-direction byte features normalized by the session's total bytes.
+var byteNormalized = []string{"data_bytes", "retrans_bytes", "bytes"}
+
+// Per-direction time features normalized by the flow duration.
+var timeNormalized = []string{"first_pkt_s", "last_pkt_s", "first_data_s"}
+
+// Construct applies feature construction to a dataset and returns the
+// engineered dataset:
+//
+//   - packet and byte counts become fractions of the session's totals;
+//   - per-flow timings become fractions of the flow duration;
+//   - throughput and NIC utilization are rescaled by the maximum value
+//     observed for that feature across the dataset (the paper's
+//     "utilization relative to the maximum transfer rate observed for
+//     this NIC"), so they land in [0,1] regardless of technology;
+//   - of the RSSI aggregates only the average is kept (the paper found
+//     min/max less predictive).
+//
+// The dataset-level maxima make this a two-pass transform; apply it to
+// the training set and reuse the returned Normalizer for evaluation
+// data so no test-set information leaks into training.
+func Construct(d *ml.Dataset) (*ml.Dataset, *Normalizer) {
+	n := NewNormalizer(d)
+	return n.Apply(d), n
+}
+
+// Normalizer holds the dataset-level scale factors of feature
+// construction.
+type Normalizer struct {
+	// maxScale maps feature name -> dataset max used as divisor.
+	maxScale map[string]float64
+}
+
+// NewNormalizer computes the dataset-level maxima from d.
+func NewNormalizer(d *ml.Dataset) *Normalizer {
+	n := &Normalizer{maxScale: map[string]float64{}}
+	for _, f := range d.Features() {
+		if !isScaledByMax(f) {
+			continue
+		}
+		max := 0.0
+		for _, in := range d.Instances {
+			if v, ok := in.Features[f]; ok && v > max {
+				max = v
+			}
+		}
+		if max > 0 {
+			n.maxScale[f] = max
+		}
+	}
+	return n
+}
+
+// isScaledByMax selects throughput- and utilization-like features.
+func isScaledByMax(f string) bool {
+	return strings.Contains(f, "throughput_bps") || strings.Contains(f, "nic_rx_util") ||
+		strings.Contains(f, "nic_tx_util")
+}
+
+// droppedRSSI reports RSSI aggregates other than the average.
+func droppedRSSI(f string) bool {
+	if !strings.Contains(f, "nic_rssi_dbm") {
+		return false
+	}
+	return !strings.HasSuffix(f, "_avg")
+}
+
+// vpPrefix returns the vantage-point prefix of a combined feature name
+// ("mobile.tcp_x" -> "mobile."), or "" for unprefixed records.
+func vpPrefix(f string) string {
+	if i := strings.Index(f, "."); i >= 0 {
+		return f[:i+1]
+	}
+	return ""
+}
+
+// Apply transforms one dataset with the normalizer's factors.
+func (n *Normalizer) Apply(d *ml.Dataset) *ml.Dataset {
+	out := make([]ml.Instance, d.Len())
+	for i, in := range d.Instances {
+		fv := metrics.Vector{}
+		for f, v := range in.Features {
+			switch {
+			case droppedRSSI(f):
+				continue
+			case n.maxScale[f] > 0:
+				fv[f] = v / n.maxScale[f]
+			default:
+				fv[f] = v
+			}
+		}
+		// Count/byte/time normalizations are per-instance and per-VP.
+		for f := range fv {
+			pfx := vpPrefix(f)
+			base := strings.TrimPrefix(f, pfx)
+			for _, dir := range []string{"tcp_c2s_", "tcp_s2c_"} {
+				if !strings.HasPrefix(base, dir) {
+					continue
+				}
+				suffix := strings.TrimPrefix(base, dir)
+				switch {
+				case contains(pktNormalized, suffix):
+					if tot := fv[pfx+"tcp_total_pkts"]; tot > 0 {
+						fv[f] = fv[f] / tot
+					}
+				case contains(byteNormalized, suffix):
+					if tot := fv[pfx+"tcp_total_bytes"]; tot > 0 {
+						fv[f] = fv[f] / tot
+					}
+				case contains(timeNormalized, suffix):
+					if dur := fv[pfx+"tcp_duration_s"]; dur > 0 {
+						fv[f] = fv[f] / dur
+					}
+				}
+			}
+		}
+		out[i] = ml.Instance{Features: fv, Class: in.Class}
+	}
+	return ml.NewDataset(out)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Scales exposes the dataset-level divisors for serialization.
+func (n *Normalizer) Scales() map[string]float64 { return n.maxScale }
+
+// NormalizerFromScales rebuilds a normalizer from serialized divisors.
+func NormalizerFromScales(scales map[string]float64) *Normalizer {
+	if scales == nil {
+		scales = map[string]float64{}
+	}
+	return &Normalizer{maxScale: scales}
+}

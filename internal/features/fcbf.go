@@ -1,0 +1,215 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"vqprobe/internal/ml"
+)
+
+// fcbfBins is the number of equal-frequency bins used to discretize
+// continuous features before computing information measures. (The
+// original FCBF paper used MDL discretization; equal-frequency binning
+// is a standard simpler substitute and is documented in DESIGN.md.)
+const fcbfBins = 10
+
+// missingBin is the discrete symbol for absent values.
+const missingBin = fcbfBins
+
+// SUScore pairs a feature with its symmetrical uncertainty against the
+// class.
+type SUScore struct {
+	Feature string
+	SU      float64
+}
+
+// discretize maps a feature column to bin indices via equal-frequency
+// binning; missing values get their own bin.
+func discretize(col []float64) []int {
+	present := make([]float64, 0, len(col))
+	for _, v := range col {
+		if !ml.IsMissing(v) {
+			present = append(present, v)
+		}
+	}
+	out := make([]int, len(col))
+	if len(present) == 0 {
+		for i := range out {
+			out[i] = missingBin
+		}
+		return out
+	}
+	sort.Float64s(present)
+	// Bin edges at the quantiles.
+	edges := make([]float64, 0, fcbfBins-1)
+	for b := 1; b < fcbfBins; b++ {
+		edges = append(edges, present[len(present)*b/fcbfBins])
+	}
+	for i, v := range col {
+		if ml.IsMissing(v) {
+			out[i] = missingBin
+			continue
+		}
+		// First edge strictly greater than v: values equal to an edge
+		// belong to the bin above it.
+		out[i] = sort.Search(len(edges), func(j int) bool { return edges[j] > v })
+	}
+	return out
+}
+
+// entropyOf computes H(X) over discrete symbols.
+func entropyOf(xs []int, nSym int) float64 {
+	counts := make([]float64, nSym)
+	for _, x := range xs {
+		counts[x]++
+	}
+	n := float64(len(xs))
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / n
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// condEntropy computes H(X|Y).
+func condEntropy(x []int, nx int, y []int, ny int) float64 {
+	joint := make([]float64, nx*ny)
+	ycount := make([]float64, ny)
+	for i := range x {
+		joint[y[i]*nx+x[i]]++
+		ycount[y[i]]++
+	}
+	n := float64(len(x))
+	h := 0.0
+	for yi := 0; yi < ny; yi++ {
+		if ycount[yi] == 0 {
+			continue
+		}
+		py := ycount[yi] / n
+		hxy := 0.0
+		for xi := 0; xi < nx; xi++ {
+			c := joint[yi*nx+xi]
+			if c > 0 {
+				p := c / ycount[yi]
+				hxy -= p * math.Log2(p)
+			}
+		}
+		h += py * hxy
+	}
+	return h
+}
+
+// su computes symmetrical uncertainty 2*IG/(H(X)+H(Y)).
+func su(x []int, nx int, y []int, ny int) float64 {
+	hx := entropyOf(x, nx)
+	hy := entropyOf(y, ny)
+	if hx+hy == 0 {
+		return 0
+	}
+	ig := hx - condEntropy(x, nx, y, ny)
+	return 2 * ig / (hx + hy)
+}
+
+// FCBF runs the Fast Correlation-Based Filter (Yu & Liu, 2003): rank
+// features by symmetrical uncertainty with the class, keep those above
+// delta, then remove every feature that is more correlated with an
+// already-selected (predominant) feature than with the class.
+//
+// It returns the selected feature names in rank order together with
+// their class SU values.
+func FCBF(d *ml.Dataset, delta float64) []SUScore {
+	names := d.Features()
+	nInst := d.Len()
+	if nInst == 0 || len(names) == 0 {
+		return nil
+	}
+
+	// Class symbols.
+	classes := d.Classes()
+	cidx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	y := make([]int, nInst)
+	for i, in := range d.Instances {
+		y[i] = cidx[in.Class]
+	}
+
+	// Discretize every feature column once.
+	cols := make([][]int, len(names))
+	col := make([]float64, nInst)
+	for f, name := range names {
+		for i, in := range d.Instances {
+			if v, ok := in.Features[name]; ok {
+				col[i] = v
+			} else {
+				col[i] = ml.Missing
+			}
+		}
+		cols[f] = discretize(col)
+	}
+	nSym := fcbfBins + 1
+
+	// SU with the class.
+	scores := make([]SUScore, 0, len(names))
+	suClass := make([]float64, len(names))
+	for f, name := range names {
+		s := su(cols[f], nSym, y, len(classes))
+		suClass[f] = s
+		if s > delta {
+			scores = append(scores, SUScore{Feature: name, SU: s})
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].SU != scores[j].SU {
+			return scores[i].SU > scores[j].SU
+		}
+		return scores[i].Feature < scores[j].Feature
+	})
+
+	// Redundancy elimination.
+	index := make(map[string]int, len(names))
+	for f, n := range names {
+		index[n] = f
+	}
+	removed := make([]bool, len(scores))
+	var selected []SUScore
+	for i := range scores {
+		if removed[i] {
+			continue
+		}
+		selected = append(selected, scores[i])
+		fi := index[scores[i].Feature]
+		for j := i + 1; j < len(scores); j++ {
+			if removed[j] {
+				continue
+			}
+			fj := index[scores[j].Feature]
+			if su(cols[fj], nSym, cols[fi], nSym) >= suClass[fj] {
+				removed[j] = true
+			}
+		}
+	}
+	return selected
+}
+
+// Names extracts the feature names from a ranked score list.
+func Names(scores []SUScore) []string {
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.Feature
+	}
+	return out
+}
+
+// Select runs feature construction followed by FCBF and returns the
+// projected dataset plus the selected ranking and the normalizer — the
+// complete FS&FC pipeline of the paper.
+func Select(d *ml.Dataset, delta float64) (*ml.Dataset, []SUScore, *Normalizer) {
+	constructed, norm := Construct(d)
+	scores := FCBF(constructed, delta)
+	return constructed.Project(Names(scores)), scores, norm
+}

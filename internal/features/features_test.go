@@ -1,0 +1,242 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func TestConstructNormalizesCounts(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{
+			"tcp_s2c_data_pkts": 50, "tcp_total_pkts": 100,
+			"tcp_s2c_data_bytes": 5000, "tcp_total_bytes": 10000,
+			"tcp_s2c_first_pkt_s": 2, "tcp_duration_s": 10,
+		}, Class: "x"},
+	})
+	out, _ := Construct(d)
+	fv := out.Instances[0].Features
+	if fv["tcp_s2c_data_pkts"] != 0.5 {
+		t.Errorf("pkts normalized to %v, want 0.5", fv["tcp_s2c_data_pkts"])
+	}
+	if fv["tcp_s2c_data_bytes"] != 0.5 {
+		t.Errorf("bytes normalized to %v, want 0.5", fv["tcp_s2c_data_bytes"])
+	}
+	if fv["tcp_s2c_first_pkt_s"] != 0.2 {
+		t.Errorf("time normalized to %v, want 0.2", fv["tcp_s2c_first_pkt_s"])
+	}
+}
+
+func TestConstructNormalizesPrefixedVPs(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{
+			"mobile.tcp_s2c_data_pkts": 40, "mobile.tcp_total_pkts": 80,
+			"router.tcp_s2c_data_pkts": 10, "router.tcp_total_pkts": 100,
+		}, Class: "x"},
+	})
+	out, _ := Construct(d)
+	fv := out.Instances[0].Features
+	if fv["mobile.tcp_s2c_data_pkts"] != 0.5 || fv["router.tcp_s2c_data_pkts"] != 0.1 {
+		t.Errorf("per-VP normalization wrong: %v", fv)
+	}
+}
+
+func TestConstructScalesUtilizationByDatasetMax(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{"wlan0_nic_rx_util_avg": 0.2, "tcp_s2c_throughput_bps": 1e6}, Class: "x"},
+		{Features: metrics.Vector{"wlan0_nic_rx_util_avg": 0.4, "tcp_s2c_throughput_bps": 4e6}, Class: "y"},
+	})
+	out, _ := Construct(d)
+	if got := out.Instances[1].Features["wlan0_nic_rx_util_avg"]; got != 1.0 {
+		t.Errorf("max util scaled to %v, want 1", got)
+	}
+	if got := out.Instances[0].Features["tcp_s2c_throughput_bps"]; got != 0.25 {
+		t.Errorf("throughput scaled to %v, want 0.25", got)
+	}
+}
+
+func TestConstructKeepsOnlyAvgRSSI(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{
+			"wlan0_nic_rssi_dbm_avg": -60, "wlan0_nic_rssi_dbm_min": -80,
+			"wlan0_nic_rssi_dbm_max": -50, "wlan0_nic_rssi_dbm_std": 4,
+			"wlan0_nic_rssi_dbm_cnt": 30,
+		}, Class: "x"},
+	})
+	out, _ := Construct(d)
+	fv := out.Instances[0].Features
+	if _, ok := fv["wlan0_nic_rssi_dbm_avg"]; !ok {
+		t.Error("average RSSI dropped")
+	}
+	for _, gone := range []string{"wlan0_nic_rssi_dbm_min", "wlan0_nic_rssi_dbm_max", "wlan0_nic_rssi_dbm_std", "wlan0_nic_rssi_dbm_cnt"} {
+		if _, ok := fv[gone]; ok {
+			t.Errorf("%s should be dropped by construction", gone)
+		}
+	}
+}
+
+func TestNormalizerReuseNoLeak(t *testing.T) {
+	train := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{"tcp_s2c_throughput_bps": 2e6}, Class: "x"},
+	})
+	_, norm := Construct(train)
+	test := ml.NewDataset([]ml.Instance{
+		{Features: metrics.Vector{"tcp_s2c_throughput_bps": 4e6}, Class: "x"},
+	})
+	out := norm.Apply(test)
+	// Scaled by the TRAINING max (2e6), not its own: 4e6/2e6 = 2.
+	if got := out.Instances[0].Features["tcp_s2c_throughput_bps"]; got != 2 {
+		t.Errorf("test-set scaling used wrong divisor: %v", got)
+	}
+}
+
+func TestDiscretizeEqualFrequency(t *testing.T) {
+	col := make([]float64, 100)
+	for i := range col {
+		col[i] = float64(i)
+	}
+	bins := discretize(col)
+	counts := map[int]int{}
+	for _, b := range bins {
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != 10 {
+			t.Errorf("bin %d has %d values, want 10", b, c)
+		}
+	}
+}
+
+func TestDiscretizeMissing(t *testing.T) {
+	col := []float64{1, ml.Missing, 3}
+	bins := discretize(col)
+	if bins[1] != missingBin {
+		t.Errorf("missing value binned to %d", bins[1])
+	}
+}
+
+func TestFCBFFindsInformativeFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ins []ml.Instance
+	for i := 0; i < 400; i++ {
+		cls := "a"
+		sig := rng.NormFloat64()
+		if i%2 == 0 {
+			cls = "b"
+			sig += 6
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{
+			"signal": sig,
+			"noise1": rng.Float64(),
+			"noise2": rng.Float64(),
+		}, Class: cls})
+	}
+	sel := FCBF(ml.NewDataset(ins), 0.05)
+	if len(sel) == 0 || sel[0].Feature != "signal" {
+		t.Fatalf("FCBF selection = %+v, want signal on top", sel)
+	}
+	for _, s := range sel {
+		if s.Feature != "signal" && s.SU > sel[0].SU/2 {
+			t.Errorf("noise feature %s kept with high SU %.3f", s.Feature, s.SU)
+		}
+	}
+}
+
+func TestFCBFRemovesRedundantCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ins []ml.Instance
+	for i := 0; i < 400; i++ {
+		cls := "a"
+		sig := rng.NormFloat64()
+		if i%2 == 0 {
+			cls = "b"
+			sig += 6
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{
+			"signal": sig,
+			"copy":   sig * 2.5, // perfectly redundant
+			"indep":  rng.NormFloat64() + boolTo(cls == "b")*3,
+		}, Class: cls})
+	}
+	sel := FCBF(ml.NewDataset(ins), 0.05)
+	names := Names(sel)
+	hasSignal, hasCopy := false, false
+	for _, n := range names {
+		if n == "signal" {
+			hasSignal = true
+		}
+		if n == "copy" {
+			hasCopy = true
+		}
+	}
+	if hasSignal && hasCopy {
+		t.Errorf("FCBF kept both a feature and its scaled copy: %v", names)
+	}
+	if !hasSignal && !hasCopy {
+		t.Error("FCBF dropped the informative feature entirely")
+	}
+}
+
+func TestFCBFReducesFeatureSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ins []ml.Instance
+	for i := 0; i < 300; i++ {
+		cls := "a"
+		sig := rng.NormFloat64()
+		if i%2 == 0 {
+			cls = "b"
+			sig += 5
+		}
+		fv := metrics.Vector{"signal": sig}
+		for f := 0; f < 40; f++ {
+			fv[fname(f)] = rng.Float64()
+		}
+		ins = append(ins, ml.Instance{Features: fv, Class: cls})
+	}
+	sel := FCBF(ml.NewDataset(ins), 0.05)
+	if len(sel) > 10 {
+		t.Errorf("FCBF kept %d of 41 features; expected strong reduction", len(sel))
+	}
+}
+
+func TestSelectPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ins []ml.Instance
+	for i := 0; i < 200; i++ {
+		cls := "good"
+		rtt := 20 + rng.NormFloat64()*3
+		if i%3 == 0 {
+			cls = "bad"
+			rtt = 200 + rng.NormFloat64()*30
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{
+			"tcp_s2c_rtt_ms_avg": rtt,
+			"tcp_s2c_data_pkts":  float64(100 + rng.Intn(50)),
+			"tcp_total_pkts":     float64(200 + rng.Intn(50)),
+			"noise":              rng.Float64(),
+		}, Class: cls})
+	}
+	ds, scores, norm := Select(ml.NewDataset(ins), 0.05)
+	if norm == nil || len(scores) == 0 {
+		t.Fatal("pipeline returned nothing")
+	}
+	if scores[0].Feature != "tcp_s2c_rtt_ms_avg" {
+		t.Errorf("top selected feature = %s, want the RTT", scores[0].Feature)
+	}
+	if len(ds.Features()) != len(scores) {
+		t.Errorf("projected dataset has %d features, ranking has %d", len(ds.Features()), len(scores))
+	}
+}
+
+func boolTo(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fname(i int) string {
+	return "junk_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}

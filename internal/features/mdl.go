@@ -1,0 +1,242 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"vqprobe/internal/ml"
+)
+
+// Fayyad & Irani (1993) MDL-based entropy discretization — the method
+// the original FCBF paper used before computing symmetrical uncertainty.
+// FCBFWith lets experiments compare it against the default
+// equal-frequency binning (the ablate-mdl experiment).
+
+// Discretizer converts one feature column (aligned with class labels)
+// into small integer symbols; implementations must reserve distinct
+// symbols per distinct region and may not exceed maxSymbols-1, leaving
+// the top symbol for missing values.
+type Discretizer func(col []float64, y []int, nClass int) (symbols []int, nSymbols int)
+
+// EqualFrequency returns the default 10-bin equal-frequency discretizer.
+func EqualFrequency() Discretizer {
+	return func(col []float64, _ []int, _ int) ([]int, int) {
+		return discretize(col), fcbfBins + 1
+	}
+}
+
+// MDL returns the Fayyad-Irani entropy/MDL discretizer: cut points are
+// chosen recursively to maximize information gain and accepted only when
+// the gain clears the minimum-description-length criterion. Features for
+// which no cut is accepted collapse to a single symbol (and thus zero
+// SU), which is itself a form of feature rejection.
+func MDL() Discretizer {
+	return func(col []float64, y []int, nClass int) ([]int, int) {
+		type vy struct {
+			v float64
+			y int
+		}
+		var pts []vy
+		for i, v := range col {
+			if !ml.IsMissing(v) {
+				pts = append(pts, vy{v, y[i]})
+			}
+		}
+		out := make([]int, len(col))
+		if len(pts) == 0 {
+			for i := range out {
+				out[i] = 1 // everything missing
+			}
+			return out, 2
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].v < pts[j].v })
+		vals := make([]float64, len(pts))
+		ys := make([]int, len(pts))
+		for i, p := range pts {
+			vals[i] = p.v
+			ys[i] = p.y
+		}
+		var cuts []float64
+		mdlSplit(vals, ys, nClass, &cuts, 0)
+		sort.Float64s(cuts)
+
+		for i, v := range col {
+			if ml.IsMissing(v) {
+				out[i] = len(cuts) + 1 // missing bin
+				continue
+			}
+			out[i] = sort.SearchFloat64s(cuts, v)
+			if out[i] < len(cuts) && v >= cuts[out[i]] {
+				out[i]++
+			}
+		}
+		return out, len(cuts) + 2
+	}
+}
+
+// maxMDLDepth bounds recursion; 2^6 = 64 intervals is far beyond what
+// the criterion ever accepts on real data.
+const maxMDLDepth = 6
+
+// mdlSplit recursively finds accepted cut points over vals[ys] (sorted).
+func mdlSplit(vals []float64, ys []int, nClass int, cuts *[]float64, depth int) {
+	n := len(vals)
+	if n < 4 || depth >= maxMDLDepth {
+		return
+	}
+	total := classCounts(ys, nClass)
+	entS, kS := entropyAndClasses(total, n)
+	if entS == 0 {
+		return
+	}
+
+	// Scan boundary candidates for the best information gain.
+	left := make([]float64, nClass)
+	bestGain, bestIdx := -1.0, -1
+	var bestE1, bestE2 float64
+	var bestK1, bestK2 int
+	for i := 0; i < n-1; i++ {
+		left[ys[i]]++
+		if vals[i] == vals[i+1] {
+			continue
+		}
+		n1 := i + 1
+		n2 := n - n1
+		e1, k1 := entropyAndClassesFromLeft(left, total, n1, 0, nClass)
+		e2, k2 := entropyAndClassesFromLeft(left, total, n2, 1, nClass)
+		cond := (float64(n1)*e1 + float64(n2)*e2) / float64(n)
+		if g := entS - cond; g > bestGain {
+			bestGain, bestIdx = g, i
+			bestE1, bestE2 = e1, e2
+			bestK1, bestK2 = k1, k2
+		}
+	}
+	if bestIdx < 0 {
+		return
+	}
+
+	// MDL acceptance criterion.
+	delta := math.Log2(math.Pow(3, float64(kS))-2) -
+		(float64(kS)*entS - float64(bestK1)*bestE1 - float64(bestK2)*bestE2)
+	threshold := (math.Log2(float64(n-1)) + delta) / float64(n)
+	if bestGain <= threshold {
+		return
+	}
+
+	cut := (vals[bestIdx] + vals[bestIdx+1]) / 2
+	*cuts = append(*cuts, cut)
+	mdlSplit(vals[:bestIdx+1], ys[:bestIdx+1], nClass, cuts, depth+1)
+	mdlSplit(vals[bestIdx+1:], ys[bestIdx+1:], nClass, cuts, depth+1)
+}
+
+func classCounts(ys []int, nClass int) []float64 {
+	c := make([]float64, nClass)
+	for _, y := range ys {
+		c[y]++
+	}
+	return c
+}
+
+// entropyAndClasses returns H(S) and the number of distinct classes.
+func entropyAndClasses(counts []float64, n int) (float64, int) {
+	h, k := 0.0, 0
+	for _, c := range counts {
+		if c > 0 {
+			k++
+			p := c / float64(n)
+			h -= p * math.Log2(p)
+		}
+	}
+	return h, k
+}
+
+// entropyAndClassesFromLeft computes the entropy of the left (side=0) or
+// right (side=1) partition given running left counts and totals.
+func entropyAndClassesFromLeft(left, total []float64, n, side, nClass int) (float64, int) {
+	h, k := 0.0, 0
+	for c := 0; c < nClass; c++ {
+		v := left[c]
+		if side == 1 {
+			v = total[c] - left[c]
+		}
+		if v > 0 {
+			k++
+			p := v / float64(n)
+			h -= p * math.Log2(p)
+		}
+	}
+	return h, k
+}
+
+// FCBFWith runs FCBF using a custom discretizer (see FCBF for the
+// algorithm itself).
+func FCBFWith(d *ml.Dataset, delta float64, disc Discretizer) []SUScore {
+	names := d.Features()
+	nInst := d.Len()
+	if nInst == 0 || len(names) == 0 {
+		return nil
+	}
+	classes := d.Classes()
+	cidx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	y := make([]int, nInst)
+	for i, in := range d.Instances {
+		y[i] = cidx[in.Class]
+	}
+
+	cols := make([][]int, len(names))
+	syms := make([]int, len(names))
+	col := make([]float64, nInst)
+	for f, name := range names {
+		for i, in := range d.Instances {
+			if v, ok := in.Features[name]; ok {
+				col[i] = v
+			} else {
+				col[i] = ml.Missing
+			}
+		}
+		cols[f], syms[f] = disc(col, y, len(classes))
+	}
+
+	scores := make([]SUScore, 0, len(names))
+	suClass := make([]float64, len(names))
+	for f, name := range names {
+		s := su(cols[f], syms[f], y, len(classes))
+		suClass[f] = s
+		if s > delta {
+			scores = append(scores, SUScore{Feature: name, SU: s})
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].SU != scores[j].SU {
+			return scores[i].SU > scores[j].SU
+		}
+		return scores[i].Feature < scores[j].Feature
+	})
+
+	index := make(map[string]int, len(names))
+	for f, n := range names {
+		index[n] = f
+	}
+	removed := make([]bool, len(scores))
+	var selected []SUScore
+	for i := range scores {
+		if removed[i] {
+			continue
+		}
+		selected = append(selected, scores[i])
+		fi := index[scores[i].Feature]
+		for j := i + 1; j < len(scores); j++ {
+			if removed[j] {
+				continue
+			}
+			fj := index[scores[j].Feature]
+			if su(cols[fj], syms[fj], cols[fi], syms[fi]) >= suClass[fj] {
+				removed[j] = true
+			}
+		}
+	}
+	return selected
+}

@@ -1,0 +1,114 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func TestMDLFindsCutOnSeparableFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var col []float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			col = append(col, rng.NormFloat64())
+			y = append(y, 0)
+		} else {
+			col = append(col, 10+rng.NormFloat64())
+			y = append(y, 1)
+		}
+	}
+	syms, n := MDL()(col, y, 2)
+	if n < 3 { // at least two value bins + missing bin
+		t.Fatalf("MDL found no cut on a separable feature (nSymbols=%d)", n)
+	}
+	// All class-0 values must land in a different bin than class-1.
+	seen := map[int]map[int]bool{}
+	for i, s := range syms {
+		if seen[s] == nil {
+			seen[s] = map[int]bool{}
+		}
+		seen[s][y[i]] = true
+	}
+	for s, classes := range seen {
+		if len(classes) > 1 {
+			t.Errorf("bin %d mixes both classes", s)
+		}
+	}
+}
+
+func TestMDLRejectsNoiseFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var col []float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		col = append(col, rng.Float64())
+		y = append(y, rng.Intn(2))
+	}
+	_, n := MDL()(col, y, 2)
+	// No informative cut should be accepted: one value bin + missing bin.
+	if n > 3 {
+		t.Errorf("MDL accepted %d symbols on pure noise", n-1)
+	}
+}
+
+func TestMDLHandlesMissingAndEmpty(t *testing.T) {
+	syms, n := MDL()([]float64{ml.Missing, ml.Missing}, []int{0, 1}, 2)
+	if len(syms) != 2 || n < 2 {
+		t.Errorf("all-missing column mishandled: %v, n=%d", syms, n)
+	}
+	syms2, _ := MDL()([]float64{1, ml.Missing, 2}, []int{0, 1, 0}, 2)
+	if syms2[1] == syms2[0] {
+		t.Error("missing value shares a bin with a present value")
+	}
+}
+
+func TestFCBFWithMDLSelectsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ins []ml.Instance
+	for i := 0; i < 400; i++ {
+		cls, sig := "a", rng.NormFloat64()
+		if i%2 == 0 {
+			cls, sig = "b", 6+rng.NormFloat64()
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{
+			"signal": sig, "noise": rng.Float64(),
+		}, Class: cls})
+	}
+	sel := FCBFWith(ml.NewDataset(ins), 0.02, MDL())
+	if len(sel) == 0 || sel[0].Feature != "signal" {
+		t.Fatalf("FCBF+MDL selection = %+v", sel)
+	}
+	// Noise must be rejected outright (MDL collapses it to one bin).
+	for _, s := range sel {
+		if s.Feature == "noise" {
+			t.Error("noise survived MDL discretization")
+		}
+	}
+}
+
+func TestFCBFWithEqualFrequencyMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ins []ml.Instance
+	for i := 0; i < 200; i++ {
+		cls, sig := "a", rng.NormFloat64()
+		if i%2 == 0 {
+			cls, sig = "b", 4+rng.NormFloat64()
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"s": sig, "n": rng.Float64()}, Class: cls})
+	}
+	d := ml.NewDataset(ins)
+	a := FCBF(d, 0.02)
+	b := FCBFWith(d, 0.02, EqualFrequency())
+	if len(a) != len(b) {
+		t.Fatalf("default and explicit equal-frequency disagree: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("rank %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

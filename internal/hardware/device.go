@@ -1,0 +1,192 @@
+// Package hardware models the OS/hardware state of a device in the
+// testbed: CPU utilization, free memory and I/O pressure, and the effect
+// of that state on the video decode pipeline.
+//
+// The model reproduces the causal path the paper's "Mobile Load" fault
+// relies on: a loaded device cannot decode and render frames in time, so
+// playback stalls and frames are skipped even though the network is
+// perfectly healthy. It also feeds the OS/hardware-layer metrics the
+// probes export (per-second CPU, free memory, I/O wait samples).
+package hardware
+
+import (
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// Profile describes the baseline characteristics of a device class.
+type Profile struct {
+	// CPUBase is the idle-state CPU utilization percentage (OS,
+	// background apps) around which the model fluctuates.
+	CPUBase float64
+	// CPUStd is the per-second variation of the baseline.
+	CPUStd float64
+	// MemTotalMB is total system memory.
+	MemTotalMB float64
+	// MemFreeBaseMB is the free memory when idle.
+	MemFreeBaseMB float64
+	// DecodeCostPerMbps is the CPU percentage consumed by decoding one
+	// Mbit/s of video (software decode on 2012-era handsets).
+	DecodeCostPerMbps float64
+}
+
+// Profiles for the three device models the paper's testbed used. The
+// numbers are plausible for the era: weaker devices pay more CPU per
+// decoded megabit.
+var (
+	ProfileGalaxyS2 = Profile{CPUBase: 12, CPUStd: 4, MemTotalMB: 1024, MemFreeBaseMB: 420, DecodeCostPerMbps: 6}
+	ProfileNexusS   = Profile{CPUBase: 15, CPUStd: 5, MemTotalMB: 512, MemFreeBaseMB: 180, DecodeCostPerMbps: 9}
+	ProfileNexus5   = Profile{CPUBase: 8, CPUStd: 3, MemTotalMB: 2048, MemFreeBaseMB: 900, DecodeCostPerMbps: 3}
+	ProfileServer   = Profile{CPUBase: 10, CPUStd: 3, MemTotalMB: 16384, MemFreeBaseMB: 12000, DecodeCostPerMbps: 0}
+	ProfileRouter   = Profile{CPUBase: 6, CPUStd: 2, MemTotalMB: 128, MemFreeBaseMB: 64, DecodeCostPerMbps: 0}
+)
+
+// load is one synthetic workload occupying resources for a time span.
+type load struct {
+	cpu, memMB, io float64
+	from, to       time.Duration
+}
+
+// Device is the hardware model of one node.
+type Device struct {
+	sim     *simnet.Sim
+	profile Profile
+	loads   []load
+
+	// decodeDemand is the CPU share the video player currently asks
+	// for; the player registers it while playing.
+	decodeDemand float64
+
+	cpu    float64 // latest sampled utilization 0-100
+	memMB  float64 // latest sampled free memory
+	ioWait float64 // latest sampled I/O wait percentage
+	ticker *simnet.Ticker
+
+	// OnSample, if set, receives the per-second hardware sample; the
+	// OS/hardware probe registers here.
+	OnSample func(now time.Duration, cpu, memFreeMB, ioWait float64)
+}
+
+// NewDevice creates a device model and starts its one-second sampling
+// process.
+func NewDevice(sim *simnet.Sim, p Profile) *Device {
+	d := &Device{sim: sim, profile: p}
+	d.sample(0)
+	d.ticker = simnet.NewTicker(sim, time.Second, d.sample)
+	return d
+}
+
+// Stop halts the sampling process.
+func (d *Device) Stop() { d.ticker.Stop() }
+
+// Stress schedules a synthetic workload (the `stress` tool): cpu is the
+// CPU percentage consumed, memMB the resident memory claimed, io the
+// I/O wait percentage induced, over [from, from+dur).
+func (d *Device) Stress(cpu, memMB, io float64, from, dur time.Duration) {
+	d.loads = append(d.loads, load{cpu: cpu, memMB: memMB, io: io, from: from, to: from + dur})
+}
+
+// SetDecodeDemand registers the CPU share the media pipeline wants;
+// the video player updates this as the nominal bitrate changes.
+func (d *Device) SetDecodeDemand(cpu float64) { d.decodeDemand = cpu }
+
+// Profile returns the device's baseline profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// CPU returns the most recent CPU utilization sample (0-100).
+func (d *Device) CPU() float64 { return d.cpu }
+
+// MemFreeMB returns the most recent free-memory sample.
+func (d *Device) MemFreeMB() float64 { return d.memMB }
+
+// IOWait returns the most recent I/O wait sample (0-100).
+func (d *Device) IOWait() float64 { return d.ioWait }
+
+// DecodeFactor returns the fraction [0,1] of required decode throughput
+// the device can currently sustain. It is 1 while there is CPU headroom
+// and degrades once demand plus background load exceeds the machine:
+// the video player multiplies its consumption rate by this factor, which
+// is what turns device load into stalls and frame skips.
+func (d *Device) DecodeFactor() float64 {
+	if d.decodeDemand <= 0 {
+		return 1
+	}
+	other := d.backgroundCPU(d.sim.Now())
+	avail := 100 - other
+	if avail < 5 {
+		avail = 5
+	}
+	f := 1.0
+	if avail < d.decodeDemand {
+		f = avail / d.decodeDemand
+	}
+	// Scheduling contention: past ~70% background utilization the
+	// decode/render pipeline misses deadlines even with nominal CPU
+	// headroom (thread contention, thermal throttling). The penalty
+	// ramps from none at 70% to 65% at full load.
+	if other > 70 {
+		f *= 1 - 0.65*(other-70)/30
+	}
+	return f
+}
+
+// backgroundCPU sums baseline and stress CPU at time t (without the
+// decoder's own demand).
+func (d *Device) backgroundCPU(t time.Duration) float64 {
+	cpu := d.profile.CPUBase
+	for _, l := range d.loads {
+		if t >= l.from && t < l.to {
+			cpu += l.cpu
+		}
+	}
+	if cpu > 100 {
+		cpu = 100
+	}
+	return cpu
+}
+
+func (d *Device) sample(now time.Duration) {
+	rng := d.sim.Rand()
+	cpu := d.backgroundCPU(now) + rng.NormFloat64()*d.profile.CPUStd
+	// The decoder's demand shows up in measured utilization too, capped
+	// by what the machine can give.
+	cpu += minf(d.decodeDemand, 100-d.backgroundCPU(now))
+	d.cpu = clampPct(cpu)
+
+	memUsed := 0.0
+	io := 0.0
+	for _, l := range d.loads {
+		if now >= l.from && now < l.to {
+			memUsed += l.memMB
+			io += l.io
+		}
+	}
+	free := d.profile.MemFreeBaseMB - memUsed + rng.NormFloat64()*d.profile.MemFreeBaseMB*0.03
+	if free < 8 {
+		free = 8
+	}
+	d.memMB = free
+	d.ioWait = clampPct(io + rng.NormFloat64()*1.5)
+
+	if d.OnSample != nil {
+		d.OnSample(now, d.cpu, d.memMB, d.ioWait)
+	}
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

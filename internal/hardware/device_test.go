@@ -1,0 +1,140 @@
+package hardware
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+func TestIdleDeviceLowCPU(t *testing.T) {
+	s := simnet.New(1)
+	d := NewDevice(s, ProfileGalaxyS2)
+	var sum float64
+	n := 0
+	d.OnSample = func(_ time.Duration, cpu, _, _ float64) { sum += cpu; n++ }
+	s.Run(60 * time.Second)
+	if n != 60 {
+		t.Fatalf("got %d samples, want 60", n)
+	}
+	if avg := sum / float64(n); avg > 30 {
+		t.Errorf("idle CPU average %.1f%%, want low", avg)
+	}
+}
+
+func TestStressRaisesCPUDuringWindow(t *testing.T) {
+	s := simnet.New(2)
+	d := NewDevice(s, ProfileGalaxyS2)
+	d.Stress(70, 0, 0, 10*time.Second, 20*time.Second)
+	var before, during, after []float64
+	d.OnSample = func(now time.Duration, cpu, _, _ float64) {
+		switch {
+		case now < 10*time.Second:
+			before = append(before, cpu)
+		case now < 30*time.Second:
+			during = append(during, cpu)
+		default:
+			after = append(after, cpu)
+		}
+	}
+	s.Run(40 * time.Second)
+	if avg(during) < avg(before)+40 {
+		t.Errorf("stress window CPU %.1f not clearly above baseline %.1f", avg(during), avg(before))
+	}
+	if avg(after) > avg(before)+15 {
+		t.Errorf("CPU did not recover after stress: %.1f vs %.1f", avg(after), avg(before))
+	}
+}
+
+func TestStressConsumesMemory(t *testing.T) {
+	s := simnet.New(3)
+	d := NewDevice(s, ProfileGalaxyS2)
+	d.Stress(0, 300, 0, 0, time.Minute)
+	s.Run(5 * time.Second)
+	if d.MemFreeMB() > ProfileGalaxyS2.MemFreeBaseMB-200 {
+		t.Errorf("free memory %.0f did not drop under 300MB allocation", d.MemFreeMB())
+	}
+}
+
+func TestMemoryNeverNegative(t *testing.T) {
+	s := simnet.New(4)
+	d := NewDevice(s, ProfileNexusS)
+	d.Stress(0, 10_000, 0, 0, time.Minute)
+	s.Run(10 * time.Second)
+	if d.MemFreeMB() < 0 {
+		t.Errorf("free memory went negative: %.1f", d.MemFreeMB())
+	}
+}
+
+func TestDecodeFactorDegradesUnderLoad(t *testing.T) {
+	s := simnet.New(5)
+	d := NewDevice(s, ProfileGalaxyS2)
+	d.SetDecodeDemand(30) // SD decode
+	s.Run(2 * time.Second)
+	if f := d.DecodeFactor(); f < 0.99 {
+		t.Errorf("unloaded decode factor %.2f, want ~1", f)
+	}
+	d.Stress(85, 200, 20, 2*time.Second, time.Minute)
+	s.Run(10 * time.Second)
+	if f := d.DecodeFactor(); f > 0.8 {
+		t.Errorf("decode factor %.2f under 85%% CPU stress, want degraded", f)
+	}
+	if f := d.DecodeFactor(); f <= 0 {
+		t.Errorf("decode factor must stay positive, got %.2f", f)
+	}
+}
+
+func TestDecodeDemandShowsInCPU(t *testing.T) {
+	s := simnet.New(6)
+	d := NewDevice(s, ProfileNexusS)
+	d.SetDecodeDemand(40)
+	var sum float64
+	n := 0
+	d.OnSample = func(_ time.Duration, cpu, _, _ float64) { sum += cpu; n++ }
+	s.Run(30 * time.Second)
+	if avg := sum / float64(n); avg < 40 {
+		t.Errorf("CPU with 40%% decode demand averaged %.1f, want >= 40", avg)
+	}
+}
+
+func TestIOWaitFromStress(t *testing.T) {
+	s := simnet.New(7)
+	d := NewDevice(s, ProfileGalaxyS2)
+	d.Stress(0, 0, 40, 0, time.Minute)
+	s.Run(5 * time.Second)
+	if d.IOWait() < 20 {
+		t.Errorf("IO wait %.1f under IO stress, want elevated", d.IOWait())
+	}
+}
+
+func TestOverlappingStressesAdd(t *testing.T) {
+	s := simnet.New(8)
+	d := NewDevice(s, ProfileNexus5)
+	d.Stress(30, 0, 0, 0, time.Minute)
+	d.Stress(30, 0, 0, 0, time.Minute)
+	s.Run(5 * time.Second)
+	if d.CPU() < 55 {
+		t.Errorf("two 30%% stresses yielded %.1f%% CPU, want additive", d.CPU())
+	}
+}
+
+func TestCPUClamped(t *testing.T) {
+	s := simnet.New(9)
+	d := NewDevice(s, ProfileNexusS)
+	d.Stress(500, 0, 0, 0, time.Minute)
+	s.Run(5 * time.Second)
+	if d.CPU() > 100 {
+		t.Errorf("CPU %.1f exceeds 100%%", d.CPU())
+	}
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,106 @@
+// Package metrics provides the aggregation and feature-vector primitives
+// shared by all probes: streaming min/max/mean/std accumulators and named
+// feature vectors that merge across vantage points.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Agg is a streaming aggregator over float64 samples. The zero value is
+// ready to use.
+type Agg struct {
+	n          int
+	sum, sumsq float64
+	minV, maxV float64
+}
+
+// Add records one sample.
+func (a *Agg) Add(v float64) {
+	if a.n == 0 {
+		a.minV, a.maxV = v, v
+	} else {
+		if v < a.minV {
+			a.minV = v
+		}
+		if v > a.maxV {
+			a.maxV = v
+		}
+	}
+	a.n++
+	a.sum += v
+	a.sumsq += v * v
+}
+
+// Count returns the number of samples.
+func (a *Agg) Count() int { return a.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (a *Agg) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *Agg) Min() float64 { return a.minV }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *Agg) Max() float64 { return a.maxV }
+
+// Std returns the population standard deviation, or 0 with fewer than
+// two samples.
+func (a *Agg) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumsq/float64(a.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Fill writes the aggregate's summary statistics into vec under
+// name_avg/min/max/std/cnt.
+func (a *Agg) Fill(vec Vector, name string) {
+	vec[name+"_avg"] = a.Mean()
+	vec[name+"_min"] = a.Min()
+	vec[name+"_max"] = a.Max()
+	vec[name+"_std"] = a.Std()
+	vec[name+"_cnt"] = float64(a.n)
+}
+
+// Vector is a named feature vector. Missing features are simply absent;
+// the ML layer treats absent keys as missing values.
+type Vector map[string]float64
+
+// Merge copies every feature of other into v under prefix+".". Vantage
+// point records are merged this way ("mobile.", "router.", "server.").
+func (v Vector) Merge(prefix string, other Vector) {
+	for k, val := range other {
+		v[prefix+"."+k] = val
+	}
+}
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Names returns the sorted feature names.
+func (v Vector) Names() []string {
+	names := make([]string, 0, len(v))
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

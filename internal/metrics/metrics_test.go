@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggBasics(t *testing.T) {
+	var a Agg
+	if a.Count() != 0 || a.Mean() != 0 || a.Std() != 0 {
+		t.Error("zero-value aggregate must report zeros")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		a.Add(v)
+	}
+	if a.Count() != 5 {
+		t.Errorf("count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got := a.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestAggPropertyOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Agg
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitude to keep float error analysis trivial.
+			x = math.Mod(x, 1e6)
+			a.Add(x)
+			ok = ok && a.Min() <= a.Mean()+1e-6 && a.Mean() <= a.Max()+1e-6 && a.Std() >= 0
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggStdOfConstant(t *testing.T) {
+	var a Agg
+	for i := 0; i < 10; i++ {
+		a.Add(7)
+	}
+	if a.Std() > 1e-9 {
+		t.Errorf("std of constant series = %v", a.Std())
+	}
+}
+
+func TestAggFill(t *testing.T) {
+	var a Agg
+	a.Add(2)
+	a.Add(4)
+	v := Vector{}
+	a.Fill(v, "x")
+	want := map[string]float64{"x_avg": 3, "x_min": 2, "x_max": 4, "x_std": 1, "x_cnt": 2}
+	for k, val := range want {
+		if math.Abs(v[k]-val) > 1e-9 {
+			t.Errorf("%s = %v, want %v", k, v[k], val)
+		}
+	}
+}
+
+func TestVectorMergeCloneNames(t *testing.T) {
+	v := Vector{"b": 2, "a": 1}
+	names := v.Names()
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("names not sorted: %v", names)
+	}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"] != 1 {
+		t.Error("clone aliases original")
+	}
+	m := Vector{}
+	m.Merge("vp", v)
+	if m["vp.a"] != 1 || m["vp.b"] != 2 {
+		t.Errorf("merge result %v", m)
+	}
+}

@@ -1,0 +1,185 @@
+package ml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ARFF import/export: the paper's analysis ran in Weka 3.6.10, whose
+// native dataset format is ARFF. WriteARFF/ReadARFF let datasets
+// generated here be loaded into Weka (to cross-check the reimplemented
+// J48/FCBF against the original toolchain) and vice versa.
+
+// WriteARFF serializes the dataset as a Weka ARFF file with numeric
+// attributes and a nominal class. Missing values serialize as '?'.
+func (d *Dataset) WriteARFF(w io.Writer, relation string) error {
+	bw := bufio.NewWriter(w)
+	if relation == "" {
+		relation = "vqprobe"
+	}
+	fmt.Fprintf(bw, "@RELATION %s\n\n", arffQuote(relation))
+	for _, f := range d.features {
+		fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n", arffQuote(f))
+	}
+	classes := d.Classes()
+	quoted := make([]string, len(classes))
+	for i, c := range classes {
+		quoted[i] = arffQuote(c)
+	}
+	fmt.Fprintf(bw, "@ATTRIBUTE class {%s}\n\n@DATA\n", strings.Join(quoted, ","))
+	for _, in := range d.Instances {
+		for j, f := range d.features {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			if v, ok := in.Features[f]; ok {
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				bw.WriteByte('?')
+			}
+		}
+		bw.WriteByte(',')
+		bw.WriteString(arffQuote(in.Class))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// arffQuote quotes names containing ARFF-significant characters.
+func arffQuote(s string) string {
+	if strings.ContainsAny(s, " ,{}%'\"\t") || s == "" {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+func arffUnquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "\\'", "'")
+	}
+	return s
+}
+
+// ReadARFF parses an ARFF file written by WriteARFF (numeric attributes
+// plus one nominal attribute named "class", in any position; Weka's own
+// exports of such datasets parse too). Comments and blank lines are
+// skipped; sparse ARFF is not supported.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var features []string
+	classIdx := -1
+	nAttr := 0
+	inData := false
+	var instances []Instance
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if !inData {
+			upper := strings.ToUpper(text)
+			switch {
+			case strings.HasPrefix(upper, "@RELATION"):
+				// name ignored
+			case strings.HasPrefix(upper, "@ATTRIBUTE"):
+				rest := strings.TrimSpace(text[len("@ATTRIBUTE"):])
+				name, typ := splitAttr(rest)
+				if strings.HasPrefix(typ, "{") || strings.EqualFold(name, "class") {
+					if classIdx >= 0 {
+						return nil, fmt.Errorf("arff line %d: multiple nominal/class attributes", line)
+					}
+					classIdx = nAttr
+				} else if !strings.EqualFold(typ, "NUMERIC") && !strings.EqualFold(typ, "REAL") &&
+					!strings.EqualFold(typ, "INTEGER") {
+					return nil, fmt.Errorf("arff line %d: unsupported attribute type %q", line, typ)
+				} else {
+					features = append(features, arffUnquote(name))
+				}
+				nAttr++
+			case strings.HasPrefix(upper, "@DATA"):
+				if classIdx < 0 {
+					return nil, fmt.Errorf("arff: no class attribute declared")
+				}
+				inData = true
+			}
+			continue
+		}
+		cells := splitARFFRow(text)
+		if len(cells) != nAttr {
+			return nil, fmt.Errorf("arff line %d: %d values for %d attributes", line, len(cells), nAttr)
+		}
+		fv := map[string]float64{}
+		cls := ""
+		fi := 0
+		for i, cell := range cells {
+			cell = strings.TrimSpace(cell)
+			if i == classIdx {
+				cls = arffUnquote(cell)
+				continue
+			}
+			name := features[fi]
+			fi++
+			if cell == "?" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("arff line %d, attribute %s: %w", line, name, err)
+			}
+			fv[name] = v
+		}
+		instances = append(instances, Instance{Features: fv, Class: cls})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !inData {
+		return nil, fmt.Errorf("arff: no @DATA section")
+	}
+	return NewDataset(instances), nil
+}
+
+// splitAttr separates an attribute declaration into name and type,
+// honoring quoted names.
+func splitAttr(s string) (name, typ string) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "'") {
+		if end := strings.Index(s[1:], "'"); end >= 0 {
+			return s[:end+2], strings.TrimSpace(s[end+2:])
+		}
+	}
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+// splitARFFRow splits a data row on commas outside quotes.
+func splitARFFRow(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && (i == 0 || s[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}

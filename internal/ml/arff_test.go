@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/metrics"
+)
+
+func arffSample() *Dataset {
+	return NewDataset([]Instance{
+		{Features: metrics.Vector{"rtt avg": 12.5, "pkts": 100}, Class: "good"},
+		{Features: metrics.Vector{"pkts": 55}, Class: "lan_cong severe"}, // rtt missing
+		{Features: metrics.Vector{"rtt avg": 300, "pkts": 20}, Class: "good"},
+	})
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := arffSample()
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "vqprobe test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d != %d", back.Len(), d.Len())
+	}
+	for i := range d.Instances {
+		if back.Instances[i].Class != d.Instances[i].Class {
+			t.Errorf("instance %d class %q != %q", i, back.Instances[i].Class, d.Instances[i].Class)
+		}
+		for k, v := range d.Instances[i].Features {
+			if back.Instances[i].Features[k] != v {
+				t.Errorf("instance %d feature %s: %v != %v", i, k, back.Instances[i].Features[k], v)
+			}
+		}
+	}
+	// Missing value stayed missing.
+	if _, ok := back.Instances[1].Features["rtt avg"]; ok {
+		t.Error("missing value resurrected through ARFF")
+	}
+}
+
+func TestARFFFormatDetails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := arffSample().WriteARFF(&buf, "rel with space"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"@RELATION 'rel with space'",
+		"@ATTRIBUTE 'rtt avg' NUMERIC",
+		"@ATTRIBUTE pkts NUMERIC",
+		"@ATTRIBUTE class {good,'lan_cong severe'}",
+		"@DATA",
+		"?", // missing marker
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ARFF output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestARFFRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no data":     "@RELATION x\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE class {p}\n",
+		"no class":    "@RELATION x\n@ATTRIBUTE a NUMERIC\n@DATA\n1\n",
+		"bad type":    "@RELATION x\n@ATTRIBUTE a STRING\n@ATTRIBUTE class {p}\n@DATA\nz,p\n",
+		"wrong arity": "@RELATION x\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE class {p}\n@DATA\n1,2,p\n",
+		"bad number":  "@RELATION x\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE class {p}\n@DATA\nzz,p\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadARFF(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestARFFCommentsAndBlankLines(t *testing.T) {
+	body := "% comment\n@RELATION x\n\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE class {p,q}\n\n@DATA\n% another\n1.5,p\n2.5,q\n"
+	d, err := ReadARFF(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Instances[1].Features["a"] != 2.5 {
+		t.Errorf("parsed %d instances: %+v", d.Len(), d.Instances)
+	}
+}

@@ -1,0 +1,117 @@
+// Package bayes implements Gaussian Naive Bayes, one of the two baseline
+// learners the paper compared against C4.5 (Section 3.2) and found
+// inferior for this task.
+package bayes
+
+import (
+	"math"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// Trainer builds Gaussian NB models.
+type Trainer struct{}
+
+// New returns a trainer.
+func New() *Trainer { return &Trainer{} }
+
+// Train implements ml.Trainer.
+func (t *Trainer) Train(d *ml.Dataset) ml.Classifier {
+	x, y := d.Matrix()
+	classes := d.Classes()
+	cidx := map[string]int{}
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	nf, nc := len(d.Features()), len(classes)
+
+	m := &Model{
+		features: append([]string{}, d.Features()...),
+		classes:  classes,
+		mean:     mat(nc, nf),
+		variance: mat(nc, nf),
+		prior:    make([]float64, nc),
+	}
+	count := mat(nc, nf)
+	for i, row := range x {
+		c := cidx[y[i]]
+		m.prior[c]++
+		for f, v := range row {
+			if ml.IsMissing(v) {
+				continue
+			}
+			count[c][f]++
+			m.mean[c][f] += v
+		}
+	}
+	for c := 0; c < nc; c++ {
+		for f := 0; f < nf; f++ {
+			if count[c][f] > 0 {
+				m.mean[c][f] /= count[c][f]
+			}
+		}
+	}
+	for i, row := range x {
+		c := cidx[y[i]]
+		for f, v := range row {
+			if ml.IsMissing(v) {
+				continue
+			}
+			dlt := v - m.mean[c][f]
+			m.variance[c][f] += dlt * dlt
+		}
+	}
+	total := float64(len(x))
+	for c := 0; c < nc; c++ {
+		for f := 0; f < nf; f++ {
+			if count[c][f] > 1 {
+				m.variance[c][f] /= count[c][f] - 1
+			}
+			if m.variance[c][f] < 1e-9 {
+				m.variance[c][f] = 1e-9 // variance floor, as Weka applies
+			}
+		}
+		m.prior[c] = (m.prior[c] + 1) / (total + float64(nc)) // Laplace
+	}
+	return m
+}
+
+func mat(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// Model is a trained Gaussian NB classifier.
+type Model struct {
+	features []string
+	classes  []string
+	mean     [][]float64
+	variance [][]float64
+	prior    []float64
+}
+
+// Predict implements ml.Classifier. Missing features are skipped, the
+// standard NB treatment.
+func (m *Model) Predict(fv metrics.Vector) string {
+	best, bi := math.Inf(-1), 0
+	for c := range m.classes {
+		ll := math.Log(m.prior[c])
+		for f, name := range m.features {
+			v, ok := fv[name]
+			if !ok || ml.IsMissing(v) {
+				continue
+			}
+			va := m.variance[c][f]
+			d := v - m.mean[c][f]
+			ll += -0.5*math.Log(2*math.Pi*va) - d*d/(2*va)
+		}
+		if ll > best {
+			best, bi = ll, c
+		}
+	}
+	return m.classes[bi]
+}

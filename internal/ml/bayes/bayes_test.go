@@ -1,0 +1,76 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func gaussians(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var ins []ml.Instance
+	for i := 0; i < n; i++ {
+		ins = append(ins, ml.Instance{
+			Features: metrics.Vector{"x": rng.NormFloat64(), "y": rng.NormFloat64()},
+			Class:    "a",
+		}, ml.Instance{
+			Features: metrics.Vector{"x": 5 + rng.NormFloat64(), "y": 5 + rng.NormFloat64()},
+			Class:    "b",
+		})
+	}
+	return ml.NewDataset(ins)
+}
+
+func TestGaussianBlobs(t *testing.T) {
+	d := gaussians(100, 1)
+	conf := ml.CrossValidate(New(), d, 10, rand.New(rand.NewSource(2)))
+	if conf.Accuracy() < 0.97 {
+		t.Errorf("NB CV accuracy %.3f on separated gaussians", conf.Accuracy())
+	}
+}
+
+func TestPriorsMatter(t *testing.T) {
+	// 95:5 imbalance and a useless feature: NB should predict majority.
+	rng := rand.New(rand.NewSource(3))
+	var ins []ml.Instance
+	for i := 0; i < 95; i++ {
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"u": rng.Float64()}, Class: "maj"})
+	}
+	for i := 0; i < 5; i++ {
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"u": rng.Float64()}, Class: "min"})
+	}
+	m := New().Train(ml.NewDataset(ins))
+	if got := m.Predict(metrics.Vector{"u": 0.5}); got != "maj" {
+		t.Errorf("predicted %q on a prior-dominated problem", got)
+	}
+}
+
+func TestMissingValuesSkipped(t *testing.T) {
+	d := gaussians(100, 4)
+	m := New().Train(d)
+	// Predicting with only one of two features must still work.
+	if got := m.Predict(metrics.Vector{"x": 5.0}); got != "b" {
+		t.Errorf("one-feature prediction = %q, want b", got)
+	}
+	if got := m.Predict(metrics.Vector{}); got == "" {
+		t.Error("empty-vector prediction must still return a class")
+	}
+}
+
+func TestZeroVarianceFeature(t *testing.T) {
+	var ins []ml.Instance
+	for i := 0; i < 20; i++ {
+		cls := "a"
+		x := 0.0
+		if i%2 == 0 {
+			cls, x = "b", 1.0
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"const": 7, "x": x}, Class: cls})
+	}
+	m := New().Train(ml.NewDataset(ins))
+	if got := m.Predict(metrics.Vector{"const": 7, "x": 1}); got != "b" {
+		t.Errorf("constant feature broke prediction: %q", got)
+	}
+}

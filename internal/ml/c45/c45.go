@@ -1,0 +1,573 @@
+// Package c45 implements the C4.5 decision-tree learner (Quinlan 1993),
+// the algorithm behind Weka's J48 that the paper uses for root cause
+// analysis. It supports continuous attributes with binary threshold
+// splits chosen by gain ratio, missing values via fractional instances,
+// and pessimistic error-based pruning with the standard confidence
+// factor. Trees are inspectable (String, FeatureImportance,
+// PerClassImportance), which is what makes the paper's Table 4 feature
+// rankings possible.
+package c45
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// Config tunes the learner. The zero value is usable; defaults match
+// J48's (-C 0.25 -M 2).
+type Config struct {
+	// MinLeaf is the minimum instance weight per leaf. Zero selects 2.
+	MinLeaf float64
+	// Confidence is the pruning confidence factor. Zero selects 0.25.
+	Confidence float64
+	// NoPrune disables pessimistic pruning (J48 -U).
+	NoPrune bool
+	// MaxDepth caps tree depth; zero means unlimited.
+	MaxDepth int
+}
+
+// Trainer builds C4.5 trees.
+type Trainer struct {
+	cfg Config
+}
+
+// New returns a trainer with the given config.
+func New(cfg Config) *Trainer {
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 2
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.25
+	}
+	return &Trainer{cfg: cfg}
+}
+
+// Default returns a trainer with J48's default parameters.
+func Default() *Trainer { return New(Config{}) }
+
+// Train implements ml.Trainer.
+func (t *Trainer) Train(d *ml.Dataset) ml.Classifier { return t.TrainTree(d) }
+
+// TrainTree builds and returns the concrete tree.
+func (t *Trainer) TrainTree(d *ml.Dataset) *Tree {
+	x, yStr := d.Matrix()
+	classes := d.Classes()
+	cidx := map[string]int{}
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	y := make([]int, len(yStr))
+	for i, s := range yStr {
+		y[i] = cidx[s]
+	}
+	tr := &Tree{features: append([]string{}, d.Features()...), classes: classes}
+	b := &builder{cfg: t.cfg, x: x, y: y, nClass: len(classes)}
+	ents := make([]entry, len(x))
+	for i := range x {
+		ents[i] = entry{idx: i, w: 1}
+	}
+	tr.root = b.build(ents, 0)
+	if !t.cfg.NoPrune {
+		prune(tr.root, t.cfg.Confidence)
+	}
+	return tr
+}
+
+type entry struct {
+	idx int
+	w   float64
+}
+
+type builder struct {
+	cfg    Config
+	x      [][]float64
+	y      []int
+	nClass int
+}
+
+// node is one tree node. Leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node // value <= threshold
+	right     *node // value > threshold
+	leftFrac  float64
+
+	class  int
+	dist   []float64
+	weight float64
+	gain   float64
+}
+
+func (n *node) isLeaf() bool { return n.feature < 0 }
+
+// Tree is a trained C4.5 model.
+type Tree struct {
+	features []string
+	classes  []string
+	root     *node
+}
+
+func (b *builder) dist(ents []entry) ([]float64, float64) {
+	d := make([]float64, b.nClass)
+	var total float64
+	for _, e := range ents {
+		d[b.y[e.idx]] += e.w
+		total += e.w
+	}
+	return d, total
+}
+
+func entropy(dist []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range dist {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+func majority(dist []float64) int {
+	best, bi := -1.0, 0
+	for i, c := range dist {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return bi
+}
+
+type candidate struct {
+	feature   int
+	threshold float64
+	gain      float64
+	ratio     float64
+}
+
+func (b *builder) build(ents []entry, depth int) *node {
+	dist, total := b.dist(ents)
+	n := &node{feature: -1, class: majority(dist), dist: dist, weight: total}
+	if total < 2*b.cfg.MinLeaf || entropy(dist, total) == 0 ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return n
+	}
+
+	cands := b.candidates(ents, dist, total)
+	if len(cands) == 0 {
+		return n
+	}
+	// C4.5 heuristic: among candidates with at least average gain, pick
+	// the best gain ratio.
+	var avg float64
+	for _, c := range cands {
+		avg += c.gain
+	}
+	avg /= float64(len(cands))
+	best := candidate{ratio: -1}
+	for _, c := range cands {
+		if c.gain >= avg-1e-12 && c.ratio > best.ratio {
+			best = c
+		}
+	}
+	if best.ratio < 0 {
+		return n
+	}
+
+	left, right, lw, rw := b.split(ents, best.feature, best.threshold)
+	if lw < b.cfg.MinLeaf || rw < b.cfg.MinLeaf {
+		return n
+	}
+	n.feature = best.feature
+	n.threshold = best.threshold
+	n.gain = best.gain
+	n.leftFrac = lw / (lw + rw)
+	n.left = b.build(left, depth+1)
+	n.right = b.build(right, depth+1)
+	return n
+}
+
+// candidates evaluates the best threshold per feature.
+func (b *builder) candidates(ents []entry, dist []float64, total float64) []candidate {
+	type vw struct {
+		v float64
+		y int
+		w float64
+	}
+	var out []candidate
+	baseH := entropy(dist, total)
+	buf := make([]vw, 0, len(ents))
+
+	for f := 0; f < len(b.x[0]); f++ {
+		buf = buf[:0]
+		var knownW, missW float64
+		knownDist := make([]float64, b.nClass)
+		for _, e := range ents {
+			v := b.x[e.idx][f]
+			if ml.IsMissing(v) {
+				missW += e.w
+				continue
+			}
+			buf = append(buf, vw{v: v, y: b.y[e.idx], w: e.w})
+			knownW += e.w
+			knownDist[b.y[e.idx]] += e.w
+		}
+		if knownW < 2*b.cfg.MinLeaf || len(buf) < 2 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i].v < buf[j].v })
+		if buf[0].v == buf[len(buf)-1].v {
+			continue
+		}
+		knownH := entropy(knownDist, knownW)
+		knownFrac := knownW / total
+
+		leftDist := make([]float64, b.nClass)
+		var leftW float64
+		bestGain, bestThr, splits := -1.0, 0.0, 0
+		for i := 0; i < len(buf)-1; i++ {
+			leftDist[buf[i].y] += buf[i].w
+			leftW += buf[i].w
+			if buf[i].v == buf[i+1].v {
+				continue
+			}
+			splits++
+			if leftW < b.cfg.MinLeaf || knownW-leftW < b.cfg.MinLeaf {
+				continue
+			}
+			rightW := knownW - leftW
+			rH := 0.0
+			// right dist = knownDist - leftDist
+			var h float64
+			for c := 0; c < b.nClass; c++ {
+				l := leftDist[c]
+				r := knownDist[c] - l
+				if l > 0 {
+					h -= l * math.Log2(l/leftW)
+				}
+				if r > 0 {
+					rH -= r * math.Log2(r/rightW)
+				}
+			}
+			condH := (h + rH) / knownW
+			g := knownH - condH
+			if g > bestGain {
+				bestGain = g
+				bestThr = (buf[i].v + buf[i+1].v) / 2
+			}
+		}
+		if bestGain <= 0 || splits == 0 {
+			continue
+		}
+		// C4.5 release 8 MDL correction for continuous splits.
+		gain := knownFrac * (bestGain - math.Log2(float64(splits))/knownW)
+		if gain <= 1e-9 {
+			continue
+		}
+		_ = baseH
+		// Split info over left/right/missing shares of the node.
+		lw, rw := 0.0, 0.0
+		for _, e := range buf {
+			if e.v <= bestThr {
+				lw += e.w
+			} else {
+				rw += e.w
+			}
+		}
+		si := splitInfo([]float64{lw, rw, missW}, total)
+		if si <= 1e-9 {
+			continue
+		}
+		out = append(out, candidate{feature: f, threshold: bestThr, gain: gain, ratio: gain / si})
+	}
+	return out
+}
+
+func splitInfo(parts []float64, total float64) float64 {
+	h := 0.0
+	for _, p := range parts {
+		if p > 0 {
+			f := p / total
+			h -= f * math.Log2(f)
+		}
+	}
+	return h
+}
+
+// split partitions entries; instances with a missing split value go to
+// both sides with fractional weight (C4.5's fractional instances).
+func (b *builder) split(ents []entry, f int, thr float64) (left, right []entry, lw, rw float64) {
+	var missing []entry
+	for _, e := range ents {
+		v := b.x[e.idx][f]
+		switch {
+		case ml.IsMissing(v):
+			missing = append(missing, e)
+		case v <= thr:
+			left = append(left, e)
+			lw += e.w
+		default:
+			right = append(right, e)
+			rw += e.w
+		}
+	}
+	if lw+rw > 0 {
+		lf := lw / (lw + rw)
+		for _, e := range missing {
+			if wl := e.w * lf; wl > 1e-6 {
+				left = append(left, entry{idx: e.idx, w: wl})
+				lw += wl
+			}
+			if wr := e.w * (1 - lf); wr > 1e-6 {
+				right = append(right, entry{idx: e.idx, w: wr})
+				rw += wr
+			}
+		}
+	}
+	return left, right, lw, rw
+}
+
+// ---- prediction ----
+
+// Predict implements ml.Classifier.
+func (t *Tree) Predict(fv metrics.Vector) string {
+	dist := make([]float64, len(t.classes))
+	t.classify(t.root, fv, 1, dist)
+	return t.classes[majority(dist)]
+}
+
+// Distribution returns the class probability estimate for a vector.
+func (t *Tree) Distribution(fv metrics.Vector) map[string]float64 {
+	dist := make([]float64, len(t.classes))
+	t.classify(t.root, fv, 1, dist)
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	out := map[string]float64{}
+	for i, c := range t.classes {
+		if sum > 0 {
+			out[c] = dist[i] / sum
+		}
+	}
+	return out
+}
+
+func (t *Tree) classify(n *node, fv metrics.Vector, w float64, acc []float64) {
+	if n.isLeaf() {
+		total := 0.0
+		for _, d := range n.dist {
+			total += d
+		}
+		if total <= 0 {
+			acc[n.class] += w
+			return
+		}
+		for c, d := range n.dist {
+			acc[c] += w * d / total
+		}
+		return
+	}
+	v, ok := fv[t.features[n.feature]]
+	if !ok || ml.IsMissing(v) {
+		// Missing at prediction time: follow both branches weighted by
+		// the training split proportions.
+		t.classify(n.left, fv, w*n.leftFrac, acc)
+		t.classify(n.right, fv, w*(1-n.leftFrac), acc)
+		return
+	}
+	if v <= n.threshold {
+		t.classify(n.left, fv, w, acc)
+	} else {
+		t.classify(n.right, fv, w, acc)
+	}
+}
+
+// ---- pruning ----
+
+// zScore for CF=0.25 and friends: inverse standard normal of (1-cf).
+func zScore(cf float64) float64 {
+	// Rational approximation (Abramowitz & Stegun 26.2.23); fine for
+	// the cf range pruning uses.
+	p := cf
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	t := math.Sqrt(-2 * math.Log(p))
+	return t - (2.30753+0.27061*t)/(1+0.99229*t+0.04481*t*t)
+}
+
+// addErrs is C4.5's pessimistic error add-on: the extra errors implied
+// by the upper confidence bound of the observed error rate.
+func addErrs(n, e, cf float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if e < 1e-9 {
+		return n * (1 - math.Pow(cf, 1/n))
+	}
+	if e+0.5 >= n {
+		return math.Max(n-e, 0)
+	}
+	z := zScore(cf)
+	f := (e + 0.5) / n
+	est := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return est*n - e
+}
+
+func nodeErrors(n *node) float64 {
+	total, best := 0.0, 0.0
+	for _, d := range n.dist {
+		total += d
+		if d > best {
+			best = d
+		}
+	}
+	return total - best
+}
+
+// prune applies bottom-up pessimistic pruning and returns the subtree's
+// estimated error.
+func prune(n *node, cf float64) float64 {
+	asLeaf := nodeErrors(n) + addErrs(n.weight, nodeErrors(n), cf)
+	if n.isLeaf() {
+		return asLeaf
+	}
+	sub := prune(n.left, cf) + prune(n.right, cf)
+	if asLeaf <= sub+0.1 {
+		n.feature = -1
+		n.left, n.right = nil, nil
+		return asLeaf
+	}
+	return sub
+}
+
+// ---- introspection ----
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return count(t.root) }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return countLeaves(t.root) }
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + count(n.left) + count(n.right)
+}
+
+func countLeaves(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+// FeatureScore pairs a feature with an importance weight.
+type FeatureScore struct {
+	Feature string
+	Score   float64
+}
+
+// FeatureImportance ranks features by total weighted information gain
+// at their split nodes.
+func (t *Tree) FeatureImportance() []FeatureScore {
+	acc := map[int]float64{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		acc[n.feature] += n.weight * n.gain
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return t.rank(acc)
+}
+
+// PerClassImportance ranks, for each class, the features appearing on
+// root-to-leaf paths of leaves predicting that class, weighted by leaf
+// coverage — the basis of the paper's Table 4.
+func (t *Tree) PerClassImportance() map[string][]FeatureScore {
+	per := make(map[string]map[int]float64)
+	var walk func(n *node, path []int)
+	walk = func(n *node, path []int) {
+		if n == nil {
+			return
+		}
+		if n.isLeaf() {
+			cls := t.classes[n.class]
+			m := per[cls]
+			if m == nil {
+				m = map[int]float64{}
+				per[cls] = m
+			}
+			seen := map[int]bool{}
+			for _, f := range path {
+				if !seen[f] {
+					m[f] += n.weight
+					seen[f] = true
+				}
+			}
+			return
+		}
+		walk(n.left, append(path, n.feature))
+		walk(n.right, append(path, n.feature))
+	}
+	walk(t.root, nil)
+	out := map[string][]FeatureScore{}
+	for cls, m := range per {
+		out[cls] = t.rank(m)
+	}
+	return out
+}
+
+func (t *Tree) rank(acc map[int]float64) []FeatureScore {
+	out := make([]FeatureScore, 0, len(acc))
+	for f, s := range acc {
+		out = append(out, FeatureScore{Feature: t.features[f], Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}
+
+// String renders the tree in J48's indented text form.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *node, depth int) {
+	ind := strings.Repeat("|   ", depth)
+	if n.isLeaf() {
+		fmt.Fprintf(b, "%s=> %s (%.1f/%.1f)\n", ind, t.classes[n.class], n.weight, nodeErrors(n))
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= %.4g\n", ind, t.features[n.feature], n.threshold)
+	t.render(b, n.left, depth+1)
+	fmt.Fprintf(b, "%s%s > %.4g\n", ind, t.features[n.feature], n.threshold)
+	t.render(b, n.right, depth+1)
+}

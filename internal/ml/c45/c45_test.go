@@ -1,0 +1,215 @@
+package c45
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// blobs generates two well-separated Gaussian classes on feature "x"
+// plus a pure-noise feature "noise".
+func blobs(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var ins []ml.Instance
+	for i := 0; i < n; i++ {
+		ins = append(ins, ml.Instance{
+			Features: metrics.Vector{"x": rng.NormFloat64(), "noise": rng.Float64()},
+			Class:    "lo",
+		})
+		ins = append(ins, ml.Instance{
+			Features: metrics.Vector{"x": 8 + rng.NormFloat64(), "noise": rng.Float64()},
+			Class:    "hi",
+		})
+	}
+	return ml.NewDataset(ins)
+}
+
+func TestSeparableData(t *testing.T) {
+	d := blobs(100, 1)
+	tree := Default().TrainTree(d)
+	conf := ml.Evaluate(tree, d)
+	if conf.Accuracy() < 0.99 {
+		t.Errorf("training accuracy %.3f on separable blobs", conf.Accuracy())
+	}
+	if tree.Size() > 7 {
+		t.Errorf("tree size %d for a 1-split problem", tree.Size())
+	}
+}
+
+func TestConjunctionNeedsDepth(t *testing.T) {
+	// class = (a > 0.5 AND b > 0.5): a single split cannot express it,
+	// but each feature carries marginal signal, so a greedy tree of
+	// depth 2 solves it. (Pure XOR has zero marginal gain and defeats
+	// greedy trees — including C4.5 — by design.)
+	rng := rand.New(rand.NewSource(2))
+	var ins []ml.Instance
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		cls := "zero"
+		if a > 0.5 && b > 0.5 {
+			cls = "one"
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"a": a, "b": b}, Class: cls})
+	}
+	d := ml.NewDataset(ins)
+	tree := Default().TrainTree(d)
+	if acc := ml.Evaluate(tree, d).Accuracy(); acc < 0.95 {
+		t.Errorf("conjunction training accuracy %.3f; depth-2 splits should nail this", acc)
+	}
+	if tree.Size() < 5 {
+		t.Errorf("tree size %d; conjunction needs at least two splits", tree.Size())
+	}
+}
+
+func TestCrossValidationGeneralizes(t *testing.T) {
+	d := blobs(150, 3)
+	conf := ml.CrossValidate(Default(), d, 10, rand.New(rand.NewSource(4)))
+	if conf.Accuracy() < 0.97 {
+		t.Errorf("CV accuracy %.3f on separable blobs", conf.Accuracy())
+	}
+}
+
+func TestMissingValuesAtTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var ins []ml.Instance
+	for i := 0; i < 300; i++ {
+		v := rng.NormFloat64()
+		cls := "lo"
+		if v > 0 {
+			cls = "hi"
+			v += 4
+		} else {
+			v -= 4
+		}
+		fv := metrics.Vector{"x": v}
+		if rng.Float64() < 0.3 { // 30% missing
+			delete(fv, "x")
+		}
+		fv["filler"] = rng.Float64()
+		ins = append(ins, ml.Instance{Features: fv, Class: cls})
+	}
+	d := ml.NewDataset(ins)
+	tree := Default().TrainTree(d)
+	// Predict fully observed vectors.
+	if tree.Predict(metrics.Vector{"x": -4, "filler": 0.5}) != "lo" {
+		t.Error("prediction with value present failed")
+	}
+	if tree.Predict(metrics.Vector{"x": 4, "filler": 0.5}) != "hi" {
+		t.Error("prediction with value present failed")
+	}
+}
+
+func TestMissingValueAtPredictionFollowsBothBranches(t *testing.T) {
+	d := blobs(100, 6)
+	tree := Default().TrainTree(d)
+	// With x missing, the prediction must still return one of the
+	// classes (weighted vote), not panic.
+	got := tree.Predict(metrics.Vector{"noise": 0.5})
+	if got != "lo" && got != "hi" {
+		t.Errorf("prediction with missing split value = %q", got)
+	}
+	dist := tree.Distribution(metrics.Vector{"noise": 0.5})
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("distribution does not sum to 1: %v", dist)
+	}
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ins []ml.Instance
+	for i := 0; i < 400; i++ {
+		// Pure label noise: no feature carries signal.
+		ins = append(ins, ml.Instance{
+			Features: metrics.Vector{"a": rng.Float64(), "b": rng.Float64(), "c": rng.Float64()},
+			Class:    []string{"x", "y"}[rng.Intn(2)],
+		})
+	}
+	d := ml.NewDataset(ins)
+	unpruned := New(Config{NoPrune: true}).TrainTree(d)
+	pruned := Default().TrainTree(d)
+	if pruned.Size() > unpruned.Size() {
+		t.Errorf("pruned size %d > unpruned %d", pruned.Size(), unpruned.Size())
+	}
+	// The MDL split penalty already keeps chance splits rare; with
+	// pruning on top, a pure-noise tree must stay trivial.
+	if pruned.Size() > 9 {
+		t.Errorf("pure-noise pruned tree still has %d nodes", pruned.Size())
+	}
+}
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	d := blobs(150, 8)
+	tree := Default().TrainTree(d)
+	imp := tree.FeatureImportance()
+	if len(imp) == 0 || imp[0].Feature != "x" {
+		t.Errorf("top feature = %+v, want x", imp)
+	}
+}
+
+func TestPerClassImportance(t *testing.T) {
+	d := blobs(150, 9)
+	tree := Default().TrainTree(d)
+	per := tree.PerClassImportance()
+	for _, cls := range []string{"lo", "hi"} {
+		scores := per[cls]
+		if len(scores) == 0 || scores[0].Feature != "x" {
+			t.Errorf("class %s importance = %+v, want x on top", cls, scores)
+		}
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	d := blobs(50, 10)
+	s := Default().TrainTree(d).String()
+	if !strings.Contains(s, "x <=") || !strings.Contains(s, "=>") {
+		t.Errorf("render missing split/leaf markers:\n%s", s)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	d := blobs(100, 11)
+	tree := New(Config{MaxDepth: 1, NoPrune: true}).TrainTree(d)
+	if tree.Size() > 3 {
+		t.Errorf("depth-1 tree has %d nodes", tree.Size())
+	}
+}
+
+func TestSingleClassDataset(t *testing.T) {
+	var ins []ml.Instance
+	for i := 0; i < 10; i++ {
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"a": float64(i)}, Class: "only"})
+	}
+	tree := Default().TrainTree(ml.NewDataset(ins))
+	if tree.Predict(metrics.Vector{"a": 3}) != "only" {
+		t.Error("single-class prediction")
+	}
+	if tree.Size() != 1 {
+		t.Errorf("single-class tree size %d, want 1", tree.Size())
+	}
+}
+
+func TestAddErrsProperties(t *testing.T) {
+	// Zero observed errors still yields a positive pessimistic add-on.
+	if a := addErrs(10, 0, 0.25); a <= 0 {
+		t.Errorf("addErrs(10,0) = %v, want > 0", a)
+	}
+	// More errors means a larger estimate base; the add-on stays
+	// non-negative and finite.
+	for e := 0.0; e <= 10; e++ {
+		a := addErrs(20, e, 0.25)
+		if a < 0 || a > 20 {
+			t.Errorf("addErrs(20,%v) = %v out of range", e, a)
+		}
+	}
+	// Tighter confidence (larger cf) gives smaller add-on.
+	if addErrs(50, 5, 0.5) >= addErrs(50, 5, 0.1) {
+		t.Error("add-on should shrink as cf grows")
+	}
+}

@@ -1,0 +1,110 @@
+package c45
+
+import (
+	"math/rand"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// Forest is a bagged ensemble of C4.5 trees with per-tree feature
+// subsampling — a random-forest-style extension of the paper's single
+// J48 model, evaluated by the ablate-forest experiment. The paper chose
+// a single tree for interpretability; the forest quantifies how much
+// accuracy that choice costs.
+type Forest struct {
+	trees   []*Tree
+	classes []string
+}
+
+// ForestConfig tunes the ensemble.
+type ForestConfig struct {
+	// Trees is the ensemble size. Zero selects 25.
+	Trees int
+	// FeatureFraction of features offered to each tree. Zero selects
+	// 0.7 (classic sqrt-style subsampling is too aggressive for the
+	// post-FCBF feature counts this repo produces).
+	FeatureFraction float64
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+	// Tree is the per-tree learner config (pruning usually off inside
+	// a bagged ensemble).
+	Tree Config
+}
+
+// ForestTrainer builds forests.
+type ForestTrainer struct {
+	cfg ForestConfig
+}
+
+// NewForest returns a forest trainer.
+func NewForest(cfg ForestConfig) *ForestTrainer {
+	if cfg.Trees == 0 {
+		cfg.Trees = 25
+	}
+	if cfg.FeatureFraction == 0 {
+		cfg.FeatureFraction = 0.7
+	}
+	return &ForestTrainer{cfg: cfg}
+}
+
+// Train implements ml.Trainer.
+func (t *ForestTrainer) Train(d *ml.Dataset) ml.Classifier { return t.TrainForest(d) }
+
+// TrainForest builds the concrete ensemble.
+func (t *ForestTrainer) TrainForest(d *ml.Dataset) *Forest {
+	rng := rand.New(rand.NewSource(t.cfg.Seed + 1))
+	features := d.Features()
+	nf := int(float64(len(features)) * t.cfg.FeatureFraction)
+	if nf < 1 {
+		nf = 1
+	}
+	f := &Forest{classes: d.Classes()}
+	for i := 0; i < t.cfg.Trees; i++ {
+		// Bootstrap sample of instances.
+		boot := make([]ml.Instance, d.Len())
+		for j := range boot {
+			boot[j] = d.Instances[rng.Intn(d.Len())]
+		}
+		// Feature subsample.
+		perm := rng.Perm(len(features))
+		keep := make([]string, nf)
+		for j := 0; j < nf; j++ {
+			keep[j] = features[perm[j]]
+		}
+		sub := ml.NewDataset(boot).Project(keep)
+		tree := New(t.cfg.Tree).TrainTree(sub)
+		f.trees = append(f.trees, tree)
+	}
+	return f
+}
+
+// Predict implements ml.Classifier: probability-weighted vote over the
+// ensemble.
+func (f *Forest) Predict(fv metrics.Vector) string {
+	votes := map[string]float64{}
+	for _, tree := range f.trees {
+		for cls, p := range tree.Distribution(fv) {
+			votes[cls] += p
+		}
+	}
+	best, bi := -1.0, ""
+	for _, cls := range f.classes { // deterministic tie-break by class order
+		if v := votes[cls]; v > best {
+			best, bi = v, cls
+		}
+	}
+	return bi
+}
+
+// Size returns the total node count across the ensemble.
+func (f *Forest) Size() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.Size()
+	}
+	return n
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }

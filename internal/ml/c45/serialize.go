@@ -1,0 +1,67 @@
+package c45
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the serialized form of a tree node.
+type nodeJSON struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t,omitempty"`
+	LeftFrac  float64   `json:"lf,omitempty"`
+	Class     int       `json:"c"`
+	Dist      []float64 `json:"d,omitempty"`
+	Weight    float64   `json:"w"`
+	Gain      float64   `json:"g,omitempty"`
+	Left      *nodeJSON `json:"l,omitempty"`
+	Right     *nodeJSON `json:"r,omitempty"`
+}
+
+type treeJSON struct {
+	Features []string  `json:"features"`
+	Classes  []string  `json:"classes"`
+	Root     *nodeJSON `json:"root"`
+}
+
+func toJSON(n *node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Feature: n.feature, Threshold: n.threshold, LeftFrac: n.leftFrac,
+		Class: n.class, Dist: n.dist, Weight: n.weight, Gain: n.gain,
+		Left: toJSON(n.left), Right: toJSON(n.right),
+	}
+}
+
+func fromJSON(j *nodeJSON) *node {
+	if j == nil {
+		return nil
+	}
+	return &node{
+		feature: j.Feature, threshold: j.Threshold, leftFrac: j.LeftFrac,
+		class: j.Class, dist: j.Dist, weight: j.Weight, gain: j.Gain,
+		left: fromJSON(j.Left), right: fromJSON(j.Right),
+	}
+}
+
+// MarshalJSON serializes the trained tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{Features: t.features, Classes: t.classes, Root: toJSON(t.root)})
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("c45: decoding tree: %w", err)
+	}
+	if j.Root == nil {
+		return fmt.Errorf("c45: tree has no root")
+	}
+	t.features = j.Features
+	t.classes = j.Classes
+	t.root = fromJSON(j.Root)
+	return nil
+}

@@ -1,0 +1,50 @@
+package c45
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vqprobe/internal/metrics"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	d := blobs(120, 30)
+	tree := Default().TrainTree(d)
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := -10; i <= 10; i++ {
+		fv := metrics.Vector{"x": float64(i), "noise": 0.3}
+		if got, want := back.Predict(fv), tree.Predict(fv); got != want {
+			t.Fatalf("prediction diverged after round trip at x=%d: %q vs %q", i, got, want)
+		}
+	}
+	if back.Size() != tree.Size() || back.Leaves() != tree.Leaves() {
+		t.Errorf("structure changed: size %d/%d leaves %d/%d",
+			back.Size(), tree.Size(), back.Leaves(), tree.Leaves())
+	}
+	// Distribution also survives.
+	dist := back.Distribution(metrics.Vector{"noise": 0.5})
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("distribution broken after round trip: %v", dist)
+	}
+}
+
+func TestTreeJSONRejectsGarbage(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte("{}"), &tr); err == nil {
+		t.Error("tree without root accepted")
+	}
+	if err := json.Unmarshal([]byte("not json"), &tr); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}

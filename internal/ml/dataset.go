@@ -1,0 +1,236 @@
+// Package ml provides the learning substrate of the reproduction:
+// datasets of named-feature instances, classifier interfaces, stratified
+// cross-validation and the confusion-matrix metrics (accuracy, precision,
+// recall) the paper reports.
+//
+// It plays the role Weka 3.6.10 played for the authors; the concrete
+// algorithms live in the subpackages ml/c45 (J48 equivalent), ml/bayes
+// and ml/svm.
+package ml
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"vqprobe/internal/metrics"
+)
+
+// Missing is the sentinel for absent feature values in matrix form.
+var Missing = math.NaN()
+
+// IsMissing reports whether v is the missing-value sentinel.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Instance is one labeled example.
+type Instance struct {
+	Features metrics.Vector
+	Class    string
+}
+
+// Dataset is an immutable-by-convention collection of instances with a
+// canonical feature ordering (sorted union of all feature names).
+type Dataset struct {
+	Instances []Instance
+	features  []string
+	findex    map[string]int
+}
+
+// NewDataset builds a dataset and computes the canonical feature list.
+func NewDataset(instances []Instance) *Dataset {
+	seen := map[string]bool{}
+	for _, in := range instances {
+		for k := range in.Features {
+			seen[k] = true
+		}
+	}
+	features := make([]string, 0, len(seen))
+	for k := range seen {
+		features = append(features, k)
+	}
+	sort.Strings(features)
+	idx := make(map[string]int, len(features))
+	for i, f := range features {
+		idx[f] = i
+	}
+	return &Dataset{Instances: instances, features: features, findex: idx}
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// Features returns the canonical feature names (do not mutate).
+func (d *Dataset) Features() []string { return d.features }
+
+// FeatureIndex returns the column of a feature, or -1.
+func (d *Dataset) FeatureIndex(name string) int {
+	if i, ok := d.findex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Classes returns the distinct class labels, sorted.
+func (d *Dataset) Classes() []string {
+	seen := map[string]bool{}
+	for _, in := range d.Instances {
+		seen[in.Class] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassCounts returns instance counts per class.
+func (d *Dataset) ClassCounts() map[string]int {
+	out := map[string]int{}
+	for _, in := range d.Instances {
+		out[in.Class]++
+	}
+	return out
+}
+
+// Row returns the instance's features in canonical order with Missing
+// for absent values.
+func (d *Dataset) Row(i int) []float64 {
+	row := make([]float64, len(d.features))
+	in := d.Instances[i]
+	for j, f := range d.features {
+		if v, ok := in.Features[f]; ok {
+			row[j] = v
+		} else {
+			row[j] = Missing
+		}
+	}
+	return row
+}
+
+// Matrix materializes the full numeric matrix plus class labels; the
+// concrete learners consume this form.
+func (d *Dataset) Matrix() ([][]float64, []string) {
+	x := make([][]float64, d.Len())
+	y := make([]string, d.Len())
+	for i := range d.Instances {
+		x[i] = d.Row(i)
+		y[i] = d.Instances[i].Class
+	}
+	return x, y
+}
+
+// Project returns a dataset restricted to the named features (features
+// absent from an instance stay absent).
+func (d *Dataset) Project(names []string) *Dataset {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := make([]Instance, d.Len())
+	for i, in := range d.Instances {
+		fv := metrics.Vector{}
+		for k, v := range in.Features {
+			if keep[k] {
+				fv[k] = v
+			}
+		}
+		out[i] = Instance{Features: fv, Class: in.Class}
+	}
+	return NewDataset(out)
+}
+
+// Relabel returns a dataset with classes rewritten by fn; instances for
+// which fn returns "" are dropped.
+func (d *Dataset) Relabel(fn func(in Instance) string) *Dataset {
+	out := make([]Instance, 0, d.Len())
+	for _, in := range d.Instances {
+		c := fn(in)
+		if c == "" {
+			continue
+		}
+		out = append(out, Instance{Features: in.Features, Class: c})
+	}
+	return NewDataset(out)
+}
+
+// Classifier predicts a class label from a feature vector.
+type Classifier interface {
+	Predict(fv metrics.Vector) string
+}
+
+// Trainer builds a classifier from a dataset.
+type Trainer interface {
+	Train(d *Dataset) Classifier
+}
+
+// TrainerFunc adapts a function to the Trainer interface.
+type TrainerFunc func(d *Dataset) Classifier
+
+// Train implements Trainer.
+func (f TrainerFunc) Train(d *Dataset) Classifier { return f(d) }
+
+// WriteCSV serializes the dataset with a header row; the class goes in
+// the final "class" column. Missing values serialize as empty cells.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, d.features...), "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(d.features)+1)
+	for i, in := range d.Instances {
+		for j, f := range d.features {
+			if v, ok := in.Features[f]; ok {
+				row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[j] = ""
+			}
+		}
+		row[len(row)-1] = in.Class
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if len(header) < 1 || header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("last column must be \"class\", got %q", header[len(header)-1])
+	}
+	features := header[:len(header)-1]
+	var instances []Instance
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		fv := metrics.Vector{}
+		for j, f := range features {
+			if rec[j] == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d, column %s: %w", line, f, err)
+			}
+			fv[f] = v
+		}
+		instances = append(instances, Instance{Features: fv, Class: rec[len(rec)-1]})
+	}
+	return NewDataset(instances), nil
+}

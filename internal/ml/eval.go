@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Confusion is a multi-class confusion matrix.
+type Confusion struct {
+	classes []string
+	index   map[string]int
+	counts  [][]int // counts[actual][predicted]
+	total   int
+}
+
+// NewConfusion creates a matrix over the given classes; labels outside
+// the set are added lazily.
+func NewConfusion(classes []string) *Confusion {
+	c := &Confusion{index: map[string]int{}}
+	for _, cl := range classes {
+		c.class(cl)
+	}
+	return c
+}
+
+func (c *Confusion) class(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.classes)
+	c.index[name] = i
+	c.classes = append(c.classes, name)
+	for j := range c.counts {
+		c.counts[j] = append(c.counts[j], 0)
+	}
+	c.counts = append(c.counts, make([]int, len(c.classes)))
+	return i
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(actual, predicted string) {
+	a, p := c.class(actual), c.class(predicted)
+	c.counts[a][p]++
+	c.total++
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int { return c.total }
+
+// Classes returns the classes seen, in insertion order.
+func (c *Confusion) Classes() []string { return c.classes }
+
+// Count returns the number of instances of class actual predicted as
+// predicted.
+func (c *Confusion) Count(actual, predicted string) int {
+	a, okA := c.index[actual]
+	p, okP := c.index[predicted]
+	if !okA || !okP {
+		return 0
+	}
+	return c.counts[a][p]
+}
+
+// Accuracy is the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.classes {
+		correct += c.counts[i][i]
+	}
+	return float64(correct) / float64(c.total)
+}
+
+// Precision returns TP/(TP+FP) for a class (0 when never predicted).
+func (c *Confusion) Precision(class string) float64 {
+	i, ok := c.index[class]
+	if !ok {
+		return 0
+	}
+	tp := c.counts[i][i]
+	pred := 0
+	for a := range c.classes {
+		pred += c.counts[a][i]
+	}
+	if pred == 0 {
+		return 0
+	}
+	return float64(tp) / float64(pred)
+}
+
+// Recall returns TP/(TP+FN) for a class (0 when the class has no
+// instances).
+func (c *Confusion) Recall(class string) float64 {
+	i, ok := c.index[class]
+	if !ok {
+		return 0
+	}
+	tp := c.counts[i][i]
+	actual := 0
+	for p := range c.classes {
+		actual += c.counts[i][p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(tp) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (c *Confusion) F1(class string) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroPrecision averages precision over classes that actually occur.
+func (c *Confusion) MacroPrecision() float64 { return c.macro(c.Precision) }
+
+// MacroRecall averages recall over classes that actually occur.
+func (c *Confusion) MacroRecall() float64 { return c.macro(c.Recall) }
+
+func (c *Confusion) macro(f func(string) float64) float64 {
+	sum, n := 0.0, 0
+	for i, cl := range c.classes {
+		actual := 0
+		for p := range c.classes {
+			actual += c.counts[i][p]
+		}
+		if actual == 0 {
+			continue
+		}
+		sum += f(cl)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String renders the matrix with per-class precision/recall, Weka-style.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	order := append([]string{}, c.classes...)
+	sort.Strings(order)
+	fmt.Fprintf(&b, "accuracy %.4f over %d instances\n", c.Accuracy(), c.total)
+	for _, cl := range order {
+		fmt.Fprintf(&b, "  %-24s precision %.3f recall %.3f\n", cl, c.Precision(cl), c.Recall(cl))
+	}
+	return b.String()
+}
+
+// Evaluate runs a trained classifier over a dataset.
+func Evaluate(cl Classifier, test *Dataset) *Confusion {
+	conf := NewConfusion(test.Classes())
+	for _, in := range test.Instances {
+		conf.Add(in.Class, cl.Predict(in.Features))
+	}
+	return conf
+}
+
+// CrossValidate performs stratified k-fold cross-validation, the
+// protocol the paper uses throughout (k=10). The returned confusion
+// matrix pools predictions from every fold.
+func CrossValidate(t Trainer, d *Dataset, k int, rng *rand.Rand) *Confusion {
+	if k < 2 {
+		panic("ml: cross-validation needs k >= 2")
+	}
+	folds := stratifiedFolds(d, k, rng)
+	conf := NewConfusion(d.Classes())
+	for f := 0; f < k; f++ {
+		var train, test []Instance
+		for i, in := range d.Instances {
+			if folds[i] == f {
+				test = append(test, in)
+			} else {
+				train = append(train, in)
+			}
+		}
+		if len(test) == 0 || len(train) == 0 {
+			continue
+		}
+		cl := t.Train(NewDataset(train))
+		for _, in := range test {
+			conf.Add(in.Class, cl.Predict(in.Features))
+		}
+	}
+	return conf
+}
+
+// stratifiedFolds assigns each instance a fold, preserving class
+// proportions.
+func stratifiedFolds(d *Dataset, k int, rng *rand.Rand) []int {
+	byClass := map[string][]int{}
+	for i, in := range d.Instances {
+		byClass[in.Class] = append(byClass[in.Class], i)
+	}
+	folds := make([]int, d.Len())
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes) // deterministic iteration
+	next := 0
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			folds[i] = next % k
+			next++
+		}
+	}
+	return folds
+}

@@ -1,0 +1,216 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/metrics"
+)
+
+func inst(class string, kv ...float64) Instance {
+	fv := metrics.Vector{}
+	names := []string{"a", "b", "c", "d"}
+	for i, v := range kv {
+		fv[names[i]] = v
+	}
+	return Instance{Features: fv, Class: class}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset([]Instance{inst("x", 1, 2), inst("y", 3, 4), inst("x", 5, 6)})
+	if d.Len() != 3 {
+		t.Fatal("len")
+	}
+	if got := d.Classes(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("classes = %v", got)
+	}
+	if d.ClassCounts()["x"] != 2 {
+		t.Error("class counts")
+	}
+	if d.FeatureIndex("a") != 0 || d.FeatureIndex("zz") != -1 {
+		t.Error("feature index")
+	}
+}
+
+func TestRowMissingValues(t *testing.T) {
+	d := NewDataset([]Instance{
+		{Features: metrics.Vector{"a": 1}, Class: "x"},
+		{Features: metrics.Vector{"b": 2}, Class: "y"},
+	})
+	r0 := d.Row(0)
+	if IsMissing(r0[0]) || !IsMissing(r0[1]) {
+		t.Errorf("row 0 = %v, want [1, missing]", r0)
+	}
+}
+
+func TestProjectAndRelabel(t *testing.T) {
+	d := NewDataset([]Instance{inst("x", 1, 2, 3), inst("y", 4, 5, 6)})
+	p := d.Project([]string{"a"})
+	if len(p.Features()) != 1 || p.Features()[0] != "a" {
+		t.Errorf("projected features = %v", p.Features())
+	}
+	r := d.Relabel(func(in Instance) string {
+		if in.Class == "y" {
+			return ""
+		}
+		return "kept"
+	})
+	if r.Len() != 1 || r.Instances[0].Class != "kept" {
+		t.Errorf("relabel: %+v", r.Instances)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := NewDataset([]Instance{
+		{Features: metrics.Vector{"a": 1.5, "b": -2}, Class: "x"},
+		{Features: metrics.Vector{"a": 3}, Class: "y"}, // b missing
+	})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatal("round trip length")
+	}
+	if back.Instances[0].Features["a"] != 1.5 || back.Instances[0].Class != "x" {
+		t.Error("values lost")
+	}
+	if _, ok := back.Instances[1].Features["b"]; ok {
+		t.Error("missing value resurrected")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("missing class column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,class\nnotanumber,x\n")); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := NewConfusion([]string{"g", "b"})
+	// 3 correct g, 1 g predicted b, 2 correct b, 1 b predicted g.
+	for i := 0; i < 3; i++ {
+		c.Add("g", "g")
+	}
+	c.Add("g", "b")
+	c.Add("b", "b")
+	c.Add("b", "b")
+	c.Add("b", "g")
+	if got := c.Accuracy(); got < 0.713 || got > 0.715 {
+		t.Errorf("accuracy = %v, want 5/7", got)
+	}
+	if got := c.Precision("g"); got != 0.75 {
+		t.Errorf("precision(g) = %v, want 0.75", got)
+	}
+	if got := c.Recall("g"); got != 0.75 {
+		t.Errorf("recall(g) = %v, want 0.75", got)
+	}
+	if got := c.Recall("b"); got < 0.66 || got > 0.67 {
+		t.Errorf("recall(b) = %v, want 2/3", got)
+	}
+	if c.Count("g", "b") != 1 {
+		t.Error("count")
+	}
+	if c.F1("g") != 0.75 {
+		t.Errorf("f1 = %v", c.F1("g"))
+	}
+	if !strings.Contains(c.String(), "precision") {
+		t.Error("String() rendering")
+	}
+}
+
+func TestConfusionUnknownClass(t *testing.T) {
+	c := NewConfusion(nil)
+	c.Add("new", "other")
+	if c.Total() != 1 {
+		t.Error("lazy class registration failed")
+	}
+	if c.Precision("nonexistent") != 0 || c.Recall("nonexistent") != 0 {
+		t.Error("unknown class metrics should be 0")
+	}
+}
+
+// thresholdTrainer is a trivial trainer for CV tests: predicts by
+// thresholding feature "a" at the training-set midpoint between class
+// means.
+type thresholdTrainer struct{}
+
+func (thresholdTrainer) Train(d *Dataset) Classifier {
+	var sum0, sum1, n0, n1 float64
+	classes := d.Classes()
+	for _, in := range d.Instances {
+		if in.Class == classes[0] {
+			sum0 += in.Features["a"]
+			n0++
+		} else {
+			sum1 += in.Features["a"]
+			n1++
+		}
+	}
+	thr := (sum0/n0 + sum1/n1) / 2
+	lowIsFirst := sum0/n0 < sum1/n1
+	return thresholdClassifier{thr: thr, classes: classes, lowFirst: lowIsFirst}
+}
+
+type thresholdClassifier struct {
+	thr      float64
+	classes  []string
+	lowFirst bool
+}
+
+func (c thresholdClassifier) Predict(fv metrics.Vector) string {
+	low := fv["a"] <= c.thr
+	if low == c.lowFirst {
+		return c.classes[0]
+	}
+	return c.classes[1]
+}
+
+func TestCrossValidateStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ins []Instance
+	for i := 0; i < 50; i++ {
+		ins = append(ins, Instance{Features: metrics.Vector{"a": rng.NormFloat64()}, Class: "lo"})
+		ins = append(ins, Instance{Features: metrics.Vector{"a": 10 + rng.NormFloat64()}, Class: "hi"})
+	}
+	d := NewDataset(ins)
+	conf := CrossValidate(thresholdTrainer{}, d, 10, rand.New(rand.NewSource(2)))
+	if conf.Total() != 100 {
+		t.Fatalf("CV predicted %d instances, want all 100", conf.Total())
+	}
+	if conf.Accuracy() < 0.98 {
+		t.Errorf("separable data CV accuracy %.3f", conf.Accuracy())
+	}
+}
+
+func TestStratifiedFoldsBalanced(t *testing.T) {
+	var ins []Instance
+	for i := 0; i < 40; i++ {
+		ins = append(ins, Instance{Features: metrics.Vector{"a": float64(i)}, Class: "maj"})
+	}
+	for i := 0; i < 10; i++ {
+		ins = append(ins, Instance{Features: metrics.Vector{"a": float64(i)}, Class: "min"})
+	}
+	d := NewDataset(ins)
+	folds := stratifiedFolds(d, 5, rand.New(rand.NewSource(3)))
+	perFoldMin := make([]int, 5)
+	for i, in := range d.Instances {
+		if in.Class == "min" {
+			perFoldMin[folds[i]]++
+		}
+	}
+	for f, n := range perFoldMin {
+		if n != 2 {
+			t.Errorf("fold %d has %d minority instances, want 2", f, n)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func linsep(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var ins []ml.Instance
+	for i := 0; i < n; i++ {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		cls := "neg"
+		if x+y > 1 {
+			cls = "pos"
+			x += 2
+			y += 2
+		} else {
+			x -= 2
+			y -= 2
+		}
+		ins = append(ins, ml.Instance{Features: metrics.Vector{"x": x, "y": y}, Class: cls})
+	}
+	return ml.NewDataset(ins)
+}
+
+func TestLinearlySeparable(t *testing.T) {
+	d := linsep(300, 1)
+	conf := ml.CrossValidate(New(Config{Seed: 1}), d, 5, rand.New(rand.NewSource(2)))
+	if conf.Accuracy() < 0.95 {
+		t.Errorf("SVM CV accuracy %.3f on separable data", conf.Accuracy())
+	}
+}
+
+func TestMultiClassOneVsRest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ins []ml.Instance
+	centers := map[string][2]float64{"a": {0, 0}, "b": {8, 0}, "c": {0, 8}}
+	for cls, c := range centers {
+		for i := 0; i < 80; i++ {
+			ins = append(ins, ml.Instance{
+				Features: metrics.Vector{"x": c[0] + rng.NormFloat64(), "y": c[1] + rng.NormFloat64()},
+				Class:    cls,
+			})
+		}
+	}
+	d := ml.NewDataset(ins)
+	m := New(Config{Seed: 4}).Train(d)
+	correct := 0
+	for _, in := range d.Instances {
+		if m.Predict(in.Features) == in.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.95 {
+		t.Errorf("3-class accuracy %.3f", acc)
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// A feature on a huge scale must not drown the informative one,
+	// thanks to standardization.
+	rng := rand.New(rand.NewSource(5))
+	var ins []ml.Instance
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64()
+		cls := "lo"
+		if i%2 == 0 {
+			cls = "hi"
+			v += 6
+		}
+		ins = append(ins, ml.Instance{
+			Features: metrics.Vector{"signal": v, "huge": rng.Float64() * 1e9},
+			Class:    cls,
+		})
+	}
+	d := ml.NewDataset(ins)
+	m := New(Config{Seed: 6}).Train(d)
+	correct := 0
+	for _, in := range d.Instances {
+		if m.Predict(in.Features) == in.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.95 {
+		t.Errorf("accuracy %.3f with a large-scale nuisance feature", acc)
+	}
+}
+
+func TestMissingValuePrediction(t *testing.T) {
+	d := linsep(200, 7)
+	m := New(Config{Seed: 8}).Train(d)
+	if got := m.Predict(metrics.Vector{}); got != "neg" && got != "pos" {
+		t.Errorf("empty-vector prediction = %q", got)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	d := linsep(100, 9)
+	m1 := New(Config{Seed: 10}).Train(d)
+	m2 := New(Config{Seed: 10}).Train(d)
+	for i := 0; i < 20; i++ {
+		fv := metrics.Vector{"x": float64(i) - 10, "y": float64(i%5) - 2}
+		if m1.Predict(fv) != m2.Predict(fv) {
+			t.Fatal("same-seed training diverged")
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package probe implements the vantage-point measurement probes of the
+// paper: a tstat-style passive TCP flow meter (transport layer), an
+// OS/hardware sampler, and a NIC/link sampler. A VantagePoint bundles the
+// three and produces one feature vector per video session.
+//
+// Everything a probe exports is derived from what it can passively see at
+// its own tap — packet headers, local OS counters, local radio state.
+// Probes never read simulator ground truth (player buffer state, fault
+// schedules), which is what makes the train/evaluate methodology honest.
+package probe
+
+import (
+	"time"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/simnet"
+)
+
+// dirState accumulates tstat-style metrics for one direction of a flow.
+type dirState struct {
+	pkts, bytes         int64
+	dataPkts, dataBytes int64
+	pureAcks            int64
+	pushPkts            int64
+	synPkts, finPkts    int64
+	rstPkts             int64
+	retransPkts         int64
+	retransBytes        int64
+	oooPkts             int64
+	dupAcks             int64
+	zeroWndPkts         int64
+	mss                 float64
+
+	winAgg metrics.Agg
+	segAgg metrics.Agg
+	rttAgg metrics.Agg
+	iatAgg metrics.Agg // inter-arrival times, ms
+
+	firstPkt  time.Duration
+	lastPkt   time.Duration
+	firstData time.Duration
+	maxIdle   time.Duration
+	havePkt   bool
+	haveData  bool
+
+	// Sequence tracking: bytes [0,maxEnd) have been observed except the
+	// spans in holes. Used to classify retransmission vs reordering.
+	maxEnd int64
+	holes  []span
+
+	// RTT matching: data segments awaiting an ACK from the opposite
+	// direction. Only never-before-seen data is timed (Karn's rule at
+	// the meter).
+	pending []pendingSeg
+
+	lastAck int64 // highest ack seen in the opposite direction
+}
+
+type span struct{ start, end int64 }
+
+type pendingSeg struct {
+	end int64
+	at  time.Duration
+}
+
+// flowState tracks one TCP conversation; index 0 is client-to-server
+// (the direction of the first SYN), index 1 server-to-client.
+type flowState struct {
+	key   simnet.FlowKey // c2s orientation
+	dirs  [2]*dirState
+	start time.Duration
+}
+
+// FlowMeter observes a node's packets and keeps per-flow transport
+// metrics, like tstat bound to an interface.
+type FlowMeter struct {
+	node  *simnet.Node
+	flows map[simnet.FlowKey]*flowState
+}
+
+// NewFlowMeter taps node and begins collecting. The meter counts each
+// packet exactly once even on forwarding nodes (it counts arrivals, plus
+// departures the node itself originated).
+func NewFlowMeter(node *simnet.Node) *FlowMeter {
+	m := &FlowMeter{node: node, flows: make(map[simnet.FlowKey]*flowState)}
+	node.AddTap(m.tap)
+	return m
+}
+
+func (m *FlowMeter) tap(now time.Duration, nic *simnet.NIC, pkt *simnet.Packet, dir simnet.PacketDir) {
+	if !pkt.IsTCP() {
+		return
+	}
+	// Count once: all arrivals, plus locally originated departures.
+	if dir == simnet.DirOut && pkt.Flow.Src != m.node.Addr {
+		return
+	}
+	fs, di := m.lookup(pkt, now)
+	if fs == nil {
+		return
+	}
+	fs.observe(now, pkt, di)
+}
+
+// lookup finds or creates flow state and returns the direction index of
+// the packet within it.
+func (m *FlowMeter) lookup(pkt *simnet.Packet, now time.Duration) (*flowState, int) {
+	if fs, ok := m.flows[pkt.Flow]; ok {
+		return fs, 0
+	}
+	if fs, ok := m.flows[pkt.Flow.Reverse()]; ok {
+		return fs, 1
+	}
+	// New flow: orient by the first SYN so c2s is the client direction.
+	// A meter that comes up mid-flow orients by first packet seen.
+	fs := &flowState{key: pkt.Flow, start: now, dirs: [2]*dirState{{}, {}}}
+	m.flows[pkt.Flow] = fs
+	return fs, 0
+}
+
+// Flow returns the record for the given flow (in either orientation), or
+// nil if the meter never saw it.
+func (m *FlowMeter) Flow(key simnet.FlowKey) *FlowRecord {
+	fs, ok := m.flows[key]
+	if !ok {
+		fs, ok = m.flows[key.Reverse()]
+		if !ok {
+			return nil
+		}
+	}
+	return &FlowRecord{fs: fs}
+}
+
+// Flows returns the number of conversations the meter has seen.
+func (m *FlowMeter) Flows() int { return len(m.flows) }
+
+func (fs *flowState) observe(now time.Duration, pkt *simnet.Packet, di int) {
+	d := fs.dirs[di]
+	opp := fs.dirs[1-di]
+	hdr := pkt.TCP
+
+	if d.havePkt {
+		iat := now - d.lastPkt
+		d.iatAgg.Add(float64(iat) / float64(time.Millisecond))
+		if iat > d.maxIdle {
+			d.maxIdle = iat
+		}
+	} else {
+		d.firstPkt = now
+		d.havePkt = true
+	}
+	d.lastPkt = now
+
+	d.pkts++
+	d.bytes += int64(pkt.Size())
+	d.winAgg.Add(float64(hdr.Window))
+	if hdr.Window == 0 {
+		d.zeroWndPkts++
+	}
+	if hdr.Flags.Has(simnet.FlagSYN) {
+		d.synPkts++
+		if hdr.MSS > 0 {
+			d.mss = float64(hdr.MSS)
+		}
+	}
+	if hdr.Flags.Has(simnet.FlagFIN) {
+		d.finPkts++
+	}
+	if hdr.Flags.Has(simnet.FlagRST) {
+		d.rstPkts++
+	}
+	if hdr.Flags.Has(simnet.FlagPSH) {
+		d.pushPkts++
+	}
+
+	if pkt.Payload > 0 {
+		d.observeData(now, hdr.Seq, int64(pkt.Payload))
+	} else if hdr.Flags&(simnet.FlagSYN|simnet.FlagFIN|simnet.FlagRST) == 0 {
+		d.pureAcks++
+		if hdr.Ack == d.lastAck && opp.maxEnd > hdr.Ack {
+			d.dupAcks++
+		}
+	}
+	if hdr.Flags.Has(simnet.FlagACK) {
+		d.lastAck = hdr.Ack
+		opp.matchAcks(now, hdr.Ack)
+	}
+}
+
+// observeData classifies a data segment as new, retransmitted or
+// reordered, and updates sequence bookkeeping.
+func (d *dirState) observeData(now time.Duration, seq, n int64) {
+	end := seq + n
+	d.dataPkts++
+	d.dataBytes += n
+	d.segAgg.Add(float64(n))
+	if !d.haveData {
+		d.firstData = now
+		d.haveData = true
+	}
+
+	switch {
+	case seq >= d.maxEnd:
+		// New data; any gap becomes a hole (we missed nothing: gaps in
+		// seq space at a tap mean packets are still in flight behind).
+		if seq > d.maxEnd {
+			d.holes = append(d.holes, span{d.maxEnd, seq})
+		}
+		d.maxEnd = end
+		d.pending = append(d.pending, pendingSeg{end: end, at: now})
+	case d.overlapsSeen(seq, end):
+		// Bytes we already saw pass the tap again: retransmission.
+		d.retransPkts++
+		d.retransBytes += n
+		d.fillHoles(seq, end)
+	default:
+		// Hole-filling bytes never seen before: reordering at this tap
+		// (the original was lost upstream of us).
+		d.oooPkts++
+		d.fillHoles(seq, end)
+	}
+}
+
+// overlapsSeen reports whether any byte of [start,end) was observed
+// before, i.e. lies below maxEnd and outside every hole.
+func (d *dirState) overlapsSeen(start, end int64) bool {
+	if start >= d.maxEnd {
+		return false
+	}
+	hi := end
+	if hi > d.maxEnd {
+		hi = d.maxEnd
+	}
+	// [start,hi) minus holes non-empty?
+	covered := int64(0)
+	for _, h := range d.holes {
+		lo, h2 := maxi(start, h.start), mini(hi, h.end)
+		if h2 > lo {
+			covered += h2 - lo
+		}
+	}
+	return covered < hi-start
+}
+
+func (d *dirState) fillHoles(start, end int64) {
+	out := d.holes[:0]
+	for _, h := range d.holes {
+		switch {
+		case end <= h.start || start >= h.end:
+			out = append(out, h)
+		case start <= h.start && end >= h.end:
+			// hole fully filled
+		case start <= h.start:
+			out = append(out, span{end, h.end})
+		case end >= h.end:
+			out = append(out, span{h.start, start})
+		default:
+			out = append(out, span{h.start, start}, span{end, h.end})
+		}
+	}
+	d.holes = out
+	if end > d.maxEnd {
+		d.maxEnd = end
+	}
+}
+
+// matchAcks samples RTTs for pending data segments covered by ack.
+func (d *dirState) matchAcks(now time.Duration, ack int64) {
+	i := 0
+	for ; i < len(d.pending); i++ {
+		p := d.pending[i]
+		if p.end > ack {
+			break
+		}
+		d.rttAgg.Add(float64(now-p.at) / float64(time.Millisecond))
+	}
+	if i > 0 {
+		d.pending = d.pending[i:]
+	}
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FlowRecord is a read-only view over a measured conversation. C2S always
+// means client-to-server (the direction of the first SYN the meter saw),
+// regardless of which flow key was used to look the record up.
+type FlowRecord struct {
+	fs *flowState
+}
+
+func (r *FlowRecord) dir(clientToServer bool) *dirState {
+	if clientToServer {
+		return r.fs.dirs[0]
+	}
+	return r.fs.dirs[1]
+}
+
+// Duration returns the observed flow duration.
+func (r *FlowRecord) Duration() time.Duration {
+	var last time.Duration
+	for _, d := range r.fs.dirs {
+		if d.lastPkt > last {
+			last = d.lastPkt
+		}
+	}
+	if last < r.fs.start {
+		return 0
+	}
+	return last - r.fs.start
+}
+
+// dirNames maps the two directions to tstat-like prefixes.
+var dirNames = [2]string{"c2s", "s2c"}
+
+// Vector exports the full tstat-style metric set for the flow. Names are
+// stable and documented; DESIGN.md maps the paper's Table 1 names onto
+// them.
+func (r *FlowRecord) Vector() metrics.Vector {
+	v := metrics.Vector{}
+	durSec := r.Duration().Seconds()
+	v["tcp_duration_s"] = durSec
+
+	for i, name := range dirNames {
+		d := r.dir(i == 0)
+		p := "tcp_" + name + "_"
+		v[p+"pkts"] = float64(d.pkts)
+		v[p+"bytes"] = float64(d.bytes)
+		v[p+"data_pkts"] = float64(d.dataPkts)
+		v[p+"data_bytes"] = float64(d.dataBytes)
+		v[p+"pure_acks"] = float64(d.pureAcks)
+		v[p+"push_pkts"] = float64(d.pushPkts)
+		v[p+"syn_pkts"] = float64(d.synPkts)
+		v[p+"fin_pkts"] = float64(d.finPkts)
+		v[p+"rst_pkts"] = float64(d.rstPkts)
+		v[p+"retrans_pkts"] = float64(d.retransPkts)
+		v[p+"retrans_bytes"] = float64(d.retransBytes)
+		v[p+"ooo_pkts"] = float64(d.oooPkts)
+		v[p+"dup_acks"] = float64(d.dupAcks)
+		v[p+"zero_wnd_pkts"] = float64(d.zeroWndPkts)
+		v[p+"mss"] = d.mss
+		v[p+"win_avg"] = d.winAgg.Mean()
+		v[p+"win_min"] = d.winAgg.Min()
+		v[p+"win_max"] = d.winAgg.Max()
+		v[p+"seg_avg"] = d.segAgg.Mean()
+		v[p+"seg_min"] = d.segAgg.Min()
+		v[p+"seg_max"] = d.segAgg.Max()
+		v[p+"seg_std"] = d.segAgg.Std()
+		v[p+"win_std"] = d.winAgg.Std()
+		v[p+"uniq_bytes"] = float64(d.maxEnd)
+		d.rttAgg.Fill(v, p+"rtt_ms")
+		v[p+"iat_avg_ms"] = d.iatAgg.Mean()
+		v[p+"iat_std_ms"] = d.iatAgg.Std()
+		v[p+"max_idle_ms"] = float64(d.maxIdle) / float64(time.Millisecond)
+		if d.havePkt {
+			v[p+"first_pkt_s"] = (d.firstPkt - r.fs.start).Seconds()
+			v[p+"last_pkt_s"] = (d.lastPkt - r.fs.start).Seconds()
+		}
+		if d.haveData {
+			v[p+"first_data_s"] = (d.firstData - r.fs.start).Seconds()
+			v[p+"data_time_s"] = (d.lastPkt - d.firstData).Seconds()
+			if active := (d.lastPkt - d.firstData).Seconds(); active > 0 {
+				v[p+"active_throughput_bps"] = float64(d.dataBytes) * 8 / active
+			}
+		}
+		if durSec > 0 {
+			v[p+"throughput_bps"] = float64(d.dataBytes) * 8 / durSec
+		}
+		if d.dataPkts > 0 {
+			v[p+"retrans_ratio"] = float64(d.retransPkts) / float64(d.dataPkts)
+			v[p+"ooo_ratio"] = float64(d.oooPkts) / float64(d.dataPkts)
+		}
+		if d.pkts > 0 {
+			v[p+"ack_ratio"] = float64(d.pureAcks) / float64(d.pkts)
+			v[p+"bytes_per_pkt"] = float64(d.bytes) / float64(d.pkts)
+		}
+		if d.pureAcks > 0 {
+			v[p+"dupack_ratio"] = float64(d.dupAcks) / float64(d.pureAcks)
+		}
+	}
+
+	// Flow-level composites.
+	c2s, s2c := r.dir(true), r.dir(false)
+	v["tcp_total_pkts"] = float64(c2s.pkts + s2c.pkts)
+	v["tcp_total_bytes"] = float64(c2s.bytes + s2c.bytes)
+	if s2c.haveData {
+		// "First packet arrival": request to first video data byte —
+		// one of the paper's strongest features.
+		v["tcp_first_data_delay_s"] = (s2c.firstData - r.fs.start).Seconds()
+	}
+	if c2s.havePkt && s2c.havePkt {
+		v["tcp_handshake_ms"] = float64(s2c.firstPkt-c2s.firstPkt) / float64(time.Millisecond)
+	}
+	// Combined RTT view (both half-connections).
+	var rtt metrics.Agg
+	for _, d := range r.fs.dirs {
+		if d.rttAgg.Count() > 0 {
+			rtt.Add(d.rttAgg.Mean())
+		}
+	}
+	if rtt.Count() > 0 {
+		v["tcp_rtt_any_avg_ms"] = rtt.Mean()
+	}
+	return v
+}

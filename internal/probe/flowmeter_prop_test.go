@@ -1,0 +1,126 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSeqTrackingInvariants drives the dirState sequence machinery with
+// arbitrary segment arrivals and checks structural invariants: holes
+// never overlap maxEnd boundaries, classifications are exhaustive, and
+// byte counters never go negative.
+func TestSeqTrackingInvariants(t *testing.T) {
+	f := func(segs []struct {
+		Seq uint16
+		Len uint8
+	}) bool {
+		d := &dirState{}
+		now := time.Duration(0)
+		for _, s := range segs {
+			n := int64(s.Len%64) + 1
+			seq := int64(s.Seq % 4096)
+			now += time.Millisecond
+			d.observeData(now, seq, n)
+
+			// Invariant: holes all lie strictly below maxEnd and are
+			// non-empty.
+			for _, h := range d.holes {
+				if h.start >= h.end || h.end > d.maxEnd {
+					return false
+				}
+			}
+			// Invariant: counters non-negative and consistent.
+			if d.dataPkts < d.retransPkts+d.oooPkts {
+				return false
+			}
+			if d.retransBytes < 0 || d.dataBytes <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequentialStreamNoRetransNoHoles: a perfectly sequential stream
+// must produce zero retransmissions, zero reordering and no lingering
+// holes.
+func TestSequentialStreamNoRetransNoHoles(t *testing.T) {
+	d := &dirState{}
+	var seq int64 = 1
+	for i := 0; i < 1000; i++ {
+		d.observeData(time.Duration(i)*time.Millisecond, seq, 1460)
+		seq += 1460
+	}
+	if d.retransPkts != 0 || d.oooPkts != 0 {
+		t.Errorf("sequential stream counted retx=%d ooo=%d", d.retransPkts, d.oooPkts)
+	}
+	// Only the initial [0,1) SYN gap may remain.
+	for _, h := range d.holes {
+		if h.end > 1 {
+			t.Errorf("unexpected hole %+v", h)
+		}
+	}
+}
+
+// TestDuplicateSegmentIsRetransmission: replaying the same segment must
+// count as a retransmission, not reordering.
+func TestDuplicateSegmentIsRetransmission(t *testing.T) {
+	d := &dirState{}
+	d.observeData(0, 1, 1000)
+	d.observeData(time.Millisecond, 1, 1000)
+	if d.retransPkts != 1 {
+		t.Errorf("retrans = %d, want 1", d.retransPkts)
+	}
+	if d.oooPkts != 0 {
+		t.Errorf("ooo = %d, want 0", d.oooPkts)
+	}
+}
+
+// TestHoleFillIsReordering: a segment that fills a never-seen gap counts
+// as reordering (the original was lost upstream of the tap).
+func TestHoleFillIsReordering(t *testing.T) {
+	d := &dirState{}
+	d.observeData(0, 1, 1000)                   // [1,1001)
+	d.observeData(time.Millisecond, 2001, 1000) // [2001,3001): hole [1001,2001)
+	d.observeData(2*time.Millisecond, 1001, 1000)
+	if d.oooPkts != 1 {
+		t.Errorf("ooo = %d, want 1", d.oooPkts)
+	}
+	if len(d.holes) != 1 || d.holes[0].end > 1 {
+		// only the SYN gap should remain
+		for _, h := range d.holes {
+			if h.end > 1 {
+				t.Errorf("hole not closed: %+v", d.holes)
+			}
+		}
+	}
+}
+
+// TestRTTMatchingOrder: cumulative ACKs release pending samples in
+// order and never double-count.
+func TestRTTMatchingOrder(t *testing.T) {
+	d := &dirState{}
+	d.observeData(0, 1, 1000)
+	d.observeData(10*time.Millisecond, 1001, 1000)
+	d.observeData(20*time.Millisecond, 2001, 1000)
+	d.matchAcks(50*time.Millisecond, 2001) // covers first two
+	if d.rttAgg.Count() != 2 {
+		t.Fatalf("rtt samples = %d, want 2", d.rttAgg.Count())
+	}
+	if got := d.rttAgg.Max(); got != 50 {
+		t.Errorf("first sample %vms, want 50", got)
+	}
+	d.matchAcks(60*time.Millisecond, 3001)
+	if d.rttAgg.Count() != 3 {
+		t.Errorf("rtt samples = %d after final ack", d.rttAgg.Count())
+	}
+	// Re-acking releases nothing further.
+	d.matchAcks(70*time.Millisecond, 3001)
+	if d.rttAgg.Count() != 3 {
+		t.Error("duplicate ack double-counted an RTT sample")
+	}
+}

@@ -1,0 +1,289 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// world is a client <-> router <-> server topology with flow meters on
+// all three nodes.
+type world struct {
+	sim                    *simnet.Sim
+	client, server         *tcpsim.Host
+	lanLink, wanLink       *simnet.Link
+	mMob, mRtr, mSrv       *FlowMeter
+	cliNode, rtrN, srvNode *simnet.Node
+}
+
+func newWorld(seed int64, lan, wan simnet.LinkConfig) *world {
+	s := simnet.New(seed)
+	cn := s.NewNode("phone", 1)
+	rn := s.NewNode("router", 100)
+	sn := s.NewNode("server", 2)
+	cnic := cn.AddNIC("wlan0")
+	rlan := rn.AddNIC("wlan0")
+	rwan := rn.AddNIC("eth0")
+	snic := sn.AddNIC("eth0")
+	lanL := simnet.ConnectSym(s, "lan", cnic, rlan, lan)
+	wanL := simnet.ConnectSym(s, "wan", rwan, snic, wan)
+	r := simnet.NewRouter(rn)
+	r.AddRoute(1, rlan)
+	r.AddRoute(2, rwan)
+	return &world{
+		sim:     s,
+		client:  tcpsim.NewHost(cn, cnic),
+		server:  tcpsim.NewHost(sn, snic),
+		lanLink: lanL,
+		wanLink: wanL,
+		mMob:    NewFlowMeter(cn),
+		mRtr:    NewFlowMeter(rn),
+		mSrv:    NewFlowMeter(sn),
+		cliNode: cn, rtrN: rn, srvNode: sn,
+	}
+}
+
+// download transfers n bytes server->client after a 300B request.
+func (w *world) download(t *testing.T, n int64, until time.Duration) simnet.FlowKey {
+	t.Helper()
+	w.server.Listen(80, func(c *tcpsim.Conn) {
+		c.OnData = func(int) {}
+		c.OnEstablished = func() { c.Write(n); c.Close() }
+	})
+	cc := w.client.Dial(2, 80)
+	cc.OnEstablished = func() { cc.Write(300) }
+	done := false
+	cc.OnPeerClose = func() { done = true; cc.Close() }
+	w.sim.Run(until)
+	if !done {
+		t.Fatal("download did not complete")
+	}
+	return cc.Flow()
+}
+
+func lanCfg() simnet.LinkConfig {
+	return simnet.LinkConfig{Rate: 30e6, Delay: 2 * time.Millisecond, QueueBytes: 256 * 1024}
+}
+
+func wanCfg() simnet.LinkConfig {
+	return simnet.LinkConfig{Rate: 8e6, Delay: 40 * time.Millisecond, QueueBytes: 256 * 1024}
+}
+
+func TestMetersSeeTheFlow(t *testing.T) {
+	w := newWorld(1, lanCfg(), wanCfg())
+	flow := w.download(t, 400_000, time.Minute)
+	for _, m := range []*FlowMeter{w.mMob, w.mRtr, w.mSrv} {
+		fr := m.Flow(flow)
+		if fr == nil {
+			t.Fatal("meter missed the flow")
+		}
+		v := fr.Vector()
+		if v["tcp_s2c_data_bytes"] < 400_000 {
+			t.Errorf("s2c data bytes %v < 400000", v["tcp_s2c_data_bytes"])
+		}
+		if v["tcp_c2s_data_bytes"] < 300 {
+			t.Errorf("c2s data bytes %v < 300", v["tcp_c2s_data_bytes"])
+		}
+		if v["tcp_s2c_mss"] != 1460 {
+			t.Errorf("mss %v, want 1460", v["tcp_s2c_mss"])
+		}
+		if v["tcp_duration_s"] <= 0 {
+			t.Error("non-positive duration")
+		}
+	}
+}
+
+func TestLookupWorksInBothOrientations(t *testing.T) {
+	w := newWorld(2, lanCfg(), wanCfg())
+	flow := w.download(t, 50_000, time.Minute)
+	a := w.mRtr.Flow(flow)
+	b := w.mRtr.Flow(flow.Reverse())
+	if a == nil || b == nil {
+		t.Fatal("lookup failed in one orientation")
+	}
+	va, vb := a.Vector(), b.Vector()
+	if va["tcp_s2c_data_bytes"] != vb["tcp_s2c_data_bytes"] {
+		t.Error("orientation changes the record")
+	}
+}
+
+func TestRouterCountsPacketsOnce(t *testing.T) {
+	w := newWorld(3, lanCfg(), wanCfg())
+	flow := w.download(t, 200_000, time.Minute)
+	vr := w.mRtr.Flow(flow).Vector()
+	vm := w.mMob.Flow(flow).Vector()
+	// The router forwards every packet across two NICs; if the tap
+	// double-counted, the router totals would be ~2x the endpoint's.
+	ratio := vr["tcp_s2c_data_pkts"] / vm["tcp_s2c_data_pkts"]
+	if ratio > 1.3 {
+		t.Errorf("router saw %.0fx the packets the mobile saw; double counting",
+			ratio)
+	}
+}
+
+func TestRTTViewsDifferByVantagePoint(t *testing.T) {
+	// Server-side s2c RTT covers the whole path (~84ms+); the mobile's
+	// own s2c view is near zero (data arrives and is ACKed locally).
+	w := newWorld(4, lanCfg(), wanCfg())
+	flow := w.download(t, 400_000, time.Minute)
+	srv := w.mSrv.Flow(flow).Vector()
+	mob := w.mMob.Flow(flow).Vector()
+	rtr := w.mRtr.Flow(flow).Vector()
+	if srv["tcp_s2c_rtt_ms_avg"] < 50 {
+		t.Errorf("server s2c RTT %.1fms, want full-path scale", srv["tcp_s2c_rtt_ms_avg"])
+	}
+	if mob["tcp_s2c_rtt_ms_avg"] > srv["tcp_s2c_rtt_ms_avg"]/2 {
+		t.Errorf("mobile s2c RTT %.1fms not far below server view %.1fms",
+			mob["tcp_s2c_rtt_ms_avg"], srv["tcp_s2c_rtt_ms_avg"])
+	}
+	// Router's s2c RTT covers router<->client only (LAN): small here.
+	if rtr["tcp_s2c_rtt_ms_avg"] > srv["tcp_s2c_rtt_ms_avg"] {
+		t.Errorf("router s2c RTT %.1f above server view %.1f",
+			rtr["tcp_s2c_rtt_ms_avg"], srv["tcp_s2c_rtt_ms_avg"])
+	}
+}
+
+func TestRetransmissionsVisibleAtSenderSideTap(t *testing.T) {
+	// Loss on the LAN: the server (and router) transmit each lost
+	// packet twice, so their taps see retransmissions; the mobile tap
+	// sees hole-filling arrivals (counted as reordering) instead.
+	lan := lanCfg()
+	lan.Loss = 0.05
+	w := newWorld(5, lan, wanCfg())
+	flow := w.download(t, 400_000, 5*time.Minute)
+	srv := w.mSrv.Flow(flow).Vector()
+	mob := w.mMob.Flow(flow).Vector()
+	if srv["tcp_s2c_retrans_pkts"] == 0 {
+		t.Error("server tap saw no retransmissions despite 5% LAN loss")
+	}
+	if mob["tcp_s2c_ooo_pkts"] == 0 {
+		t.Error("mobile tap saw no out-of-order arrivals despite upstream loss")
+	}
+	if mob["tcp_s2c_retrans_pkts"] > srv["tcp_s2c_retrans_pkts"] {
+		t.Error("mobile should see fewer duplicate bytes than the sender side")
+	}
+}
+
+func TestWANLossRaisesRetransAtAllUpstreamTaps(t *testing.T) {
+	wan := wanCfg()
+	wan.Loss = 0.05
+	w := newWorld(6, lanCfg(), wan)
+	flow := w.download(t, 400_000, 5*time.Minute)
+	srv := w.mSrv.Flow(flow).Vector()
+	rtr := w.mRtr.Flow(flow).Vector()
+	if srv["tcp_s2c_retrans_pkts"] == 0 {
+		t.Error("server saw no retransmissions with WAN loss")
+	}
+	// The router is downstream of the WAN loss: it sees the gap-filling
+	// retransmissions as reordering plus the duplicates that survive.
+	if rtr["tcp_s2c_ooo_pkts"]+rtr["tcp_s2c_retrans_pkts"] == 0 {
+		t.Error("router saw neither reordering nor retransmissions with WAN loss")
+	}
+}
+
+func TestFirstDataDelayGrowsWithSlowServer(t *testing.T) {
+	fast := newWorld(7, lanCfg(), wanCfg())
+	fFlow := fast.download(t, 100_000, time.Minute)
+	slowWan := wanCfg()
+	slowWan.Delay = 300 * time.Millisecond
+	slow := newWorld(7, lanCfg(), slowWan)
+	sFlow := slow.download(t, 100_000, time.Minute)
+	fd := fast.mMob.Flow(fFlow).Vector()["tcp_first_data_delay_s"]
+	sd := slow.mMob.Flow(sFlow).Vector()["tcp_first_data_delay_s"]
+	if sd <= fd {
+		t.Errorf("first data delay on slow path %.3fs not above fast %.3fs", sd, fd)
+	}
+}
+
+func TestHWProbeAggregates(t *testing.T) {
+	s := simnet.New(8)
+	dev := hardware.NewDevice(s, hardware.ProfileGalaxyS2)
+	p := NewHWProbe(dev)
+	dev.Stress(50, 100, 5, 0, time.Minute)
+	s.Run(30 * time.Second)
+	v := p.Vector()
+	if v["hw_cpu_pct_cnt"] != 30 {
+		t.Errorf("cpu samples %v, want 30", v["hw_cpu_pct_cnt"])
+	}
+	if v["hw_cpu_pct_avg"] < 40 {
+		t.Errorf("cpu avg %v under 50%% stress", v["hw_cpu_pct_avg"])
+	}
+	if v["hw_mem_free_mb_avg"] <= 0 {
+		t.Error("mem avg missing")
+	}
+	p.Reset()
+	if p.Vector()["hw_cpu_pct_cnt"] != 0 {
+		t.Error("reset did not clear aggregates")
+	}
+}
+
+func TestLinkProbeUtilization(t *testing.T) {
+	s := simnet.New(9)
+	a := s.NewNode("a", 1)
+	b := s.NewNode("b", 2)
+	an, bn := a.AddNIC("0"), b.AddNIC("0")
+	simnet.ConnectSym(s, "l", an, bn, simnet.LinkConfig{Rate: 8e6, QueueBytes: 1 << 20})
+	p := NewLinkProbe(s, bn, nil)
+	// Saturate for 10 seconds: ~50% duty cycle over a 20s window.
+	simnet.NewTicker(s, 10*time.Millisecond, func(now time.Duration) {
+		if now < 10*time.Second {
+			a.Send(an, s.NewPacket(simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 1, Dst: 2}, 9960, nil))
+		}
+	})
+	s.Run(20 * time.Second)
+	v := p.Vector()
+	if v["nic_rx_util_max"] < 0.5 {
+		t.Errorf("rx util max %.2f during saturation, want high", v["nic_rx_util_max"])
+	}
+	if v["nic_rx_util_avg"] >= v["nic_rx_util_max"] {
+		t.Error("util avg not below max for a bursty source")
+	}
+}
+
+func TestVantagePointRecordMergesLayers(t *testing.T) {
+	w := newWorld(10, lanCfg(), wanCfg())
+	dev := hardware.NewDevice(w.sim, hardware.ProfileGalaxyS2)
+	vp := NewVantagePoint("mobile", w.cliNode, dev)
+	vp.AddLink(w.sim, "wlan0", w.cliNode.NICs()[0], nil)
+	flow := w.download(t, 100_000, time.Minute)
+	rec := vp.Record(flow)
+	for _, want := range []string{"tcp_s2c_data_bytes", "hw_cpu_pct_avg", "wlan0_nic_rx_util_avg"} {
+		if _, ok := rec[want]; !ok {
+			t.Errorf("record missing %s", want)
+		}
+	}
+	if len(rec) < 80 {
+		t.Errorf("record has only %d features; expected a tstat-scale set", len(rec))
+	}
+}
+
+func TestVectorMergePrefixes(t *testing.T) {
+	a := metrics.Vector{"x": 1}
+	combined := metrics.Vector{}
+	combined.Merge("mobile", a)
+	if combined["mobile.x"] != 1 {
+		t.Error("merge did not prefix")
+	}
+}
+
+func TestZeroWindowObserved(t *testing.T) {
+	w := newWorld(11, lanCfg(), wanCfg())
+	w.server.Listen(80, func(c *tcpsim.Conn) {
+		c.OnEstablished = func() { c.Write(500_000) }
+	})
+	cc := w.client.Dial(2, 80)
+	cc.SetRcvBuf(16 * 1024)
+	cc.SetAutoRead(false) // never consume: window slams shut
+	w.sim.Run(10 * time.Second)
+	v := w.mSrv.Flow(cc.Flow()).Vector()
+	if v["tcp_c2s_zero_wnd_pkts"] == 0 {
+		t.Error("server tap never saw a zero-window advertisement")
+	}
+	if v["tcp_c2s_win_min"] != 0 {
+		t.Errorf("c2s min window %v, want 0", v["tcp_c2s_win_min"])
+	}
+}

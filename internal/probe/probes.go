@@ -1,0 +1,189 @@
+package probe
+
+import (
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/wireless"
+)
+
+// HWProbe samples the OS/hardware layer of a device once per second via
+// the device model's sampling hook.
+type HWProbe struct {
+	cpu, mem, io metrics.Agg
+}
+
+// NewHWProbe registers on the device's sampler. Only one probe may own a
+// device's OnSample hook; the testbed creates exactly one per VP.
+func NewHWProbe(dev *hardware.Device) *HWProbe {
+	p := &HWProbe{}
+	dev.OnSample = func(_ time.Duration, cpu, mem, io float64) {
+		p.cpu.Add(cpu)
+		p.mem.Add(mem)
+		p.io.Add(io)
+	}
+	return p
+}
+
+// Vector exports the aggregated OS/hardware metrics.
+func (p *HWProbe) Vector() metrics.Vector {
+	v := metrics.Vector{}
+	p.cpu.Fill(v, "hw_cpu_pct")
+	p.mem.Fill(v, "hw_mem_free_mb")
+	p.io.Fill(v, "hw_io_wait_pct")
+	return v
+}
+
+// Reset clears the aggregates; called between sessions.
+func (p *HWProbe) Reset() { *p = HWProbe{} }
+
+// LinkProbe samples one NIC once per second: utilization from byte
+// counter deltas, drops/losses/retries from its link, and — when a
+// wireless channel is attached and the probe is allowed to see it — the
+// RSSI time series. Per the paper, only the mobile device exports RSSI;
+// router and server probes are created without a channel.
+type LinkProbe struct {
+	nic  *simnet.NIC
+	chn  *wireless.Channel
+	tick *simnet.Ticker
+
+	lastRx, lastTx int64
+	baseDisc       int64
+
+	rxUtil, txUtil metrics.Agg // fraction of nominal link rate
+	rssi           metrics.Agg
+	retries        int64
+	lastRetries    [2]int64
+	queueDrops     int64
+	channelLoss    int64
+	lastDrops      [2]int64
+	lastLoss       [2]int64
+}
+
+// NewLinkProbe starts sampling nic every second. chn may be nil (wired
+// NIC or a VP without radio visibility).
+func NewLinkProbe(sim *simnet.Sim, nic *simnet.NIC, chn *wireless.Channel) *LinkProbe {
+	p := &LinkProbe{nic: nic, chn: chn}
+	p.baseline()
+	if chn != nil {
+		chn.OnSample = func(_ time.Duration, rssi float64) { p.rssi.Add(rssi) }
+	}
+	p.tick = simnet.NewTicker(sim, time.Second, p.sample)
+	return p
+}
+
+func (p *LinkProbe) baseline() {
+	p.lastRx, p.lastTx = p.nic.RxBytes, p.nic.TxBytes
+	p.baseDisc = p.nic.Disconnects
+	if l := p.nic.Link(); l != nil {
+		for i, d := range []simnet.Direction{simnet.AtoB, simnet.BtoA} {
+			st := l.Stats(d)
+			p.lastRetries[i] = st.Retries
+			p.lastDrops[i] = st.QueueDrops
+			p.lastLoss[i] = st.ChannelLoss
+		}
+	}
+}
+
+func (p *LinkProbe) sample(time.Duration) {
+	l := p.nic.Link()
+	if l == nil {
+		return
+	}
+	rate := l.Config(simnet.AtoB).Rate
+	rx, tx := p.nic.RxBytes, p.nic.TxBytes
+	p.rxUtil.Add(float64(rx-p.lastRx) * 8 / rate)
+	p.txUtil.Add(float64(tx-p.lastTx) * 8 / rate)
+	p.lastRx, p.lastTx = rx, tx
+	for i, d := range []simnet.Direction{simnet.AtoB, simnet.BtoA} {
+		st := l.Stats(d)
+		p.retries += st.Retries - p.lastRetries[i]
+		p.queueDrops += st.QueueDrops - p.lastDrops[i]
+		p.channelLoss += st.ChannelLoss - p.lastLoss[i]
+		p.lastRetries[i] = st.Retries
+		p.lastDrops[i] = st.QueueDrops
+		p.lastLoss[i] = st.ChannelLoss
+	}
+}
+
+// Vector exports the aggregated link/physical metrics for the NIC.
+func (p *LinkProbe) Vector() metrics.Vector {
+	v := metrics.Vector{}
+	v["nic_rx_util_avg"] = p.rxUtil.Mean()
+	v["nic_rx_util_max"] = p.rxUtil.Max()
+	v["nic_tx_util_avg"] = p.txUtil.Mean()
+	v["nic_tx_util_max"] = p.txUtil.Max()
+	v["nic_retries"] = float64(p.retries)
+	v["nic_queue_drops"] = float64(p.queueDrops)
+	v["nic_channel_loss"] = float64(p.channelLoss)
+	v["nic_disconnects"] = float64(p.nic.Disconnects - p.baseDisc)
+	if p.rssi.Count() > 0 {
+		p.rssi.Fill(v, "nic_rssi_dbm")
+	}
+	return v
+}
+
+// Reset re-baselines the counters and clears aggregates for a new
+// session.
+func (p *LinkProbe) Reset() {
+	rssiHook := p.chn
+	*p = LinkProbe{nic: p.nic, chn: rssiHook, tick: p.tick}
+	p.baseline()
+}
+
+// Stop halts the sampler.
+func (p *LinkProbe) Stop() { p.tick.Stop() }
+
+// VantagePoint bundles the probes deployed on one entity (mobile device,
+// router/AP, or content server) and assembles the per-session record.
+type VantagePoint struct {
+	Name  string
+	meter *FlowMeter
+	hw    *HWProbe
+	links map[string]*LinkProbe
+}
+
+// NewVantagePoint instruments a node with a flow meter and a hardware
+// probe.
+func NewVantagePoint(name string, node *simnet.Node, dev *hardware.Device) *VantagePoint {
+	return &VantagePoint{
+		Name:  name,
+		meter: NewFlowMeter(node),
+		hw:    NewHWProbe(dev),
+		links: make(map[string]*LinkProbe),
+	}
+}
+
+// AddLink attaches a NIC sampler under the given label ("wlan0",
+// "eth0"). Pass chn only for the mobile device's radio.
+func (vp *VantagePoint) AddLink(sim *simnet.Sim, label string, nic *simnet.NIC, chn *wireless.Channel) *LinkProbe {
+	p := NewLinkProbe(sim, nic, chn)
+	vp.links[label] = p
+	return p
+}
+
+// Meter exposes the transport-layer flow meter.
+func (vp *VantagePoint) Meter() *FlowMeter { return vp.meter }
+
+// Record assembles the vantage point's feature vector for one video
+// flow. Feature names are flat (tcp_*, hw_*, <label>_nic_*); the caller
+// prefixes them with the VP name when combining vantage points.
+func (vp *VantagePoint) Record(flow simnet.FlowKey) metrics.Vector {
+	v := metrics.Vector{}
+	if fr := vp.meter.Flow(flow); fr != nil {
+		for k, val := range fr.Vector() {
+			v[k] = val
+		}
+	}
+	for k, val := range vp.hw.Vector() {
+		v[k] = val
+	}
+	for label, lp := range vp.links {
+		for k, val := range lp.Vector() {
+			v[label+"_"+k] = val
+		}
+	}
+	return v
+}

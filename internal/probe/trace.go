@@ -1,0 +1,138 @@
+package probe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// Trace recording and replay: a TraceRecorder taps a node and writes a
+// pcap-like CSV of every TCP header it sees; ReplayTrace feeds such a
+// file back through a FlowMeter. This decouples the analysis pipeline
+// from the live simulator — the same flow metrics can be computed from
+// recorded captures, which is how the paper's probes would consume
+// real tstat logs or packet traces.
+
+// TraceRecorder writes one CSV row per observed TCP packet.
+type TraceRecorder struct {
+	w   *csv.Writer
+	err error
+}
+
+// traceHeader is the column layout of a trace file.
+var traceHeader = []string{
+	"t_ns", "dir", "proto", "src", "sport", "dst", "dport",
+	"payload", "seq", "ack", "flags", "window", "mss",
+}
+
+// NewTraceRecorder attaches a recorder to node, streaming rows to w.
+func NewTraceRecorder(node *simnet.Node, w io.Writer) (*TraceRecorder, error) {
+	r := &TraceRecorder{w: csv.NewWriter(w)}
+	if err := r.w.Write(traceHeader); err != nil {
+		return nil, fmt.Errorf("probe: writing trace header: %w", err)
+	}
+	addr := node.Addr
+	node.AddTap(func(now time.Duration, _ *simnet.NIC, pkt *simnet.Packet, dir simnet.PacketDir) {
+		if r.err != nil || !pkt.IsTCP() {
+			return
+		}
+		if dir == simnet.DirOut && pkt.Flow.Src != addr {
+			return // forwarding duplicates, as the meter filters them
+		}
+		h := pkt.TCP
+		row := []string{
+			strconv.FormatInt(int64(now), 10),
+			dir.String(),
+			pkt.Flow.Proto.String(),
+			strconv.Itoa(int(pkt.Flow.Src)), strconv.Itoa(pkt.Flow.SrcPort),
+			strconv.Itoa(int(pkt.Flow.Dst)), strconv.Itoa(pkt.Flow.DstPort),
+			strconv.Itoa(pkt.Payload),
+			strconv.FormatInt(h.Seq, 10), strconv.FormatInt(h.Ack, 10),
+			strconv.Itoa(int(h.Flags)), strconv.Itoa(h.Window), strconv.Itoa(h.MSS),
+		}
+		if err := r.w.Write(row); err != nil {
+			r.err = err
+		}
+	})
+	return r, nil
+}
+
+// Flush finalizes the trace and reports any write error.
+func (r *TraceRecorder) Flush() error {
+	r.w.Flush()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Error()
+}
+
+// ReplayTrace parses a recorded trace and feeds every packet through a
+// fresh flow-metering state, returning a meter holding the same per-flow
+// records a live tap would have produced.
+func ReplayTrace(rd io.Reader) (*FlowMeter, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("probe: reading trace header: %w", err)
+	}
+	if len(header) != len(traceHeader) || header[0] != "t_ns" {
+		return nil, fmt.Errorf("probe: not a trace file (header %v)", header)
+	}
+	m := &FlowMeter{flows: make(map[simnet.FlowKey]*flowState)}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("probe: trace line %d: %w", line, err)
+		}
+		pkt, now, perr := parseTraceRow(rec)
+		if perr != nil {
+			return nil, fmt.Errorf("probe: trace line %d: %w", line, perr)
+		}
+		fs, di := m.lookup(pkt, now)
+		fs.observe(now, pkt, di)
+	}
+	return m, nil
+}
+
+func parseTraceRow(rec []string) (*simnet.Packet, time.Duration, error) {
+	geti := func(i int) (int, error) { return strconv.Atoi(rec[i]) }
+	tNS, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad timestamp %q", rec[0])
+	}
+	src, err1 := geti(3)
+	sport, err2 := geti(4)
+	dst, err3 := geti(5)
+	dport, err4 := geti(6)
+	payload, err5 := geti(7)
+	seq, err6 := strconv.ParseInt(rec[8], 10, 64)
+	ack, err7 := strconv.ParseInt(rec[9], 10, 64)
+	flags, err8 := geti(10)
+	window, err9 := geti(11)
+	mss, err10 := geti(12)
+	for _, e := range []error{err1, err2, err3, err4, err5, err6, err7, err8, err9, err10} {
+		if e != nil {
+			return nil, 0, e
+		}
+	}
+	pkt := &simnet.Packet{
+		Flow: simnet.FlowKey{
+			Proto: simnet.ProtoTCP,
+			Src:   simnet.Addr(src), Dst: simnet.Addr(dst),
+			SrcPort: sport, DstPort: dport,
+		},
+		Payload: payload,
+		TCP: &simnet.TCPHeader{
+			Seq: seq, Ack: ack, Flags: simnet.TCPFlags(flags),
+			Window: window, MSS: mss,
+		},
+	}
+	return pkt, time.Duration(tNS), nil
+}

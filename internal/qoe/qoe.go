@@ -1,0 +1,323 @@
+// Package qoe converts application-layer playback statistics into Mean
+// Opinion Scores and the class labels the paper trains on.
+//
+// The MOS model follows Mok et al., "Measuring the Quality of Experience
+// of HTTP Video Streaming" (IM 2011), the same regression the paper
+// cites: MOS = 4.23 - 0.0672*Lti - 0.742*Lfr - 0.106*Ltr, where the L
+// terms are the levels of initial buffering time, rebuffering frequency
+// and mean rebuffering duration. Mok et al. quantize levels to {0,1,2};
+// with that quantization the minimum score is 2.32 and the paper's
+// "severe" band (MOS < 2) is unreachable, so — as documented in
+// DESIGN.md — we use the continuous monotone extension of the same level
+// functions, which spans [1.1, 4.23] and makes all three paper bands
+// (good > 3, mild 2-3, severe < 2) attainable.
+package qoe
+
+import (
+	"fmt"
+	"time"
+
+	"vqprobe/internal/video"
+)
+
+// Severity is the QoE band of a session, derived from its MOS.
+type Severity int
+
+// Severity bands, using the paper's thresholds.
+const (
+	Good   Severity = iota // MOS > 3
+	Mild                   // 2 <= MOS <= 3
+	Severe                 // MOS < 2
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Good:
+		return "good"
+	case Mild:
+		return "mild"
+	case Severe:
+		return "severe"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Fault identifies the induced problem of a scenario (Table 2).
+type Fault int
+
+// The simulated problem catalogue.
+const (
+	FaultNone Fault = iota
+	WANCongestion
+	WANShaping
+	LANCongestion
+	LANShaping
+	MobileLoad
+	LowRSSI
+	WiFiInterference
+)
+
+// Faults lists every induced fault (excluding FaultNone), in a stable
+// order used by experiment sweeps.
+var Faults = []Fault{WANCongestion, WANShaping, LANCongestion, LANShaping, MobileLoad, LowRSSI, WiFiInterference}
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case WANCongestion:
+		return "wan_cong"
+	case WANShaping:
+		return "wan_shaped"
+	case LANCongestion:
+		return "lan_cong"
+	case LANShaping:
+		return "lan_shaped"
+	case MobileLoad:
+		return "mobile_load"
+	case LowRSSI:
+		return "low_rssi"
+	case WiFiInterference:
+		return "wifi_interf"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Location is the path segment a fault lives in.
+type Location int
+
+// Path segments, matching Section 5.2 of the paper. Wireless-medium
+// faults belong to the LAN segment (the wireless link is the user's
+// local network).
+const (
+	LocNone Location = iota
+	LocMobile
+	LocLAN
+	LocWAN
+)
+
+func (l Location) String() string {
+	switch l {
+	case LocNone:
+		return "none"
+	case LocMobile:
+		return "mobile"
+	case LocLAN:
+		return "lan"
+	case LocWAN:
+		return "wan"
+	default:
+		return fmt.Sprintf("loc(%d)", int(l))
+	}
+}
+
+// Location maps a fault to its path segment.
+func (f Fault) Location() Location {
+	switch f {
+	case WANCongestion, WANShaping:
+		return LocWAN
+	case LANCongestion, LANShaping, LowRSSI, WiFiInterference:
+		return LocLAN
+	case MobileLoad:
+		return LocMobile
+	default:
+		return LocNone
+	}
+}
+
+// MOSMax is the best attainable score in Mok et al.'s regression.
+const MOSMax = 4.23
+
+// levelTI maps startup delay to the continuous initial-buffering level.
+// Anchors: 1s -> 0, 5s -> 1, 15s -> 2, then slow growth capped at 3.
+func levelTI(startup time.Duration) float64 {
+	t := startup.Seconds()
+	switch {
+	case t <= 1:
+		return 0
+	case t <= 5:
+		return (t - 1) / 4
+	case t <= 15:
+		return 1 + (t-5)/10
+	default:
+		return capf(2+(t-15)/100, 3)
+	}
+}
+
+// levelFR maps rebuffering frequency (events/s) to its level.
+// Anchors: 0 -> 0, 0.02 -> 1, 0.15 -> 2 (Mok et al.'s quantization
+// boundaries), then a steep tail — constant rebuffering several times a
+// minute is the dominant annoyance — capped at 3.6.
+func levelFR(freq float64) float64 {
+	switch {
+	case freq <= 0:
+		return 0
+	case freq <= 0.02:
+		return freq / 0.02
+	case freq <= 0.15:
+		return 1 + (freq-0.02)/0.13
+	default:
+		return capf(2+(freq-0.15)*6, 3.6)
+	}
+}
+
+// levelTR maps mean rebuffering duration to its level.
+// Anchors: 1s -> 0, 5s -> 1, 10s -> 2, then growth capped at 3.
+func levelTR(mean time.Duration) float64 {
+	t := mean.Seconds()
+	switch {
+	case t <= 1:
+		return 0
+	case t <= 5:
+		return (t - 1) / 4
+	case t <= 10:
+		return 1 + (t-5)/5
+	default:
+		return capf(2+(t-10)/20, 3)
+	}
+}
+
+// MOS scores one playback session. Failed sessions (never started, or
+// died mid-stream) receive the floor score of 1.
+func MOS(r video.Report) float64 {
+	if r.Failed {
+		return 1
+	}
+	m := MOSMax -
+		0.0672*levelTI(r.StartupDelay) -
+		0.742*levelFR(r.RebufferFrequency()) -
+		0.106*levelTR(r.MeanStallDuration())
+	// Extension to Mok et al. (documented in DESIGN.md): the regression
+	// underweights the total stalled share of the session; spending more
+	// than 10% of wall time rebuffering is penalized directly.
+	if s := r.SessionTime.Seconds(); s > 0 {
+		if ratio := r.StallTime.Seconds() / s; ratio > 0.1 {
+			m -= 2.5 * (ratio - 0.1)
+		}
+	}
+	// Sustained frame skipping degrades perceived quality even without
+	// buffer stalls; treat heavy skipping as at most "mild".
+	if r.PlayedSec > 0 {
+		skipRate := float64(r.SkippedFrames) / (r.PlayedSec * float64(max(1, r.Clip.FPS)))
+		if skipRate > 0.15 && m > 3.0 {
+			m = 3.0
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// SeverityOf bands a MOS using the paper's thresholds.
+func SeverityOf(mos float64) Severity {
+	switch {
+	case mos > 3:
+		return Good
+	case mos >= 2:
+		return Mild
+	default:
+		return Severe
+	}
+}
+
+// Label is a fully qualified session label: the induced fault plus the
+// severity the MOS model assigned.
+type Label struct {
+	Fault    Fault
+	Severity Severity
+}
+
+// SeverityClass is the 3-way class of Section 5.1 ("good", "mild",
+// "severe").
+func (l Label) SeverityClass() string { return l.Severity.String() }
+
+// LocationClass is the 7-way class of Section 5.2: "good" or
+// "<segment>_<severity>".
+func (l Label) LocationClass() string {
+	if l.Severity == Good || l.Fault == FaultNone {
+		return "good"
+	}
+	return l.Fault.Location().String() + "_" + l.Severity.String()
+}
+
+// ExactClass is the 15-way class of Section 5.3: "good" or
+// "<fault>_<severity>".
+func (l Label) ExactClass() string {
+	if l.Severity == Good || l.Fault == FaultNone {
+		return "good"
+	}
+	return l.Fault.String() + "_" + l.Severity.String()
+}
+
+// ExactClasses enumerates all 15 exact classes in stable order.
+func ExactClasses() []string {
+	out := []string{"good"}
+	for _, f := range Faults {
+		out = append(out, f.String()+"_mild", f.String()+"_severe")
+	}
+	return out
+}
+
+func capf(v, hi float64) float64 {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FineSeverity is the five-band refinement the paper proposes as future
+// work ("dividing problematic sessions into more labels in order to
+// obtain a more fine grain classification of the severity").
+type FineSeverity int
+
+// Fine severity bands over the MOS scale.
+const (
+	FineExcellent FineSeverity = iota // MOS > 3.8
+	FineGood                          // 3.0 < MOS <= 3.8
+	FineFair                          // 2.5 < MOS <= 3.0
+	FinePoor                          // 2.0 < MOS <= 2.5
+	FineBad                           // MOS <= 2.0
+)
+
+func (s FineSeverity) String() string {
+	switch s {
+	case FineExcellent:
+		return "excellent"
+	case FineGood:
+		return "good"
+	case FineFair:
+		return "fair"
+	case FinePoor:
+		return "poor"
+	case FineBad:
+		return "bad"
+	default:
+		return fmt.Sprintf("fine(%d)", int(s))
+	}
+}
+
+// FineSeverityOf bands a MOS into the five-level scale.
+func FineSeverityOf(mos float64) FineSeverity {
+	switch {
+	case mos > 3.8:
+		return FineExcellent
+	case mos > 3.0:
+		return FineGood
+	case mos > 2.5:
+		return FineFair
+	case mos > 2.0:
+		return FinePoor
+	default:
+		return FineBad
+	}
+}

@@ -1,0 +1,191 @@
+package qoe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vqprobe/internal/video"
+)
+
+func clip() video.Clip {
+	return video.Clip{Bitrate: 1.5e6, Duration: 60 * time.Second, FPS: 30}
+}
+
+func TestPerfectSessionScoresMax(t *testing.T) {
+	r := video.Report{Clip: clip(), StartupDelay: 500 * time.Millisecond, SessionTime: time.Minute, PlayedSec: 60, Completed: true}
+	if m := MOS(r); m != MOSMax {
+		t.Errorf("perfect session MOS = %.3f, want %.2f", m, MOSMax)
+	}
+}
+
+func TestFailedSessionScoresFloor(t *testing.T) {
+	r := video.Report{Clip: clip(), Failed: true}
+	if m := MOS(r); m != 1 {
+		t.Errorf("failed session MOS = %.3f, want 1", m)
+	}
+}
+
+func TestStallsDegradeMOS(t *testing.T) {
+	base := video.Report{Clip: clip(), StartupDelay: time.Second, SessionTime: time.Minute, PlayedSec: 60}
+	stalled := base
+	stalled.Stalls = 5
+	stalled.StallTime = 25 * time.Second
+	if MOS(stalled) >= MOS(base) {
+		t.Error("stalls did not reduce MOS")
+	}
+	if SeverityOf(MOS(stalled)) == Good {
+		t.Errorf("5 stalls/25s in a minute scored %v; should not be good", MOS(stalled))
+	}
+}
+
+func TestAllThreeBandsReachable(t *testing.T) {
+	good := video.Report{Clip: clip(), StartupDelay: 800 * time.Millisecond, SessionTime: time.Minute, PlayedSec: 60}
+	mild := video.Report{Clip: clip(), StartupDelay: 4 * time.Second, SessionTime: time.Minute, PlayedSec: 55,
+		Stalls: 4, StallTime: 10 * time.Second}
+	severe := video.Report{Clip: clip(), StartupDelay: 20 * time.Second, SessionTime: 2 * time.Minute, PlayedSec: 30,
+		Stalls: 40, StallTime: 80 * time.Second}
+	if got := SeverityOf(MOS(good)); got != Good {
+		t.Errorf("clean session banded %v (MOS %.2f)", got, MOS(good))
+	}
+	if got := SeverityOf(MOS(mild)); got != Mild {
+		t.Errorf("mildly stalled session banded %v (MOS %.2f)", got, MOS(mild))
+	}
+	if got := SeverityOf(MOS(severe)); got != Severe {
+		t.Errorf("heavily stalled session banded %v (MOS %.2f)", got, MOS(severe))
+	}
+}
+
+func TestMOSMonotoneInStalls(t *testing.T) {
+	prev := MOSMax + 1
+	for stalls := 0; stalls <= 30; stalls += 3 {
+		r := video.Report{Clip: clip(), StartupDelay: time.Second, SessionTime: time.Minute, PlayedSec: 60,
+			Stalls: stalls, StallTime: time.Duration(stalls) * 2 * time.Second}
+		m := MOS(r)
+		if m > prev {
+			t.Fatalf("MOS not monotone: %d stalls -> %.3f > %.3f", stalls, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMOSBounded(t *testing.T) {
+	f := func(startupMs uint16, stalls uint8, stallSec uint8, sessionSec uint8) bool {
+		r := video.Report{
+			Clip:         clip(),
+			StartupDelay: time.Duration(startupMs) * time.Millisecond,
+			Stalls:       int(stalls),
+			StallTime:    time.Duration(stallSec) * time.Second,
+			SessionTime:  time.Duration(sessionSec) * time.Second,
+			PlayedSec:    float64(sessionSec),
+		}
+		m := MOS(r)
+		return m >= 1 && m <= MOSMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeavySkippingCapsAtMild(t *testing.T) {
+	r := video.Report{Clip: clip(), StartupDelay: 500 * time.Millisecond, SessionTime: time.Minute,
+		PlayedSec: 60, SkippedFrames: 600} // a third of all frames
+	if m := MOS(r); m > 3.0 {
+		t.Errorf("heavy frame skipping scored %.2f, want <= 3", m)
+	}
+}
+
+func TestSeverityThresholds(t *testing.T) {
+	cases := []struct {
+		mos  float64
+		want Severity
+	}{{3.5, Good}, {3.01, Good}, {3.0, Mild}, {2.0, Mild}, {1.99, Severe}, {1.0, Severe}}
+	for _, c := range cases {
+		if got := SeverityOf(c.mos); got != c.want {
+			t.Errorf("SeverityOf(%.2f) = %v, want %v", c.mos, got, c.want)
+		}
+	}
+}
+
+func TestFaultLocations(t *testing.T) {
+	cases := map[Fault]Location{
+		WANCongestion: LocWAN, WANShaping: LocWAN,
+		LANCongestion: LocLAN, LANShaping: LocLAN,
+		LowRSSI: LocLAN, WiFiInterference: LocLAN,
+		MobileLoad: LocMobile, FaultNone: LocNone,
+	}
+	for f, want := range cases {
+		if got := f.Location(); got != want {
+			t.Errorf("%v.Location() = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestLabelClasses(t *testing.T) {
+	l := Label{Fault: LANCongestion, Severity: Severe}
+	if l.SeverityClass() != "severe" {
+		t.Error("severity class")
+	}
+	if l.LocationClass() != "lan_severe" {
+		t.Errorf("location class = %s", l.LocationClass())
+	}
+	if l.ExactClass() != "lan_cong_severe" {
+		t.Errorf("exact class = %s", l.ExactClass())
+	}
+	goodL := Label{Fault: LANCongestion, Severity: Good}
+	if goodL.ExactClass() != "good" || goodL.LocationClass() != "good" {
+		t.Error("good severity must map to the good class regardless of fault")
+	}
+}
+
+func TestExactClassesComplete(t *testing.T) {
+	cs := ExactClasses()
+	if len(cs) != 15 {
+		t.Fatalf("got %d exact classes, want 15", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c] {
+			t.Errorf("duplicate class %s", c)
+		}
+		seen[c] = true
+	}
+	if !seen["good"] || !seen["wifi_interf_severe"] || !seen["wan_cong_mild"] {
+		t.Error("expected classes missing")
+	}
+}
+
+func TestFineSeverityBands(t *testing.T) {
+	cases := []struct {
+		mos  float64
+		want FineSeverity
+	}{{4.2, FineExcellent}, {3.81, FineExcellent}, {3.5, FineGood}, {3.01, FineGood},
+		{2.8, FineFair}, {2.51, FineFair}, {2.3, FinePoor}, {2.01, FinePoor},
+		{2.0, FineBad}, {1.0, FineBad}}
+	for _, c := range cases {
+		if got := FineSeverityOf(c.mos); got != c.want {
+			t.Errorf("FineSeverityOf(%.2f) = %v, want %v", c.mos, got, c.want)
+		}
+	}
+}
+
+func TestFineSeverityConsistentWithCoarse(t *testing.T) {
+	// The fine bands must refine, never contradict, the coarse bands.
+	for mos := 1.0; mos <= 4.23; mos += 0.01 {
+		coarse, fine := SeverityOf(mos), FineSeverityOf(mos)
+		switch coarse {
+		case Good:
+			if fine != FineExcellent && fine != FineGood {
+				t.Fatalf("MOS %.2f: coarse good but fine %v", mos, fine)
+			}
+		case Mild:
+			if fine != FineFair && fine != FinePoor && fine != FineBad {
+				t.Fatalf("MOS %.2f: coarse mild but fine %v", mos, fine)
+			}
+		case Severe:
+			if fine != FineBad {
+				t.Fatalf("MOS %.2f: coarse severe but fine %v", mos, fine)
+			}
+		}
+	}
+}

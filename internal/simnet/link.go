@@ -1,0 +1,362 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LinkConfig describes one direction of a link. A duplex link is built
+// from two of these (usually identical).
+type LinkConfig struct {
+	// Rate is the nominal capacity in bits per second. Required.
+	Rate float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// JitterStd is the standard deviation of normally distributed
+	// per-packet delay jitter (tc/netem style). Samples are truncated
+	// so the total one-way delay never goes negative.
+	JitterStd time.Duration
+	// Loss is the per-packet loss probability applied on the channel
+	// (after queueing), as netem applies it.
+	Loss float64
+	// QueueBytes caps the FIFO queue; packets arriving at a full queue
+	// are dropped (tail drop). Zero selects a default of 64 KiB.
+	QueueBytes int
+	// Retries is the number of link-layer retransmission attempts
+	// (wireless MAC behaviour). Zero means a lost packet is simply lost,
+	// as on a wired link.
+	Retries int
+	// RetryBackoff is the extra wait added per retry attempt.
+	RetryBackoff time.Duration
+}
+
+// DefaultQueueBytes is used when LinkConfig.QueueBytes is zero.
+const DefaultQueueBytes = 64 * 1024
+
+// minEffectiveRate floors the usable rate so a fully saturated link
+// still drains at a crawl instead of dividing by zero.
+const minEffectiveRate = 1e3 // 1 kbit/s
+
+// DirStats counts what happened on one direction of a link.
+type DirStats struct {
+	TxPackets   int64 // packets that completed transmission
+	TxBytes     int64 // wire bytes transmitted (successful packets)
+	QueueDrops  int64 // packets dropped at a full queue
+	ChannelLoss int64 // packets lost on the channel after all retries
+	Retries     int64 // link-layer retransmission attempts
+	Enqueued    int64 // packets accepted into the queue
+}
+
+// linkDir is one direction of a duplex link.
+type linkDir struct {
+	link *Link
+	cfg  LinkConfig
+	dst  *NIC
+
+	// Dynamic hooks; nil means "use the static config value".
+	rateFn func(now time.Duration) float64
+	lossFn func(now time.Duration) float64
+	// busyFn returns the fraction [0,1) of capacity consumed by fluid
+	// background traffic (cross traffic, interference airtime).
+	busyFns []func(now time.Duration) float64
+	// perTryLossFn adds per-transmission-attempt error probability
+	// (wireless channel errors); subject to link-layer retries.
+	perTryLossFn func(now time.Duration) float64
+
+	queue  []*Packet
+	qBytes int
+	busy   bool
+	stats  DirStats
+
+	// lastDelivery enforces FIFO delivery despite per-packet jitter: a
+	// wire does not reorder. (netem's jitter famously does reorder,
+	// which wrecks Reno with spurious duplicate ACKs; the paper's Linux
+	// stacks tolerated that via SACK/DSACK heuristics this simulator's
+	// leaner TCP lacks, so the link removes the artifact instead.)
+	lastDelivery time.Duration
+}
+
+// Link is a duplex point-to-point link between two NICs.
+type Link struct {
+	sim  *Sim
+	name string
+	dirs [2]*linkDir
+	down bool
+}
+
+// Direction selects one of the two directions of a duplex link.
+type Direction int
+
+// Link directions. AtoB is from the first NIC passed to Connect toward
+// the second.
+const (
+	AtoB Direction = 0
+	BtoA Direction = 1
+)
+
+// Connect creates a duplex link between NICs a and b with per-direction
+// configs. The NICs must not already be attached to a link.
+func Connect(sim *Sim, name string, a, b *NIC, cfgAB, cfgBA LinkConfig) *Link {
+	if a.link != nil || b.link != nil {
+		panic(fmt.Sprintf("simnet: NIC already connected (%s / %s)", a.Name, b.Name))
+	}
+	normalize := func(c *LinkConfig) {
+		if c.Rate <= 0 {
+			panic("simnet: link rate must be positive")
+		}
+		if c.QueueBytes <= 0 {
+			c.QueueBytes = DefaultQueueBytes
+		}
+	}
+	normalize(&cfgAB)
+	normalize(&cfgBA)
+	l := &Link{sim: sim, name: name}
+	l.dirs[AtoB] = &linkDir{link: l, cfg: cfgAB, dst: b}
+	l.dirs[BtoA] = &linkDir{link: l, cfg: cfgBA, dst: a}
+	a.link, a.linkDir = l, l.dirs[AtoB]
+	b.link, b.linkDir = l, l.dirs[BtoA]
+	return l
+}
+
+// ConnectSym creates a duplex link with the same config in both
+// directions.
+func ConnectSym(sim *Sim, name string, a, b *NIC, cfg LinkConfig) *Link {
+	return Connect(sim, name, a, b, cfg, cfg)
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// SetRateFn installs a dynamic capacity function for the given direction,
+// overriding the static Rate. Pass nil to restore the static value.
+func (l *Link) SetRateFn(d Direction, fn func(now time.Duration) float64) { l.dirs[d].rateFn = fn }
+
+// SetLossFn installs a dynamic channel-loss probability for the given
+// direction, overriding the static Loss.
+func (l *Link) SetLossFn(d Direction, fn func(now time.Duration) float64) { l.dirs[d].lossFn = fn }
+
+// SetPerTryLossFn installs a per-transmission-attempt error probability
+// (wireless channel errors, recovered by link-layer retries).
+func (l *Link) SetPerTryLossFn(d Direction, fn func(now time.Duration) float64) {
+	l.dirs[d].perTryLossFn = fn
+}
+
+// AddBusyFn registers a fluid background-load source on a direction. The
+// function returns the fraction of capacity [0,1) that background traffic
+// occupies at a given time; multiple sources add up (capped below 1).
+// Fluid background both reduces the rate available to foreground packets
+// and inflates queueing delay, which is how iperf-style congestion and
+// D-ITG-style variation are modelled without per-packet cost.
+func (l *Link) AddBusyFn(d Direction, fn func(now time.Duration) float64) {
+	l.dirs[d].busyFns = append(l.dirs[d].busyFns, fn)
+}
+
+// SetDown marks the whole link up or down. While down, packets offered to
+// either direction are dropped as channel losses. A transition to down
+// increments the Disconnects counter on both endpoint NICs.
+func (l *Link) SetDown(down bool) {
+	if down && !l.down {
+		l.dirs[AtoB].dst.Disconnects++
+		l.dirs[BtoA].dst.Disconnects++
+	}
+	l.down = down
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// Stats returns a copy of the counters for a direction.
+func (l *Link) Stats(d Direction) DirStats { return l.dirs[d].stats }
+
+// Config returns the static configuration of a direction.
+func (l *Link) Config(d Direction) LinkConfig { return l.dirs[d].cfg }
+
+// busyFrac sums the fluid background load on the direction, capped just
+// below 1 so the effective rate stays positive.
+func (d *linkDir) busyFrac(now time.Duration) float64 {
+	var b float64
+	for _, fn := range d.busyFns {
+		b += fn(now)
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b > 0.98 {
+		b = 0.98
+	}
+	return b
+}
+
+// effectiveRate is the capacity available to foreground packets.
+func (d *linkDir) effectiveRate(now time.Duration) float64 {
+	r := d.cfg.Rate
+	if d.rateFn != nil {
+		r = d.rateFn(now)
+	}
+	r *= 1 - d.busyFrac(now)
+	return math.Max(r, minEffectiveRate)
+}
+
+func (d *linkDir) lossProb(now time.Duration) float64 {
+	p := d.cfg.Loss
+	if d.lossFn != nil {
+		p = d.lossFn(now)
+	}
+	// Heavy fluid cross traffic overflows the shared queue: model the
+	// overflow as extra loss once occupancy passes 90%.
+	if b := d.busyFrac(now); b > 0.90 {
+		p += (b - 0.90) * 2.5
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// crossQueueDelay models time spent behind fluid cross-traffic in the
+// shared queue, using an M/M/1-style rho/(1-rho) growth on the mean
+// packet service time, randomized +-50% and capped at 400ms.
+func (d *linkDir) crossQueueDelay(now time.Duration) time.Duration {
+	b := d.busyFrac(now)
+	if b <= 0 {
+		return 0
+	}
+	rate := d.cfg.Rate
+	if d.rateFn != nil {
+		rate = d.rateFn(now)
+	}
+	if rate < minEffectiveRate {
+		rate = minEffectiveRate
+	}
+	meanPktTime := 1500 * 8 / rate // seconds
+	qd := meanPktTime * b / (1 - b)
+	qd *= 0.5 + d.link.sim.rng.Float64() // +-50%
+	del := time.Duration(qd * float64(time.Second))
+	if del > 400*time.Millisecond {
+		del = 400 * time.Millisecond
+	}
+	return del
+}
+
+// enqueue offers a packet to the direction's FIFO. Called by NIC.send.
+func (d *linkDir) enqueue(pkt *Packet) {
+	if d.link.down {
+		d.stats.ChannelLoss++
+		return
+	}
+	if d.qBytes+pkt.Size() > d.cfg.QueueBytes {
+		d.stats.QueueDrops++
+		return
+	}
+	d.queue = append(d.queue, pkt)
+	d.qBytes += pkt.Size()
+	d.stats.Enqueued++
+	if !d.busy {
+		d.startService()
+	}
+}
+
+// startService begins transmitting the head-of-line packet.
+func (d *linkDir) startService() {
+	d.busy = true
+	pkt := d.queue[0]
+	sim := d.link.sim
+	now := sim.Now()
+
+	rate := d.effectiveRate(now)
+	txTime := time.Duration(float64(pkt.Size()*8) / rate * float64(time.Second))
+
+	// Decide the number of transmission attempts. Channel errors are
+	// recovered by link-layer retries (wireless MAC behaviour); the
+	// netem-style Loss is applied once, un-recovered, as on a wire.
+	tries := 1
+	lost := false
+	if p := d.perTryLoss(now); p > 0 {
+		maxAttempts := 1 + d.cfg.Retries
+		for tries = 1; tries <= maxAttempts; tries++ {
+			if sim.rng.Float64() >= p {
+				break // this attempt succeeded
+			}
+		}
+		if tries > maxAttempts {
+			tries = maxAttempts
+			lost = true // every attempt failed
+		}
+	}
+	if !lost && sim.rng.Float64() < d.lossProb(now) {
+		lost = true
+	}
+
+	total := time.Duration(tries)*txTime + time.Duration(tries-1)*d.cfg.RetryBackoff
+	d.stats.Retries += int64(tries - 1)
+
+	sim.After(total, func() {
+		// Packet leaves the queue whether or not it survived.
+		d.queue = d.queue[1:]
+		d.qBytes -= pkt.Size()
+
+		if d.link.down || lost {
+			d.stats.ChannelLoss++
+		} else {
+			d.stats.TxPackets++
+			d.stats.TxBytes += int64(pkt.Size())
+			latency := d.cfg.Delay + d.jitter() + d.crossQueueDelay(sim.Now())
+			deliverAt := sim.Now() + latency
+			if deliverAt < d.lastDelivery {
+				deliverAt = d.lastDelivery // FIFO: no reordering on a wire
+			}
+			d.lastDelivery = deliverAt
+			dst := d.dst
+			sim.At(deliverAt, func() { dst.receive(pkt) })
+		}
+		if len(d.queue) > 0 {
+			d.startService()
+		} else {
+			d.busy = false
+		}
+	})
+}
+
+func (d *linkDir) perTryLoss(now time.Duration) float64 {
+	if d.perTryLossFn == nil {
+		return 0
+	}
+	p := d.perTryLossFn(now)
+	if p < 0 {
+		return 0
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}
+
+// jitter samples the netem-style normal jitter, truncated at zero.
+func (d *linkDir) jitter() time.Duration {
+	if d.cfg.JitterStd <= 0 {
+		return 0
+	}
+	j := time.Duration(d.link.sim.rng.NormFloat64() * float64(d.cfg.JitterStd))
+	if j < -d.cfg.Delay {
+		j = -d.cfg.Delay
+	}
+	return j
+}
+
+// QueueDepthBytes reports the currently queued bytes on a direction
+// (foreground packets only).
+func (l *Link) QueueDepthBytes(d Direction) int { return l.dirs[d].qBytes }
+
+// SetDelay overrides the static propagation delay of a direction (used
+// by shaping faults, which tc/netem applies as a delay change).
+func (l *Link) SetDelay(d Direction, delay time.Duration) { l.dirs[d].cfg.Delay = delay }
+
+// SetLoss overrides the static channel loss probability of a direction.
+func (l *Link) SetLoss(d Direction, p float64) { l.dirs[d].cfg.Loss = p }
+
+// SetJitter overrides the delay jitter of a direction.
+func (l *Link) SetJitter(d Direction, std time.Duration) { l.dirs[d].cfg.JitterStd = std }

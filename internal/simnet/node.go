@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// PacketDir tells a tap whether the packet was leaving or entering the
+// tapped node.
+type PacketDir int
+
+// Tap directions.
+const (
+	DirOut PacketDir = iota // packet sent by the node
+	DirIn                   // packet received by the node
+)
+
+func (d PacketDir) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// TapFunc observes packets crossing a NIC. Taps are the measurement
+// primitive: a vantage-point probe is a set of taps on the node it
+// instruments. Taps must not modify or retain the packet.
+type TapFunc func(now time.Duration, nic *NIC, pkt *Packet, dir PacketDir)
+
+// Handler consumes packets delivered to a node. The transport layer
+// (tcpsim) and the router implement it.
+type Handler interface {
+	HandlePacket(nic *NIC, pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(nic *NIC, pkt *Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(nic *NIC, pkt *Packet) { f(nic, pkt) }
+
+// NIC is a network interface attached to a node and (once connected) to
+// one end of a link.
+type NIC struct {
+	Name string
+	node *Node
+
+	link    *Link
+	linkDir *linkDir // the direction this NIC transmits into
+
+	// Counters, maintained by the NIC itself; the link-level probe
+	// samples them periodically.
+	TxPackets   int64
+	TxBytes     int64
+	RxPackets   int64
+	RxBytes     int64
+	Disconnects int64 // incremented by Link.SetDown transitions
+}
+
+// Node returns the node this NIC belongs to.
+func (n *NIC) Node() *Node { return n.node }
+
+// Link returns the link the NIC is attached to, or nil.
+func (n *NIC) Link() *Link { return n.link }
+
+// send transmits a packet out of this NIC.
+func (n *NIC) send(pkt *Packet) {
+	if n.linkDir == nil {
+		panic(fmt.Sprintf("simnet: send on unconnected NIC %s", n.Name))
+	}
+	n.TxPackets++
+	n.TxBytes += int64(pkt.Size())
+	for _, tap := range n.node.taps {
+		tap(n.node.sim.Now(), n, pkt, DirOut)
+	}
+	n.linkDir.enqueue(pkt)
+}
+
+// receive is called by the link when a packet arrives at this NIC.
+func (n *NIC) receive(pkt *Packet) {
+	n.RxPackets++
+	n.RxBytes += int64(pkt.Size())
+	for _, tap := range n.node.taps {
+		tap(n.node.sim.Now(), n, pkt, DirIn)
+	}
+	if n.node.handler != nil {
+		n.node.handler.HandlePacket(n, pkt)
+	}
+}
+
+// Node is a simulated device: a host (server, phone, wired client) or a
+// router/AP. A node owns NICs and an optional packet handler.
+type Node struct {
+	Name string
+	Addr Addr
+
+	sim     *Sim
+	nics    []*NIC
+	handler Handler
+	taps    []TapFunc
+}
+
+// NewNode creates a node with the given name and address.
+func (s *Sim) NewNode(name string, addr Addr) *Node {
+	return &Node{Name: name, Addr: addr, sim: s}
+}
+
+// Sim returns the simulator the node belongs to.
+func (n *Node) Sim() *Sim { return n.sim }
+
+// AddNIC attaches a new, unconnected NIC to the node.
+func (n *Node) AddNIC(name string) *NIC {
+	nic := &NIC{Name: name, node: n}
+	n.nics = append(n.nics, nic)
+	return nic
+}
+
+// NICs returns the node's interfaces.
+func (n *Node) NICs() []*NIC { return n.nics }
+
+// SetHandler installs the packet consumer for the node.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// AddTap registers an observer for every packet crossing any of the
+// node's NICs, in either direction.
+func (n *Node) AddTap(t TapFunc) { n.taps = append(n.taps, t) }
+
+// Send transmits a packet out of the given NIC, which must belong to
+// this node.
+func (n *Node) Send(nic *NIC, pkt *Packet) {
+	if nic.node != n {
+		panic(fmt.Sprintf("simnet: NIC %s does not belong to node %s", nic.Name, n.Name))
+	}
+	nic.send(pkt)
+}
+
+// Router forwards packets between a node's NICs based on a static
+// destination-address table. It models the home gateway / access point.
+type Router struct {
+	node   *Node
+	routes map[Addr]*NIC
+	def    *NIC
+}
+
+// NewRouter wraps a node in forwarding behaviour and installs itself as
+// the node's handler.
+func NewRouter(node *Node) *Router {
+	r := &Router{node: node, routes: make(map[Addr]*NIC)}
+	node.SetHandler(r)
+	return r
+}
+
+// AddRoute directs traffic for dst out of nic.
+func (r *Router) AddRoute(dst Addr, nic *NIC) { r.routes[dst] = nic }
+
+// SetDefault sets the NIC used when no specific route matches.
+func (r *Router) SetDefault(nic *NIC) { r.def = nic }
+
+// HandlePacket implements Handler by forwarding the packet toward its
+// destination. Packets without a route (and no default) are dropped
+// silently, as a real router would after TTL games we don't model.
+func (r *Router) HandlePacket(in *NIC, pkt *Packet) {
+	out := r.routes[pkt.Flow.Dst]
+	if out == nil {
+		out = r.def
+	}
+	if out == nil || out == in {
+		return
+	}
+	out.send(pkt)
+}

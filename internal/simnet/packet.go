@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr identifies a host in the simulated network. Addresses are flat:
+// routing is done on the destination address alone, which is sufficient
+// for the star topologies the testbed uses.
+type Addr int
+
+// Proto distinguishes transport protocols carried in packets.
+type Proto uint8
+
+// Transport protocols understood by the simulator.
+const (
+	ProtoTCP Proto = iota
+	ProtoUDP
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// FlowKey is the 4-tuple (plus protocol) identifying a flow. It is
+// comparable and can be used as a map key, mirroring the Flow/Endpoint
+// pattern of packet-decoding libraries.
+type FlowKey struct {
+	Proto    Proto
+	Src, Dst Addr
+	SrcPort  int
+	DstPort  int
+}
+
+// Reverse returns the key of the opposite direction of the same
+// conversation.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Proto: k.Proto, Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %d:%d->%d:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// TCPFlags is the bitset of TCP control flags carried by a segment.
+type TCPFlags uint8
+
+// TCP control flags.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// Has reports whether all flags in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// TCPHeader models the transport header fields that a tstat-style flow
+// meter inspects on the wire. Sequence and acknowledgement numbers are
+// byte offsets from the start of the stream (no random ISN: probes in
+// this simulator see relative sequence numbers directly, which is what
+// tstat reports anyway).
+type TCPHeader struct {
+	Seq    int64    // first payload byte carried by this segment
+	Ack    int64    // next byte expected from the peer
+	Flags  TCPFlags // control flags
+	Window int      // advertised receive window in bytes
+	MSS    int      // MSS option; only meaningful on SYN segments
+}
+
+// HeaderBytes is the fixed per-packet overhead (IP + TCP/UDP headers)
+// added to the payload when computing wire size.
+const HeaderBytes = 40
+
+// Packet is the unit of transfer in the simulator. Packets are allocated
+// per transmission; links and nodes must not retain them after handing
+// them off.
+type Packet struct {
+	ID      uint64 // unique per simulation, for tracing
+	Flow    FlowKey
+	Payload int        // application payload bytes
+	TCP     *TCPHeader // nil for non-TCP packets
+
+	// Sent is the virtual time the packet left its origin host. Probes
+	// must not use it (they only observe arrival times at their tap);
+	// it exists for tracing and tests.
+	Sent time.Duration
+}
+
+// Size returns the wire size of the packet in bytes.
+func (p *Packet) Size() int { return p.Payload + HeaderBytes }
+
+// IsTCP reports whether the packet carries a TCP header.
+func (p *Packet) IsTCP() bool { return p.TCP != nil }
+
+// NewPacket allocates a packet stamped with a unique ID and the current
+// virtual time.
+func (s *Sim) NewPacket(flow FlowKey, payload int, hdr *TCPHeader) *Packet {
+	return &Packet{ID: s.nextPacketID(), Flow: flow, Payload: payload, TCP: hdr, Sent: s.now}
+}

@@ -1,0 +1,177 @@
+// Package simnet implements a deterministic discrete-event network
+// simulator: a virtual clock, an event queue, hosts with network
+// interfaces, and duplex links with configurable bandwidth, propagation
+// delay, jitter, loss and FIFO queues.
+//
+// The simulator is the testbed substrate for the vqprobe reproduction: it
+// stands in for the physical server/router/phone topology of the paper.
+// Everything above it (TCP, video delivery, probes, fault injection) runs
+// on top of the primitives defined here.
+//
+// All randomness is drawn from a *rand.Rand owned by the Sim, so a run is
+// fully reproducible from its seed. Time is virtual: the simulator never
+// consults the wall clock.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	nextID uint64
+	halted bool
+}
+
+// New returns a simulator whose random number generator is seeded with
+// seed. Two simulators created with the same seed and driven by the same
+// schedule of events produce identical traces.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's random source. All model components must
+// draw randomness from here to preserve reproducibility.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is clamped to the present: the event runs at Now.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the earliest pending event and returns true, or returns
+// false when no events remain.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or virtual time would pass
+// until. Events scheduled exactly at until still run. It returns the
+// virtual time at which processing stopped.
+func (s *Sim) Run(until time.Duration) time.Duration {
+	s.halted = false
+	for !s.halted && s.events.Len() > 0 {
+		if s.events[0].at > until {
+			s.now = until
+			return s.now
+		}
+		s.Step()
+	}
+	if s.now < until && !s.halted {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll processes events until the queue is empty or Halt is called.
+func (s *Sim) RunAll() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// Halt stops Run/RunAll after the currently executing event returns.
+// Pending events stay queued and a subsequent Run resumes them.
+func (s *Sim) Halt() { s.halted = true }
+
+// Pending reports how many events are queued.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// nextPacketID hands out unique packet identifiers for tracing.
+func (s *Sim) nextPacketID() uint64 {
+	s.nextID++
+	return s.nextID
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker invokes fn every interval of virtual time until Stop is called.
+// It is the building block for per-second samplers (RSSI, CPU, NIC
+// counters) used by the probes.
+type Ticker struct {
+	sim      *Sim
+	interval time.Duration
+	fn       func(now time.Duration)
+	stopped  bool
+}
+
+// NewTicker starts a ticker with the given interval. The first tick fires
+// one interval from now. interval must be positive.
+func NewTicker(sim *Sim, interval time.Duration, fn func(now time.Duration)) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simnet: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{sim: sim, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.sim.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.sim.Now())
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. A tick already dispatched for the current
+// instant may still run.
+func (t *Ticker) Stop() { t.stopped = true }

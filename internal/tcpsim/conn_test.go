@@ -1,0 +1,507 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// testNet wires client <-> server through a single configurable link and
+// returns everything a test needs.
+type testNet struct {
+	sim            *simnet.Sim
+	client, server *Host
+	link           *simnet.Link
+}
+
+func newTestNet(t *testing.T, seed int64, cfg simnet.LinkConfig) *testNet {
+	t.Helper()
+	s := simnet.New(seed)
+	cn := s.NewNode("client", 1)
+	sn := s.NewNode("server", 2)
+	cnic := cn.AddNIC("eth0")
+	snic := sn.AddNIC("eth0")
+	link := simnet.ConnectSym(s, "c-s", cnic, snic, cfg)
+	return &testNet{
+		sim:    s,
+		client: NewHost(cn, cnic),
+		server: NewHost(sn, snic),
+		link:   link,
+	}
+}
+
+// transfer runs a request/response exchange: the client connects, sends a
+// small request, the server replies with respBytes and closes. It returns
+// the client-side received byte count and the virtual time at which the
+// transfer completed (zero if it never did).
+func (n *testNet) transfer(t *testing.T, respBytes int64, until time.Duration) (got int64, doneAt time.Duration) {
+	t.Helper()
+	n.server.Listen(80, func(c *Conn) {
+		c.OnData = func(int) {} // consume request
+		c.OnEstablished = func() {
+			c.Write(respBytes)
+			c.Close()
+		}
+	})
+	cc := n.client.Dial(2, 80)
+	cc.OnEstablished = func() { cc.Write(300) }
+	cc.OnData = func(k int) { got += int64(k) }
+	cc.OnPeerClose = func() {
+		doneAt = n.sim.Now()
+		cc.Close()
+	}
+	n.sim.Run(until)
+	return got, doneAt
+}
+
+func TestHandshakeAndTransfer(t *testing.T) {
+	n := newTestNet(t, 1, simnet.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond})
+	got, doneAt := n.transfer(t, 100_000, 30*time.Second)
+	if doneAt == 0 {
+		t.Fatal("transfer did not complete")
+	}
+	if got != 100_000 {
+		t.Fatalf("client received %d bytes, want 100000", got)
+	}
+}
+
+func TestTransferUnderLoss(t *testing.T) {
+	n := newTestNet(t, 3, simnet.LinkConfig{Rate: 10e6, Delay: 20 * time.Millisecond, Loss: 0.03})
+	got, doneAt := n.transfer(t, 500_000, 5*time.Minute)
+	if doneAt == 0 || got != 500_000 {
+		t.Fatalf("lossy transfer incomplete: got=%d doneAt=%v", got, doneAt)
+	}
+}
+
+func TestTransferUnderHeavyLoss(t *testing.T) {
+	n := newTestNet(t, 4, simnet.LinkConfig{Rate: 5e6, Delay: 30 * time.Millisecond, Loss: 0.10})
+	got, doneAt := n.transfer(t, 200_000, 10*time.Minute)
+	if doneAt == 0 || got != 200_000 {
+		t.Fatalf("heavy-loss transfer incomplete: got=%d doneAt=%v", got, doneAt)
+	}
+}
+
+func TestRetransmissionsCounted(t *testing.T) {
+	n := newTestNet(t, 5, simnet.LinkConfig{Rate: 10e6, Delay: 20 * time.Millisecond, Loss: 0.05})
+	var serverConn *Conn
+	n.server.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnEstablished = func() { c.Write(300_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	done := false
+	cc.OnPeerClose = func() { done = true; cc.Close() }
+	n.sim.Run(5 * time.Minute)
+	if !done {
+		t.Fatal("transfer incomplete")
+	}
+	if serverConn.Stats().Retransmits == 0 {
+		t.Error("expected retransmissions at 5% loss")
+	}
+}
+
+func TestFastRetransmitUsedBeforeRTO(t *testing.T) {
+	// Big enough pipe and mild loss: recovery should mostly happen via
+	// dup ACKs, not timeouts.
+	n := newTestNet(t, 6, simnet.LinkConfig{Rate: 50e6, Delay: 25 * time.Millisecond, Loss: 0.01, QueueBytes: 1 << 20})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(2_000_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	done := false
+	cc.OnPeerClose = func() { done = true; cc.Close() }
+	n.sim.Run(5 * time.Minute)
+	if !done {
+		t.Fatal("transfer incomplete")
+	}
+	st := sc.Stats()
+	if st.FastRetransmits == 0 {
+		t.Error("expected fast retransmits on a fat lossy pipe")
+	}
+	if st.Timeouts > st.FastRetransmits {
+		t.Errorf("timeouts (%d) dominate fast retransmits (%d); recovery path broken",
+			st.Timeouts, st.FastRetransmits)
+	}
+}
+
+func TestThroughputRespectsLinkRate(t *testing.T) {
+	// 2 Mbit/s link, 1 MB transfer => at least 4 seconds.
+	n := newTestNet(t, 7, simnet.LinkConfig{Rate: 2e6, Delay: 10 * time.Millisecond, QueueBytes: 128 * 1024})
+	got, doneAt := n.transfer(t, 1_000_000, 2*time.Minute)
+	if doneAt == 0 || got != 1_000_000 {
+		t.Fatalf("transfer incomplete: %d", got)
+	}
+	elapsed := doneAt
+	if elapsed < 3900*time.Millisecond {
+		t.Errorf("1MB over 2Mbit/s finished in %v; faster than the wire allows", elapsed)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("1MB over 2Mbit/s took %v; utilization is pathologically low", elapsed)
+	}
+}
+
+func TestMSSNegotiation(t *testing.T) {
+	n := newTestNet(t, 8, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	n.client.DefaultMSS = 1380
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) { sc = c })
+	cc := n.client.Dial(2, 80)
+	n.sim.Run(time.Second)
+	if cc.MSS() != 1380 || sc.MSS() != 1380 {
+		t.Errorf("negotiated MSS client=%d server=%d, want 1380/1380", cc.MSS(), sc.MSS())
+	}
+}
+
+func TestReceiverWindowThrottlesSender(t *testing.T) {
+	// The client never consumes: the server must stall once the 32 KiB
+	// receive buffer fills, even though it has 1 MB to send.
+	n := newTestNet(t, 9, simnet.LinkConfig{Rate: 100e6, Delay: 2 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(1_000_000) }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.SetRcvBuf(32 * 1024)
+	cc.SetAutoRead(false)
+	var got int64
+	cc.OnData = func(k int) { got += int64(k) }
+	n.sim.Run(5 * time.Second)
+	if got > 40*1024 {
+		t.Errorf("receiver got %d bytes with a closed 32KiB window", got)
+	}
+	if sc == nil {
+		t.Fatal("no server conn")
+	}
+	// Now consume: transfer must resume.
+	n.sim.After(0, func() { cc.Consume(cc.Buffered()) })
+	n.sim.Run(10 * time.Second)
+	if got <= 40*1024 {
+		t.Errorf("transfer did not resume after Consume: got=%d", got)
+	}
+}
+
+func TestZeroWindowPersist(t *testing.T) {
+	// Tiny receive buffer that is consumed late: the persist machinery
+	// must keep the connection alive until the window opens.
+	n := newTestNet(t, 10, simnet.LinkConfig{Rate: 10e6, Delay: 2 * time.Millisecond})
+	n.server.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.Write(50_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.SetRcvBuf(4 * 1024)
+	cc.SetAutoRead(false)
+	var got int64
+	cc.OnData = func(int) {}
+	done := false
+	cc.OnPeerClose = func() { done = true; cc.Close() }
+	// Drain the buffer every 300ms.
+	simnet.NewTicker(n.sim, 300*time.Millisecond, func(time.Duration) {
+		got += cc.Buffered()
+		cc.Consume(cc.Buffered())
+	})
+	n.sim.Run(2 * time.Minute)
+	if !done {
+		t.Fatalf("transfer with slow reader never completed (got %d bytes)", got)
+	}
+}
+
+func TestConnectTimeoutToDeadHost(t *testing.T) {
+	n := newTestNet(t, 11, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	n.link.SetDown(true)
+	cc := n.client.Dial(2, 80)
+	var aborted string
+	cc.OnAbort = func(reason string) { aborted = reason }
+	n.sim.Run(10 * time.Minute)
+	if aborted == "" {
+		t.Fatal("Dial over a dead link never aborted")
+	}
+	if cc.State() != StateAborted {
+		t.Errorf("state = %v, want aborted", cc.State())
+	}
+}
+
+func TestConnectToNonListeningPort(t *testing.T) {
+	n := newTestNet(t, 12, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	cc := n.client.Dial(2, 9999)
+	aborted := false
+	cc.OnAbort = func(string) { aborted = true }
+	n.sim.Run(10 * time.Minute)
+	if !aborted {
+		t.Error("connection to closed port should eventually abort")
+	}
+}
+
+func TestMidTransferLinkDownAborts(t *testing.T) {
+	n := newTestNet(t, 13, simnet.LinkConfig{Rate: 5e6, Delay: 10 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(10_000_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	_ = cc
+	n.sim.Run(2 * time.Second) // let some data flow
+	n.link.SetDown(true)
+	aborted := false
+	sc.OnAbort = func(string) { aborted = true }
+	n.sim.Run(30 * time.Minute)
+	if !aborted {
+		t.Error("sender should abort after exhausting retransmissions on a dead link")
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	n := newTestNet(t, 14, simnet.LinkConfig{Rate: 10e6, Delay: 25 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(200_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.OnPeerClose = func() { cc.Close() }
+	n.sim.Run(time.Minute)
+	srtt := sc.SRTT()
+	// True RTT is ~50ms prop + serialization.
+	if srtt < 45*time.Millisecond || srtt > 250*time.Millisecond {
+		t.Errorf("SRTT = %v, want around 50-250ms", srtt)
+	}
+	if sc.Stats().RTTSamples == 0 {
+		t.Error("no RTT samples collected")
+	}
+}
+
+func TestBothSidesClose(t *testing.T) {
+	n := newTestNet(t, 15, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(10_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.OnPeerClose = func() { cc.Close() }
+	n.sim.Run(time.Minute)
+	if sc.State() != StateDone {
+		t.Errorf("server state = %v, want done", sc.State())
+	}
+	if cc.State() != StateDone {
+		t.Errorf("client state = %v, want done", cc.State())
+	}
+	if len(n.client.conns) != 0 || len(n.server.conns) != 0 {
+		t.Errorf("connection state leaked: client=%d server=%d",
+			len(n.client.conns), len(n.server.conns))
+	}
+}
+
+func TestDeterministicTransfer(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		n := newTestNet(t, 77, simnet.LinkConfig{Rate: 5e6, Delay: 20 * time.Millisecond, Loss: 0.02, JitterStd: 2 * time.Millisecond})
+		var sc *Conn
+		n.server.Listen(80, func(c *Conn) {
+			sc = c
+			c.OnEstablished = func() { c.Write(300_000); c.Close() }
+		})
+		cc := n.client.Dial(2, 80)
+		var doneAt time.Duration
+		cc.OnPeerClose = func() { doneAt = n.sim.Now(); cc.Close() }
+		n.sim.Run(5 * time.Minute)
+		return doneAt, sc.Stats().Retransmits
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Errorf("same seed diverged: (%v,%d) vs (%v,%d)", d1, r1, d2, r2)
+	}
+	if d1 == 0 {
+		t.Fatal("transfer never finished")
+	}
+}
+
+func TestSequentialConnectionsSameHosts(t *testing.T) {
+	n := newTestNet(t, 16, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	completed := 0
+	n.server.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() { c.Write(20_000); c.Close() }
+	})
+	var dial func()
+	dial = func() {
+		cc := n.client.Dial(2, 80)
+		cc.OnPeerClose = func() {
+			completed++
+			cc.Close()
+			if completed < 3 {
+				dial()
+			}
+		}
+	}
+	n.sim.After(0, dial)
+	n.sim.Run(time.Minute)
+	if completed != 3 {
+		t.Errorf("completed %d sequential connections, want 3", completed)
+	}
+}
+
+func TestAbortFiresOnce(t *testing.T) {
+	n := newTestNet(t, 20, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	n.link.SetDown(true)
+	cc := n.client.Dial(2, 80)
+	fires := 0
+	cc.OnAbort = func(string) { fires++; cc.Abort("again") }
+	n.sim.Run(20 * time.Minute)
+	if fires != 1 {
+		t.Errorf("OnAbort fired %d times", fires)
+	}
+}
+
+func TestWriteAfterDoneIgnored(t *testing.T) {
+	n := newTestNet(t, 21, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(1000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.OnPeerClose = func() { cc.Close() }
+	n.sim.Run(time.Minute)
+	if sc.State() != StateDone {
+		t.Fatalf("state %v", sc.State())
+	}
+	sc.Write(5000) // must be a no-op, not a panic or resurrection
+	n.sim.Run(2 * time.Minute)
+	if sc.State() != StateDone {
+		t.Errorf("write after done changed state to %v", sc.State())
+	}
+}
+
+func TestRTOBackoffAndRecovery(t *testing.T) {
+	// Take the link down mid-transfer, observe RTO growth, then bring it
+	// back before the retry budget is exhausted: the transfer completes.
+	n := newTestNet(t, 22, simnet.LinkConfig{Rate: 5e6, Delay: 10 * time.Millisecond})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(2_000_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	var doneAt time.Duration
+	cc.OnPeerClose = func() { doneAt = n.sim.Now(); cc.Close() }
+	n.sim.Run(1 * time.Second)
+	rtoBefore := sc.RTO()
+	n.link.SetDown(true)
+	n.sim.Run(8 * time.Second) // a few RTOs fire
+	if sc.RTO() <= rtoBefore {
+		t.Errorf("RTO did not back off: %v -> %v", rtoBefore, sc.RTO())
+	}
+	n.link.SetDown(false)
+	n.sim.Run(3 * time.Minute)
+	if doneAt == 0 {
+		t.Error("transfer did not recover after outage")
+	}
+	if sc.Stats().Timeouts == 0 {
+		t.Error("no timeouts counted during outage")
+	}
+}
+
+func TestKarnNoSamplesFromRetransmits(t *testing.T) {
+	// 30% loss: many retransmissions; SRTT must stay near the true RTT
+	// rather than absorbing retransmission-inflated samples.
+	n := newTestNet(t, 23, simnet.LinkConfig{Rate: 10e6, Delay: 25 * time.Millisecond, Loss: 0.3})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(100_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.OnPeerClose = func() { cc.Close() }
+	n.sim.Run(10 * time.Minute)
+	if sc.Stats().RTTSamples == 0 {
+		t.Fatal("no clean RTT samples at all")
+	}
+	if srtt := sc.SRTT(); srtt > 2*time.Second {
+		t.Errorf("SRTT %v inflated by retransmitted samples", srtt)
+	}
+}
+
+func TestDelayedAckHalvesAckCount(t *testing.T) {
+	ackCount := func(delayed bool) int64 {
+		n := newTestNet(t, 25, simnet.LinkConfig{Rate: 20e6, Delay: 10 * time.Millisecond, QueueBytes: 256 * 1024})
+		var sc *Conn
+		n.server.Listen(80, func(c *Conn) {
+			sc = c
+			c.OnEstablished = func() { c.Write(500_000); c.Close() }
+		})
+		cc := n.client.Dial(2, 80)
+		cc.SetDelayedAck(delayed)
+		cc.OnPeerClose = func() { cc.Close() }
+		n.sim.Run(time.Minute)
+		if sc.State() != StateDone {
+			t.Fatalf("transfer incomplete (delayed=%v)", delayed)
+		}
+		return sc.Stats().SegsRcvd
+	}
+	every, every2nd := ackCount(false), ackCount(true)
+	if every2nd > every*2/3 {
+		t.Errorf("delayed ACKs barely reduced ACK traffic: %d vs %d", every2nd, every)
+	}
+}
+
+func TestDelayedAckStillFastRetransmits(t *testing.T) {
+	// Loss recovery must keep working: OOO arrivals ACK immediately.
+	n := newTestNet(t, 26, simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, Loss: 0.02, QueueBytes: 256 * 1024})
+	var sc *Conn
+	n.server.Listen(80, func(c *Conn) {
+		sc = c
+		c.OnEstablished = func() { c.Write(800_000); c.Close() }
+	})
+	cc := n.client.Dial(2, 80)
+	cc.SetDelayedAck(true)
+	done := false
+	cc.OnPeerClose = func() { done = true; cc.Close() }
+	n.sim.Run(5 * time.Minute)
+	if !done {
+		t.Fatal("lossy transfer with delayed ACKs never completed")
+	}
+	if sc.Stats().FastRetransmits == 0 {
+		t.Error("no fast retransmits despite loss; dup-ACK path broken under delayed ACKs")
+	}
+}
+
+func TestDuplicateListenPanics(t *testing.T) {
+	n := newTestNet(t, 27, simnet.LinkConfig{Rate: 10e6})
+	n.server.Listen(8080, func(*Conn) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Listen did not panic")
+		}
+	}()
+	n.server.Listen(8080, func(*Conn) {})
+}
+
+func TestEphemeralPortsUnique(t *testing.T) {
+	n := newTestNet(t, 28, simnet.LinkConfig{Rate: 10e6})
+	n.server.Listen(80, func(*Conn) {})
+	seen := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		c := n.client.Dial(2, 80)
+		if seen[c.Flow().SrcPort] {
+			t.Fatalf("ephemeral port %d reused", c.Flow().SrcPort)
+		}
+		seen[c.Flow().SrcPort] = true
+	}
+}
+
+func TestNonTCPIgnoredByHost(t *testing.T) {
+	n := newTestNet(t, 29, simnet.LinkConfig{Rate: 10e6})
+	// A UDP packet to a listening host must not create connection state.
+	n.server.Listen(80, func(*Conn) { t.Error("UDP packet accepted as a connection") })
+	cliNode := n.client.Node()
+	cliNode.Send(cliNode.NICs()[0], n.sim.NewPacket(
+		simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 1, Dst: 2, SrcPort: 9, DstPort: 80}, 100, nil))
+	n.sim.Run(time.Second)
+	if len(n.server.conns) != 0 {
+		t.Error("UDP created TCP connection state")
+	}
+}

@@ -1,0 +1,123 @@
+// Package tcpsim implements a TCP Reno/NewReno endpoint on top of the
+// simnet discrete-event simulator.
+//
+// The implementation covers the mechanisms whose on-the-wire footprint a
+// tstat-style passive flow meter measures: three-way handshake with MSS
+// negotiation, slow start and congestion avoidance, duplicate-ACK fast
+// retransmit with NewReno partial-ACK recovery, RTO with Jacobson/Karels
+// estimation and exponential backoff, receiver-window flow control with
+// zero-window persistence, and FIN teardown. Payload bytes are modelled
+// by count only — no actual data buffers are moved — which keeps the
+// simulation cheap while leaving every header field a probe inspects
+// (seq, ack, flags, window, MSS) faithful.
+//
+// Simplifications (documented in DESIGN.md): receivers ACK every data
+// segment (no delayed ACK), there is no SACK, and sequence numbers are
+// relative (no random ISN) since tstat reports relative offsets anyway.
+package tcpsim
+
+import (
+	"fmt"
+
+	"vqprobe/internal/simnet"
+)
+
+// AcceptFunc is called when a listener receives a new connection. The
+// connection is already usable: writes are queued until the handshake
+// completes.
+type AcceptFunc func(c *Conn)
+
+// Host is the transport layer of a simulated end host. It demultiplexes
+// incoming packets to connections and hands out ephemeral ports.
+type Host struct {
+	node *simnet.Node
+	nic  *simnet.NIC
+
+	conns     map[simnet.FlowKey]*Conn // keyed by the conn's outgoing flow
+	listeners map[int]AcceptFunc
+	nextPort  int
+
+	// DefaultRcvBuf is the receive buffer size for new connections
+	// (advertised window ceiling). Defaults to 256 KiB.
+	DefaultRcvBuf int
+	// DefaultMSS is the MSS this host advertises on SYN. Defaults to
+	// 1460.
+	DefaultMSS int
+}
+
+// NewHost attaches a transport layer to node, sending and receiving
+// through nic. It installs itself as the node's packet handler.
+func NewHost(node *simnet.Node, nic *simnet.NIC) *Host {
+	h := &Host{
+		node:          node,
+		nic:           nic,
+		conns:         make(map[simnet.FlowKey]*Conn),
+		listeners:     make(map[int]AcceptFunc),
+		nextPort:      40000,
+		DefaultRcvBuf: 256 * 1024,
+		DefaultMSS:    1460,
+	}
+	node.SetHandler(h)
+	return h
+}
+
+// Node returns the underlying simnet node.
+func (h *Host) Node() *simnet.Node { return h.node }
+
+// Sim returns the simulator the host runs on.
+func (h *Host) Sim() *simnet.Sim { return h.node.Sim() }
+
+// Listen registers an accept callback for a local port.
+func (h *Host) Listen(port int, accept AcceptFunc) {
+	if _, dup := h.listeners[port]; dup {
+		panic(fmt.Sprintf("tcpsim: duplicate listener on port %d", port))
+	}
+	h.listeners[port] = accept
+}
+
+// Dial opens a connection to dst:dstPort and starts the handshake. The
+// returned Conn can be written to immediately; data flows once the
+// handshake completes.
+func (h *Host) Dial(dst simnet.Addr, dstPort int) *Conn {
+	h.nextPort++
+	flow := simnet.FlowKey{
+		Proto:   simnet.ProtoTCP,
+		Src:     h.node.Addr,
+		Dst:     dst,
+		SrcPort: h.nextPort,
+		DstPort: dstPort,
+	}
+	c := newConn(h, flow, false)
+	h.conns[flow] = c
+	c.startConnect()
+	return c
+}
+
+// HandlePacket implements simnet.Handler.
+func (h *Host) HandlePacket(nic *simnet.NIC, pkt *simnet.Packet) {
+	if !pkt.IsTCP() {
+		return // UDP background traffic is not demultiplexed
+	}
+	key := pkt.Flow.Reverse() // our outgoing flow for this conversation
+	if c, ok := h.conns[key]; ok {
+		c.handleSegment(pkt)
+		return
+	}
+	// New connection? Only a SYN to a listening port creates state.
+	if pkt.TCP.Flags.Has(simnet.FlagSYN) && !pkt.TCP.Flags.Has(simnet.FlagACK) {
+		accept, ok := h.listeners[pkt.Flow.DstPort]
+		if !ok {
+			return // no RST modelling; the client will time out
+		}
+		c := newConn(h, key, true)
+		h.conns[key] = c
+		c.handleSegment(pkt)
+		accept(c)
+	}
+}
+
+// forget removes a closed connection from the demux table.
+func (h *Host) forget(c *Conn) { delete(h.conns, c.flow) }
+
+// send emits a packet through the host's NIC.
+func (h *Host) send(pkt *simnet.Packet) { h.node.Send(h.nic, pkt) }

@@ -1,0 +1,75 @@
+package testbed
+
+import (
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/video"
+)
+
+// RunAdaptiveSession mirrors RunSession but streams via DASH-style
+// segmented adaptive delivery instead of a progressive download. It
+// exercises the paper's delivery-mechanism-agnosticism claim: the same
+// probes measure the session; only the application behaviour differs.
+//
+// Note the listener replaces the progressive video server, so the
+// returned records reflect a purely adaptive workload.
+func RunAdaptiveSession(cfg SessionConfig, acfg video.AdaptiveConfig) (SessionResult, video.AdaptiveReport) {
+	// The progressive server must not claim the port.
+	cfg.Opts.disableVideoServer = true
+	topo := Build(cfg.Opts)
+	sim := topo.Sim
+
+	dur := cfg.FaultDur
+	if dur == 0 {
+		dur = cfg.Clip.Duration*6 + 10*time.Minute
+	}
+	faults.Apply(topo.FaultTarget(), cfg.Spec, cfg.FaultFrom, dur)
+	for _, extra := range cfg.Extra {
+		faults.Apply(topo.FaultTarget(), extra, cfg.FaultFrom, dur)
+	}
+
+	session := video.NewAdaptiveSession(cfg.Clip.Duration, acfg)
+	session.ServeAdaptive(topo.ServerHost)
+	player := video.PlayAdaptive(topo.PhoneHost, topo.PhoneDev, AddrServer, session)
+	player.OnFinish = func(video.AdaptiveReport) { sim.Halt() }
+
+	maxWall := cfg.MaxWall
+	if maxWall == 0 {
+		maxWall = cfg.Clip.Duration*4 + 90*time.Second
+		if maxWall > 8*time.Minute {
+			maxWall = 8 * time.Minute
+		}
+	}
+	sim.Run(maxWall)
+	if !player.Done() {
+		player.ForceFinish()
+	}
+
+	rep := player.Report()
+	mos := qoe.MOS(rep.Report)
+	res := SessionResult{
+		Report:  rep.Report,
+		MOS:     mos,
+		Label:   qoe.Label{Fault: cfg.Spec.Fault, Severity: qoe.SeverityOf(mos)},
+		Spec:    cfg.Spec,
+		Extra:   cfg.Extra,
+		Records: map[string]metrics.Vector{},
+		Context: map[string]string{
+			"wan":      cfg.Opts.WAN.String(),
+			"tech":     string(cfg.Opts.Tech),
+			"delivery": "adaptive",
+		},
+	}
+	flow := player.Flow()
+	res.Records["mobile"] = topo.Mobile.Record(flow)
+	if topo.Router != nil {
+		res.Records["router"] = topo.Router.Record(flow)
+	}
+	if topo.SrvVP != nil {
+		res.Records["server"] = topo.SrvVP.Record(flow)
+	}
+	return res, rep
+}

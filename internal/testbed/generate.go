@@ -1,0 +1,330 @@
+package testbed
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/video"
+	"vqprobe/internal/wireless"
+)
+
+// GenConfig bounds a dataset generation run.
+type GenConfig struct {
+	Sessions int
+	Seed     int64
+	// FaultProb is the probability a session gets an induced fault.
+	// Zero selects 0.45, which lands near the paper's label mix
+	// (roughly 80% good / 11% mild / 9% severe).
+	FaultProb float64
+	// Workers caps the parallel session simulations; zero selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (c *GenConfig) defaults() {
+	if c.FaultProb == 0 {
+		c.FaultProb = 0.45
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Sessions == 0 {
+		c.Sessions = 400
+	}
+}
+
+// runAll executes the per-index session closures on a worker pool. Each
+// session owns an independent simulation, so ordering does not affect
+// results.
+func runAll(n, workers int, run func(i int) SessionResult) []SessionResult {
+	out := make([]SessionResult, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// pickFault draws a fault spec: uniform over the Table 2 catalogue with
+// intensity spread over the whole range so both mild and severe
+// outcomes occur.
+func pickFault(rng *rand.Rand, catalogue []qoe.Fault) faults.Spec {
+	f := catalogue[rng.Intn(len(catalogue))]
+	return faults.Spec{Fault: f, Intensity: 0.1 + 0.9*rng.Float64()}
+}
+
+// GenerateControlled produces the Section 4 training dataset: lab
+// topology, DSL/mobile WAN emulation, always-on background variation,
+// and the full seven-fault catalogue applied for entire sessions.
+func GenerateControlled(cfg GenConfig) []SessionResult {
+	cfg.defaults()
+	master := rand.New(rand.NewSource(cfg.Seed))
+	catalog := video.NewCatalog(master, video.CatalogConfig{})
+
+	type plan struct {
+		seed int64
+		spec faults.Spec
+		opts Options
+		clip video.Clip
+	}
+	plans := make([]plan, cfg.Sessions)
+	for i := range plans {
+		spec := faults.Spec{Fault: qoe.FaultNone}
+		if master.Float64() < cfg.FaultProb {
+			spec = pickFault(master, qoe.Faults)
+		}
+		wan := WANDSL
+		if master.Float64() < 0.5 {
+			wan = WANMobile
+		}
+		opts := Options{
+			Seed:             cfg.Seed + int64(i)*7919 + 13,
+			WAN:              wan,
+			Device:           randomPhone(master),
+			Pacing:           master.Float64() < 0.5,
+			BackgroundScale:  0.2 + 0.45*master.Float64(),
+			ServerLoadMean:   0.05 + 0.15*master.Float64(),
+			InstrumentRouter: true,
+			InstrumentServer: true,
+		}
+		plans[i] = plan{seed: opts.Seed, spec: spec, opts: opts, clip: catalog[master.Intn(len(catalog))]}
+	}
+	return runAll(cfg.Sessions, cfg.Workers, func(i int) SessionResult {
+		p := plans[i]
+		res := RunSession(SessionConfig{Opts: p.opts, Spec: p.spec, Clip: p.clip})
+		res.Context["setting"] = "controlled"
+		return res
+	})
+}
+
+// GenerateRealWorldInduced produces the Section 6.1 evaluation set: a
+// corporate-WiFi-like environment with milder background noise, videos
+// streamed 3:1 from "YouTube" (an uninstrumented CDN server behind a
+// different WAN) versus the instrumented private server, and five
+// induced fault types in time windows inside the session.
+func GenerateRealWorldInduced(cfg GenConfig) []SessionResult {
+	cfg.defaults()
+	master := rand.New(rand.NewSource(cfg.Seed))
+	catalog := video.NewCatalog(master, video.CatalogConfig{})
+	induced := []qoe.Fault{qoe.LANCongestion, qoe.WANCongestion, qoe.MobileLoad, qoe.LowRSSI, qoe.WiFiInterference}
+
+	type plan struct {
+		cfg SessionConfig
+		svc string
+	}
+	plans := make([]plan, cfg.Sessions)
+	for i := range plans {
+		spec := faults.Spec{Fault: qoe.FaultNone}
+		if master.Float64() < cfg.FaultProb {
+			spec = pickFault(master, induced)
+			// Windowed faults need a higher floor to dent the session's
+			// MOS; the paper's operators induced visibly disruptive
+			// problems.
+			if spec.Intensity < 0.35 {
+				spec.Intensity += 0.25
+			}
+		}
+		youtube := master.Float64() < 0.75
+		clip := catalog[master.Intn(len(catalog))]
+		opts := Options{
+			Seed:             cfg.Seed + int64(i)*104729 + 29,
+			WAN:              WANDSL,
+			Device:           randomPhone(master),
+			Pacing:           youtube, // YouTube paces; the lab Apache does not
+			Mobility:         true,    // users carry the phones around the office
+			BaseRSSI:         -50 - 12*master.Float64(),
+			BackgroundScale:  0.2 + 0.3*master.Float64(), // quieter than the lab simulation
+			ServerLoadMean:   0.05 + 0.1*master.Float64(),
+			InstrumentRouter: true,
+			InstrumentServer: !youtube, // no probe inside YouTube's CDN
+		}
+		if youtube {
+			opts.WAN = WANCDN
+		}
+		// Fault window inside the session so the video loads cleanly
+		// before and after (Section 6.1 protocol).
+		from := time.Duration(float64(clip.Duration) * (0.05 + 0.15*master.Float64()))
+		dur := time.Duration(float64(clip.Duration) * (0.6 + 0.35*master.Float64()))
+		svc := "private"
+		if youtube {
+			svc = "youtube"
+		}
+		plans[i] = plan{cfg: SessionConfig{Opts: opts, Spec: spec, Clip: clip, FaultFrom: from, FaultDur: dur}, svc: svc}
+	}
+	return runAll(cfg.Sessions, cfg.Workers, func(i int) SessionResult {
+		res := RunSession(plans[i].cfg)
+		res.Context["setting"] = "realworld"
+		res.Context["service"] = plans[i].svc
+		return res
+	})
+}
+
+// GenerateWild produces the Section 6.2 in-the-wild set: users roam
+// across arbitrary 3G and WiFi networks for a month, no router probe
+// anywhere, the server probe only behind the private service (1:3
+// against YouTube), and faults occur naturally rather than by
+// injection.
+func GenerateWild(cfg GenConfig) []SessionResult {
+	cfg.defaults()
+	if cfg.FaultProb == 0.45 {
+		cfg.FaultProb = 0.30 // spontaneous problems are rarer than induced ones
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	catalog := video.NewCatalog(master, video.CatalogConfig{})
+
+	type plan struct {
+		cfg  SessionConfig
+		svc  string
+		tech wireless.Technology
+	}
+	plans := make([]plan, cfg.Sessions)
+	for i := range plans {
+		tech := wireless.Tech3G
+		if master.Float64() < 0.4 {
+			tech = wireless.TechWiFi
+		}
+		// Natural faults: anything can happen in the wild, biased to
+		// congestion and signal problems; shaping (an artificial lab
+		// construct) does not occur.
+		natural := []qoe.Fault{
+			qoe.WANCongestion, qoe.WANCongestion, qoe.LANCongestion,
+			qoe.MobileLoad, qoe.LowRSSI, qoe.LowRSSI, qoe.WiFiInterference,
+		}
+		spec := faults.Spec{Fault: qoe.FaultNone}
+		if master.Float64() < cfg.FaultProb {
+			spec = pickFault(master, natural)
+		}
+		youtube := master.Float64() < 0.75
+		clip := catalog[master.Intn(len(catalog))]
+		opts := Options{
+			Seed:             cfg.Seed + int64(i)*15485863 + 41,
+			WAN:              WANDSL,
+			Tech:             tech,
+			Device:           randomPhone(master),
+			Pacing:           youtube,
+			Mobility:         true,
+			BaseRSSI:         -48 - 30*master.Float64(), // arbitrary networks, arbitrary quality
+			BackgroundScale:  0.2 + 0.8*master.Float64(),
+			ServerLoadMean:   0.05 + 0.2*master.Float64(),
+			InstrumentRouter: false, // removed for 3G/WiFi comparability (Section 6.2)
+			InstrumentServer: !youtube,
+		}
+		if youtube {
+			opts.WAN = WANCDN
+		}
+		if tech == wireless.Tech3G {
+			opts.WAN = WANMobile
+			if opts.BaseRSSI < -72 {
+				opts.BaseRSSI = -72 - 10*master.Float64() // cellular coverage floor
+			}
+		}
+		svc := "private"
+		if youtube {
+			svc = "youtube"
+		}
+		sc := SessionConfig{Opts: opts, Spec: spec, Clip: clip}
+		// Mobility: a few sessions lose connectivity for good when the
+		// user roams out of coverage (Section 6.2's uncontrolled
+		// real-world conditions).
+		if master.Float64() < 0.05 {
+			sc.RadioOutageAt = time.Duration(float64(clip.Duration) * (0.15 + 0.7*master.Float64()))
+		}
+		plans[i] = plan{cfg: sc, svc: svc, tech: tech}
+	}
+	return runAll(cfg.Sessions, cfg.Workers, func(i int) SessionResult {
+		res := RunSession(plans[i].cfg)
+		res.Context["setting"] = "wild"
+		res.Context["service"] = plans[i].svc
+		return res
+	})
+}
+
+// randomPhone rotates the paper's three handset models.
+func randomPhone(rng *rand.Rand) hardware.Profile {
+	switch rng.Intn(3) {
+	case 0:
+		return hardware.ProfileGalaxyS2
+	case 1:
+		return hardware.ProfileNexusS
+	default:
+		return hardware.ProfileNexus5
+	}
+}
+
+// ---- dataset assembly ----
+
+// Labeler converts a session result into a class label; returning ""
+// drops the instance.
+type Labeler func(r SessionResult) string
+
+// SeverityLabel is the 3-way good/mild/severe task (Section 5.1).
+func SeverityLabel(r SessionResult) string { return r.Label.SeverityClass() }
+
+// LocationLabel is the 7-way location task (Section 5.2). Degraded
+// sessions with no induced fault have no attributable location and are
+// dropped, as are fault-labeled-good conflations (labeled good).
+func LocationLabel(r SessionResult) string {
+	if r.Label.Severity != qoe.Good && r.Spec.Fault == qoe.FaultNone {
+		return ""
+	}
+	return r.Label.LocationClass()
+}
+
+// ExactLabel is the 15-way exact-problem task (Section 5.3).
+func ExactLabel(r SessionResult) string {
+	if r.Label.Severity != qoe.Good && r.Spec.Fault == qoe.FaultNone {
+		return ""
+	}
+	return r.Label.ExactClass()
+}
+
+// BinaryLabel is the good/problematic split used in the wild (Section
+// 6.2), where fine-grained ground truth is unobtainable.
+func BinaryLabel(r SessionResult) string {
+	if r.Label.Severity == qoe.Good {
+		return "good"
+	}
+	return "problematic"
+}
+
+// ToDataset assembles an ML dataset from session results using the given
+// vantage points (prefixing features with the VP name) and labeler.
+func ToDataset(results []SessionResult, vps []string, label Labeler) *ml.Dataset {
+	var ins []ml.Instance
+	for _, r := range results {
+		c := label(r)
+		if c == "" {
+			continue
+		}
+		fv := r.Combined(vps...)
+		if len(fv) == 0 {
+			continue
+		}
+		ins = append(ins, ml.Instance{Features: fv, Class: c})
+	}
+	return ml.NewDataset(ins)
+}
+
+// FineSeverityLabel is the five-band severity task the paper proposes
+// as future work (Section 9).
+func FineSeverityLabel(r SessionResult) string {
+	return qoe.FineSeverityOf(r.MOS).String()
+}

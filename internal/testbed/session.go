@@ -1,0 +1,135 @@
+package testbed
+
+import (
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/video"
+)
+
+// SessionResult is everything one video session produced: the QoE ground
+// truth, the label, and the per-vantage-point measurement records.
+type SessionResult struct {
+	Report video.Report
+	MOS    float64
+	Label  qoe.Label
+	Spec   faults.Spec
+	// Extra lists co-occurring faults beyond Spec (multi-problem
+	// sessions).
+	Extra []faults.Spec
+
+	// Records maps vantage point name ("mobile", "router", "server")
+	// to its feature vector; absent VPs are absent keys.
+	Records map[string]metrics.Vector
+
+	// Context carries non-feature attributes (wan profile, radio tech,
+	// clip quality) used for slicing results, never for training.
+	Context map[string]string
+
+	// Timeline is the player's event log (state changes, stalls), for
+	// inspection tools; never used for training.
+	Timeline []video.Event
+}
+
+// Combined merges the given vantage points' records into one prefixed
+// vector ("mobile.tcp_...", ...). Missing VPs contribute nothing, which
+// the ML layer treats as missing values.
+func (r SessionResult) Combined(vps ...string) metrics.Vector {
+	out := metrics.Vector{}
+	for _, vp := range vps {
+		if rec, ok := r.Records[vp]; ok {
+			out.Merge(vp, rec)
+		}
+	}
+	return out
+}
+
+// SessionConfig describes one scenario run.
+type SessionConfig struct {
+	Opts Options
+	Spec faults.Spec
+	// Extra holds additional co-occurring faults (the paper's stated
+	// future work on multi-problem sessions); each is applied with the
+	// same window as Spec.
+	Extra []faults.Spec
+	// FaultFrom/FaultDur bound time-windowed faults; zero FaultDur
+	// means "the whole session" (controlled-testbed style).
+	FaultFrom time.Duration
+	FaultDur  time.Duration
+	Clip      video.Clip
+	// MaxWall caps the session's virtual wall time; zero derives a cap
+	// from the clip duration.
+	MaxWall time.Duration
+	// RadioOutageAt, when positive, drops the radio association
+	// permanently at that time — a roaming user leaving coverage
+	// mid-session (wild-scenario mobility).
+	RadioOutageAt time.Duration
+}
+
+// RunSession builds a fresh topology, injects the fault, streams one
+// video and collects all records. Each session is its own simulation,
+// so sessions are independent and parallelizable.
+func RunSession(cfg SessionConfig) SessionResult {
+	topo := Build(cfg.Opts)
+	sim := topo.Sim
+
+	dur := cfg.FaultDur
+	if dur == 0 {
+		dur = cfg.Clip.Duration*6 + 10*time.Minute // effectively whole session
+	}
+	faults.Apply(topo.FaultTarget(), cfg.Spec, cfg.FaultFrom, dur)
+	for _, extra := range cfg.Extra {
+		faults.Apply(topo.FaultTarget(), extra, cfg.FaultFrom, dur)
+	}
+
+	if cfg.RadioOutageAt > 0 {
+		sim.At(cfg.RadioOutageAt, func() { topo.Channel.Disconnect(24 * time.Hour) })
+	}
+
+	clip := cfg.Clip
+	topo.Server.ClipFor = func(simnet.FlowKey) video.Clip { return clip }
+
+	player := video.Play(topo.PhoneHost, topo.PhoneDev, AddrServer, clip, video.PlayerConfig{})
+	player.OnFinish = func(video.Report) { sim.Halt() }
+
+	maxWall := cfg.MaxWall
+	if maxWall == 0 {
+		maxWall = cfg.Clip.Duration*4 + 90*time.Second
+		if maxWall > 8*time.Minute {
+			maxWall = 8 * time.Minute
+		}
+	}
+	sim.Run(maxWall)
+	if !player.Done() {
+		player.ForceFinish()
+	}
+
+	rep := player.Report()
+	mos := qoe.MOS(rep)
+	res := SessionResult{
+		Report:  rep,
+		MOS:     mos,
+		Label:   qoe.Label{Fault: cfg.Spec.Fault, Severity: qoe.SeverityOf(mos)},
+		Spec:    cfg.Spec,
+		Extra:   cfg.Extra,
+		Records: map[string]metrics.Vector{},
+		Context: map[string]string{
+			"wan":     cfg.Opts.WAN.String(),
+			"tech":    string(cfg.Opts.Tech),
+			"quality": string(clip.Quality),
+		},
+	}
+	res.Timeline = player.Events()
+	flow := player.Flow()
+	res.Records["mobile"] = topo.Mobile.Record(flow)
+	if topo.Router != nil {
+		res.Records["router"] = topo.Router.Record(flow)
+	}
+	if topo.SrvVP != nil {
+		res.Records["server"] = topo.SrvVP.Record(flow)
+	}
+	return res
+}

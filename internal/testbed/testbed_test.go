@@ -1,0 +1,264 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/video"
+	"vqprobe/internal/wireless"
+)
+
+func sd(sec int) video.Clip {
+	return video.Clip{ID: 1, Quality: video.SD, Bitrate: 1e6, Duration: time.Duration(sec) * time.Second, FPS: 30}
+}
+
+func run(t *testing.T, seed int64, spec faults.Spec, opts Options) SessionResult {
+	t.Helper()
+	opts.Seed = seed
+	if opts.BackgroundScale == 0 {
+		opts.BackgroundScale = 0.3
+	}
+	opts.InstrumentRouter = true
+	opts.InstrumentServer = true
+	return RunSession(SessionConfig{Opts: opts, Spec: spec, Clip: sd(25)})
+}
+
+func TestHealthySessionIsGood(t *testing.T) {
+	r := run(t, 1, faults.Spec{Fault: qoe.FaultNone}, Options{})
+	if r.Label.Severity != qoe.Good {
+		t.Fatalf("healthy session labeled %v (MOS %.2f, %+v)", r.Label.Severity, r.MOS, r.Report)
+	}
+	for _, vp := range []string{"mobile", "router", "server"} {
+		rec, ok := r.Records[vp]
+		if !ok {
+			t.Fatalf("missing %s record", vp)
+		}
+		if len(rec) < 80 {
+			t.Errorf("%s record has only %d features", vp, len(rec))
+		}
+	}
+}
+
+func TestSevereFaultsDegradeSessions(t *testing.T) {
+	for _, f := range qoe.Faults {
+		bad := 0
+		for _, seed := range []int64{2, 3, 4} {
+			r := run(t, seed, faults.Spec{Fault: f, Intensity: 1.0}, Options{})
+			if r.Label.Severity != qoe.Good {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Errorf("fault %v at full intensity never degraded QoE in 3 runs", f)
+		}
+	}
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	a := run(t, 42, faults.Spec{Fault: qoe.WANCongestion, Intensity: 0.7}, Options{})
+	b := run(t, 42, faults.Spec{Fault: qoe.WANCongestion, Intensity: 0.7}, Options{})
+	if a.MOS != b.MOS {
+		t.Errorf("same seed, different MOS: %.4f vs %.4f", a.MOS, b.MOS)
+	}
+	am, bm := a.Records["mobile"], b.Records["mobile"]
+	if len(am) != len(bm) {
+		t.Fatalf("record sizes differ: %d vs %d", len(am), len(bm))
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			t.Fatalf("feature %s differs: %v vs %v", k, v, bm[k])
+		}
+	}
+}
+
+func TestInstrumentationFlags(t *testing.T) {
+	r := RunSession(SessionConfig{
+		Opts: Options{Seed: 5, BackgroundScale: 0.3},
+		Clip: sd(20),
+	})
+	if _, ok := r.Records["mobile"]; !ok {
+		t.Error("mobile probe must always exist")
+	}
+	if _, ok := r.Records["router"]; ok {
+		t.Error("router record present without instrumentation")
+	}
+	if _, ok := r.Records["server"]; ok {
+		t.Error("server record present without instrumentation")
+	}
+}
+
+func TestMobileLoadVisibleInMobileHWMetrics(t *testing.T) {
+	healthy := run(t, 6, faults.Spec{Fault: qoe.FaultNone}, Options{})
+	loaded := run(t, 6, faults.Spec{Fault: qoe.MobileLoad, Intensity: 0.9}, Options{})
+	if loaded.Records["mobile"]["hw_cpu_pct_avg"] <= healthy.Records["mobile"]["hw_cpu_pct_avg"]+20 {
+		t.Errorf("mobile load fault CPU %.1f not clearly above healthy %.1f",
+			loaded.Records["mobile"]["hw_cpu_pct_avg"], healthy.Records["mobile"]["hw_cpu_pct_avg"])
+	}
+}
+
+func TestLowRSSIVisibleInMobileLinkMetrics(t *testing.T) {
+	healthy := run(t, 7, faults.Spec{Fault: qoe.FaultNone}, Options{})
+	weak := run(t, 7, faults.Spec{Fault: qoe.LowRSSI, Intensity: 0.8}, Options{})
+	if weak.Records["mobile"]["wlan0_nic_rssi_dbm_avg"] >= healthy.Records["mobile"]["wlan0_nic_rssi_dbm_avg"]-10 {
+		t.Errorf("low-RSSI fault RSSI %.1f not clearly below healthy %.1f",
+			weak.Records["mobile"]["wlan0_nic_rssi_dbm_avg"], healthy.Records["mobile"]["wlan0_nic_rssi_dbm_avg"])
+	}
+	// Router and server must NOT have RSSI features at all.
+	for _, vp := range []string{"router", "server"} {
+		for k := range weak.Records[vp] {
+			if k == "wlan0_nic_rssi_dbm_avg" {
+				t.Errorf("%s record leaks RSSI", vp)
+			}
+		}
+	}
+}
+
+func TestWANCongestionInflatesServerRTT(t *testing.T) {
+	healthy := run(t, 8, faults.Spec{Fault: qoe.FaultNone}, Options{})
+	congested := run(t, 8, faults.Spec{Fault: qoe.WANCongestion, Intensity: 0.9}, Options{})
+	h := healthy.Records["server"]["tcp_s2c_rtt_ms_avg"]
+	c := congested.Records["server"]["tcp_s2c_rtt_ms_avg"]
+	if c <= h {
+		t.Errorf("WAN congestion did not inflate server-side RTT: %.1f vs %.1f", c, h)
+	}
+}
+
+func TestGenerateControlledStructure(t *testing.T) {
+	res := GenerateControlled(GenConfig{Sessions: 24, Seed: 9})
+	if len(res) != 24 {
+		t.Fatalf("got %d results", len(res))
+	}
+	goods := 0
+	for _, r := range res {
+		if r.Context["setting"] != "controlled" {
+			t.Error("missing setting context")
+		}
+		if _, ok := r.Records["router"]; !ok {
+			t.Error("controlled sessions must have a router record")
+		}
+		if _, ok := r.Records["server"]; !ok {
+			t.Error("controlled sessions must have a server record")
+		}
+		if r.Label.Severity == qoe.Good {
+			goods++
+		}
+	}
+	if goods < 12 {
+		t.Errorf("only %d/24 good sessions; calibration drifted", goods)
+	}
+}
+
+func TestGenerateWildStructure(t *testing.T) {
+	res := GenerateWild(GenConfig{Sessions: 30, Seed: 10})
+	youtube, private := 0, 0
+	for _, r := range res {
+		if _, ok := r.Records["router"]; ok {
+			t.Fatal("wild sessions must not have a router probe")
+		}
+		if _, ok := r.Records["server"]; ok {
+			private++
+		} else {
+			youtube++
+		}
+		if r.Context["tech"] != string(wireless.Tech3G) && r.Context["tech"] != string(wireless.TechWiFi) {
+			t.Errorf("unexpected tech %q", r.Context["tech"])
+		}
+	}
+	if youtube == 0 || private == 0 {
+		t.Errorf("expected a youtube/private mix, got %d/%d", youtube, private)
+	}
+	if youtube < private {
+		t.Errorf("youtube sessions (%d) should dominate private (%d)", youtube, private)
+	}
+}
+
+func TestGenerateRealWorldStructure(t *testing.T) {
+	res := GenerateRealWorldInduced(GenConfig{Sessions: 24, Seed: 11})
+	sawShaping := false
+	for _, r := range res {
+		if _, ok := r.Records["router"]; !ok {
+			t.Fatal("real-world sessions keep the router probe")
+		}
+		if r.Spec.Fault == qoe.LANShaping || r.Spec.Fault == qoe.WANShaping {
+			sawShaping = true
+		}
+	}
+	if sawShaping {
+		t.Error("shaping faults are lab-only; the 6.1 protocol induces five fault kinds")
+	}
+}
+
+func TestToDatasetAndLabelers(t *testing.T) {
+	res := GenerateControlled(GenConfig{Sessions: 16, Seed: 12})
+	d := ToDataset(res, []string{"mobile"}, SeverityLabel)
+	if d.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	for _, f := range d.Features() {
+		if len(f) < 8 || f[:7] != "mobile." {
+			t.Fatalf("unprefixed feature %q", f)
+		}
+	}
+	// Binary labels are a coarsening of severity labels.
+	b := ToDataset(res, []string{"mobile"}, BinaryLabel)
+	counts := b.ClassCounts()
+	if counts["good"]+counts["problematic"] != b.Len() {
+		t.Error("binary labeler produced unexpected classes")
+	}
+}
+
+func TestCombinedMergesOnlyPresentVPs(t *testing.T) {
+	res := RunSession(SessionConfig{
+		Opts: Options{Seed: 13, BackgroundScale: 0.3, InstrumentServer: true},
+		Clip: sd(20),
+	})
+	fv := res.Combined("mobile", "router", "server")
+	hasRouter := false
+	for k := range fv {
+		if len(k) > 7 && k[:7] == "router." {
+			hasRouter = true
+		}
+	}
+	if hasRouter {
+		t.Error("combined vector contains router features without a router probe")
+	}
+}
+
+func TestRadioOutageFailsSession(t *testing.T) {
+	res := RunSession(SessionConfig{
+		Opts:          Options{Seed: 44, BackgroundScale: 0.3, InstrumentServer: true},
+		Clip:          sd(30),
+		RadioOutageAt: 8 * time.Second,
+	})
+	if !res.Report.Failed {
+		t.Fatalf("session with a permanent radio outage did not fail: %+v", res.Report)
+	}
+	if res.Label.Severity == qoe.Good {
+		t.Error("outage session labeled good")
+	}
+	// The mobile probe saw the disconnection.
+	if res.Records["mobile"]["wlan0_nic_disconnects"] == 0 {
+		t.Error("mobile link probe recorded no disconnects")
+	}
+}
+
+func TestRunAdaptiveSession(t *testing.T) {
+	res, rep := RunAdaptiveSession(SessionConfig{
+		Opts: Options{Seed: 50, BackgroundScale: 0.3, InstrumentRouter: true, InstrumentServer: true},
+		Clip: sd(24),
+	}, video.AdaptiveConfig{})
+	if res.Context["delivery"] != "adaptive" {
+		t.Error("missing adaptive delivery context")
+	}
+	if !rep.Completed {
+		t.Fatalf("healthy adaptive session failed: %+v", rep)
+	}
+	if len(res.Records["mobile"]) < 80 {
+		t.Errorf("mobile record has %d features", len(res.Records["mobile"]))
+	}
+	if rep.AvgBitrate <= 0 {
+		t.Error("no bitrate recorded")
+	}
+}

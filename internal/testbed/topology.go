@@ -1,0 +1,273 @@
+// Package testbed orchestrates complete experiments: it builds the
+// paper's testbed topology (Figure 2), layers background variation on
+// it, injects faults (Table 2), runs video sessions, collects the
+// per-vantage-point records, labels them with MOS-derived classes, and
+// assembles ML datasets.
+//
+// Three generators mirror the paper's three evaluation settings:
+// GenerateControlled (Section 4/5), GenerateRealWorldInduced (Section
+// 6.1) and GenerateWild (Section 6.2).
+package testbed
+
+import (
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/probe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+	"vqprobe/internal/traffic"
+	"vqprobe/internal/video"
+	"vqprobe/internal/wireless"
+)
+
+// Node addresses in every topology.
+const (
+	AddrPhone  simnet.Addr = 1
+	AddrServer simnet.Addr = 2
+	AddrRouter simnet.Addr = 100
+)
+
+// WANProfile selects the emulated broadband link (Table 3).
+type WANProfile int
+
+// The two WAN emulations of the paper's testbed.
+const (
+	WANDSL WANProfile = iota
+	WANMobile
+)
+
+func (p WANProfile) String() string {
+	switch p {
+	case WANMobile:
+		return "mobile"
+	case WANCDN:
+		return "cdn"
+	default:
+		return "dsl"
+	}
+}
+
+// wanConfig returns the Table 3 link settings. Delay and loss follow
+// normal distributions within the indicated ranges: the jitter std is
+// half the quoted +- range so ~95% of packets fall inside it.
+func wanConfig(p WANProfile) simnet.LinkConfig {
+	switch p {
+	case WANCDN:
+		return simnet.LinkConfig{
+			Rate: 20e6, Delay: 22 * time.Millisecond,
+			JitterStd: 4 * time.Millisecond, Loss: 0.001,
+			QueueBytes: 256 * 1024,
+		}
+	case WANMobile:
+		// Table 3 rate and delay. The quoted 1.4% loss is the WAN
+		// *shaping-fault* setting (Table 2); a healthy cellular bearer
+		// hides radio loss behind RLC-layer ARQ, so the baseline is
+		// nearly loss-free (Reno at 0.3%+ random loss and 100ms RTT
+		// would cap below every HD bitrate) and the full Table value is
+		// applied by the WAN-shaping injector.
+		return simnet.LinkConfig{
+			Rate: 5.22e6, Delay: 100 * time.Millisecond,
+			JitterStd: 15 * time.Millisecond, Loss: 0.0005,
+			QueueBytes: 96 * 1024,
+		}
+	default:
+		// Table 3 DSL rate/delay; see the loss note above (0.75% is the
+		// shaping-fault value).
+		return simnet.LinkConfig{
+			Rate: 7.8e6, Delay: 50 * time.Millisecond,
+			JitterStd: 10 * time.Millisecond, Loss: 0.0005,
+			QueueBytes: 96 * 1024,
+		}
+	}
+}
+
+// Options parameterize one topology build.
+type Options struct {
+	Seed int64
+	WAN  WANProfile
+	// Tech selects the last hop: WiFi goes phone-AP-WAN-server; 3G
+	// makes the middle node an uninstrumented cell tower.
+	Tech wireless.Technology
+	// Device is the phone's hardware profile; zero value selects a
+	// Galaxy S II (the paper's main device).
+	Device hardware.Profile
+	// BaseRSSI of the radio link; zero selects a healthy -52 dBm.
+	BaseRSSI float64
+	// Mobility enables the RSSI random walk (in-the-wild users carry
+	// the phone around).
+	Mobility bool
+	// Pacing enables YouTube-style server pacing.
+	Pacing bool
+	// BackgroundScale multiplies the D-ITG-style background mix on the
+	// WAN; zero disables background (tests); the generators randomize
+	// it per session.
+	BackgroundScale float64
+	// ServerLoadMean is the ApacheBench-style baseline utilization of
+	// the content server.
+	ServerLoadMean float64
+	// InstrumentRouter/InstrumentServer control which probes exist
+	// beyond the always-present mobile probe.
+	InstrumentRouter bool
+	InstrumentServer bool
+	// WiFiRate is the nominal capacity of the radio link; zero selects
+	// 70 Mbit/s (802.11n single stream ceiling).
+	WiFiRate float64
+	// disableVideoServer skips installing the progressive video server
+	// (adaptive sessions install their own listener on the same port).
+	disableVideoServer bool
+}
+
+// Topology is a fully built testbed world.
+type Topology struct {
+	Sim *simnet.Sim
+
+	PhoneHost  *tcpsim.Host
+	ServerHost *tcpsim.Host
+	RouterNode *simnet.Node
+
+	WiFi    *simnet.Link
+	WAN     *simnet.Link
+	Channel *wireless.Channel
+
+	PhoneDev  *hardware.Device
+	RouterDev *hardware.Device
+	ServerDev *hardware.Device
+
+	SrvLoad *traffic.ServerLoad
+	Server  *video.Server
+
+	Mobile *probe.VantagePoint
+	Router *probe.VantagePoint // nil when not instrumented
+	SrvVP  *probe.VantagePoint // nil when not instrumented
+
+	opts Options
+}
+
+// Build constructs the Figure 2 testbed: content server - WAN link -
+// router/AP - radio link - phone, with hardware models, probes and the
+// video server application installed.
+func Build(opts Options) *Topology {
+	if opts.Device.MemTotalMB == 0 {
+		opts.Device = hardware.ProfileGalaxyS2
+	}
+	if opts.BaseRSSI == 0 {
+		opts.BaseRSSI = -52
+	}
+	if opts.Tech == "" {
+		opts.Tech = wireless.TechWiFi
+	}
+	if opts.WiFiRate == 0 {
+		opts.WiFiRate = 70e6
+	}
+
+	sim := simnet.New(opts.Seed)
+	rng := sim.Rand()
+
+	phone := sim.NewNode("phone", AddrPhone)
+	router := sim.NewNode("router", AddrRouter)
+	server := sim.NewNode("server", AddrServer)
+
+	pNIC := phone.AddNIC("wlan0")
+	rLan := router.AddNIC("wlan0")
+	rWan := router.AddNIC("eth0")
+	sNIC := server.AddNIC("eth0")
+
+	radioCfg := simnet.LinkConfig{
+		Rate: opts.WiFiRate, Delay: 2 * time.Millisecond,
+		Retries: 7, RetryBackoff: 200 * time.Microsecond,
+		QueueBytes: 256 * 1024,
+	}
+	if opts.Tech == wireless.Tech3G {
+		radioCfg.Rate = 7.2e6
+		radioCfg.Delay = 35 * time.Millisecond
+		radioCfg.Retries = 5
+	}
+	wifi := simnet.ConnectSym(sim, "radio", pNIC, rLan, radioCfg)
+	wan := simnet.ConnectSym(sim, "wan", rWan, sNIC, wanConfig(opts.WAN))
+
+	rt := simnet.NewRouter(router)
+	rt.AddRoute(AddrPhone, rLan)
+	rt.SetDefault(rWan)
+
+	walk := 0.0
+	if opts.Mobility {
+		walk = 2.0
+	}
+	chn := wireless.Attach(sim, wifi, wireless.ChannelConfig{
+		Tech:     opts.Tech,
+		BaseRSSI: opts.BaseRSSI + rng.NormFloat64()*2,
+		RSSIStd:  2,
+		Walk:     walk,
+	})
+
+	phoneHost := tcpsim.NewHost(phone, pNIC)
+	phoneHost.DefaultMSS = 1380 // cellular-era handset MTU clamp
+	serverHost := tcpsim.NewHost(server, sNIC)
+
+	phoneDev := hardware.NewDevice(sim, opts.Device)
+	routerDev := hardware.NewDevice(sim, hardware.ProfileRouter)
+	serverDev := hardware.NewDevice(sim, hardware.ProfileServer)
+
+	srvLoad := traffic.NewServerLoad(sim, opts.ServerLoadMean, 0.04)
+	var vs *video.Server
+	if !opts.disableVideoServer {
+		vs = video.NewServer(serverHost, video.ServerConfig{
+			Pacing: opts.Pacing,
+			LoadFn: srvLoad.Level,
+		})
+	}
+
+	t := &Topology{
+		Sim: sim, PhoneHost: phoneHost, ServerHost: serverHost,
+		RouterNode: router, WiFi: wifi, WAN: wan, Channel: chn,
+		PhoneDev: phoneDev, RouterDev: routerDev, ServerDev: serverDev,
+		SrvLoad: srvLoad, Server: vs, opts: opts,
+	}
+
+	// Probes. The mobile probe is the only one with radio visibility.
+	t.Mobile = probe.NewVantagePoint("mobile", phone, phoneDev)
+	t.Mobile.AddLink(sim, "wlan0", pNIC, chn)
+	if opts.InstrumentRouter {
+		t.Router = probe.NewVantagePoint("router", router, routerDev)
+		t.Router.AddLink(sim, "wlan0", rLan, nil)
+		t.Router.AddLink(sim, "eth0", rWan, nil)
+	}
+	if opts.InstrumentServer {
+		t.SrvVP = probe.NewVantagePoint("server", server, serverDev)
+		t.SrvVP.AddLink(sim, "eth0", sNIC, nil)
+	}
+
+	// Ever-present background variation (Section 4.2).
+	if opts.BackgroundScale > 0 {
+		traffic.AttachBackground(sim, wan, simnet.BtoA, traffic.BackgroundConfig{Scale: opts.BackgroundScale})
+		traffic.AttachBackground(sim, wan, simnet.AtoB, traffic.BackgroundConfig{Scale: opts.BackgroundScale * 0.5})
+		traffic.AttachBackground(sim, wifi, simnet.BtoA, traffic.BackgroundConfig{
+			Scale: opts.BackgroundScale * 0.4,
+			Apps:  []traffic.AppKind{traffic.AppWeb, traffic.AppVoIP},
+		})
+	}
+	return t
+}
+
+// FaultTarget exposes the knobs fault injectors manipulate.
+// Video data flows server->router (WAN BtoA) and router->phone (WiFi
+// BtoA) given the Connect argument order above.
+func (t *Topology) FaultTarget() faults.Target {
+	return faults.Target{
+		Rng:      t.Sim.Rand(),
+		Sim:      t.Sim,
+		WANLink:  t.WAN,
+		WANDown:  simnet.BtoA,
+		WiFi:     t.WiFi,
+		WiFiDown: simnet.BtoA,
+		Channel:  t.Channel,
+		Device:   t.PhoneDev,
+		SrvLoad:  t.SrvLoad,
+	}
+}
+
+// WANCDN emulates the short, fat path to a nearby CDN edge node — the
+// "YouTube" servers of the real-world experiments.
+const WANCDN WANProfile = 2

@@ -1,0 +1,232 @@
+// Package traffic generates the synthetic competing workloads of the
+// testbed: D-ITG-style application mixes (VoIP, FTP, web, gaming) that
+// provide ever-present background variation, iperf-style UDP congestors
+// used as induced faults, and an ApacheBench-style server load process.
+//
+// Application mixes and congestors are fluid: they occupy a fraction of a
+// link's capacity through simnet's busy-fraction hook instead of sending
+// real packets. The foreground TCP flow still experiences the queueing
+// delay, loss and bandwidth starvation a packet-level competitor would
+// cause, at a tiny fraction of the event cost (see DESIGN.md; the
+// fluid-vs-packet ablation benchmark validates the equivalence). A
+// packet-level UDP source is also provided for that ablation and for
+// tests.
+package traffic
+
+import (
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// AppKind labels one D-ITG-style application profile.
+type AppKind string
+
+// Application profiles, mirroring the generators the paper lists.
+const (
+	AppVoIP   AppKind = "voip"
+	AppFTP    AppKind = "ftp"
+	AppWeb    AppKind = "web"
+	AppGaming AppKind = "gaming"
+	AppTelnet AppKind = "telnet"
+)
+
+// appProfile holds the on/off dynamics of one application type, as a
+// fraction of link capacity while on.
+type appProfile struct {
+	share   float64 // capacity fraction while active
+	onMean  time.Duration
+	offMean time.Duration
+}
+
+var profiles = map[AppKind]appProfile{
+	AppVoIP:   {share: 0.02, onMean: 60 * time.Second, offMean: 90 * time.Second},
+	AppFTP:    {share: 0.35, onMean: 8 * time.Second, offMean: 45 * time.Second},
+	AppWeb:    {share: 0.12, onMean: 2 * time.Second, offMean: 10 * time.Second},
+	AppGaming: {share: 0.04, onMean: 120 * time.Second, offMean: 60 * time.Second},
+	AppTelnet: {share: 0.005, onMean: 30 * time.Second, offMean: 30 * time.Second},
+}
+
+type appFlow struct {
+	profile appProfile
+	on      bool
+	until   time.Duration
+}
+
+// Background is a D-ITG-style application mix occupying a link direction.
+type Background struct {
+	sim    *simnet.Sim
+	flows  []appFlow
+	scale  float64
+	level  float64
+	ticker *simnet.Ticker
+}
+
+// BackgroundConfig selects the composition of the mix.
+type BackgroundConfig struct {
+	// Apps lists the active application flows; empty selects a default
+	// mix of one of each kind.
+	Apps []AppKind
+	// Scale multiplies every flow's capacity share; zero selects 1.
+	// The testbed randomizes it per scenario so no two sessions see the
+	// same background.
+	Scale float64
+}
+
+// AttachBackground starts an application mix on one direction of a link.
+func AttachBackground(sim *simnet.Sim, link *simnet.Link, dir simnet.Direction, cfg BackgroundConfig) *Background {
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = []AppKind{AppVoIP, AppFTP, AppWeb, AppGaming, AppTelnet}
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	b := &Background{sim: sim, scale: cfg.Scale}
+	for _, k := range cfg.Apps {
+		p, ok := profiles[k]
+		if !ok {
+			continue
+		}
+		b.flows = append(b.flows, appFlow{profile: p})
+	}
+	b.step(0)
+	b.ticker = simnet.NewTicker(sim, 500*time.Millisecond, b.step)
+	link.AddBusyFn(dir, func(time.Duration) float64 { return b.level })
+	return b
+}
+
+// Level returns the current occupied capacity fraction.
+func (b *Background) Level() float64 { return b.level }
+
+// Stop halts the mix (its last level persists; callers typically stop it
+// only at teardown).
+func (b *Background) Stop() { b.ticker.Stop() }
+
+func (b *Background) step(now time.Duration) {
+	rng := b.sim.Rand()
+	var sum float64
+	for i := range b.flows {
+		f := &b.flows[i]
+		if now >= f.until {
+			f.on = !f.on
+			mean := f.profile.offMean
+			if f.on {
+				mean = f.profile.onMean
+			}
+			f.until = now + time.Duration(rng.ExpFloat64()*float64(mean))
+		}
+		if f.on {
+			sum += f.profile.share * (0.7 + 0.6*rng.Float64())
+		}
+	}
+	b.level = clamp(sum*b.scale, 0, 0.85)
+}
+
+// Congestor is an iperf-style constant-rate UDP load on a link
+// direction, used to induce LAN/WAN congestion faults.
+type Congestor struct {
+	intensity float64
+	jitter    float64
+	sim       *simnet.Sim
+	active    bool
+	from, to  time.Duration
+}
+
+// AttachCongestor occupies `intensity` (0..1) of the link direction's
+// capacity during [from, from+dur). A small multiplicative jitter makes
+// the load realistic rather than perfectly flat.
+func AttachCongestor(sim *simnet.Sim, link *simnet.Link, dir simnet.Direction, intensity float64, from, dur time.Duration) *Congestor {
+	c := &Congestor{intensity: clamp(intensity, 0, 0.97), jitter: 0.05, sim: sim, from: from, to: from + dur}
+	link.AddBusyFn(dir, c.level)
+	return c
+}
+
+func (c *Congestor) level(now time.Duration) float64 {
+	if now < c.from || now >= c.to {
+		return 0
+	}
+	j := 1 + c.jitter*(c.sim.Rand().Float64()*2-1)
+	return clamp(c.intensity*j, 0, 0.97)
+}
+
+// ServerLoad is an ApacheBench-style request load on the content server:
+// an autoregressive utilization process in [0,1].
+type ServerLoad struct {
+	level  float64
+	mean   float64
+	std    float64
+	boost  float64
+	bFrom  time.Duration
+	bTo    time.Duration
+	sim    *simnet.Sim
+	ticker *simnet.Ticker
+}
+
+// NewServerLoad starts a server-utilization process with the given mean
+// and variability.
+func NewServerLoad(sim *simnet.Sim, mean, std float64) *ServerLoad {
+	l := &ServerLoad{mean: mean, std: std, sim: sim, level: mean}
+	l.ticker = simnet.NewTicker(sim, time.Second, l.step)
+	return l
+}
+
+// Boost adds extra load during [from, from+dur) — the induced
+// "server overload" component of WAN-side faults.
+func (l *ServerLoad) Boost(amount float64, from, dur time.Duration) {
+	l.boost, l.bFrom, l.bTo = amount, from, from+dur
+}
+
+// Level returns the current utilization in [0,1]; plug it into
+// video.ServerConfig.LoadFn.
+func (l *ServerLoad) Level(now time.Duration) float64 {
+	v := l.level
+	if now >= l.bFrom && now < l.bTo {
+		v += l.boost
+	}
+	return clamp(v, 0, 1)
+}
+
+// Stop halts the process.
+func (l *ServerLoad) Stop() { l.ticker.Stop() }
+
+func (l *ServerLoad) step(time.Duration) {
+	rng := l.sim.Rand()
+	l.level = clamp(0.8*l.level+0.2*l.mean+rng.NormFloat64()*l.std, 0, 1)
+}
+
+// UDPSource sends real packets at a constant rate; used by the
+// fluid-vs-packet ablation and by tests that need genuine cross traffic.
+type UDPSource struct {
+	ticker *simnet.Ticker
+}
+
+// NewUDPSource emits pktSize-byte UDP packets from node via nic toward
+// dst at rateBps during [from, from+dur).
+func NewUDPSource(sim *simnet.Sim, node *simnet.Node, nic *simnet.NIC, dst simnet.Addr, rateBps float64, pktSize int, from, dur time.Duration) *UDPSource {
+	interval := time.Duration(float64(pktSize*8) / rateBps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	u := &UDPSource{}
+	flow := simnet.FlowKey{Proto: simnet.ProtoUDP, Src: node.Addr, Dst: dst, SrcPort: 5001, DstPort: 5001}
+	sim.At(from, func() {
+		u.ticker = simnet.NewTicker(sim, interval, func(now time.Duration) {
+			if now >= from+dur {
+				u.ticker.Stop()
+				return
+			}
+			node.Send(nic, sim.NewPacket(flow, pktSize-simnet.HeaderBytes, nil))
+		})
+	})
+	return u
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,176 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+func pair(seed int64, cfg simnet.LinkConfig) (*simnet.Sim, *simnet.Link, *simnet.Node, *simnet.Node) {
+	s := simnet.New(seed)
+	a := s.NewNode("a", 1)
+	b := s.NewNode("b", 2)
+	l := simnet.ConnectSym(s, "l", a.AddNIC("0"), b.AddNIC("0"), cfg)
+	return s, l, a, b
+}
+
+func TestBackgroundLevelsVaryAndStayBounded(t *testing.T) {
+	s, l, _, _ := pair(1, simnet.LinkConfig{Rate: 10e6})
+	b := AttachBackground(s, l, simnet.AtoB, BackgroundConfig{})
+	seen := map[int]bool{}
+	lo, hi := 1.0, 0.0
+	for i := 0; i < 600; i++ {
+		s.Run(time.Duration(i+1) * 500 * time.Millisecond)
+		v := b.Level()
+		if v < 0 || v > 0.85 {
+			t.Fatalf("background level %v out of [0,0.85]", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		seen[int(v*100)] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("background load barely varies: %d distinct levels in 5min", len(seen))
+	}
+	if hi == lo {
+		t.Error("background load is flat")
+	}
+}
+
+func TestBackgroundScale(t *testing.T) {
+	mean := func(scale float64) float64 {
+		s, l, _, _ := pair(2, simnet.LinkConfig{Rate: 10e6})
+		b := AttachBackground(s, l, simnet.AtoB, BackgroundConfig{Scale: scale})
+		var sum float64
+		n := 0
+		for i := 0; i < 600; i++ {
+			s.Run(time.Duration(i+1) * 500 * time.Millisecond)
+			sum += b.Level()
+			n++
+		}
+		return sum / float64(n)
+	}
+	if m1, m2 := mean(0.5), mean(2.0); m2 <= m1 {
+		t.Errorf("scaled background mean %.3f not above %.3f", m2, m1)
+	}
+}
+
+func TestCongestorWindowed(t *testing.T) {
+	s, l, _, _ := pair(3, simnet.LinkConfig{Rate: 10e6})
+	c := AttachCongestor(s, l, simnet.AtoB, 0.8, 10*time.Second, 20*time.Second)
+	if got := c.level(5 * time.Second); got != 0 {
+		t.Errorf("congestor active before window: %v", got)
+	}
+	if got := c.level(15 * time.Second); got < 0.7 {
+		t.Errorf("congestor level %v inside window, want ~0.8", got)
+	}
+	if got := c.level(35 * time.Second); got != 0 {
+		t.Errorf("congestor active after window: %v", got)
+	}
+}
+
+func TestCongestorClampsIntensity(t *testing.T) {
+	s, l, _, _ := pair(4, simnet.LinkConfig{Rate: 10e6})
+	c := AttachCongestor(s, l, simnet.AtoB, 5.0, 0, time.Minute)
+	if got := c.level(time.Second); got > 0.97 {
+		t.Errorf("congestor level %v exceeds clamp", got)
+	}
+}
+
+func TestServerLoadProcess(t *testing.T) {
+	s, _, _, _ := pair(5, simnet.LinkConfig{Rate: 10e6})
+	sl := NewServerLoad(s, 0.3, 0.05)
+	var sum float64
+	n := 0
+	for i := 0; i < 300; i++ {
+		s.Run(time.Duration(i+1) * time.Second)
+		v := sl.Level(s.Now())
+		if v < 0 || v > 1 {
+			t.Fatalf("server load %v out of [0,1]", v)
+		}
+		sum += v
+		n++
+	}
+	if m := sum / float64(n); m < 0.15 || m > 0.45 {
+		t.Errorf("server load mean %.3f far from 0.3", m)
+	}
+}
+
+func TestServerLoadBoost(t *testing.T) {
+	s, _, _, _ := pair(6, simnet.LinkConfig{Rate: 10e6})
+	sl := NewServerLoad(s, 0.1, 0.01)
+	sl.Boost(0.7, 10*time.Second, 10*time.Second)
+	s.Run(15 * time.Second)
+	boosted := sl.Level(15 * time.Second)
+	after := sl.Level(25 * time.Second)
+	if boosted < after+0.5 {
+		t.Errorf("boosted level %.2f not clearly above un-boosted %.2f", boosted, after)
+	}
+}
+
+func TestUDPSourceSendsAtRate(t *testing.T) {
+	s, l, a, _ := pair(7, simnet.LinkConfig{Rate: 100e6, QueueBytes: 1 << 20})
+	NewUDPSource(s, a, a.NICs()[0], 2, 8e6, 1000, 0, 10*time.Second)
+	s.Run(11 * time.Second)
+	// 8 Mbit/s for 10s at 1000B/pkt = ~10000 packets.
+	sent := l.Stats(simnet.AtoB).Enqueued
+	if sent < 9000 || sent > 11000 {
+		t.Errorf("UDP source enqueued %d packets, want ~10000", sent)
+	}
+}
+
+func TestFluidCongestionSlowsRealTraffic(t *testing.T) {
+	// Sanity link between fluid model and foreground traffic: drain time
+	// for a fixed packet train should grow under a congestor.
+	drain := func(intensity float64) time.Duration {
+		s, l, a, b := pair(8, simnet.LinkConfig{Rate: 8e6, QueueBytes: 1 << 20})
+		if intensity > 0 {
+			AttachCongestor(s, l, simnet.AtoB, intensity, 0, time.Hour)
+		}
+		var last time.Duration
+		b.SetHandler(simnet.HandlerFunc(func(*simnet.NIC, *simnet.Packet) { last = s.Now() }))
+		for i := 0; i < 100; i++ {
+			a.Send(a.NICs()[0], s.NewPacket(simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 1, Dst: 2}, 1000, nil))
+		}
+		s.Run(time.Minute)
+		return last
+	}
+	free, congested := drain(0), drain(0.85)
+	if congested < 3*free {
+		t.Errorf("drain under 85%% congestion (%v) not well above free link (%v)", congested, free)
+	}
+}
+
+func TestBackgroundCustomApps(t *testing.T) {
+	// Only tiny constant-rate apps: the load must stay far below what
+	// the FTP-containing default mix reaches.
+	s, l, _, _ := pair(9, simnet.LinkConfig{Rate: 10e6})
+	b := AttachBackground(s, l, simnet.AtoB, BackgroundConfig{
+		Apps:  []AppKind{AppVoIP, AppTelnet},
+		Scale: 1,
+	})
+	maxSeen := 0.0
+	for i := 0; i < 600; i++ {
+		s.Run(time.Duration(i+1) * 500 * time.Millisecond)
+		if v := b.Level(); v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if maxSeen > 0.1 {
+		t.Errorf("VoIP+Telnet mix peaked at %.3f of capacity; too heavy", maxSeen)
+	}
+}
+
+func TestBackgroundUnknownAppIgnored(t *testing.T) {
+	s, l, _, _ := pair(10, simnet.LinkConfig{Rate: 10e6})
+	b := AttachBackground(s, l, simnet.AtoB, BackgroundConfig{Apps: []AppKind{"nonsense"}})
+	s.Run(10 * time.Second)
+	if b.Level() != 0 {
+		t.Errorf("unknown app produced load %.3f", b.Level())
+	}
+}

@@ -1,0 +1,428 @@
+package video
+
+import (
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// The paper's design claims to be agnostic to the video delivery
+// mechanism — "static or adaptive streaming, pacing and so on" (Section
+// 2). This file implements the adaptive case: DASH-style segmented
+// delivery over a persistent connection with a buffer-based bitrate
+// adaptation rule (BBA-like). The ext-adaptive experiment verifies that
+// a model trained on progressive downloads still diagnoses faults under
+// adaptive delivery.
+
+// Rung is one quality level of an adaptive ladder.
+type Rung struct {
+	Name    string
+	Bitrate float64 // bits per second
+}
+
+// DefaultLadder approximates a 2014 YouTube/DASH ladder.
+var DefaultLadder = []Rung{
+	{"240p", 0.35e6},
+	{"360p", 0.75e6},
+	{"480p", 1.2e6},
+	{"720p", 2.2e6},
+}
+
+// AdaptiveConfig tunes the adaptive session.
+type AdaptiveConfig struct {
+	Ladder     []Rung        // quality ladder; nil selects DefaultLadder
+	SegmentDur time.Duration // media duration per segment; zero selects 4s
+	// MaxBufferSec stops requesting when this much media is buffered.
+	// Zero selects 20s.
+	MaxBufferSec float64
+	// Player carries the playout parameters shared with the
+	// progressive player (startup/resume thresholds, tick).
+	Player PlayerConfig
+}
+
+func (c *AdaptiveConfig) defaults() {
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder
+	}
+	if c.SegmentDur == 0 {
+		c.SegmentDur = 4 * time.Second
+	}
+	if c.MaxBufferSec == 0 {
+		c.MaxBufferSec = 20
+	}
+	c.Player.defaults()
+}
+
+// AdaptiveReport extends the QoE ground truth with adaptation metrics.
+type AdaptiveReport struct {
+	Report
+	Switches   int     // quality changes during the session
+	AvgBitrate float64 // mean selected bitrate, bits/s
+	TimeLowest float64 // fraction of segments fetched at the bottom rung
+}
+
+// AdaptiveSession couples the DASH-like server and client applications.
+// The orchestrator creates it, wires the server side with ServeAdaptive,
+// and starts the client with PlayAdaptive.
+type AdaptiveSession struct {
+	cfg      AdaptiveConfig
+	duration time.Duration
+	segments int
+
+	// rung is the client's current selection; the server reads it when
+	// a request arrives (the out-of-band stand-in for the URL path of a
+	// DASH segment request).
+	rung int
+}
+
+// NewAdaptiveSession prepares a session for a clip of the given duration.
+func NewAdaptiveSession(duration time.Duration, cfg AdaptiveConfig) *AdaptiveSession {
+	cfg.defaults()
+	n := int(duration / cfg.SegmentDur)
+	if n < 1 {
+		n = 1
+	}
+	return &AdaptiveSession{cfg: cfg, duration: duration, segments: n}
+}
+
+// SegmentBytes returns the size of one segment at rung r.
+func (as *AdaptiveSession) SegmentBytes(r int) int64 {
+	return int64(as.cfg.Ladder[r].Bitrate*as.cfg.SegmentDur.Seconds()/8) + responseHeader
+}
+
+// ServeAdaptive installs the server side on host: each request returns
+// one segment at the client's currently selected rung, closing after the
+// last segment.
+func (as *AdaptiveSession) ServeAdaptive(host *tcpsim.Host) {
+	host.Listen(Port, func(c *tcpsim.Conn) {
+		served := 0
+		pending := 0
+		c.OnData = func(n int) {
+			pending += n
+			for pending >= requestBytes && served < as.segments {
+				pending -= requestBytes
+				served++
+				c.Write(as.SegmentBytes(as.rung))
+				if served == as.segments {
+					c.Close()
+				}
+			}
+		}
+	})
+}
+
+// AdaptivePlayer drives segmented playback with buffer-based adaptation.
+type AdaptivePlayer struct {
+	sim     *simnet.Sim
+	session *AdaptiveSession
+	device  *hardware.Device
+	conn    *tcpsim.Conn
+
+	start        time.Duration
+	state        PlayerState
+	stallStart   time.Duration
+	stallDecoder bool
+
+	requested, completed int
+	segRecvd             int64 // bytes of the in-flight segment
+	segBytes             int64 // expected bytes of the in-flight segment
+
+	bufferedSec  float64 // downloaded, not yet played media seconds
+	playedSec    float64
+	skipped      float64
+	startupDelay time.Duration
+	stalls       int
+	stallTime    time.Duration
+	failReason   string
+
+	switches   int
+	rateSum    float64
+	lowSegs    int
+	lastRung   int
+	downloadOK bool
+
+	segStart time.Duration // when the in-flight segment was requested
+	ewmaThr  float64       // smoothed segment throughput, bits/s
+
+	ticker *simnet.Ticker
+
+	// OnFinish fires once with the final report.
+	OnFinish func(AdaptiveReport)
+}
+
+// PlayAdaptive starts the client side of an adaptive session.
+func PlayAdaptive(host *tcpsim.Host, device *hardware.Device, serverAddr simnet.Addr, session *AdaptiveSession) *AdaptivePlayer {
+	p := &AdaptivePlayer{
+		sim:     host.Sim(),
+		session: session,
+		device:  device,
+		state:   StateConnecting,
+		start:   host.Sim().Now(),
+	}
+	p.conn = host.Dial(serverAddr, Port)
+	p.conn.SetRcvBuf(session.cfg.Player.RcvBuf)
+	p.conn.SetAutoRead(false)
+	p.conn.OnEstablished = func() {
+		p.state = StateBuffering
+		p.requestNext()
+	}
+	p.conn.OnPeerClose = func() {
+		p.drain()
+		p.downloadOK = true
+		p.conn.Close()
+	}
+	p.conn.OnAbort = func(reason string) {
+		if p.completed == 0 && p.playedSec == 0 {
+			p.fail("connection failed: " + reason)
+			return
+		}
+		p.downloadOK = true
+		if p.failReason == "" {
+			p.failReason = "connection lost mid-stream: " + reason
+		}
+	}
+	// Decode demand follows the top rung the device might play.
+	device.SetDecodeDemand(session.cfg.Ladder[len(session.cfg.Ladder)-1].Bitrate / 1e6 *
+		device.Profile().DecodeCostPerMbps * 0.7)
+	p.ticker = simnet.NewTicker(p.sim, session.cfg.Player.Tick, p.tick)
+	return p
+}
+
+// chooseRung combines a throughput rule with a buffer reservoir, like
+// production ABRs: pick the highest rung the measured throughput
+// sustains with 30% headroom, but fall to the bottom whenever the buffer
+// is nearly dry.
+func (p *AdaptivePlayer) chooseRung() int {
+	ladder := p.session.cfg.Ladder
+	if p.bufferedSec < 2 {
+		return 0
+	}
+	if p.ewmaThr <= 0 {
+		return 0 // no estimate yet: start cautious
+	}
+	r := 0
+	for i, rung := range ladder {
+		if rung.Bitrate*1.3 <= p.ewmaThr {
+			r = i
+		}
+	}
+	return r
+}
+
+func (p *AdaptivePlayer) requestNext() {
+	if p.requested >= p.session.segments {
+		return
+	}
+	r := p.chooseRung()
+	if p.requested > 0 && r != p.lastRung {
+		p.switches++
+	}
+	p.lastRung = r
+	p.session.rung = r
+	p.rateSum += p.session.cfg.Ladder[r].Bitrate
+	if r == 0 {
+		p.lowSegs++
+	}
+	p.segBytes = p.session.SegmentBytes(r)
+	// segRecvd deliberately carries over: it is a running byte-stream
+	// position, and any bytes already delivered belong to this segment.
+	p.segStart = p.sim.Now()
+	p.requested++
+	p.conn.Write(requestBytes)
+}
+
+// drain moves received bytes from the socket into segment accounting.
+func (p *AdaptivePlayer) drain() {
+	n := p.conn.Buffered()
+	if n <= 0 {
+		return
+	}
+	p.conn.Consume(n)
+	p.segRecvd += n
+	for p.segBytes > 0 && p.segRecvd >= p.segBytes {
+		if dl := (p.sim.Now() - p.segStart).Seconds(); dl > 0 {
+			thr := float64(p.segBytes) * 8 / dl
+			if p.ewmaThr == 0 {
+				p.ewmaThr = thr
+			} else {
+				p.ewmaThr = 0.6*p.ewmaThr + 0.4*thr
+			}
+		}
+		p.segRecvd -= p.segBytes
+		p.completed++
+		p.bufferedSec += p.session.cfg.SegmentDur.Seconds()
+		// Request the next segment unless the buffer is full; a full
+		// buffer pauses requests (tick resumes them).
+		if p.bufferedSec < p.session.cfg.MaxBufferSec {
+			p.requestNext()
+		} else {
+			p.segBytes = 0
+		}
+	}
+}
+
+// Done reports whether the session reached a terminal state.
+func (p *AdaptivePlayer) Done() bool { return p.state == StateFinished || p.state == StateFailed }
+
+func (p *AdaptivePlayer) tick(now time.Duration) {
+	if p.Done() {
+		return
+	}
+	cfg := p.session.cfg
+	tickSec := cfg.Player.Tick.Seconds()
+	p.drain()
+
+	// Resume paused requests once the buffer drains below the cap. The
+	// state guard matters: before the handshake completes the first
+	// request is not out yet, and issuing one here would double-request
+	// segment 1.
+	if p.state != StateConnecting && p.segBytes == 0 &&
+		p.requested < p.session.segments &&
+		p.bufferedSec < cfg.MaxBufferSec && p.requested == p.completed {
+		p.requestNext()
+	}
+
+	df := p.device.DecodeFactor()
+	switch p.state {
+	case StateConnecting, StateBuffering:
+		if now-p.start > cfg.Player.AbandonAfter {
+			p.fail("startup timeout: user abandoned")
+			return
+		}
+		if p.bufferedSec >= cfg.Player.StartupBufferSec ||
+			(p.completed == p.session.segments && p.bufferedSec > 0) {
+			p.startupDelay = now - p.start
+			p.state = StatePlaying
+		}
+	case StatePlaying:
+		if df < decoderStallBelow {
+			p.state = StateStalled
+			p.stallStart = now
+			p.stallDecoder = true
+			return
+		}
+		if p.bufferedSec < tickSec {
+			if p.completed >= p.session.segments {
+				p.playedSec += p.bufferedSec
+				p.finish()
+				return
+			}
+			p.state = StateStalled
+			p.stallStart = now
+			p.stallDecoder = false
+			return
+		}
+		if df < 1 {
+			p.skipped += (1 - df) * 30 * tickSec
+		}
+		p.bufferedSec -= tickSec
+		p.playedSec += tickSec
+		if p.playedSec >= p.session.duration.Seconds()-tickSec {
+			p.finish()
+		}
+	case StateStalled:
+		if now-p.start > cfg.Player.AbandonAfter+p.session.duration {
+			p.fail("stalled beyond tolerance: user abandoned")
+			return
+		}
+		if p.stallDecoder {
+			if df >= decoderResumeAbove {
+				p.exitStall(now)
+			}
+			return
+		}
+		if p.bufferedSec >= cfg.Player.ResumeBufferSec ||
+			(p.completed >= p.session.segments && p.bufferedSec > 0) {
+			p.exitStall(now)
+		}
+	}
+}
+
+func (p *AdaptivePlayer) exitStall(now time.Duration) {
+	d := now - p.stallStart
+	if d >= minStall {
+		p.stalls++
+		p.stallTime += d
+	}
+	p.state = StatePlaying
+}
+
+func (p *AdaptivePlayer) fail(reason string) {
+	p.failReason = reason
+	p.state = StateFailed
+	p.teardown()
+}
+
+func (p *AdaptivePlayer) finish() {
+	if p.failReason != "" {
+		p.state = StateFailed
+	} else {
+		p.state = StateFinished
+	}
+	p.teardown()
+}
+
+func (p *AdaptivePlayer) teardown() {
+	p.ticker.Stop()
+	p.device.SetDecodeDemand(0)
+	if p.conn.State() != tcpsim.StateAborted && p.conn.State() != tcpsim.StateDone {
+		p.conn.Close()
+	}
+	if p.OnFinish != nil {
+		p.OnFinish(p.Report())
+	}
+}
+
+// ForceFinish terminates an over-budget session.
+func (p *AdaptivePlayer) ForceFinish() {
+	if p.Done() {
+		return
+	}
+	if p.state == StateStalled {
+		p.exitStall(p.sim.Now())
+	}
+	if p.playedSec < p.session.duration.Seconds()-1 && p.failReason == "" {
+		p.failReason = "session timeout"
+	}
+	p.finish()
+}
+
+// Flow returns the session's TCP flow key for probe lookup.
+func (p *AdaptivePlayer) Flow() simnet.FlowKey { return p.conn.Flow() }
+
+// Report assembles the adaptive QoE ground truth.
+func (p *AdaptivePlayer) Report() AdaptiveReport {
+	avg := 0.0
+	if p.requested > 0 {
+		avg = p.rateSum / float64(p.requested)
+	}
+	completed := p.state == StateFinished && p.playedSec >= p.session.duration.Seconds()-1
+	return AdaptiveReport{
+		Report: Report{
+			Clip:          Clip{Quality: "ABR", Bitrate: avg, Duration: p.duration(), FPS: 30},
+			StartupDelay:  p.startupDelay,
+			Stalls:        p.stalls,
+			StallTime:     p.stallTime,
+			SkippedFrames: int(p.skipped),
+			PlayedSec:     p.playedSec,
+			SessionTime:   p.sim.Now() - p.start,
+			Completed:     completed,
+			Failed:        p.state == StateFailed,
+			FailReason:    p.failReason,
+		},
+		Switches:   p.switches,
+		AvgBitrate: avg,
+		TimeLowest: float64(p.lowSegs) / float64(max(1, p.requested)),
+	}
+}
+
+func (p *AdaptivePlayer) duration() time.Duration { return p.session.duration }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

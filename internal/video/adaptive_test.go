@@ -1,0 +1,105 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// adaptiveRig runs one adaptive session over a configurable link.
+func adaptiveRig(t *testing.T, seed int64, linkCfg simnet.LinkConfig, dur time.Duration) AdaptiveReport {
+	t.Helper()
+	s := simnet.New(seed)
+	cn := s.NewNode("phone", 1)
+	sn := s.NewNode("server", 2)
+	cnic, snic := cn.AddNIC("wlan0"), sn.AddNIC("eth0")
+	simnet.ConnectSym(s, "l", cnic, snic, linkCfg)
+	client := tcpsim.NewHost(cn, cnic)
+	server := tcpsim.NewHost(sn, snic)
+	dev := hardware.NewDevice(s, hardware.ProfileGalaxyS2)
+
+	session := NewAdaptiveSession(dur, AdaptiveConfig{})
+	session.ServeAdaptive(server)
+	var rep AdaptiveReport
+	got := false
+	p := PlayAdaptive(client, dev, 2, session)
+	p.OnFinish = func(r AdaptiveReport) { rep = r; got = true; s.Halt() }
+	s.Run(dur*6 + 2*time.Minute)
+	if !got {
+		p.ForceFinish()
+		rep = p.Report()
+	}
+	return rep
+}
+
+func TestAdaptiveHealthyClimbsLadder(t *testing.T) {
+	rep := adaptiveRig(t, 1, simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, QueueBytes: 128 * 1024}, 40*time.Second)
+	if !rep.Completed {
+		t.Fatalf("healthy adaptive session failed: %+v", rep)
+	}
+	if rep.Stalls != 0 {
+		t.Errorf("healthy adaptive session stalled %d times", rep.Stalls)
+	}
+	if rep.AvgBitrate < 1.0e6 {
+		t.Errorf("fat link but avg bitrate only %.2f Mb/s; ladder never climbed", rep.AvgBitrate/1e6)
+	}
+	if rep.TimeLowest > 0.5 {
+		t.Errorf("spent %.0f%% of segments at the bottom rung on a fat link", rep.TimeLowest*100)
+	}
+}
+
+func TestAdaptiveStarvedLinkDropsQuality(t *testing.T) {
+	// 0.9 Mb/s: only the bottom rungs are sustainable; adaptation should
+	// prevent most stalls by staying low.
+	rep := adaptiveRig(t, 2, simnet.LinkConfig{Rate: 0.9e6, Delay: 40 * time.Millisecond, QueueBytes: 64 * 1024}, 40*time.Second)
+	if rep.AvgBitrate > 1.2e6 {
+		t.Errorf("starved link but avg bitrate %.2f Mb/s", rep.AvgBitrate/1e6)
+	}
+	if rep.TimeLowest < 0.3 {
+		t.Errorf("starved link: only %.0f%% of segments at the bottom rung", rep.TimeLowest*100)
+	}
+}
+
+func TestAdaptiveBeatsProgressiveOnBadLink(t *testing.T) {
+	// On a link below the progressive clip's bitrate, the adaptive
+	// player should stall less than a fixed-rate progressive player.
+	link := simnet.LinkConfig{Rate: 1e6, Delay: 40 * time.Millisecond, QueueBytes: 64 * 1024}
+	adaptive := adaptiveRig(t, 3, link, 40*time.Second)
+
+	r := newRig(3, link, ServerConfig{}, Clip{ID: 1, Quality: HD, Bitrate: 2.2e6, Duration: 40 * time.Second, FPS: 30})
+	progressive := r.play(t, PlayerConfig{}, 10*time.Minute)
+
+	if adaptive.StallTime >= progressive.StallTime {
+		t.Errorf("adaptive stalled %v vs progressive %v; adaptation is not helping",
+			adaptive.StallTime, progressive.StallTime)
+	}
+}
+
+func TestAdaptiveSwitchCounting(t *testing.T) {
+	rep := adaptiveRig(t, 4, simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, QueueBytes: 128 * 1024}, 40*time.Second)
+	// Climbing from the bottom rung must register at least one switch.
+	if rep.Switches == 0 && rep.AvgBitrate > 0.4e6 {
+		t.Errorf("bitrate climbed (%.2f Mb/s) but zero switches recorded", rep.AvgBitrate/1e6)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	a := adaptiveRig(t, 7, simnet.LinkConfig{Rate: 3e6, Delay: 30 * time.Millisecond, Loss: 0.01, QueueBytes: 96 * 1024}, 30*time.Second)
+	b := adaptiveRig(t, 7, simnet.LinkConfig{Rate: 3e6, Delay: 30 * time.Millisecond, Loss: 0.01, QueueBytes: 96 * 1024}, 30*time.Second)
+	if a.AvgBitrate != b.AvgBitrate || a.Stalls != b.Stalls || a.Switches != b.Switches {
+		t.Errorf("adaptive session not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAdaptiveSegmentAccounting(t *testing.T) {
+	session := NewAdaptiveSession(40*time.Second, AdaptiveConfig{})
+	if session.segments != 10 {
+		t.Errorf("40s / 4s = %d segments, want 10", session.segments)
+	}
+	if session.SegmentBytes(0) >= session.SegmentBytes(len(DefaultLadder)-1) {
+		t.Error("bottom rung segment not smaller than top rung")
+	}
+}

@@ -1,0 +1,89 @@
+// Package video implements the application layer of the reproduction: a
+// synthetic video catalog, an HTTP-like progressive-download server, and
+// a buffered player that exports the QoE ground truth (startup delay,
+// stalls, frame skips) exactly as the paper's instrumented Android
+// application did.
+package video
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Quality is the encoded definition of a clip.
+type Quality string
+
+// Catalog qualities. The paper mixed Standard and High Definition
+// downloads of the YouTube top-100 list.
+const (
+	SD Quality = "SD"
+	HD Quality = "HD"
+)
+
+// Clip is one video in the catalog.
+type Clip struct {
+	ID       int
+	Title    string
+	Quality  Quality
+	Bitrate  float64 // average encoded bitrate, bits per second
+	Duration time.Duration
+	FPS      int
+}
+
+// SizeBytes returns the total media size of the clip.
+func (c Clip) SizeBytes() int64 {
+	return int64(c.Bitrate * c.Duration.Seconds() / 8)
+}
+
+func (c Clip) String() string {
+	return fmt.Sprintf("clip#%d %s %s %.1fMbps %v", c.ID, c.Title, c.Quality, c.Bitrate/1e6, c.Duration)
+}
+
+// CatalogConfig bounds the synthetic catalog generator.
+type CatalogConfig struct {
+	N           int           // number of clips; zero selects 100
+	MinDuration time.Duration // zero selects 20s
+	MaxDuration time.Duration // zero selects 120s
+	HDShare     float64       // fraction of HD clips; zero selects 0.4
+}
+
+// NewCatalog generates a top-N-like catalog. Durations follow a
+// lognormal-ish distribution clamped to the configured range; bitrates
+// vary within the quality class so that feature construction has real
+// video diversity to normalize away.
+func NewCatalog(rng *rand.Rand, cfg CatalogConfig) []Clip {
+	if cfg.N == 0 {
+		cfg.N = 100
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 20 * time.Second
+	}
+	if cfg.MaxDuration == 0 {
+		cfg.MaxDuration = 120 * time.Second
+	}
+	if cfg.HDShare == 0 {
+		cfg.HDShare = 0.4
+	}
+	clips := make([]Clip, cfg.N)
+	for i := range clips {
+		q, base := SD, 0.6e6+rng.Float64()*0.6e6 // 0.6-1.2 Mbps (2013-era 360/480p)
+		if rng.Float64() < cfg.HDShare {
+			q, base = HD, 1.8e6+rng.Float64()*0.8e6 // 1.8-2.6 Mbps (2013-era 720p)
+		}
+		span := cfg.MaxDuration - cfg.MinDuration
+		// Skew toward shorter clips, as view-count charts are.
+		frac := rng.Float64()
+		frac *= frac
+		dur := cfg.MinDuration + time.Duration(float64(span)*frac)
+		clips[i] = Clip{
+			ID:       i,
+			Title:    fmt.Sprintf("top100-%03d", i),
+			Quality:  q,
+			Bitrate:  base,
+			Duration: dur.Round(time.Second),
+			FPS:      30,
+		}
+	}
+	return clips
+}

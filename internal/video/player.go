@@ -1,0 +1,420 @@
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// PlayerState is the playback state machine.
+type PlayerState int
+
+// Player states.
+const (
+	StateConnecting PlayerState = iota
+	StateBuffering
+	StatePlaying
+	StateStalled
+	StateFinished
+	StateFailed
+)
+
+func (s PlayerState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateBuffering:
+		return "buffering"
+	case StatePlaying:
+		return "playing"
+	case StateStalled:
+		return "stalled"
+	case StateFinished:
+		return "finished"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// PlayerConfig tunes the playout model. Zero values select defaults that
+// match the stock Android media player behaviour the paper instrumented.
+type PlayerConfig struct {
+	StartupBufferSec float64       // media seconds buffered before first play; default 2
+	ResumeBufferSec  float64       // media seconds buffered before resuming; default 2
+	AbandonAfter     time.Duration // give up if playback hasn't started; default 60s
+	RcvBuf           int           // socket receive buffer; default 128 KiB
+	Tick             time.Duration // playout loop cadence; default 100ms
+}
+
+func (c *PlayerConfig) defaults() {
+	if c.StartupBufferSec == 0 {
+		c.StartupBufferSec = 2
+	}
+	if c.ResumeBufferSec == 0 {
+		c.ResumeBufferSec = 2
+	}
+	if c.AbandonAfter == 0 {
+		c.AbandonAfter = 60 * time.Second
+	}
+	if c.RcvBuf == 0 {
+		// A BDP-scale receive window doubles as the congestion control
+		// the era's handsets effectively had: it stops slow start from
+		// overshooting the bottleneck queue by hundreds of segments,
+		// which NewReno (no SACK in this simulator) cannot recover from
+		// gracefully. 128 KiB ~= BDP + bottleneck queue for the Table 3
+		// links.
+		c.RcvBuf = 128 * 1024
+	}
+	if c.Tick == 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+}
+
+// minStall is the shortest interruption counted as a rebuffering event;
+// anything shorter is render jitter invisible to the user.
+const minStall = 300 * time.Millisecond
+
+// decoderStallBelow / decoderResumeAbove bound the decode-capacity
+// hysteresis that turns device overload into visible stalls.
+const (
+	decoderStallBelow  = 0.45
+	decoderResumeAbove = 0.60
+)
+
+// Report is the QoE ground truth of one playback session. Its fields are
+// used only for MOS labelling, never as classifier features, mirroring
+// the paper's protocol.
+type Report struct {
+	Clip          Clip
+	StartupDelay  time.Duration
+	Stalls        int
+	StallTime     time.Duration
+	SkippedFrames int
+	PlayedSec     float64
+	SessionTime   time.Duration // wall time from request to finish
+	BufferMeanSec float64
+	Completed     bool
+	Failed        bool
+	FailReason    string
+	BytesReceived int64
+}
+
+// MeanStallDuration returns the average rebuffering duration.
+func (r Report) MeanStallDuration() time.Duration {
+	if r.Stalls == 0 {
+		return 0
+	}
+	return r.StallTime / time.Duration(r.Stalls)
+}
+
+// RebufferFrequency returns stalls per second of session time.
+func (r Report) RebufferFrequency() float64 {
+	s := r.SessionTime.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Stalls) / s
+}
+
+// Player drives one video session: it dials the server, reads the stream
+// into a media buffer throttled by the device's decode capacity, and
+// plays it out, recording every QoE-relevant event.
+type Player struct {
+	sim    *simnet.Sim
+	host   *tcpsim.Host
+	device *hardware.Device
+	clip   Clip
+	cfg    PlayerConfig
+
+	conn  *tcpsim.Conn
+	start time.Duration
+
+	state        PlayerState
+	stallStart   time.Duration
+	stallDecoder bool
+
+	downloaded   int64 // media bytes moved into the playout buffer
+	headerToSkip int64
+	playedSec    float64
+	skipped      float64
+	startupDelay time.Duration
+	downloadDone bool
+
+	bufSamples, bufSum float64
+
+	stalls     int
+	stallTime  time.Duration
+	failReason string
+
+	ticker *simnet.Ticker
+	events []Event
+
+	// OnFinish fires exactly once with the final report.
+	OnFinish func(r Report)
+}
+
+// Event is one timestamped entry of the session timeline (state changes
+// and milestones), for inspection tools and tests.
+type Event struct {
+	At     time.Duration
+	Kind   string // "established", "play", "stall", "resume", "finished", "failed"
+	Detail string
+}
+
+// Events returns the session timeline recorded so far.
+func (p *Player) Events() []Event { return p.events }
+
+func (p *Player) logEvent(kind, detail string) {
+	p.events = append(p.events, Event{At: p.sim.Now(), Kind: kind, Detail: detail})
+}
+
+// Play starts a session for clip against serverAddr. The device model
+// supplies decode capacity; it must belong to the same simulation.
+func Play(host *tcpsim.Host, device *hardware.Device, serverAddr simnet.Addr, clip Clip, cfg PlayerConfig) *Player {
+	cfg.defaults()
+	p := &Player{
+		sim:          host.Sim(),
+		host:         host,
+		device:       device,
+		clip:         clip,
+		cfg:          cfg,
+		state:        StateConnecting,
+		start:        host.Sim().Now(),
+		headerToSkip: responseHeader,
+	}
+	p.conn = host.Dial(serverAddr, Port)
+	p.conn.SetRcvBuf(cfg.RcvBuf)
+	p.conn.SetAutoRead(false)
+	p.conn.OnEstablished = func() {
+		p.logEvent("established", "")
+		p.conn.Write(requestBytes)
+		if p.state == StateConnecting {
+			p.state = StateBuffering
+		}
+	}
+	p.conn.OnPeerClose = func() {
+		p.drainSocket(1 << 30)
+		p.downloadDone = true
+		p.conn.Close()
+	}
+	p.conn.OnAbort = func(reason string) {
+		if p.state == StateConnecting || p.state == StateBuffering && p.playedSec == 0 && p.downloaded == 0 {
+			p.fail("connection failed: " + reason)
+			return
+		}
+		// Mid-stream loss of the connection: whatever is buffered still
+		// plays out, but the session cannot complete.
+		p.downloadDone = true
+		if p.failReason == "" {
+			p.failReason = "connection lost mid-stream: " + reason
+		}
+	}
+	// Decode demand registers as soon as the pipeline spins up.
+	device.SetDecodeDemand(clip.Bitrate / 1e6 * device.Profile().DecodeCostPerMbps)
+	p.ticker = simnet.NewTicker(p.sim, cfg.Tick, p.tick)
+	return p
+}
+
+// State returns the current playback state.
+func (p *Player) State() PlayerState { return p.state }
+
+// Done reports whether the session has reached a terminal state.
+func (p *Player) Done() bool { return p.state == StateFinished || p.state == StateFailed }
+
+// BufferSec returns the current playout buffer level in media seconds.
+func (p *Player) BufferSec() float64 {
+	return float64(p.downloaded)*8/p.clip.Bitrate - p.playedSec
+}
+
+// drainSocket moves up to maxBytes from the TCP receive buffer into the
+// media buffer, skipping the response header.
+func (p *Player) drainSocket(maxBytes int64) {
+	n := p.conn.Buffered()
+	if n > maxBytes {
+		n = maxBytes
+	}
+	if n <= 0 {
+		return
+	}
+	p.conn.Consume(n)
+	if p.headerToSkip > 0 {
+		skip := p.headerToSkip
+		if skip > n {
+			skip = n
+		}
+		p.headerToSkip -= skip
+		n -= skip
+	}
+	p.downloaded += n
+}
+
+// tick advances the playout model by one interval.
+func (p *Player) tick(now time.Duration) {
+	if p.Done() {
+		return
+	}
+	tickSec := p.cfg.Tick.Seconds()
+	df := p.device.DecodeFactor()
+
+	// Socket read, throttled by decode capacity: a healthy device reads
+	// far ahead of real time; a loaded one lets the receive buffer (and
+	// therefore the advertised TCP window) fill up - the signal the
+	// server-side probe picks up for "mobile load".
+	readCap := int64(tickSec * p.clip.Bitrate / 8 * (0.5 + 4*df*df))
+	p.drainSocket(readCap)
+
+	p.bufSamples++
+	p.bufSum += p.BufferSec()
+
+	switch p.state {
+	case StateConnecting, StateBuffering:
+		if now-p.start > p.cfg.AbandonAfter {
+			p.fail("startup timeout: user abandoned")
+			return
+		}
+		if p.BufferSec() >= p.cfg.StartupBufferSec || (p.downloadDone && p.downloaded > 0) {
+			p.startupDelay = now - p.start
+			p.state = StatePlaying
+			p.logEvent("play", fmt.Sprintf("startup %.1fs", p.startupDelay.Seconds()))
+		}
+	case StatePlaying:
+		if df < decoderStallBelow {
+			p.enterStall(now, true)
+			return
+		}
+		if p.BufferSec() < tickSec {
+			if p.downloadDone {
+				// End of stream: whatever fraction remains plays out.
+				p.playedSec += p.BufferSec()
+				p.finish()
+				return
+			}
+			p.enterStall(now, false)
+			return
+		}
+		if df < 1 {
+			p.skipped += (1 - df) * float64(p.clip.FPS) * tickSec
+		}
+		p.playedSec += tickSec
+		if p.playedSec >= p.clip.Duration.Seconds()-tickSec {
+			p.finish()
+		}
+	case StateStalled:
+		if now-p.start > p.cfg.AbandonAfter+p.clip.Duration {
+			p.fail("stalled beyond tolerance: user abandoned")
+			return
+		}
+		if p.stallDecoder {
+			if df >= decoderResumeAbove {
+				p.exitStall(now)
+			}
+			return
+		}
+		if p.BufferSec() >= p.cfg.ResumeBufferSec || (p.downloadDone && p.BufferSec() > 0) {
+			p.exitStall(now)
+			return
+		}
+		if p.downloadDone && p.BufferSec() <= 0 {
+			// Stream is over and nothing is left to play.
+			p.exitStall(now)
+			p.finish()
+		}
+	}
+}
+
+func (p *Player) enterStall(now time.Duration, decoder bool) {
+	p.state = StateStalled
+	p.stallStart = now
+	p.stallDecoder = decoder
+	reason := "buffer empty"
+	if decoder {
+		reason = "decoder overloaded"
+	}
+	p.logEvent("stall", reason)
+}
+
+func (p *Player) exitStall(now time.Duration) {
+	d := now - p.stallStart
+	if d >= minStall {
+		p.stalls++
+		p.stallTime += d
+	}
+	p.state = StatePlaying
+	p.logEvent("resume", fmt.Sprintf("stalled %.1fs", d.Seconds()))
+}
+
+func (p *Player) fail(reason string) {
+	p.failReason = reason
+	p.state = StateFailed
+	p.logEvent("failed", reason)
+	p.teardown()
+}
+
+func (p *Player) finish() {
+	if p.failReason != "" {
+		p.state = StateFailed
+		p.logEvent("failed", p.failReason)
+	} else {
+		p.state = StateFinished
+		p.logEvent("finished", fmt.Sprintf("played %.1fs", p.playedSec))
+	}
+	p.teardown()
+}
+
+func (p *Player) teardown() {
+	p.ticker.Stop()
+	p.device.SetDecodeDemand(0)
+	if p.conn.State() != tcpsim.StateAborted && p.conn.State() != tcpsim.StateDone {
+		p.conn.Close()
+	}
+	if p.OnFinish != nil {
+		p.OnFinish(p.Report())
+	}
+}
+
+// ForceFinish terminates a session that exceeded the scenario's wall
+// clock budget, marking it failed if it never completed.
+func (p *Player) ForceFinish() {
+	if p.Done() {
+		return
+	}
+	if p.state == StateStalled {
+		p.exitStall(p.sim.Now())
+	}
+	if p.playedSec < p.clip.Duration.Seconds()-1 && p.failReason == "" {
+		p.failReason = "session timeout"
+	}
+	p.finish()
+}
+
+// Report assembles the QoE ground truth collected so far.
+func (p *Player) Report() Report {
+	mean := 0.0
+	if p.bufSamples > 0 {
+		mean = p.bufSum / p.bufSamples
+	}
+	completed := p.state == StateFinished && p.playedSec >= p.clip.Duration.Seconds()-1
+	return Report{
+		Clip:          p.clip,
+		StartupDelay:  p.startupDelay,
+		Stalls:        p.stalls,
+		StallTime:     p.stallTime,
+		SkippedFrames: int(p.skipped),
+		PlayedSec:     p.playedSec,
+		SessionTime:   p.sim.Now() - p.start,
+		BufferMeanSec: mean,
+		Completed:     completed,
+		Failed:        p.state == StateFailed,
+		FailReason:    p.failReason,
+		BytesReceived: p.downloaded,
+	}
+}
+
+// Flow returns the TCP flow key of the session's connection, which is
+// what vantage-point probes key their records on.
+func (p *Player) Flow() simnet.FlowKey { return p.conn.Flow() }

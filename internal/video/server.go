@@ -1,0 +1,139 @@
+package video
+
+import (
+	"time"
+
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// Port is the server's listening port.
+const Port = 80
+
+// requestBytes approximates the HTTP GET the client sends; responseHeader
+// approximates the response header preceding the media bytes.
+const (
+	requestBytes   = 300
+	responseHeader = 500
+)
+
+// ServerConfig controls the delivery mechanism.
+type ServerConfig struct {
+	// Pacing enables YouTube-style delivery: an initial burst followed
+	// by chunks throttled to PaceFactor x the clip bitrate. Without
+	// pacing the whole file is written at once (plain progressive
+	// download) and TCP alone governs the rate.
+	Pacing bool
+	// PaceFactor is the throttle multiple over the media bitrate. Zero
+	// selects 1.25, the classic YouTube value.
+	PaceFactor float64
+	// BurstSeconds is the un-throttled initial burst, in media seconds.
+	// Zero selects 10s.
+	BurstSeconds float64
+	// LoadFn, if set, reports the server's utilization [0,1] (driven by
+	// the ApacheBench-style background load). High load delays the
+	// response start and slows paced delivery, which is how an
+	// overloaded content server degrades QoE.
+	LoadFn func(now time.Duration) float64
+}
+
+// Server is the content server application.
+type Server struct {
+	host *tcpsim.Host
+	cfg  ServerConfig
+
+	// ClipFor resolves which clip a new connection is asking for. The
+	// testbed installs a closure; the simulator cannot carry payload
+	// content, so the "URL" travels out of band.
+	ClipFor func(flow simnet.FlowKey) Clip
+}
+
+// NewServer starts the server application listening on Port.
+func NewServer(host *tcpsim.Host, cfg ServerConfig) *Server {
+	if cfg.PaceFactor == 0 {
+		cfg.PaceFactor = 1.25
+	}
+	if cfg.BurstSeconds == 0 {
+		cfg.BurstSeconds = 10
+	}
+	s := &Server{host: host, cfg: cfg}
+	host.Listen(Port, s.accept)
+	return s
+}
+
+func (s *Server) load(now time.Duration) float64 {
+	if s.cfg.LoadFn == nil {
+		return 0
+	}
+	l := s.cfg.LoadFn(now)
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+func (s *Server) accept(c *tcpsim.Conn) {
+	var got int
+	started := false
+	c.OnData = func(n int) {
+		got += n
+		if started || got < requestBytes {
+			return
+		}
+		started = true
+		s.respond(c)
+	}
+}
+
+// respond streams the requested clip. Response latency and paced-chunk
+// cadence both degrade with server load.
+func (s *Server) respond(c *tcpsim.Conn) {
+	sim := s.host.Sim()
+	clip := Clip{Bitrate: 1.5e6, Duration: 30 * time.Second} // fallback
+	if s.ClipFor != nil {
+		clip = s.ClipFor(c.Flow())
+	}
+	// Request processing time: ~5ms when idle, ballooning under load.
+	loadNow := s.load(sim.Now())
+	delay := 5*time.Millisecond + time.Duration(loadNow*loadNow*float64(2*time.Second))
+	total := clip.SizeBytes() + responseHeader
+
+	sim.After(delay, func() {
+		if !s.cfg.Pacing {
+			c.Write(total)
+			c.Close()
+			return
+		}
+		burst := int64(s.cfg.BurstSeconds*clip.Bitrate/8) + responseHeader
+		if burst > total {
+			burst = total
+		}
+		c.Write(burst)
+		sent := burst
+		const tick = 250 * time.Millisecond
+		var t *simnet.Ticker
+		t = simnet.NewTicker(sim, tick, func(now time.Duration) {
+			if c.State() == tcpsim.StateAborted || c.State() == tcpsim.StateDone {
+				t.Stop()
+				return
+			}
+			rate := s.cfg.PaceFactor * clip.Bitrate / 8 // bytes/s
+			rate *= 1 - 0.7*s.load(now)                 // loaded servers trickle
+			chunk := int64(rate * tick.Seconds())
+			if rem := total - sent; chunk > rem {
+				chunk = rem
+			}
+			if chunk > 0 {
+				c.Write(chunk)
+				sent += chunk
+			}
+			if sent >= total {
+				c.Close()
+				t.Stop()
+			}
+		})
+	})
+}

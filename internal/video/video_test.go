@@ -1,0 +1,278 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// rig is a minimal client<->server world for player tests.
+type rig struct {
+	sim    *simnet.Sim
+	link   *simnet.Link
+	client *tcpsim.Host
+	server *tcpsim.Host
+	device *hardware.Device
+	srv    *Server
+	clip   Clip
+}
+
+func newRig(seed int64, linkCfg simnet.LinkConfig, srvCfg ServerConfig, clip Clip) *rig {
+	s := simnet.New(seed)
+	cn := s.NewNode("phone", 1)
+	sn := s.NewNode("server", 2)
+	cnic, snic := cn.AddNIC("wlan0"), sn.AddNIC("eth0")
+	link := simnet.ConnectSym(s, "direct", cnic, snic, linkCfg)
+	r := &rig{
+		sim:    s,
+		link:   link,
+		client: tcpsim.NewHost(cn, cnic),
+		server: tcpsim.NewHost(sn, snic),
+		device: hardware.NewDevice(s, hardware.ProfileGalaxyS2),
+		clip:   clip,
+	}
+	r.srv = NewServer(r.server, srvCfg)
+	r.srv.ClipFor = func(simnet.FlowKey) Clip { return clip }
+	return r
+}
+
+// play runs the session to completion (or the deadline) and returns the
+// report.
+func (r *rig) play(t *testing.T, cfg PlayerConfig, deadline time.Duration) Report {
+	t.Helper()
+	var rep Report
+	got := false
+	p := Play(r.client, r.device, 2, r.clip, cfg)
+	p.OnFinish = func(rr Report) { rep = rr; got = true; r.sim.Halt() }
+	r.sim.Run(deadline)
+	if !got {
+		p.ForceFinish()
+		rep = p.Report()
+	}
+	return rep
+}
+
+func sdClip(sec int) Clip {
+	return Clip{ID: 1, Quality: SD, Bitrate: 1.5e6, Duration: time.Duration(sec) * time.Second, FPS: 30}
+}
+
+func TestHealthyPlaybackNoStalls(t *testing.T) {
+	r := newRig(1, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(30))
+	rep := r.play(t, PlayerConfig{}, 5*time.Minute)
+	if !rep.Completed {
+		t.Fatalf("healthy session did not complete: %+v", rep)
+	}
+	if rep.Stalls != 0 {
+		t.Errorf("healthy session had %d stalls", rep.Stalls)
+	}
+	if rep.StartupDelay > 3*time.Second {
+		t.Errorf("healthy startup delay %v too high", rep.StartupDelay)
+	}
+	if rep.SkippedFrames > 10 {
+		t.Errorf("healthy session skipped %d frames", rep.SkippedFrames)
+	}
+}
+
+func TestSlowLinkCausesStalls(t *testing.T) {
+	// 1 Mbit/s link cannot sustain a 1.5 Mbit/s clip.
+	r := newRig(2, simnet.LinkConfig{Rate: 1e6, Delay: 30 * time.Millisecond, QueueBytes: 128 * 1024}, ServerConfig{}, sdClip(30))
+	rep := r.play(t, PlayerConfig{}, 10*time.Minute)
+	if rep.Stalls == 0 {
+		t.Errorf("undersized link produced no stalls: %+v", rep)
+	}
+	if rep.StallTime == 0 {
+		t.Error("stall time should be positive")
+	}
+}
+
+func TestPacedDeliveryCompletesHealthy(t *testing.T) {
+	r := newRig(3, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024},
+		ServerConfig{Pacing: true}, sdClip(30))
+	rep := r.play(t, PlayerConfig{}, 5*time.Minute)
+	if !rep.Completed || rep.Stalls != 0 {
+		t.Errorf("paced healthy session: completed=%v stalls=%d", rep.Completed, rep.Stalls)
+	}
+}
+
+func TestPacingLimitsThroughput(t *testing.T) {
+	// With pacing the transfer should stretch close to the clip length
+	// rather than finishing line-rate fast.
+	clip := sdClip(40)
+	r := newRig(4, simnet.LinkConfig{Rate: 50e6, Delay: 10 * time.Millisecond, QueueBytes: 1 << 20},
+		ServerConfig{Pacing: true}, clip)
+	var doneAt time.Duration
+	p := Play(r.client, r.device, 2, clip, PlayerConfig{})
+	p.OnFinish = func(Report) { doneAt = r.sim.Now(); r.sim.Halt() }
+	r.sim.Run(5 * time.Minute)
+	if doneAt == 0 {
+		t.Fatal("paced session never finished")
+	}
+	// 10s burst + remaining 30s of media at 1.25x => at least ~20s.
+	if doneAt < 25*time.Second {
+		t.Errorf("paced 40s clip finished at %v; pacing is not limiting", doneAt)
+	}
+}
+
+func TestMobileLoadCausesStallsOnHealthyNetwork(t *testing.T) {
+	r := newRig(5, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(30))
+	// Saturate the device from t=5s.
+	r.device.Stress(92, 300, 30, 5*time.Second, time.Minute)
+	rep := r.play(t, PlayerConfig{}, 10*time.Minute)
+	if rep.Stalls == 0 && rep.SkippedFrames < 30 {
+		t.Errorf("overloaded device produced neither stalls nor skips: %+v", rep)
+	}
+}
+
+func TestModerateLoadSkipsFramesWithoutStalling(t *testing.T) {
+	r := newRig(6, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(30))
+	// Enough load to push decode factor below 1 but above the stall
+	// threshold: base 12% + 55% + SD decode demand 9% ~= 76%.
+	r.device.Stress(60, 100, 0, 0, time.Minute)
+	rep := r.play(t, PlayerConfig{}, 10*time.Minute)
+	if rep.SkippedFrames == 0 {
+		t.Errorf("moderate load should skip frames: %+v", rep)
+	}
+}
+
+func TestDeadLinkFailsSession(t *testing.T) {
+	r := newRig(7, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond}, ServerConfig{}, sdClip(30))
+	r.link.SetDown(true)
+	rep := r.play(t, PlayerConfig{}, 10*time.Minute)
+	if !rep.Failed {
+		t.Errorf("session over a dead link must fail: %+v", rep)
+	}
+	if rep.Completed {
+		t.Error("failed session cannot be completed")
+	}
+}
+
+func TestStartupDelayReflectsSlowStart(t *testing.T) {
+	fast := newRig(8, simnet.LinkConfig{Rate: 20e6, Delay: 10 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(25))
+	slow := newRig(8, simnet.LinkConfig{Rate: 20e6, Delay: 150 * time.Millisecond, JitterStd: 10 * time.Millisecond, Loss: 0.02, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(25))
+	repF := fast.play(t, PlayerConfig{}, 5*time.Minute)
+	repS := slow.play(t, PlayerConfig{}, 5*time.Minute)
+	if repS.StartupDelay <= repF.StartupDelay {
+		t.Errorf("startup on slow path (%v) not above fast path (%v)", repS.StartupDelay, repF.StartupDelay)
+	}
+}
+
+func TestServerLoadDelaysStartup(t *testing.T) {
+	idle := newRig(9, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(25))
+	busy := newRig(9, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024},
+		ServerConfig{LoadFn: func(time.Duration) float64 { return 0.9 }}, sdClip(25))
+	repI := idle.play(t, PlayerConfig{}, 5*time.Minute)
+	repB := busy.play(t, PlayerConfig{}, 5*time.Minute)
+	if repB.StartupDelay < repI.StartupDelay+time.Second {
+		t.Errorf("busy server startup %v not clearly above idle %v", repB.StartupDelay, repI.StartupDelay)
+	}
+}
+
+func TestReportDerivedMetrics(t *testing.T) {
+	r := Report{Stalls: 4, StallTime: 8 * time.Second, SessionTime: 40 * time.Second}
+	if got := r.MeanStallDuration(); got != 2*time.Second {
+		t.Errorf("MeanStallDuration = %v", got)
+	}
+	if got := r.RebufferFrequency(); got != 0.1 {
+		t.Errorf("RebufferFrequency = %v", got)
+	}
+	empty := Report{}
+	if empty.MeanStallDuration() != 0 || empty.RebufferFrequency() != 0 {
+		t.Error("zero-value report must not divide by zero")
+	}
+}
+
+func TestCatalogProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clips := NewCatalog(rng, CatalogConfig{})
+	if len(clips) != 100 {
+		t.Fatalf("default catalog size %d, want 100", len(clips))
+	}
+	hd := 0
+	for _, c := range clips {
+		if c.Duration < 20*time.Second || c.Duration > 120*time.Second {
+			t.Errorf("clip duration %v out of range", c.Duration)
+		}
+		switch c.Quality {
+		case HD:
+			hd++
+			if c.Bitrate < 1.8e6 || c.Bitrate > 2.6e6 {
+				t.Errorf("HD bitrate %.0f out of range", c.Bitrate)
+			}
+		case SD:
+			if c.Bitrate < 0.6e6 || c.Bitrate > 1.2e6 {
+				t.Errorf("SD bitrate %.0f out of range", c.Bitrate)
+			}
+		}
+		if c.SizeBytes() <= 0 {
+			t.Errorf("clip %d has non-positive size", c.ID)
+		}
+	}
+	if hd < 20 || hd > 60 {
+		t.Errorf("HD share %d/100 far from 40%%", hd)
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := NewCatalog(rand.New(rand.NewSource(7)), CatalogConfig{N: 10})
+	b := NewCatalog(rand.New(rand.NewSource(7)), CatalogConfig{N: 10})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalog not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlayerTimeline(t *testing.T) {
+	r := newRig(40, simnet.LinkConfig{Rate: 20e6, Delay: 15 * time.Millisecond, QueueBytes: 256 * 1024}, ServerConfig{}, sdClip(25))
+	var events []Event
+	p := Play(r.client, r.device, 2, r.clip, PlayerConfig{})
+	p.OnFinish = func(Report) { events = p.Events(); r.sim.Halt() }
+	r.sim.Run(5 * time.Minute)
+	if len(events) < 3 {
+		t.Fatalf("timeline too short: %+v", events)
+	}
+	kinds := map[string]bool{}
+	var prev time.Duration
+	for _, e := range events {
+		kinds[e.Kind] = true
+		if e.At < prev {
+			t.Fatalf("timeline not monotone: %+v", events)
+		}
+		prev = e.At
+	}
+	for _, want := range []string{"established", "play", "finished"} {
+		if !kinds[want] {
+			t.Errorf("timeline missing %q event: %+v", want, events)
+		}
+	}
+}
+
+func TestStalledSessionTimelineHasStallPairs(t *testing.T) {
+	r := newRig(41, simnet.LinkConfig{Rate: 0.7e6, Delay: 30 * time.Millisecond, QueueBytes: 96 * 1024}, ServerConfig{}, sdClip(25))
+	p := Play(r.client, r.device, 2, r.clip, PlayerConfig{})
+	done := false
+	p.OnFinish = func(Report) { done = true; r.sim.Halt() }
+	r.sim.Run(10 * time.Minute)
+	if !done {
+		p.ForceFinish()
+	}
+	stalls, resumes := 0, 0
+	for _, e := range p.Events() {
+		switch e.Kind {
+		case "stall":
+			stalls++
+		case "resume":
+			resumes++
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("undersized link produced no stall events in the timeline")
+	}
+	if resumes > stalls {
+		t.Errorf("more resumes (%d) than stalls (%d)", resumes, stalls)
+	}
+}

@@ -1,0 +1,270 @@
+// Package wireless models the last-hop radio channel: received signal
+// strength, SNR-driven PHY rates, link-layer retries, external
+// interference, and disconnections.
+//
+// The model attaches to a simnet.Link and drives its dynamic rate, per-try
+// loss and busy-fraction hooks, so the transport layer experiences low
+// RSSI as "slow and retry-heavy" and interference as "less airtime and
+// collisions with normal RSSI" — the physical distinction the paper's
+// classifier exploits (only the mobile VP sees RSSI; the router and
+// server must infer wireless trouble from RTT and retransmissions).
+package wireless
+
+import (
+	"math"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// Technology labels the radio in use; probes export it as a context
+// attribute, never as a classifier feature (the paper's design is
+// technology-agnostic).
+type Technology string
+
+// Supported radio technologies.
+const (
+	TechWiFi Technology = "wifi"
+	Tech3G   Technology = "3g"
+)
+
+// ChannelConfig parameterizes a radio channel.
+type ChannelConfig struct {
+	Tech Technology
+
+	// BaseRSSI is the mean received signal strength in dBm, derived
+	// from distance and any attenuation the scenario applies. A healthy
+	// nearby station sits around -45 dBm; the edge of coverage is
+	// below -85 dBm.
+	BaseRSSI float64
+	// RSSIStd is the standard deviation of the per-second shadowing
+	// variation around BaseRSSI.
+	RSSIStd float64
+	// Walk, when positive, adds a bounded random walk to the RSSI each
+	// second (mobility). The value is the walk step std in dB.
+	Walk float64
+	// Interference is the fraction [0,1) of airtime stolen by other
+	// transmitters on the channel, sampled each second; nil means no
+	// interference. Interference also adds collision losses.
+	Interference func(now time.Duration) float64
+	// NoiseFloor in dBm. Zero selects -95 dBm.
+	NoiseFloor float64
+	// SampleInterval for the RSSI/interference processes. Zero selects
+	// one second, matching the paper's collection interval.
+	SampleInterval time.Duration
+	// DisconnectBelow is the RSSI under which the link may flap. Zero
+	// selects -88 dBm.
+	DisconnectBelow float64
+}
+
+// Channel binds a radio model to a simulated link.
+type Channel struct {
+	sim  *simnet.Sim
+	link *simnet.Link
+	cfg  ChannelConfig
+
+	rssi     float64
+	rateCap  float64
+	walkOff  float64
+	interf   float64
+	downTill time.Duration
+	ticker   *simnet.Ticker
+
+	// OnSample, if set, is invoked after each per-second update with
+	// the current RSSI; the link-layer probe uses it to record the
+	// signal time series exactly as the paper's probes did.
+	OnSample func(now time.Duration, rssi float64)
+}
+
+// rateStep maps an SNR threshold to a usable MAC-layer rate (bit/s) and a
+// per-attempt frame error probability. The table approximates single
+// stream 802.11n MCS behaviour after MAC efficiency, spanning the 1-70
+// Mbit/s range the paper quotes for 802.11 a/b/g/n.
+type rateStep struct {
+	minSNR  float64
+	rate    float64
+	tryLoss float64
+}
+
+var rateTable = []rateStep{
+	{30, 70e6, 0.01},
+	{25, 52e6, 0.015},
+	{22, 39e6, 0.02},
+	{18, 26e6, 0.03},
+	{15, 19.5e6, 0.05},
+	{12, 13e6, 0.08},
+	{9, 6.5e6, 0.12},
+	{5, 2e6, 0.22},
+	{2, 1e6, 0.35},
+	{math.Inf(-1), 0.5e6, 0.55},
+}
+
+// rate3GTable is the coarser cellular equivalent (HSPA-like).
+var rate3GTable = []rateStep{
+	{20, 7.2e6, 0.01},
+	{12, 3.6e6, 0.03},
+	{6, 1.8e6, 0.08},
+	{2, 0.8e6, 0.2},
+	{math.Inf(-1), 0.3e6, 0.45},
+}
+
+// Attach installs a radio model on link. The channel drives the link's
+// rate, per-try loss and interference busy fraction in both directions
+// and starts the per-second sampling process.
+func Attach(sim *simnet.Sim, link *simnet.Link, cfg ChannelConfig) *Channel {
+	if cfg.NoiseFloor == 0 {
+		cfg.NoiseFloor = -95
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = time.Second
+	}
+	if cfg.DisconnectBelow == 0 {
+		cfg.DisconnectBelow = -88
+	}
+	if cfg.Tech == "" {
+		cfg.Tech = TechWiFi
+	}
+	c := &Channel{sim: sim, link: link, cfg: cfg, rssi: cfg.BaseRSSI}
+	for _, d := range []simnet.Direction{simnet.AtoB, simnet.BtoA} {
+		d := d
+		link.SetRateFn(d, func(now time.Duration) float64 { return c.macRate() })
+		link.SetPerTryLossFn(d, func(now time.Duration) float64 { return c.tryLoss() })
+		link.AddBusyFn(d, func(now time.Duration) float64 { return c.interf })
+	}
+	c.sample(0) // establish initial state
+	c.ticker = simnet.NewTicker(sim, cfg.SampleInterval, c.sample)
+	return c
+}
+
+// Stop halts the channel's sampling process.
+func (c *Channel) Stop() { c.ticker.Stop() }
+
+// RSSI returns the current received signal strength in dBm.
+func (c *Channel) RSSI() float64 { return c.rssi }
+
+// SNR returns the current signal-to-noise ratio in dB. Interference
+// raises the effective noise floor slightly (co-channel energy).
+func (c *Channel) SNR() float64 {
+	noise := c.cfg.NoiseFloor + 6*c.interf
+	return c.rssi - noise
+}
+
+// Interference returns the current stolen-airtime fraction.
+func (c *Channel) Interference() float64 { return c.interf }
+
+// Tech returns the radio technology of the channel.
+func (c *Channel) Tech() Technology { return c.cfg.Tech }
+
+func (c *Channel) table() []rateStep {
+	if c.cfg.Tech == Tech3G {
+		return rate3GTable
+	}
+	return rateTable
+}
+
+func (c *Channel) step() rateStep {
+	snr := c.SNR()
+	for _, s := range c.table() {
+		if snr >= s.minSNR {
+			return s
+		}
+	}
+	return c.table()[len(c.table())-1]
+}
+
+// macRate is the rate the link serves foreground packets at, given the
+// current SNR-selected modulation and any shaping cap.
+func (c *Channel) macRate() float64 {
+	r := c.step().rate
+	if c.rateCap > 0 && c.rateCap < r {
+		r = c.rateCap
+	}
+	return r
+}
+
+// tryLoss is the per-attempt frame error probability. Collisions from
+// interference add on top of the SNR-driven error rate.
+func (c *Channel) tryLoss() float64 {
+	p := c.step().tryLoss
+	p += 0.5 * c.interf * c.interf // collision probability grows superlinearly
+	if p > 0.9 {
+		p = 0.9
+	}
+	return p
+}
+
+// sample advances the per-second RSSI/interference processes.
+func (c *Channel) sample(now time.Duration) {
+	rng := c.sim.Rand()
+	if c.cfg.Walk > 0 {
+		c.walkOff += rng.NormFloat64() * c.cfg.Walk
+		// Mean-revert so mobility wanders but does not drift away.
+		c.walkOff *= 0.97
+		if c.walkOff > 20 {
+			c.walkOff = 20
+		}
+		if c.walkOff < -25 {
+			c.walkOff = -25
+		}
+	}
+	c.rssi = c.cfg.BaseRSSI + c.walkOff + rng.NormFloat64()*c.cfg.RSSIStd
+	if c.cfg.Interference != nil {
+		c.interf = clamp01(c.cfg.Interference(now))
+	}
+
+	// Deep fades flap the association.
+	if c.link.Down() {
+		if now >= c.downTill {
+			c.link.SetDown(false)
+		}
+	} else if c.rssi < c.cfg.DisconnectBelow && rng.Float64() < 0.3 {
+		c.link.SetDown(true)
+		c.downTill = now + time.Duration(1+rng.Intn(4))*time.Second
+	}
+
+	if c.OnSample != nil {
+		c.OnSample(now, c.rssi)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}
+
+// RSSIFromDistance converts a distance in meters (plus extra attenuation
+// in dB) into a mean RSSI using a log-distance path loss model with
+// exponent 3.0 and 20 dBm transmit power, calibrated so 1m yields about
+// -40 dBm and 40m about -88 dBm.
+func RSSIFromDistance(meters, attenuationDB float64) float64 {
+	if meters < 1 {
+		meters = 1
+	}
+	return -40 - 30*math.Log10(meters) - attenuationDB
+}
+
+// SetRateCap caps the channel's MAC rate regardless of SNR; zero removes
+// the cap. LAN shaping faults (802.11 a/b/g/n rate limits of 1-70
+// Mbit/s) are applied through this hook.
+func (c *Channel) SetRateCap(bps float64) { c.rateCap = bps }
+
+// SetBaseRSSI moves the mean signal strength (poor-reception faults:
+// distance and attenuation).
+func (c *Channel) SetBaseRSSI(dbm float64) { c.cfg.BaseRSSI = dbm }
+
+// SetInterference installs or replaces the stolen-airtime process.
+func (c *Channel) SetInterference(fn func(now time.Duration) float64) { c.cfg.Interference = fn }
+
+// Disconnect forces the association down for dur: the flap-recovery
+// logic will not re-associate before the outage ends. Wild-scenario
+// mobility uses a long dur to model a user walking out of coverage
+// mid-session.
+func (c *Channel) Disconnect(dur time.Duration) {
+	c.link.SetDown(true)
+	c.downTill = c.sim.Now() + dur
+}

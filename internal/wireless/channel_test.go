@@ -1,0 +1,195 @@
+package wireless
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+func newLink(seed int64) (*simnet.Sim, *simnet.Link, *simnet.Node, *simnet.Node) {
+	s := simnet.New(seed)
+	a := s.NewNode("ap", 1)
+	b := s.NewNode("phone", 2)
+	l := simnet.ConnectSym(s, "wifi", a.AddNIC("wlan0"), b.AddNIC("wlan0"),
+		simnet.LinkConfig{Rate: 70e6, Delay: 2 * time.Millisecond, Retries: 7, RetryBackoff: 100 * time.Microsecond})
+	return s, l, a, b
+}
+
+func TestStrongSignalHighRate(t *testing.T) {
+	s, l, _, _ := newLink(1)
+	c := Attach(s, l, ChannelConfig{BaseRSSI: -45, RSSIStd: 1})
+	if got := c.macRate(); got < 30e6 {
+		t.Errorf("strong signal (-45dBm) rate = %.0f, want >= 30Mbit/s", got)
+	}
+	if c.tryLoss() > 0.05 {
+		t.Errorf("strong signal per-try loss = %.3f, want small", c.tryLoss())
+	}
+}
+
+func TestWeakSignalLowRate(t *testing.T) {
+	s, l, _, _ := newLink(2)
+	c := Attach(s, l, ChannelConfig{BaseRSSI: -85, RSSIStd: 1})
+	if got := c.macRate(); got > 7e6 {
+		t.Errorf("weak signal (-85dBm) rate = %.0f, want low", got)
+	}
+	if c.tryLoss() < 0.05 {
+		t.Errorf("weak signal per-try loss = %.3f, want elevated", c.tryLoss())
+	}
+}
+
+func TestRateMonotoneInRSSI(t *testing.T) {
+	prev := -1.0
+	for rssi := -95.0; rssi <= -40; rssi += 5 {
+		s, l, _, _ := newLink(3)
+		c := Attach(s, l, ChannelConfig{BaseRSSI: rssi})
+		if r := c.macRate(); r < prev {
+			t.Fatalf("rate not monotone: %.0f at %.0fdBm < %.0f below", r, rssi, prev)
+		} else {
+			prev = r
+		}
+	}
+}
+
+func TestInterferenceStealsAirtimeNotRSSI(t *testing.T) {
+	s, l, _, _ := newLink(4)
+	c := Attach(s, l, ChannelConfig{
+		BaseRSSI:     -50,
+		Interference: func(time.Duration) float64 { return 0.6 },
+	})
+	s.Run(3 * time.Second)
+	if c.RSSI() < -60 {
+		t.Errorf("interference should not tank RSSI, got %.1f", c.RSSI())
+	}
+	if c.Interference() != 0.6 {
+		t.Errorf("interference = %.2f, want 0.6", c.Interference())
+	}
+	// Collisions show up as per-try loss on top of the SNR-driven rate.
+	clean := Attach(simnet.New(5), mustLink(5), ChannelConfig{BaseRSSI: -50})
+	if c.tryLoss() <= clean.tryLoss() {
+		t.Errorf("interference tryLoss %.3f not above clean %.3f", c.tryLoss(), clean.tryLoss())
+	}
+}
+
+func mustLink(seed int64) *simnet.Link {
+	_, l, _, _ := newLink(seed)
+	return l
+}
+
+func TestRSSISamplingAndVariation(t *testing.T) {
+	s, l, _, _ := newLink(6)
+	var samples []float64
+	c := Attach(s, l, ChannelConfig{BaseRSSI: -60, RSSIStd: 3})
+	c.OnSample = func(now time.Duration, rssi float64) { samples = append(samples, rssi) }
+	s.Run(30 * time.Second)
+	if len(samples) != 30 {
+		t.Fatalf("got %d samples in 30s, want 30", len(samples))
+	}
+	var mean float64
+	varied := false
+	for i, v := range samples {
+		mean += v
+		if i > 0 && v != samples[0] {
+			varied = true
+		}
+	}
+	mean /= float64(len(samples))
+	if mean < -70 || mean > -50 {
+		t.Errorf("mean RSSI %.1f far from base -60", mean)
+	}
+	if !varied {
+		t.Error("RSSI never varied despite RSSIStd=3")
+	}
+}
+
+func TestMobilityWalkStaysBounded(t *testing.T) {
+	s, l, _, _ := newLink(7)
+	c := Attach(s, l, ChannelConfig{BaseRSSI: -60, RSSIStd: 1, Walk: 2})
+	lo, hi := 0.0, -200.0
+	c.OnSample = func(_ time.Duration, rssi float64) {
+		if rssi < lo {
+			lo = rssi
+		}
+		if rssi > hi {
+			hi = rssi
+		}
+	}
+	s.Run(10 * time.Minute)
+	if lo < -95 || hi > -25 {
+		t.Errorf("mobility walk escaped plausible range: [%.1f, %.1f]", lo, hi)
+	}
+	if hi-lo < 5 {
+		t.Errorf("mobility produced almost no variation: [%.1f, %.1f]", lo, hi)
+	}
+}
+
+func TestDeepFadeDisconnects(t *testing.T) {
+	s, l, a, _ := newLink(8)
+	Attach(s, l, ChannelConfig{BaseRSSI: -92, RSSIStd: 1})
+	s.Run(2 * time.Minute)
+	if a.NICs()[0].Disconnects == 0 {
+		t.Error("expected disconnections at -92dBm")
+	}
+	// And the link must come back up at some point rather than staying
+	// down forever.
+	downAtEnd := l.Down()
+	s.Run(4 * time.Minute)
+	if downAtEnd && l.Down() {
+		// Run further; with reassociation the link flaps rather than dies.
+		t.Log("link still down; acceptable only if flapping")
+	}
+}
+
+func Test3GRatesLower(t *testing.T) {
+	s, l, _, _ := newLink(9)
+	c := Attach(s, l, ChannelConfig{Tech: Tech3G, BaseRSSI: -60})
+	if r := c.macRate(); r > 8e6 {
+		t.Errorf("3G rate %.0f too high", r)
+	}
+	if c.Tech() != Tech3G {
+		t.Errorf("Tech = %v", c.Tech())
+	}
+}
+
+func TestRSSIFromDistance(t *testing.T) {
+	near := RSSIFromDistance(1, 0)
+	far := RSSIFromDistance(40, 0)
+	if near < -45 || near > -35 {
+		t.Errorf("1m RSSI = %.1f, want about -40", near)
+	}
+	if far > -80 {
+		t.Errorf("40m RSSI = %.1f, want below -80", far)
+	}
+	if att := RSSIFromDistance(10, 15); att >= RSSIFromDistance(10, 0) {
+		t.Error("attenuation must reduce RSSI")
+	}
+	if RSSIFromDistance(0.2, 0) != RSSIFromDistance(1, 0) {
+		t.Error("distances under 1m clamp to 1m")
+	}
+}
+
+func TestTransferFasterOnStrongSignal(t *testing.T) {
+	// End-to-end sanity: the same TCP transfer should finish much
+	// faster at -45dBm than at -85dBm.
+	elapsed := func(rssi float64) time.Duration {
+		s := simnet.New(11)
+		ap := s.NewNode("ap", 1)
+		ph := s.NewNode("phone", 2)
+		apn, phn := ap.AddNIC("wlan0"), ph.AddNIC("wlan0")
+		l := simnet.ConnectSym(s, "wifi", apn, phn,
+			simnet.LinkConfig{Rate: 70e6, Delay: 2 * time.Millisecond, Retries: 7})
+		Attach(s, l, ChannelConfig{BaseRSSI: rssi, RSSIStd: 1})
+		// Push raw packets AP->phone and count arrival of the last one.
+		var lastArrival time.Duration
+		ph.SetHandler(simnet.HandlerFunc(func(*simnet.NIC, *simnet.Packet) { lastArrival = s.Now() }))
+		for i := 0; i < 200; i++ {
+			ap.Send(apn, s.NewPacket(simnet.FlowKey{Proto: simnet.ProtoUDP, Src: 1, Dst: 2}, 1460, nil))
+		}
+		s.Run(10 * time.Minute) // the channel ticker never drains; run bounded
+		return lastArrival
+	}
+	strong, weak := elapsed(-45), elapsed(-85)
+	if weak < 4*strong {
+		t.Errorf("weak-signal drain %v not much slower than strong %v", weak, strong)
+	}
+}
