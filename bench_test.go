@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"vqprobe"
 	"vqprobe/internal/experiments"
 	"vqprobe/internal/features"
 	"vqprobe/internal/metrics"
@@ -242,6 +243,92 @@ func BenchmarkFlowMeter(b *testing.B) {
 		b.Fatal("meter missed the flow")
 	}
 	var _ metrics.Vector
+}
+
+// ---- serving benchmarks (internal/serve + compiled evaluator) ----
+
+var (
+	servingOnce     sync.Once
+	servingModel    *vqprobe.Model
+	servingCompiled *vqprobe.CompiledModel
+	servingFV       metrics.Vector
+	servingReqs     []vqprobe.ServeRequest
+)
+
+// servingFixture trains one full-pipeline model on the shared suite and
+// compiles it, plus a pool of merged multi-VP request vectors.
+func servingFixture(b *testing.B) {
+	b.Helper()
+	s := benchSuite(b)
+	servingOnce.Do(func() {
+		sessions := s.Controlled()
+		m, err := vqprobe.Train(sessions, vqprobe.IdentifyRootCause, vqprobe.AllVantagePoints)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm, err := vqprobe.CompileModel(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servingModel, servingCompiled = m, cm
+		for i, sess := range sessions {
+			fv := metrics.Vector{}
+			for vp, rec := range sess.Records {
+				fv.Merge(vp, rec)
+			}
+			if i == 0 {
+				servingFV = fv
+			}
+			servingReqs = append(servingReqs, vqprobe.ServeRequest{
+				ID: string(rune('a'+i%26)) + "-session", Features: fv,
+			})
+		}
+	})
+}
+
+// BenchmarkTreePredict is the offline baseline: pointer-chasing tree
+// walk with per-node map lookups (Model.PredictVector).
+func BenchmarkTreePredict(b *testing.B) {
+	servingFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servingModel.PredictVector(servingFV)
+	}
+}
+
+// BenchmarkCompiledPredict is the serving path: same normalization, but
+// tree evaluation over the flat compiled node array.
+func BenchmarkCompiledPredict(b *testing.B) {
+	servingFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servingCompiled.Diagnose(servingFV)
+	}
+}
+
+// BenchmarkServeThroughput pushes sessions through the full ingest
+// pipeline (sharding, queues, batching, per-stage metrics) and reports
+// end-to-end sessions/sec.
+func BenchmarkServeThroughput(b *testing.B) {
+	servingFixture(b)
+	eng := vqprobe.NewEngine(servingCompiled, vqprobe.EngineConfig{})
+	defer eng.Close()
+	const batch = 256
+	reqs := make([]vqprobe.ServeRequest, batch)
+	for i := range reqs {
+		reqs[i] = servingReqs[i%len(servingReqs)]
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		eng.DiagnoseBatch(reqs[:n])
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
 }
 
 // ---- extension benchmarks (paper Sections 7 and 9 proposals) ----

@@ -3,21 +3,38 @@
 //
 // Usage:
 //
-//	vqdiag -model model.json -in sessions.csv [-confusion]
+//	vqdiag -model model.json -in sessions.csv [-parallel N] [-confusion] [-strict]
 //
-// The input CSV uses the same format vqlab writes; if its class column
-// is non-empty the tool also reports accuracy (and, with -confusion,
-// the full per-class precision/recall breakdown).
+// The input CSV uses the same format vqlab writes and is streamed row
+// by row (it never has to fit in memory); if its class column is
+// non-empty the tool also reports accuracy (and, with -confusion, the
+// full per-class precision/recall breakdown). The CSV header is
+// validated against the model's feature schema before any row is
+// classified: sharing no features with the model is a hard error, and
+// partially missing features warn (or fail, with -strict). With
+// -parallel > 1 rows are classified concurrently through the serving
+// engine; output order stays identical to the input.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vqprobe"
+	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
 )
+
+// chunkRows bounds memory with -parallel: rows are classified and
+// printed in chunks of this size.
+const chunkRows = 512
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vqdiag: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -25,6 +42,8 @@ func main() {
 		in        = flag.String("in", "", "sessions CSV to diagnose (required)")
 		confusion = flag.Bool("confusion", false, "print the full confusion summary")
 		quiet     = flag.Bool("quiet", false, "suppress per-session lines")
+		parallel  = flag.Int("parallel", 1, "parallel classification workers (0 = NumCPU)")
+		strict    = flag.Bool("strict", false, "fail if any model feature is absent from the CSV header")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -34,39 +53,95 @@ func main() {
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	model, err := vqprobe.LoadModel(mf)
 	mf.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
+	}
+	cm, err := vqprobe.CompileModel(model)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	df, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
-	data, err := ml.ReadCSV(df)
-	df.Close()
+	defer df.Close()
+	stream, err := ml.NewCSVStream(df)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%s: %v", *in, err)
+	}
+	validateSchema(cm.Schema(), stream.Features(), *strict)
+
+	// parallel == 1 classifies inline; anything else goes through the
+	// sharded serving engine in bounded chunks, preserving row order.
+	var eng *vqprobe.Engine
+	if *parallel != 1 {
+		eng = vqprobe.NewEngine(cm, vqprobe.EngineConfig{Shards: *parallel})
+		defer eng.Close()
 	}
 
 	conf := ml.NewConfusion(nil)
-	labeled := 0
-	for i, inst := range data.Instances {
-		pred := model.PredictVector(inst.Features)
-		if !*quiet {
-			fmt.Printf("session %4d: predicted=%-20s actual=%s\n", i, pred, inst.Class)
+	rows, labeled, failed := 0, 0, 0
+	reqs := make([]vqprobe.ServeRequest, 0, chunkRows)
+	classes := make([]string, 0, chunkRows)
+
+	flush := func() {
+		var results []vqprobe.ServeResult
+		if eng != nil {
+			results = eng.DiagnoseBatch(reqs)
+		} else {
+			results = make([]vqprobe.ServeResult, len(reqs))
+			for i := range reqs {
+				results[i] = cm.Diagnose(metrics.Vector(reqs[i].Features))
+			}
 		}
-		if inst.Class != "" {
-			conf.Add(inst.Class, pred)
-			labeled++
+		for i, res := range results {
+			idx := rows - len(reqs) + i
+			if res.Err != "" {
+				failed++
+				if !*quiet {
+					fmt.Printf("session %4d: error=%s\n", idx, res.Err)
+				}
+				continue
+			}
+			if !*quiet {
+				fmt.Printf("session %4d: predicted=%-20s actual=%s\n", idx, res.Class, classes[i])
+			}
+			if classes[i] != "" {
+				conf.Add(classes[i], res.Class)
+				labeled++
+			}
 		}
+		reqs = reqs[:0]
+		classes = classes[:0]
+	}
+
+	for {
+		fv, class, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatalf("%s: %v", *in, err)
+		}
+		reqs = append(reqs, vqprobe.ServeRequest{ID: fmt.Sprint(rows), Features: fv})
+		classes = append(classes, class)
+		rows++
+		if len(reqs) == chunkRows {
+			flush()
+		}
+	}
+	flush()
+
+	if rows == 0 {
+		fatalf("%s has no data rows", *in)
+	}
+	if failed == rows {
+		fatalf("all %d rows failed to classify", rows)
 	}
 	if labeled > 0 {
 		fmt.Printf("accuracy: %.1f%% over %d labeled sessions\n", conf.Accuracy()*100, labeled)
@@ -74,4 +149,49 @@ func main() {
 			fmt.Print(conf.String())
 		}
 	}
+}
+
+// validateSchema checks the CSV header against the model's feature
+// schema before any row is classified: zero overlap means the wrong
+// file and is always fatal; a partial mismatch is treated as missing
+// values (the paper's reduced-deployment scenarios) unless -strict.
+func validateSchema(schema, header []string, strict bool) {
+	have := make(map[string]bool, len(header))
+	for _, f := range header {
+		have[f] = true
+	}
+	var missing []string
+	for _, f := range schema {
+		if !have[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if len(missing) == len(schema) {
+		fatalf("input shares no features with the model (model expects %d features, e.g. %s); wrong CSV or wrong model?",
+			len(schema), exampleList(schema))
+	}
+	if strict {
+		fatalf("%d of %d model features absent from input: %s", len(missing), len(schema), exampleList(missing))
+	}
+	fmt.Fprintf(os.Stderr, "vqdiag: warning: %d of %d model features absent from input (treated as missing values): %s\n",
+		len(missing), len(schema), exampleList(missing))
+}
+
+// exampleList renders up to four names of a feature list.
+func exampleList(names []string) string {
+	const max = 4
+	s := ""
+	for i, n := range names {
+		if i == max {
+			return s + fmt.Sprintf(", … (%d more)", len(names)-max)
+		}
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
 }

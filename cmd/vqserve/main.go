@@ -1,0 +1,142 @@
+// Command vqserve is the always-on diagnosis daemon: it loads a trained
+// model, compiles it for serving, and classifies live session records
+// over HTTP through the sharded ingest pipeline of internal/serve.
+//
+// Usage:
+//
+//	vqserve -model model.json [-addr :8700] [-shards N] [-queue 256]
+//	        [-batch 32] [-policy block|shed] [-watch 10s]
+//
+// Endpoints:
+//
+//	POST /diagnose  NDJSON batch, one {"id","features"} object per line
+//	GET  /healthz   liveness + model summary
+//	GET  /metrics   Prometheus text exposition
+//	POST /-/reload  re-read -model and hot-swap it without downtime
+//
+// With -watch, the model file's mtime is polled and the model reloads
+// automatically when a retrainer overwrites it (continuous training).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vqprobe"
+	"vqprobe/internal/serve"
+)
+
+func loadModel(path string) (*serve.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := vqprobe.LoadModel(f)
+	if err != nil {
+		return nil, err
+	}
+	return vqprobe.CompileModel(m)
+}
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "trained model JSON (from vqtrain)")
+		addr      = flag.String("addr", ":8700", "HTTP listen address")
+		shards    = flag.Int("shards", 0, "ingest shards/workers (0 = NumCPU)")
+		queue     = flag.Int("queue", 256, "per-shard queue depth")
+		batch     = flag.Int("batch", 32, "max jobs drained per worker wakeup")
+		policy    = flag.String("policy", "block", "full-queue policy: block (backpressure) or shed")
+		watch     = flag.Duration("watch", 0, "poll the model file and hot-reload on change (0 = off)")
+	)
+	flag.Parse()
+
+	var pol serve.Policy
+	switch *policy {
+	case "block":
+		pol = serve.Block
+	case "shed":
+		pol = serve.Shed
+	default:
+		fmt.Fprintf(os.Stderr, "vqserve: unknown -policy %q (want block or shed)\n", *policy)
+		os.Exit(2)
+	}
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("vqserve: loading model: %v", err)
+	}
+	eng := serve.NewEngine(model, serve.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		MaxBatch:   *batch,
+		Policy:     pol,
+		ReloadFunc: func() (*serve.Model, error) { return loadModel(*modelPath) },
+	})
+	log.Printf("vqserve: serving %s task, %d features, %d classes on %s",
+		model.Task(), len(model.Schema()), len(model.Classes()), *addr)
+
+	stopWatch := make(chan struct{})
+	if *watch > 0 {
+		go watchModel(eng, *modelPath, *watch, stopWatch)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("vqserve: %v", err)
+	case s := <-sig:
+		log.Printf("vqserve: %v, draining", s)
+	}
+	close(stopWatch)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("vqserve: shutdown: %v", err)
+	}
+	eng.Close()
+	log.Print("vqserve: drained cleanly")
+}
+
+// watchModel polls the model file's mtime and hot-swaps the engine's
+// snapshot when it changes; load errors keep the old model serving.
+func watchModel(eng *serve.Engine, path string, every time.Duration, stop <-chan struct{}) {
+	var last time.Time
+	if st, err := os.Stat(path); err == nil {
+		last = st.ModTime()
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		st, err := os.Stat(path)
+		if err != nil || !st.ModTime().After(last) {
+			continue
+		}
+		m, err := loadModel(path)
+		if err != nil {
+			log.Printf("vqserve: reload skipped, %v", err)
+			continue
+		}
+		last = st.ModTime()
+		eng.Reload(m)
+		log.Printf("vqserve: hot-reloaded model (%d features, %d classes)",
+			len(m.Schema()), len(m.Classes()))
+	}
+}

@@ -72,6 +72,5 @@ func dataset(results []testbed.SessionResult, vps []string, label testbed.Labele
 // PredictVector classifies one raw (un-normalized) feature vector
 // through the pipeline's construction and tree.
 func (p *Pipeline) PredictVector(fv metrics.Vector) string {
-	d := ml.NewDataset([]ml.Instance{{Features: fv, Class: "?"}})
-	return p.Tree.Predict(p.Norm.Apply(d).Instances[0].Features)
+	return p.Tree.Predict(p.Norm.ApplyVector(fv))
 }

@@ -99,45 +99,52 @@ func vpPrefix(f string) string {
 func (n *Normalizer) Apply(d *ml.Dataset) *ml.Dataset {
 	out := make([]ml.Instance, d.Len())
 	for i, in := range d.Instances {
-		fv := metrics.Vector{}
-		for f, v := range in.Features {
-			switch {
-			case droppedRSSI(f):
-				continue
-			case n.maxScale[f] > 0:
-				fv[f] = v / n.maxScale[f]
-			default:
-				fv[f] = v
-			}
-		}
-		// Count/byte/time normalizations are per-instance and per-VP.
-		for f := range fv {
-			pfx := vpPrefix(f)
-			base := strings.TrimPrefix(f, pfx)
-			for _, dir := range []string{"tcp_c2s_", "tcp_s2c_"} {
-				if !strings.HasPrefix(base, dir) {
-					continue
-				}
-				suffix := strings.TrimPrefix(base, dir)
-				switch {
-				case contains(pktNormalized, suffix):
-					if tot := fv[pfx+"tcp_total_pkts"]; tot > 0 {
-						fv[f] = fv[f] / tot
-					}
-				case contains(byteNormalized, suffix):
-					if tot := fv[pfx+"tcp_total_bytes"]; tot > 0 {
-						fv[f] = fv[f] / tot
-					}
-				case contains(timeNormalized, suffix):
-					if dur := fv[pfx+"tcp_duration_s"]; dur > 0 {
-						fv[f] = fv[f] / dur
-					}
-				}
-			}
-		}
-		out[i] = ml.Instance{Features: fv, Class: in.Class}
+		out[i] = ml.Instance{Features: n.ApplyVector(in.Features), Class: in.Class}
 	}
 	return ml.NewDataset(out)
+}
+
+// ApplyVector transforms a single raw feature vector with the
+// normalizer's factors — the streaming counterpart of Apply used by the
+// online serving engine, which never materializes a dataset.
+func (n *Normalizer) ApplyVector(in metrics.Vector) metrics.Vector {
+	fv := make(metrics.Vector, len(in))
+	for f, v := range in {
+		switch {
+		case droppedRSSI(f):
+			continue
+		case n.maxScale[f] > 0:
+			fv[f] = v / n.maxScale[f]
+		default:
+			fv[f] = v
+		}
+	}
+	// Count/byte/time normalizations are per-instance and per-VP.
+	for f := range fv {
+		pfx := vpPrefix(f)
+		base := strings.TrimPrefix(f, pfx)
+		for _, dir := range []string{"tcp_c2s_", "tcp_s2c_"} {
+			if !strings.HasPrefix(base, dir) {
+				continue
+			}
+			suffix := strings.TrimPrefix(base, dir)
+			switch {
+			case contains(pktNormalized, suffix):
+				if tot := fv[pfx+"tcp_total_pkts"]; tot > 0 {
+					fv[f] = fv[f] / tot
+				}
+			case contains(byteNormalized, suffix):
+				if tot := fv[pfx+"tcp_total_bytes"]; tot > 0 {
+					fv[f] = fv[f] / tot
+				}
+			case contains(timeNormalized, suffix):
+				if dur := fv[pfx+"tcp_duration_s"]; dur > 0 {
+					fv[f] = fv[f] / dur
+				}
+			}
+		}
+	}
+	return fv
 }
 
 func contains(list []string, s string) bool {
@@ -151,6 +158,43 @@ func contains(list []string, s string) bool {
 
 // Scales exposes the dataset-level divisors for serialization.
 func (n *Normalizer) Scales() map[string]float64 { return n.maxScale }
+
+// FeaturePlan describes how ApplyVector transforms one feature: drop
+// it, divide by a dataset-level scale, and/or divide by a per-instance
+// divisor feature. The serving engine precomputes one plan per model
+// feature so the hot path never scans the full raw vector.
+type FeaturePlan struct {
+	// Dropped features are removed by construction (non-avg RSSI).
+	Dropped bool
+	// Scale is the dataset-level max divisor, or 0 for none.
+	Scale float64
+	// Divisor names the per-instance divisor feature ("" for none);
+	// division only applies when the raw divisor value is positive.
+	Divisor string
+}
+
+// Plan returns the construction plan for one feature, exactly matching
+// what ApplyVector does to it.
+func (n *Normalizer) Plan(f string) FeaturePlan {
+	p := FeaturePlan{Dropped: droppedRSSI(f), Scale: n.maxScale[f]}
+	pfx := vpPrefix(f)
+	base := strings.TrimPrefix(f, pfx)
+	for _, dir := range []string{"tcp_c2s_", "tcp_s2c_"} {
+		if !strings.HasPrefix(base, dir) {
+			continue
+		}
+		suffix := strings.TrimPrefix(base, dir)
+		switch {
+		case contains(pktNormalized, suffix):
+			p.Divisor = pfx + "tcp_total_pkts"
+		case contains(byteNormalized, suffix):
+			p.Divisor = pfx + "tcp_total_bytes"
+		case contains(timeNormalized, suffix):
+			p.Divisor = pfx + "tcp_duration_s"
+		}
+	}
+	return p
+}
 
 // NormalizerFromScales rebuilds a normalizer from serialized divisors.
 func NormalizerFromScales(scales map[string]float64) *Normalizer {

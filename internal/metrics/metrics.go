@@ -1,6 +1,8 @@
 // Package metrics provides the aggregation and feature-vector primitives
-// shared by all probes: streaming min/max/mean/std accumulators and named
-// feature vectors that merge across vantage points.
+// shared by all probes — streaming min/max/mean/std accumulators and named
+// feature vectors that merge across vantage points — plus the serving
+// observability registry (registry.go): counters, gauges and histograms
+// with Prometheus text exposition, standard library only.
 package metrics
 
 import (

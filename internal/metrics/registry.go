@@ -1,0 +1,229 @@
+package metrics
+
+// This file is the operational-metrics half of the package: a small,
+// dependency-free counters/gauges/histograms registry with Prometheus
+// text exposition, written for the serving engine (the feature-vector
+// half above is the ML substrate). Series names may carry a literal
+// label set, e.g. `vqserve_queue_depth{shard="3"}`; series sharing a
+// base name form one family in the exposition output.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent
+// use; the zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float-valued metric that can go up and down. Safe for
+// concurrent use; the zero value is ready.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		val := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative le-buckets, Prometheus
+// style. Safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64{}, bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LatencyBuckets is a general-purpose latency bucket layout in seconds,
+// spanning 1µs to 1s.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// series is one registered metric instance.
+type series struct {
+	labels string // label body without braces, "" for none
+	metric any    // *Counter, *Gauge or *Histogram
+}
+
+// family groups series sharing a base name.
+type family struct {
+	name, help, kind string
+	order            []string
+	series           map[string]*series
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking for an existing
+// series returns it.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// splitName separates `base{label="x"}` into base and label body.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func (r *Registry) register(name, help, kind string, mk func() any) any {
+	base, labels := splitName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[base]
+	if f == nil {
+		f = &family{name: base, help: help, kind: kind, series: map[string]*series{}}
+		r.families[base] = f
+		r.order = append(r.order, base)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", base, f.kind, kind))
+	}
+	s := f.series[labels]
+	if s == nil {
+		s = &series{labels: labels, metric: mk()}
+		f.series[labels] = s
+		f.order = append(f.order, labels)
+	}
+	return s.metric
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (registering if needed) the named histogram; bounds
+// are the bucket upper limits (+Inf is implicit) and are fixed by the
+// first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, "histogram", func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// withLabel renders a label body plus an optional extra label.
+func withLabel(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, base := range r.order {
+		f := r.families[base]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, labels := range f.order {
+			s := f.series[labels]
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, withLabel(labels, ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, withLabel(labels, ""), formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					le := `le="` + formatFloat(bound) + `"`
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(labels, le), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(labels, `le="+Inf"`), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, withLabel(labels, ""), formatFloat(m.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, withLabel(labels, ""), m.Count())
+			}
+		}
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry over HTTP as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

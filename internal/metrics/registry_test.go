@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("requests_total", "total requests"); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+	g := r.Gauge(`queue_depth{shard="2"}`, "queue depth")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %g, want 2", g.Value())
+	}
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 5",
+		"# TYPE queue_depth gauge",
+		`queue_depth{shard="2"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat{stage="predict"}`, "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("sum = %g, want 5.555", h.Sum())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{stage="predict",le="0.01"} 1`,
+		`lat_bucket{stage="predict",le="0.1"} 2`,
+		`lat_bucket{stage="predict",le="1"} 3`,
+		`lat_bucket{stage="predict",le="+Inf"} 4`,
+		`lat_sum{stage="predict"} 5.555`,
+		`lat_count{stage="predict"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic registering x_total as a gauge")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total", "")
+			h := r.Histogram("obs", "", LatencyBuckets)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if got := r.Histogram("obs", "", nil).Count(); got != 8000 {
+		t.Fatalf("observations = %d, want 8000", got)
+	}
+}

@@ -456,6 +456,13 @@ func prune(n *node, cf float64) float64 {
 
 // ---- introspection ----
 
+// Features returns the feature schema the tree was trained against, in
+// canonical (sorted) order; do not mutate.
+func (t *Tree) Features() []string { return t.features }
+
+// Classes returns the class labels in index order; do not mutate.
+func (t *Tree) Classes() []string { return t.classes }
+
 // Size returns the number of nodes in the tree.
 func (t *Tree) Size() int { return count(t.root) }
 

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vqprobe/internal/metrics"
+)
+
+// CSVStream reads a WriteCSV-format dataset one row at a time without
+// materializing the whole file — the ingest path of the serving tools,
+// where session logs are far larger than memory.
+type CSVStream struct {
+	cr       *csv.Reader
+	features []string
+	line     int
+}
+
+// NewCSVStream validates the header and returns a row iterator.
+func NewCSVStream(r io.Reader) (*CSVStream, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if len(header) < 1 || header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("last column must be \"class\", got %q", header[len(header)-1])
+	}
+	return &CSVStream{cr: cr, features: header[:len(header)-1], line: 1}, nil
+}
+
+// Features returns the header's feature names in column order (do not
+// mutate).
+func (s *CSVStream) Features() []string { return s.features }
+
+// Line returns the line number of the most recently read row.
+func (s *CSVStream) Line() int { return s.line }
+
+// Next returns the next row's feature vector and class label; empty
+// cells are absent keys (missing values). It returns io.EOF after the
+// last row.
+func (s *CSVStream) Next() (metrics.Vector, string, error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, "", io.EOF
+	}
+	s.line++
+	if err != nil {
+		return nil, "", fmt.Errorf("line %d: %w", s.line, err)
+	}
+	fv := metrics.Vector{}
+	for j, f := range s.features {
+		if rec[j] == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[j], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("line %d, column %s: %w", s.line, f, err)
+		}
+		fv[f] = v
+	}
+	return fv, rec[len(rec)-1], nil
+}

@@ -199,38 +199,23 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset produced by WriteCSV.
+// ReadCSV parses a dataset produced by WriteCSV, materializing every
+// row. For larger-than-memory inputs use CSVStream instead.
 func ReadCSV(r io.Reader) (*Dataset, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
+	s, err := NewCSVStream(r)
 	if err != nil {
-		return nil, fmt.Errorf("reading header: %w", err)
+		return nil, err
 	}
-	if len(header) < 1 || header[len(header)-1] != "class" {
-		return nil, fmt.Errorf("last column must be \"class\", got %q", header[len(header)-1])
-	}
-	features := header[:len(header)-1]
 	var instances []Instance
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
+	for {
+		fv, class, err := s.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+			return nil, err
 		}
-		fv := metrics.Vector{}
-		for j, f := range features {
-			if rec[j] == "" {
-				continue
-			}
-			v, err := strconv.ParseFloat(rec[j], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d, column %s: %w", line, f, err)
-			}
-			fv[f] = v
-		}
-		instances = append(instances, Instance{Features: fv, Class: rec[len(rec)-1]})
+		instances = append(instances, Instance{Features: fv, Class: class})
 	}
 	return NewDataset(instances), nil
 }

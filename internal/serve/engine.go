@@ -1,0 +1,299 @@
+// Package serve is the online diagnosis engine: the deployable,
+// always-on form of the paper's diagnostic tool. It classifies live
+// session records through an immutable compiled-model snapshot behind a
+// sharded, batching ingest pipeline with backpressure, supports hot
+// model reload without dropping in-flight requests, and exposes
+// stdlib-only observability (Prometheus-text /metrics, /healthz, and an
+// NDJSON /diagnose endpoint). cmd/vqserve is a thin daemon over this
+// package; vqprobe.NewEngine is the public entry point.
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+)
+
+// Model is an immutable serving snapshot: the trained feature-
+// construction scales plus the compiled decision tree. Engines swap
+// whole snapshots atomically on reload, so a request sees exactly one
+// consistent model.
+type Model struct {
+	task string
+	norm *features.Normalizer
+	tree *c45.CompiledTree
+	// plan holds, per schema row, the feature name and its construction
+	// transform, so normalization touches only the features the tree
+	// consults instead of scanning the full raw vector.
+	plan []rowPlan
+}
+
+// rowPlan is the precomputed normalization of one schema row.
+type rowPlan struct {
+	name    string
+	divisor string // per-instance divisor feature, "" for none
+	scale   float64
+	dropped bool
+}
+
+// NewModel assembles a serving snapshot from its trained parts.
+func NewModel(task string, norm *features.Normalizer, tree *c45.CompiledTree) *Model {
+	if norm == nil {
+		norm = features.NormalizerFromScales(nil)
+	}
+	m := &Model{task: task, norm: norm, tree: tree}
+	for _, f := range tree.Schema() {
+		p := norm.Plan(f)
+		m.plan = append(m.plan, rowPlan{name: f, divisor: p.Divisor, scale: p.Scale, dropped: p.Dropped})
+	}
+	return m
+}
+
+// fillRow normalizes the raw vector directly into schema row form,
+// bit-identical to Normalizer.ApplyVector followed by
+// CompiledTree.FillRow but touching only schema features. Reading
+// divisors from the raw vector is safe because divisor features
+// (tcp_total_*, tcp_duration_s) are never themselves scaled, dropped
+// or ratio-normalized by construction.
+func (m *Model) fillRow(raw metrics.Vector, row []float64) {
+	for i := range m.plan {
+		p := &m.plan[i]
+		v, ok := raw[p.name]
+		if !ok || p.dropped {
+			row[i] = ml.Missing
+			continue
+		}
+		if p.scale > 0 {
+			v = v / p.scale
+		}
+		if p.divisor != "" {
+			if tot := raw[p.divisor]; tot > 0 {
+				v = v / tot
+			}
+		}
+		row[i] = v
+	}
+}
+
+// Task returns the diagnosis task the model was trained for.
+func (m *Model) Task() string { return m.task }
+
+// Schema returns the feature names the model consults (do not mutate).
+func (m *Model) Schema() []string { return m.tree.Schema() }
+
+// Classes returns the class labels the model can emit (do not mutate).
+func (m *Model) Classes() []string { return m.tree.Classes() }
+
+// Diagnose classifies one raw (un-normalized) feature vector
+// synchronously, bypassing the ingest pipeline.
+func (m *Model) Diagnose(fv metrics.Vector) Result {
+	row := make([]float64, len(m.plan))
+	m.fillRow(fv, row)
+	cls := m.tree.PredictRow(row)
+	sev, cause := ParseClass(cls)
+	return Result{Class: cls, Severity: sev, Cause: cause}
+}
+
+// ParseClass splits a predicted class label into its severity and
+// cause/location components, mirroring vqprobe.Diagnosis.
+func ParseClass(cls string) (severity, cause string) {
+	switch cls {
+	case "good":
+		return "good", "good"
+	case "problematic":
+		return "problematic", "unknown"
+	}
+	for _, suffix := range []string{"_mild", "_severe"} {
+		if len(cls) > len(suffix) && strings.HasSuffix(cls, suffix) {
+			return suffix[1:], strings.TrimSuffix(cls, suffix)
+		}
+	}
+	return "", cls
+}
+
+// Policy selects the engine's behavior when a shard queue is full.
+type Policy int
+
+const (
+	// Block applies backpressure: Submit waits for queue space.
+	Block Policy = iota
+	// Shed rejects the request immediately and counts it in
+	// vqserve_shed_total.
+	Shed
+)
+
+// Config tunes the engine. The zero value is usable.
+type Config struct {
+	// Shards is the worker/queue count; sessions hash to a shard by ID.
+	// Zero selects runtime.NumCPU().
+	Shards int
+	// QueueDepth is the per-shard bounded queue size. Zero selects 256.
+	QueueDepth int
+	// MaxBatch caps how many queued requests a worker drains per model
+	// snapshot load. Zero selects 32.
+	MaxBatch int
+	// Policy is the full-queue behavior (default Block).
+	Policy Policy
+	// Registry receives the engine's metrics; one is created if nil.
+	Registry *metrics.Registry
+	// ReloadFunc, when set, backs the POST /-/reload endpoint: it
+	// produces a fresh model snapshot (e.g. re-reading the model file).
+	ReloadFunc func() (*Model, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Request is one session to classify.
+type Request struct {
+	// ID identifies the session; requests with equal IDs are processed
+	// on the same shard, in submission order.
+	ID string `json:"id"`
+	// Features is the raw (un-normalized) merged feature vector, keys
+	// as produced by the probes / CSV header.
+	Features map[string]float64 `json:"features"`
+}
+
+// Result is the engine's answer for one request.
+type Result struct {
+	ID       string `json:"id,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Severity string `json:"severity,omitempty"`
+	Cause    string `json:"cause,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// Engine errors.
+var (
+	ErrClosed     = errors.New("serve: engine is closed")
+	ErrOverloaded = errors.New("serve: queue full, request shed")
+)
+
+// Engine is the online diagnosis engine. Create with NewEngine, feed
+// with Submit/DiagnoseBatch or the HTTP Handler, swap models with
+// Reload, and drain with Close.
+type Engine struct {
+	cfg    Config
+	model  atomic.Pointer[Model]
+	shards []*shard
+	next   atomic.Uint64 // round-robin for requests without an ID
+
+	mu      sync.RWMutex // guards closed against in-flight submits
+	closed  bool
+	workers sync.WaitGroup
+
+	reg   *metrics.Registry
+	obs   *obs
+	start time.Time
+}
+
+// NewEngine starts the shard workers and returns a ready engine
+// serving the given snapshot.
+func NewEngine(m *Model, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, reg: cfg.Registry, start: time.Now()}
+	e.model.Store(m)
+	e.obs = newObs(e.reg)
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, cfg.QueueDepth, e.reg)
+		e.shards = append(e.shards, sh)
+		e.workers.Add(1)
+		go e.runWorker(sh)
+	}
+	return e
+}
+
+// Model returns the current snapshot.
+func (e *Engine) Model() *Model { return e.model.Load() }
+
+// Registry returns the engine's metrics registry.
+func (e *Engine) Registry() *metrics.Registry { return e.reg }
+
+// Reload atomically swaps in a new model snapshot. In-flight requests
+// finish against whichever snapshot their batch loaded; nothing is
+// dropped.
+func (e *Engine) Reload(m *Model) {
+	e.model.Store(m)
+	e.obs.reloads.Inc()
+}
+
+// Submit enqueues one request. res is written and done invoked exactly
+// once when the request completes; on a non-nil error neither happens.
+func (e *Engine) Submit(req Request, res *Result, done func()) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	sh := e.shards[e.shardFor(req.ID)]
+	j := job{req: req, res: res, done: done, enq: time.Now()}
+	if e.cfg.Policy == Shed {
+		select {
+		case sh.ch <- j:
+		default:
+			e.obs.shed.Inc()
+			return ErrOverloaded
+		}
+	} else {
+		sh.ch <- j
+	}
+	sh.depth.Set(float64(len(sh.ch)))
+	return nil
+}
+
+// DiagnoseBatch classifies a batch through the pipeline and returns
+// results in request order. Requests rejected by the shed policy (or a
+// closed engine) come back with Err set.
+func (e *Engine) DiagnoseBatch(reqs []Request) []Result {
+	res := make([]Result, len(reqs))
+	e.obs.inflight.Add(float64(len(reqs)))
+	defer e.obs.inflight.Add(-float64(len(reqs)))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		if err := e.Submit(reqs[i], &res[i], wg.Done); err != nil {
+			res[i] = Result{ID: reqs[i].ID, Err: err.Error()}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return res
+}
+
+// Close stops intake, drains every queued request, and waits for the
+// workers to exit. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.workers.Wait()
+	return nil
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxLine bounds one NDJSON request line (1 MiB).
+const maxLine = 1 << 20
+
+// Handler returns the engine's HTTP surface:
+//
+//	GET  /healthz   liveness + model summary (503 until a model is loaded)
+//	GET  /metrics   Prometheus text exposition
+//	POST /diagnose  NDJSON batch: one {"id","features"} object per line,
+//	                one result object per line, input order preserved
+//	POST /-/reload  re-run Config.ReloadFunc and hot-swap the model
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", e.reg.Handler())
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/diagnose", e.handleDiagnose)
+	mux.HandleFunc("/-/reload", e.handleReload)
+	return mux
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := e.model.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if m == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "no model"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"task":           m.Task(),
+		"features":       len(m.Schema()),
+		"classes":        len(m.Classes()),
+		"shards":         len(e.shards),
+		"uptime_seconds": int64(time.Since(e.start).Seconds()),
+	})
+}
+
+func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST NDJSON to /diagnose", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+
+	// Decode every line first so one malformed line fails fast with a
+	// per-line error instead of poisoning the whole batch.
+	var (
+		results []Result
+		reqs    []Request
+		slots   []int // result index per submitted request
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			results = append(results, Result{Err: fmt.Sprintf("line %d: %v", len(results)+1, err)})
+			continue
+		}
+		slots = append(slots, len(results))
+		results = append(results, Result{})
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(results) == 0 {
+		http.Error(w, "empty request body", http.StatusBadRequest)
+		return
+	}
+	for i, res := range e.DiagnoseBatch(reqs) {
+		results[slots[i]] = res
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range results {
+		enc.Encode(&results[i])
+	}
+}
+
+func (e *Engine) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST to /-/reload", http.StatusMethodNotAllowed)
+		return
+	}
+	if e.cfg.ReloadFunc == nil {
+		http.Error(w, "no reload source configured", http.StatusNotImplemented)
+		return
+	}
+	m, err := e.cfg.ReloadFunc()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	e.Reload(m)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "reloaded", "features": len(m.Schema())})
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"vqprobe/internal/metrics"
+)
+
+// job is one queued classification.
+type job struct {
+	req  Request
+	res  *Result
+	done func()
+	enq  time.Time
+}
+
+// shard is one bounded queue + worker pair.
+type shard struct {
+	id    int
+	ch    chan job
+	depth *metrics.Gauge
+}
+
+func newShard(id, depth int, reg *metrics.Registry) *shard {
+	return &shard{
+		id:    id,
+		ch:    make(chan job, depth),
+		depth: reg.Gauge(fmt.Sprintf("vqserve_queue_depth{shard=%q}", fmt.Sprint(id)), "queued requests per shard"),
+	}
+}
+
+// shardFor hashes a session ID onto a shard so per-session order is
+// preserved; requests without an ID round-robin across shards.
+func (e *Engine) shardFor(id string) int {
+	if id == "" {
+		return int(e.next.Add(1) % uint64(len(e.shards)))
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(e.shards)))
+}
+
+// runWorker drains one shard: it batches up to MaxBatch queued jobs,
+// loads the model snapshot once per batch, and classifies each job
+// recording per-stage latencies.
+func (e *Engine) runWorker(sh *shard) {
+	defer e.workers.Done()
+	batch := make([]job, 0, e.cfg.MaxBatch)
+	var row, acc []float64
+	for {
+		j, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case j2, ok := <-sh.ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, j2)
+			default:
+				break drain
+			}
+		}
+		sh.depth.Set(float64(len(sh.ch)))
+		e.obs.batchSize.Observe(float64(len(batch)))
+		m := e.model.Load()
+		dequeued := time.Now()
+		for i := range batch {
+			e.obs.queueHist.Observe(dequeued.Sub(batch[i].enq).Seconds())
+			e.process(m, &batch[i], &row, &acc)
+		}
+	}
+}
+
+// process classifies one job against the snapshot m, reusing the
+// worker-local row and accumulator scratch.
+func (e *Engine) process(m *Model, j *job, row, acc *[]float64) {
+	defer j.done()
+	if m == nil {
+		j.res.ID = j.req.ID
+		j.res.Err = "no model loaded"
+		e.obs.errs.Inc()
+		return
+	}
+	t0 := time.Now()
+	if len(*row) != len(m.plan) {
+		*row = make([]float64, len(m.plan))
+	}
+	if len(*acc) != len(m.tree.Classes()) {
+		*acc = make([]float64, len(m.tree.Classes()))
+	}
+	m.fillRow(metrics.Vector(j.req.Features), *row)
+	t1 := time.Now()
+	e.obs.normHist.Observe(t1.Sub(t0).Seconds())
+
+	cls := m.tree.PredictRowInto(*row, *acc)
+	t2 := time.Now()
+	e.obs.predHist.Observe(t2.Sub(t1).Seconds())
+
+	sev, cause := ParseClass(cls)
+	*j.res = Result{ID: j.req.ID, Class: cls, Severity: sev, Cause: cause}
+	e.obs.totalHist.Observe(t2.Sub(j.enq).Seconds())
+	e.obs.requests.Inc()
+}
+
+// obs bundles the engine's metric handles; names are documented in
+// docs/SERVING.md.
+type obs struct {
+	requests, shed, errs, reloads *metrics.Counter
+	inflight                      *metrics.Gauge
+	queueHist, normHist, predHist *metrics.Histogram
+	totalHist, batchSize          *metrics.Histogram
+}
+
+func newObs(reg *metrics.Registry) *obs {
+	stage := func(s string) *metrics.Histogram {
+		return reg.Histogram(fmt.Sprintf("vqserve_stage_latency_seconds{stage=%q}", s),
+			"per-stage request latency", metrics.LatencyBuckets)
+	}
+	return &obs{
+		requests:  reg.Counter("vqserve_requests_total", "requests classified"),
+		shed:      reg.Counter("vqserve_shed_total", "requests rejected by the shed policy"),
+		errs:      reg.Counter("vqserve_errors_total", "requests that failed to classify"),
+		reloads:   reg.Counter("vqserve_model_reloads_total", "model hot reloads"),
+		inflight:  reg.Gauge("vqserve_inflight", "requests currently in the pipeline"),
+		queueHist: stage("queue"),
+		normHist:  stage("normalize"),
+		predHist:  stage("predict"),
+		totalHist: stage("total"),
+		batchSize: reg.Histogram("vqserve_batch_size", "jobs drained per worker wakeup",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+}

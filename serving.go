@@ -1,0 +1,58 @@
+package vqprobe
+
+// Serving API: the online counterpart of Train/Diagnose. A trained
+// Model compiles into an immutable CompiledModel (flat-array tree
+// evaluation, no map lookups on the hot path), and an Engine serves
+// compiled snapshots behind a sharded ingest pipeline with hot reload
+// and built-in observability. cmd/vqserve is a thin daemon over this
+// surface; docs/SERVING.md describes the architecture.
+
+import (
+	"fmt"
+
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/serve"
+)
+
+// CompiledModel is the serving-optimized form of a trained Model: the
+// feature-construction scales plus the tree flattened for sequential
+// evaluation. Snapshots are immutable and safe for concurrent use.
+type CompiledModel = serve.Model
+
+// Engine is the online diagnosis engine: sharded workers, bounded
+// queues with a backpressure policy, atomic model hot-reload, and an
+// HTTP surface (/diagnose, /healthz, /metrics) via Engine.Handler.
+type Engine = serve.Engine
+
+// EngineConfig tunes an Engine; the zero value selects NumCPU shards,
+// 256-deep queues and blocking backpressure.
+type EngineConfig = serve.Config
+
+// ServeRequest is one session submitted to an Engine.
+type ServeRequest = serve.Request
+
+// ServeResult is an Engine's answer for one request.
+type ServeResult = serve.Result
+
+// CompileModel flattens a trained model into its serving form.
+func CompileModel(m *Model) (*CompiledModel, error) {
+	ct, err := c45.Compile(m.pipeline.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("vqprobe: compiling model: %w", err)
+	}
+	return serve.NewModel(string(m.Task), m.pipeline.Norm, ct), nil
+}
+
+// Compile is the method form of CompileModel.
+func (m *Model) Compile() (*CompiledModel, error) { return CompileModel(m) }
+
+// FeatureSchema returns the exact feature names the trained tree
+// consults, in canonical order — the contract an input CSV header or
+// /diagnose feature map is validated against.
+func (m *Model) FeatureSchema() []string { return m.pipeline.Tree.Features() }
+
+// NewEngine starts an engine serving the given compiled snapshot.
+// Close it to drain.
+func NewEngine(m *CompiledModel, cfg EngineConfig) *Engine {
+	return serve.NewEngine(m, cfg)
+}
