@@ -27,6 +27,7 @@ import (
 	"vqprobe/internal/simnet"
 	"vqprobe/internal/tcpsim"
 	"vqprobe/internal/testbed"
+	"vqprobe/internal/trace"
 	"vqprobe/internal/video"
 )
 
@@ -312,6 +313,46 @@ func BenchmarkCompiledPredict(b *testing.B) {
 func BenchmarkServeThroughput(b *testing.B) {
 	servingFixture(b)
 	eng := vqprobe.NewEngine(servingCompiled, vqprobe.EngineConfig{})
+	defer eng.Close()
+	const batch = 256
+	reqs := make([]vqprobe.ServeRequest, batch)
+	for i := range reqs {
+		reqs[i] = servingReqs[i%len(servingReqs)]
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		eng.DiagnoseBatch(reqs[:n])
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkCompiledPredictExplain is the explained serving path: the
+// same compiled traversal but recording every node visited plus the
+// rule rendering — the cost of "explain":true on /diagnose.
+func BenchmarkCompiledPredictExplain(b *testing.B) {
+	servingFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servingCompiled.DiagnoseExplain(servingFV)
+	}
+}
+
+// BenchmarkServeThroughputTraced is BenchmarkServeThroughput with a
+// live tracer: every request records a span tree and histogram
+// exemplars. Compare the two to see the enabled-tracing overhead; the
+// disabled path is the plain benchmark above (a nil tracer short-
+// circuits before any allocation, pinned by TestDisabledPathAllocs in
+// internal/trace).
+func BenchmarkServeThroughputTraced(b *testing.B) {
+	servingFixture(b)
+	tr := trace.New(trace.Config{Capacity: 1 << 14})
+	eng := vqprobe.NewEngine(servingCompiled, vqprobe.EngineConfig{Tracer: tr})
 	defer eng.Close()
 	const batch = 256
 	reqs := make([]vqprobe.ServeRequest, batch)

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	vqdiag -model model.json -in sessions.csv [-parallel N] [-confusion] [-strict]
+//	vqdiag -model model.json -in sessions.csv [-parallel N] [-confusion]
+//	       [-strict] [-explain] [-log-format text|json]
 //
 // The input CSV uses the same format vqlab writes and is streamed row
 // by row (it never has to fit in memory); if its class column is
@@ -13,13 +14,17 @@
 // classified: sharing no features with the model is a hard error, and
 // partially missing features warn (or fail, with -strict). With
 // -parallel > 1 rows are classified concurrently through the serving
-// engine; output order stays identical to the input.
+// engine; output order stays identical to the input. With -explain,
+// each prediction is followed by the decision rule that produced it
+// ("root cause = X because f=v > t ∧ ..."). Diagnostics go to stderr
+// through log/slog; -log-format json emits them as JSON objects.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"vqprobe"
@@ -32,7 +37,7 @@ import (
 const chunkRows = 512
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "vqdiag: "+format+"\n", args...)
+	slog.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }
 
@@ -44,8 +49,19 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-session lines")
 		parallel  = flag.Int("parallel", 1, "parallel classification workers (0 = NumCPU)")
 		strict    = flag.Bool("strict", false, "fail if any model feature is absent from the CSV header")
+		explain   = flag.Bool("explain", false, "print the decision rule behind each prediction")
+		logFmt    = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	switch *logFmt {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text", "":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "vqdiag: unknown -log-format %q (want text or json)\n", *logFmt)
+		os.Exit(2)
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "vqdiag: -in is required")
 		os.Exit(2)
@@ -96,7 +112,11 @@ func main() {
 		} else {
 			results = make([]vqprobe.ServeResult, len(reqs))
 			for i := range reqs {
-				results[i] = cm.Diagnose(metrics.Vector(reqs[i].Features))
+				if *explain {
+					results[i] = cm.DiagnoseExplain(metrics.Vector(reqs[i].Features))
+				} else {
+					results[i] = cm.Diagnose(metrics.Vector(reqs[i].Features))
+				}
 			}
 		}
 		for i, res := range results {
@@ -110,6 +130,9 @@ func main() {
 			}
 			if !*quiet {
 				fmt.Printf("session %4d: predicted=%-20s actual=%s\n", idx, res.Class, classes[i])
+				if *explain && res.Rule != "" {
+					fmt.Printf("              %s\n", res.Rule)
+				}
 			}
 			if classes[i] != "" {
 				conf.Add(classes[i], res.Class)
@@ -128,7 +151,7 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", *in, err)
 		}
-		reqs = append(reqs, vqprobe.ServeRequest{ID: fmt.Sprint(rows), Features: fv})
+		reqs = append(reqs, vqprobe.ServeRequest{ID: fmt.Sprint(rows), Features: fv, Explain: *explain})
 		classes = append(classes, class)
 		rows++
 		if len(reqs) == chunkRows {
@@ -176,8 +199,8 @@ func validateSchema(schema, header []string, strict bool) {
 	if strict {
 		fatalf("%d of %d model features absent from input: %s", len(missing), len(schema), exampleList(missing))
 	}
-	fmt.Fprintf(os.Stderr, "vqdiag: warning: %d of %d model features absent from input (treated as missing values): %s\n",
-		len(missing), len(schema), exampleList(missing))
+	slog.Warn("model features absent from input (treated as missing values)",
+		"missing", len(missing), "schema", len(schema), "examples", exampleList(missing))
 }
 
 // exampleList renders up to four names of a feature list.

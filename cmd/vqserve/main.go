@@ -6,31 +6,43 @@
 //
 //	vqserve -model model.json [-addr :8700] [-shards N] [-queue 256]
 //	        [-batch 32] [-policy block|shed] [-watch 10s]
+//	        [-log-format text|json] [-trace-buf 0] [-pprof-addr ""]
 //
 // Endpoints:
 //
-//	POST /diagnose  NDJSON batch, one {"id","features"} object per line
-//	GET  /healthz   liveness + model summary
-//	GET  /metrics   Prometheus text exposition
-//	POST /-/reload  re-read -model and hot-swap it without downtime
+//	POST /diagnose     NDJSON batch, one {"id","features"} object per line
+//	                   (add "explain":true for the decision path + rule)
+//	GET  /healthz      liveness + model summary
+//	GET  /metrics      Prometheus text exposition (OpenMetrics with
+//	                   exemplar trace IDs via Accept negotiation)
+//	POST /-/reload     re-read -model and hot-swap it without downtime
+//	GET  /debug/trace  span ring-buffer dump (only with -trace-buf > 0)
 //
 // With -watch, the model file's mtime is polled and the model reloads
 // automatically when a retrainer overwrites it (continuous training).
+// -trace-buf N keeps the last N spans in memory and stamps results and
+// access logs with trace IDs; -pprof-addr serves net/http/pprof on a
+// separate listener. Logs are structured (log/slog); -log-format json
+// switches them to one JSON object per line.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"vqprobe"
 	"vqprobe/internal/serve"
+	"vqprobe/internal/trace"
 )
 
 func loadModel(path string) (*serve.Model, error) {
@@ -46,6 +58,21 @@ func loadModel(path string) (*serve.Model, error) {
 	return vqprobe.CompileModel(m)
 }
 
+// newLogger builds the process logger: text (the default, human
+// friendly) or json (one object per line, for log shippers).
+func newLogger(format string) *slog.Logger {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "vqserve: unknown -log-format %q (want text or json)\n", format)
+		os.Exit(2)
+		return nil
+	}
+}
+
 func main() {
 	var (
 		modelPath = flag.String("model", "model.json", "trained model JSON (from vqtrain)")
@@ -55,8 +82,13 @@ func main() {
 		batch     = flag.Int("batch", 32, "max jobs drained per worker wakeup")
 		policy    = flag.String("policy", "block", "full-queue policy: block (backpressure) or shed")
 		watch     = flag.Duration("watch", 0, "poll the model file and hot-reload on change (0 = off)")
+		logFmt    = flag.String("log-format", "text", "log output format: text or json")
+		traceBuf  = flag.Int("trace-buf", 0, "span ring-buffer capacity; > 0 enables tracing and /debug/trace")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+	logger := newLogger(*logFmt)
+	slog.SetDefault(logger)
 
 	var pol serve.Policy
 	switch *policy {
@@ -69,9 +101,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *trace.Tracer
+	if *traceBuf > 0 {
+		tracer = trace.New(trace.Config{Capacity: *traceBuf})
+	}
+
 	model, err := loadModel(*modelPath)
 	if err != nil {
-		log.Fatalf("vqserve: loading model: %v", err)
+		logger.Error("loading model failed", "path", *modelPath, "err", err)
+		os.Exit(1)
 	}
 	eng := serve.NewEngine(model, serve.Config{
 		Shards:     *shards,
@@ -79,16 +117,30 @@ func main() {
 		MaxBatch:   *batch,
 		Policy:     pol,
 		ReloadFunc: func() (*serve.Model, error) { return loadModel(*modelPath) },
+		Tracer:     tracer,
 	})
-	log.Printf("vqserve: serving %s task, %d features, %d classes on %s",
-		model.Task(), len(model.Schema()), len(model.Classes()), *addr)
+	logger.Info("serving",
+		"task", model.Task(), "features", len(model.Schema()),
+		"classes", len(model.Classes()), "addr", *addr,
+		"tracing", tracer != nil)
+
+	if *pprofAddr != "" {
+		// pprof registers on http.DefaultServeMux; the diagnosis surface
+		// uses its own mux, so the profile listener exposes nothing else.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	stopWatch := make(chan struct{})
 	if *watch > 0 {
-		go watchModel(eng, *modelPath, *watch, stopWatch)
+		go watchModel(eng, logger, *modelPath, *watch, stopWatch)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: eng.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, tracer, eng.Handler())}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -96,23 +148,64 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("vqserve: %v", err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("vqserve: %v, draining", s)
+		logger.Info("draining", "signal", s.String())
 	}
 	close(stopWatch)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("vqserve: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	eng.Close()
-	log.Print("vqserve: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// statusWriter records the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// reqSeq numbers requests for log correlation when tracing is off.
+var reqSeq atomic.Uint64
+
+// accessLog wraps the diagnosis surface with one structured log line
+// per request. With tracing enabled each request also records an
+// "http" span whose ID is the log line's trace_id, tying access logs
+// to /debug/trace output and histogram exemplars.
+func accessLog(logger *slog.Logger, tr *trace.Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		span := tr.StartSpan("http", r.Method+" "+r.URL.Path, 0)
+		var tid string
+		if span.Active() {
+			tid = strconv.FormatUint(uint64(span.ID()), 16)
+		} else {
+			tid = "r" + strconv.FormatUint(reqSeq.Add(1), 10)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		span.EndDetail("status=" + strconv.Itoa(sw.status))
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"trace_id", tid)
+	})
 }
 
 // watchModel polls the model file's mtime and hot-swaps the engine's
 // snapshot when it changes; load errors keep the old model serving.
-func watchModel(eng *serve.Engine, path string, every time.Duration, stop <-chan struct{}) {
+func watchModel(eng *serve.Engine, logger *slog.Logger, path string, every time.Duration, stop <-chan struct{}) {
 	var last time.Time
 	if st, err := os.Stat(path); err == nil {
 		last = st.ModTime()
@@ -131,12 +224,12 @@ func watchModel(eng *serve.Engine, path string, every time.Duration, stop <-chan
 		}
 		m, err := loadModel(path)
 		if err != nil {
-			log.Printf("vqserve: reload skipped, %v", err)
+			logger.Warn("reload skipped", "err", err)
 			continue
 		}
 		last = st.ModTime()
 		eng.Reload(m)
-		log.Printf("vqserve: hot-reloaded model (%d features, %d classes)",
-			len(m.Schema()), len(m.Classes()))
+		logger.Info("hot-reloaded model",
+			"features", len(m.Schema()), "classes", len(m.Classes()))
 	}
 }

@@ -1,0 +1,133 @@
+// Command vqtrace records a traced simulated video session and writes
+// it out as a Chrome trace_event JSON file: open the result at
+// https://ui.perfetto.dev (or chrome://tracing) to see the session as
+// nested spans — the download and startup phases, every stall, and the
+// instant events the network and TCP layers emitted (enqueues, queue
+// drops, fast retransmits, RTOs) on their own tracks, all on the
+// simulation's virtual clock.
+//
+// Usage:
+//
+//	vqtrace [-fault lan_cong] [-intensity 0.7] [-seed 1] [-wan dsl|mobile]
+//	        [-bitrate 1.2e6] [-duration 40s] [-buf 65536]
+//	        [-o session.trace.json] [-format chrome|ndjson] [-summary]
+//
+// -format ndjson emits one JSON object per event instead (the same
+// records /debug/trace?format=ndjson serves), for ad-hoc filtering
+// with line-oriented tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/trace"
+	"vqprobe/internal/video"
+)
+
+func main() {
+	var (
+		faultName = flag.String("fault", "lan_cong", "fault to induce (or 'none')")
+		intensity = flag.Float64("intensity", 0.7, "fault intensity in [0,1]")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		wan       = flag.String("wan", "dsl", "WAN profile: dsl or mobile")
+		bitrate   = flag.Float64("bitrate", 1.2e6, "clip bitrate, bits/s")
+		duration  = flag.Duration("duration", 40*time.Second, "clip duration")
+		bufSize   = flag.Int("buf", 1<<16, "span ring-buffer capacity (oldest events drop beyond it)")
+		out       = flag.String("o", "session.trace.json", "output file ('-' = stdout)")
+		format    = flag.String("format", "chrome", "output format: chrome (trace_event JSON) or ndjson")
+		summary   = flag.Bool("summary", true, "print an event summary to stderr")
+	)
+	flag.Parse()
+
+	if *format != "chrome" && *format != "ndjson" {
+		fmt.Fprintf(os.Stderr, "vqtrace: unknown -format %q (want chrome or ndjson)\n", *format)
+		os.Exit(2)
+	}
+	fault := qoe.FaultNone
+	if *faultName != "none" {
+		found := false
+		for _, f := range qoe.Faults {
+			if f.String() == *faultName {
+				fault, found = f, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "vqtrace: unknown fault %q\n", *faultName)
+			os.Exit(2)
+		}
+	}
+	wanProfile := testbed.WANDSL
+	if *wan == "mobile" {
+		wanProfile = testbed.WANMobile
+	}
+
+	res := testbed.RunSession(testbed.SessionConfig{
+		Opts: testbed.Options{
+			Seed: *seed, WAN: wanProfile,
+			BackgroundScale: 0.4, ServerLoadMean: 0.1,
+			InstrumentRouter: true, InstrumentServer: true,
+		},
+		Spec:     faults.Spec{Fault: fault, Intensity: *intensity},
+		Clip:     video.Clip{ID: 1, Quality: video.SD, Bitrate: *bitrate, Duration: *duration, FPS: 30},
+		TraceBuf: *bufSize,
+	})
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqtrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *format == "ndjson" {
+		err = res.Trace.WriteNDJSON(w)
+	} else {
+		err = res.Trace.WriteChromeTrace(w)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqtrace: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *summary {
+		events := res.Trace.Events()
+		byTrack := map[string]int{}
+		spans := 0
+		for _, ev := range events {
+			byTrack[ev.Track]++
+			if ev.Kind == trace.KindSpan {
+				spans++
+			}
+		}
+		tracks := make([]string, 0, len(byTrack))
+		for t := range byTrack {
+			tracks = append(tracks, t)
+		}
+		sort.Strings(tracks)
+		fmt.Fprintf(os.Stderr, "vqtrace: fault=%s intensity=%.2f MOS=%.2f (%s)\n",
+			fault, *intensity, res.MOS, res.Label.Severity)
+		fmt.Fprintf(os.Stderr, "vqtrace: %d events (%d spans", len(events), spans)
+		if d := res.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, ", %d oldest dropped — raise -buf", d)
+		}
+		fmt.Fprint(os.Stderr, ") on tracks:")
+		for _, t := range tracks {
+			fmt.Fprintf(os.Stderr, " %s=%d", t, byTrack[t])
+		}
+		fmt.Fprintln(os.Stderr)
+		if *out != "-" && *format == "chrome" {
+			fmt.Fprintf(os.Stderr, "vqtrace: open %s at https://ui.perfetto.dev to explore the session\n", *out)
+		}
+	}
+}

@@ -60,6 +60,15 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	ex      atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a recent observation to the trace that produced it,
+// in the OpenMetrics sense: scrape the histogram, follow the trace ID
+// to the exact request behind a latency bucket.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -81,6 +90,20 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// ObserveExemplar records a sample and retains it as the histogram's
+// exemplar, tagged with the originating trace ID. The latest exemplar
+// wins; exposition shows it only in OpenMetrics output (the 0.0.4 text
+// format has no exemplar syntax).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the most recently attached exemplar, or nil.
+func (h *Histogram) Exemplar() *Exemplar { return h.ex.Load() }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -185,8 +208,23 @@ func withLabel(labels, extra string) string {
 }
 
 // WriteText renders every registered metric in Prometheus text
-// exposition format (version 0.0.4).
+// exposition format (version 0.0.4). Output is byte-identical to what
+// it was before exemplar support existed: exemplars only appear in
+// WriteOpenMetrics.
 func (r *Registry) WriteText(w io.Writer) {
+	r.writeText(w, false)
+}
+
+// WriteOpenMetrics renders the registry with OpenMetrics extensions:
+// histogram buckets carry `# {trace_id="..."} value` exemplars (on the
+// first bucket wide enough to contain the exemplar's value) and the
+// output ends with the mandatory `# EOF` marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.writeText(w, true)
+	fmt.Fprint(w, "# EOF\n")
+}
+
+func (r *Registry) writeText(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, base := range r.order {
@@ -203,14 +241,26 @@ func (r *Registry) WriteText(w io.Writer) {
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %s\n", f.name, withLabel(labels, ""), formatFloat(m.Value()))
 			case *Histogram:
+				var ex *Exemplar
+				if openMetrics {
+					ex = m.Exemplar()
+				}
+				exSuffix := func(bound float64) string {
+					if ex == nil || ex.Value > bound {
+						return ""
+					}
+					suffix := fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatFloat(ex.Value))
+					ex = nil // an exemplar annotates exactly one bucket
+					return suffix
+				}
 				var cum uint64
 				for i, bound := range m.bounds {
 					cum += m.counts[i].Load()
 					le := `le="` + formatFloat(bound) + `"`
-					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(labels, le), cum)
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, withLabel(labels, le), cum, exSuffix(bound))
 				}
 				cum += m.counts[len(m.bounds)].Load()
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(labels, `le="+Inf"`), cum)
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, withLabel(labels, `le="+Inf"`), cum, exSuffix(math.Inf(1)))
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, withLabel(labels, ""), formatFloat(m.Sum()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, withLabel(labels, ""), m.Count())
 			}
@@ -220,9 +270,17 @@ func (r *Registry) WriteText(w io.Writer) {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Handler serves the registry over HTTP as a /metrics endpoint.
+// Handler serves the registry over HTTP as a /metrics endpoint. The
+// default output is Prometheus text 0.0.4; a scraper whose Accept
+// header asks for application/openmetrics-text gets the OpenMetrics
+// rendering, which is where histogram exemplars appear.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req != nil && strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WriteText(w)
 	})

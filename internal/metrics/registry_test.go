@@ -103,3 +103,77 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("observations = %d, want 8000", got)
 	}
 }
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat{stage="total"}`, "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, "1a2b")
+	if ex := h.Exemplar(); ex == nil || ex.TraceID != "1a2b" || ex.Value != 0.05 {
+		t.Fatalf("exemplar = %+v, want {1a2b 0.05}", h.Exemplar())
+	}
+	// The latest exemplar wins; empty trace IDs never replace one.
+	h.ObserveExemplar(0.5, "c3d4")
+	h.ObserveExemplar(0.7, "")
+	if ex := h.Exemplar(); ex.TraceID != "c3d4" {
+		t.Fatalf("exemplar = %+v, want c3d4", ex)
+	}
+
+	// Default exposition is exemplar-free and unchanged.
+	var plain strings.Builder
+	r.WriteText(&plain)
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Errorf("0.0.4 exposition leaked an exemplar:\n%s", plain.String())
+	}
+
+	// OpenMetrics shows the exemplar on the first bucket containing its
+	// value (0.5 -> le="1"), exactly once, and ends with # EOF.
+	var om strings.Builder
+	r.WriteOpenMetrics(&om)
+	out := om.String()
+	want := `lat_bucket{stage="total",le="1"} 4 # {trace_id="c3d4"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Errorf("OpenMetrics missing %q in:\n%s", want, out)
+	}
+	if strings.Count(out, "trace_id") != 1 {
+		t.Errorf("exemplar rendered %d times, want 1:\n%s", strings.Count(out, "trace_id"), out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output missing # EOF terminator")
+	}
+}
+
+func TestExemplarAboveAllBucketsLandsOnInf(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1})
+	h.ObserveExemplar(5, "beef")
+	var om strings.Builder
+	r.WriteOpenMetrics(&om)
+	want := `lat_bucket{le="+Inf"} 1 # {trace_id="beef"} 5`
+	if !strings.Contains(om.String(), want) {
+		t.Errorf("OpenMetrics missing %q in:\n%s", want, om.String())
+	}
+}
+
+func TestExemplarConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", LatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.ObserveExemplar(float64(j)*1e-6, "t")
+				var b strings.Builder
+				if j%100 == 0 {
+					r.WriteOpenMetrics(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+}

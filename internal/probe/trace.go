@@ -19,8 +19,9 @@ import (
 
 // TraceRecorder writes one CSV row per observed TCP packet.
 type TraceRecorder struct {
-	w   *csv.Writer
-	err error
+	w      *csv.Writer
+	err    error
+	closed bool
 }
 
 // traceHeader is the column layout of a trace file.
@@ -37,7 +38,7 @@ func NewTraceRecorder(node *simnet.Node, w io.Writer) (*TraceRecorder, error) {
 	}
 	addr := node.Addr
 	node.AddTap(func(now time.Duration, _ *simnet.NIC, pkt *simnet.Packet, dir simnet.PacketDir) {
-		if r.err != nil || !pkt.IsTCP() {
+		if r.closed || r.err != nil || !pkt.IsTCP() {
 			return
 		}
 		if dir == simnet.DirOut && pkt.Flow.Src != addr {
@@ -61,13 +62,23 @@ func NewTraceRecorder(node *simnet.Node, w io.Writer) (*TraceRecorder, error) {
 	return r, nil
 }
 
-// Flush finalizes the trace and reports any write error.
+// Flush writes out buffered rows and reports the first error hit while
+// writing the trace (sticky: later calls keep returning it).
 func (r *TraceRecorder) Flush() error {
 	r.w.Flush()
-	if r.err != nil {
-		return r.err
+	if r.err == nil {
+		r.err = r.w.Error()
 	}
-	return r.w.Error()
+	return r.err
+}
+
+// Close stops recording — packets tapped afterwards are ignored —
+// flushes, and surfaces the first write error. Node taps cannot be
+// detached, so the recorder must outlive the simulation, but after
+// Close it only ever returns this same result.
+func (r *TraceRecorder) Close() error {
+	r.closed = true
+	return r.Flush()
 }
 
 // ReplayTrace parses a recorded trace and feeds every packet through a

@@ -2,6 +2,7 @@ package probe
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	flow := w.download(t, 300_000, time.Minute)
-	if err := rec.Flush(); err != nil {
+	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,6 +97,58 @@ func TestReplayedMeterUsableForDiagnosis(t *testing.T) {
 	}
 	if v := m.Flow(flow).Vector(); v["tcp_s2c_data_bytes"] < 80_000 {
 		t.Errorf("replayed byte count %v", v["tcp_s2c_data_bytes"])
+	}
+}
+
+// failAfterWriter accepts n bytes, then fails every write with err.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n < len(p) {
+		return 0, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestTraceRecorderSurfacesWriteError: a sink that starts failing mid-
+// recording must not be silent — Close reports the first error, and
+// keeps reporting the same one on repeat calls.
+func TestTraceRecorderSurfacesWriteError(t *testing.T) {
+	errDisk := errors.New("disk full")
+	w := newWorld(33, lanCfg(), wanCfg())
+	rec, err := NewTraceRecorder(w.cliNode, &failAfterWriter{n: 1024, err: errDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.download(t, 300_000, time.Minute)
+	if err := rec.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close() = %v, want %v", err, errDisk)
+	}
+	if err := rec.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("second Close() = %v, want the same first error", err)
+	}
+}
+
+// TestTraceRecorderCloseStopsRecording: packets tapped after Close must
+// not land in the trace (taps cannot be detached from a node).
+func TestTraceRecorderCloseStopsRecording(t *testing.T) {
+	w := newWorld(34, lanCfg(), wanCfg())
+	var buf bytes.Buffer
+	rec, err := NewTraceRecorder(w.cliNode, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.download(t, 50_000, time.Minute)
+	rec.Flush()
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 1 {
+		t.Fatalf("closed recorder captured %d rows", len(lines)-1)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
 	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/trace"
 )
 
 // Model is an immutable serving snapshot: the trained feature-
@@ -102,6 +103,17 @@ func (m *Model) Diagnose(fv metrics.Vector) Result {
 	return Result{Class: cls, Severity: sev, Cause: cause}
 }
 
+// DiagnoseExplain is Diagnose plus the traversed decision path and its
+// human-readable rule rendering. The class is identical to Diagnose's:
+// the explanation is recorded on the same traversal.
+func (m *Model) DiagnoseExplain(fv metrics.Vector) Result {
+	row := make([]float64, len(m.plan))
+	m.fillRow(fv, row)
+	exp := m.tree.PredictRowExplain(row)
+	sev, cause := ParseClass(exp.Class)
+	return Result{Class: exp.Class, Severity: sev, Cause: cause, Explain: exp, Rule: exp.Rule()}
+}
+
 // ParseClass splits a predicted class label into its severity and
 // cause/location components, mirroring vqprobe.Diagnosis.
 func ParseClass(cls string) (severity, cause string) {
@@ -147,6 +159,11 @@ type Config struct {
 	// ReloadFunc, when set, backs the POST /-/reload endpoint: it
 	// produces a fresh model snapshot (e.g. re-reading the model file).
 	ReloadFunc func() (*Model, error)
+	// Tracer, when set, records a span per request (parenting queue/
+	// normalize/predict stage spans), attaches exemplar trace IDs to the
+	// stage latency histograms, and enables the /debug/trace endpoint.
+	// Nil (the default) disables all of it at zero per-request cost.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +190,8 @@ type Request struct {
 	// Features is the raw (un-normalized) merged feature vector, keys
 	// as produced by the probes / CSV header.
 	Features map[string]float64 `json:"features"`
+	// Explain requests the traversed decision path in the result.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Result is the engine's answer for one request.
@@ -181,7 +200,15 @@ type Result struct {
 	Class    string `json:"class,omitempty"`
 	Severity string `json:"severity,omitempty"`
 	Cause    string `json:"cause,omitempty"`
-	Err      string `json:"error,omitempty"`
+	// Explain and Rule are populated only when the request asked for
+	// them: the exact node path of the classification and its one-line
+	// human-readable rendering.
+	Explain *c45.Explanation `json:"explain,omitempty"`
+	Rule    string           `json:"rule,omitempty"`
+	// TraceID links the result to its span in the engine tracer (and to
+	// histogram exemplars); empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
+	Err     string `json:"error,omitempty"`
 }
 
 // Engine errors.

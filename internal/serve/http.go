@@ -15,16 +15,35 @@ const maxLine = 1 << 20
 //
 //	GET  /healthz   liveness + model summary (503 until a model is loaded)
 //	GET  /metrics   Prometheus text exposition
-//	POST /diagnose  NDJSON batch: one {"id","features"} object per line,
-//	                one result object per line, input order preserved
+//	POST /diagnose  NDJSON batch: one {"id","features"} object per line
+//	                (add "explain":true for the decision path), one
+//	                result object per line, input order preserved
 //	POST /-/reload  re-run Config.ReloadFunc and hot-swap the model
+//
+// When Config.Tracer is set, GET /debug/trace dumps the span ring
+// buffer — Chrome trace_event JSON by default (load it in Perfetto),
+// NDJSON with ?format=ndjson.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", e.reg.Handler())
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/diagnose", e.handleDiagnose)
 	mux.HandleFunc("/-/reload", e.handleReload)
+	if e.cfg.Tracer != nil {
+		mux.HandleFunc("/debug/trace", e.handleTrace)
+	}
 	return mux
+}
+
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := e.cfg.Tracer
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteNDJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChromeTrace(w)
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -3,9 +3,11 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 
 	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml/c45"
 )
 
 // job is one queued classification.
@@ -72,17 +74,19 @@ func (e *Engine) runWorker(sh *shard) {
 		m := e.model.Load()
 		dequeued := time.Now()
 		for i := range batch {
-			e.obs.queueHist.Observe(dequeued.Sub(batch[i].enq).Seconds())
-			e.process(m, &batch[i], &row, &acc)
+			e.process(m, &batch[i], &row, &acc, dequeued)
 		}
 	}
 }
 
 // process classifies one job against the snapshot m, reusing the
-// worker-local row and accumulator scratch.
-func (e *Engine) process(m *Model, j *job, row, acc *[]float64) {
+// worker-local row and accumulator scratch. dequeued is when the
+// worker pulled the job's batch off the shard queue.
+func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Time) {
 	defer j.done()
+	queueD := dequeued.Sub(j.enq)
 	if m == nil {
+		e.obs.queueHist.Observe(queueD.Seconds())
 		j.res.ID = j.req.ID
 		j.res.Err = "no model loaded"
 		e.obs.errs.Inc()
@@ -97,15 +101,46 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64) {
 	}
 	m.fillRow(metrics.Vector(j.req.Features), *row)
 	t1 := time.Now()
-	e.obs.normHist.Observe(t1.Sub(t0).Seconds())
+	normD := t1.Sub(t0)
 
-	cls := m.tree.PredictRowInto(*row, *acc)
+	var cls string
+	var exp *c45.Explanation
+	if j.req.Explain {
+		exp = m.tree.PredictRowExplain(*row)
+		cls = exp.Class
+	} else {
+		cls = m.tree.PredictRowInto(*row, *acc)
+	}
 	t2 := time.Now()
-	e.obs.predHist.Observe(t2.Sub(t1).Seconds())
+	predD := t2.Sub(t1)
+	totalD := t2.Sub(j.enq)
 
 	sev, cause := ParseClass(cls)
-	*j.res = Result{ID: j.req.ID, Class: cls, Severity: sev, Cause: cause}
-	e.obs.totalHist.Observe(t2.Sub(j.enq).Seconds())
+	*j.res = Result{ID: j.req.ID, Class: cls, Severity: sev, Cause: cause, Explain: exp}
+	if exp != nil {
+		j.res.Rule = exp.Rule()
+	}
+
+	if tr := e.cfg.Tracer; tr.Enabled() {
+		// The engine measures stages with its own monotonic stopwatch;
+		// anchor the spans on the tracer clock ending now.
+		end := tr.Now()
+		reqID := tr.RecordSpan("serve", "request", "id="+j.req.ID+" class="+cls, 0, end-totalD, totalD)
+		tr.RecordSpan("serve", "queue", "", reqID, end-totalD, queueD)
+		tr.RecordSpan("serve", "normalize", "", reqID, end-normD-predD, normD)
+		tr.RecordSpan("serve", "predict", "", reqID, end-predD, predD)
+		tid := strconv.FormatUint(uint64(reqID), 16)
+		j.res.TraceID = tid
+		e.obs.queueHist.ObserveExemplar(queueD.Seconds(), tid)
+		e.obs.normHist.ObserveExemplar(normD.Seconds(), tid)
+		e.obs.predHist.ObserveExemplar(predD.Seconds(), tid)
+		e.obs.totalHist.ObserveExemplar(totalD.Seconds(), tid)
+	} else {
+		e.obs.queueHist.Observe(queueD.Seconds())
+		e.obs.normHist.Observe(normD.Seconds())
+		e.obs.predHist.Observe(predD.Seconds())
+		e.obs.totalHist.Observe(totalD.Seconds())
+	}
 	e.obs.requests.Inc()
 }
 

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/trace"
+)
+
+// testModelWithTree is testModel keeping the interpreted tree and the
+// normalizer, so explain output can be cross-checked against the
+// reference evaluator.
+func testModelWithTree(t testing.TB) (*Model, *c45.Tree, *features.Normalizer) {
+	t.Helper()
+	var insts []ml.Instance
+	for rtt := 10.0; rtt <= 200; rtt += 10 {
+		for loss := 0.0; loss <= 10; loss++ {
+			cls := "good"
+			if rtt > 100 {
+				if loss > 5 {
+					cls = "lan_cong_severe"
+				} else {
+					cls = "lan_cong_mild"
+				}
+			}
+			insts = append(insts, ml.Instance{
+				Features: metrics.Vector{"mobile.rtt": rtt, "mobile.loss": loss},
+				Class:    cls,
+			})
+		}
+	}
+	d := ml.NewDataset(insts)
+	constructed, norm := features.Construct(d)
+	tree := c45.Default().TrainTree(constructed)
+	ct, err := c45.Compile(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel("exact", norm, ct), tree, norm
+}
+
+// TestHTTPDiagnoseExplain pins the acceptance criterion at the HTTP
+// surface: a /diagnose request with "explain":true returns the node
+// path, and that path is byte-identical to what the interpreted tree
+// produces for the same (normalized) vector. Lines without the flag
+// stay explain-free, so the default response shape is unchanged.
+func TestHTTPDiagnoseExplain(t *testing.T) {
+	m, tree, norm := testModelWithTree(t)
+	eng := NewEngine(m, Config{Shards: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	body := `{"id":"s1","features":{"mobile.rtt":150,"mobile.loss":7},"explain":true}` + "\n" +
+		`{"id":"s2","features":{"mobile.rtt":50,"mobile.loss":0}}` + "\n"
+	resp, err := http.Post(srv.URL+"/diagnose", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var results []Result
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		results = append(results, r)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r1, r2 := results[0], results[1]
+	if r1.Class != "lan_cong_severe" || r1.Explain == nil || r1.Rule == "" {
+		t.Fatalf("explain result incomplete: %+v", r1)
+	}
+	if len(r1.Explain.Path) == 0 {
+		t.Fatal("explain path empty")
+	}
+	if r1.Explain.Class != r1.Class {
+		t.Fatalf("explain class %q != result class %q", r1.Explain.Class, r1.Class)
+	}
+	if !strings.HasPrefix(r1.Rule, "root cause = lan_cong_severe because ") {
+		t.Fatalf("rule rendering wrong: %q", r1.Rule)
+	}
+	if r2.Explain != nil || r2.Rule != "" {
+		t.Fatalf("explain leaked into a request that did not ask: %+v", r2)
+	}
+
+	// Byte-identity against the interpreted tree: normalize the raw
+	// vector the same way the model does, explain with the pointer
+	// tree, compare JSON.
+	want := tree.PredictExplain(norm.ApplyVector(metrics.Vector(fv(150, 7))))
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(r1.Explain)
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("served explain diverges from interpreted tree\nserved:      %s\ninterpreted: %s", gb, wb)
+	}
+}
+
+// TestServeTracing covers the request-span pipeline: span per request
+// with queue/normalize/predict children, trace IDs on results, the
+// /debug/trace dump endpoint, and exemplar attachment on the stage
+// histograms (OpenMetrics only).
+func TestServeTracing(t *testing.T) {
+	tr := trace.New(trace.Config{Capacity: 1024})
+	eng := NewEngine(testModel(t, "lan_cong_severe"), Config{Shards: 2, Tracer: tr})
+	defer eng.Close()
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	res := eng.DiagnoseBatch([]Request{
+		{ID: "a", Features: fv(150, 7)},
+		{ID: "b", Features: fv(30, 0)},
+	})
+	for _, r := range res {
+		if r.Err != "" {
+			t.Fatalf("request failed: %+v", r)
+		}
+		if r.TraceID == "" {
+			t.Fatalf("traced engine returned no trace ID: %+v", r)
+		}
+	}
+
+	// Every request must have recorded a request span plus the three
+	// stage children, parented correctly.
+	spans := map[trace.SpanID]trace.Event{}
+	children := map[trace.SpanID][]string{}
+	var requests int
+	for _, ev := range tr.Events() {
+		spans[ev.ID] = ev
+		if ev.Name == "request" {
+			requests++
+		}
+		if ev.Parent != 0 {
+			children[ev.Parent] = append(children[ev.Parent], ev.Name)
+		}
+	}
+	if requests != 2 {
+		t.Fatalf("recorded %d request spans, want 2", requests)
+	}
+	for id, ev := range spans {
+		if ev.Name != "request" {
+			continue
+		}
+		got := strings.Join(children[id], ",")
+		for _, stage := range []string{"queue", "normalize", "predict"} {
+			if !strings.Contains(got, stage) {
+				t.Errorf("request span %d missing %s child (has %q)", id, stage, got)
+			}
+		}
+	}
+
+	// /debug/trace default output is Chrome trace JSON.
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("/debug/trace not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/trace returned no events")
+	}
+
+	// NDJSON variant.
+	resp, err = http.Get(srv.URL + "/debug/trace?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(raw, []byte(`"name":"request"`)) {
+		t.Fatalf("NDJSON dump missing request spans: %.200s", raw)
+	}
+
+	// Exemplars: OpenMetrics output carries trace IDs, the default
+	// 0.0.4 output stays exemplar-free.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Content-Type"), "openmetrics") {
+		t.Errorf("OpenMetrics content type not negotiated: %q", resp.Header.Get("Content-Type"))
+	}
+	if !bytes.Contains(om, []byte(`# {trace_id="`)) {
+		t.Error("OpenMetrics exposition has no exemplars")
+	}
+	if !bytes.HasSuffix(bytes.TrimRight(om, "\n"), []byte("# EOF")) {
+		t.Error("OpenMetrics exposition missing # EOF")
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(plain, []byte("trace_id")) {
+		t.Error("default 0.0.4 exposition leaked exemplars")
+	}
+}
+
+// TestUntracedEngineHasNoTraceSurface pins the disabled default: no
+// trace IDs on results and no /debug/trace endpoint.
+func TestUntracedEngineHasNoTraceSurface(t *testing.T) {
+	eng := NewEngine(testModel(t, "lan_cong_severe"), Config{Shards: 1})
+	defer eng.Close()
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	res := eng.DiagnoseBatch([]Request{{ID: "a", Features: fv(150, 7)}})
+	if res[0].TraceID != "" {
+		t.Fatalf("untraced engine set a trace ID: %+v", res[0])
+	}
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/trace = %d without a tracer, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsConcurrentScrapeReload hammers /metrics (both formats)
+// while requests flow and the model hot-reloads, under -race in CI.
+// Afterwards the exposition must still parse and count every request.
+func TestMetricsConcurrentScrapeReload(t *testing.T) {
+	tr := trace.New(trace.Config{Capacity: 4096})
+	eng := NewEngine(testModel(t, "lan_cong_severe"), Config{Shards: 4, Tracer: tr})
+	defer eng.Close()
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	const (
+		writers  = 4
+		scrapers = 4
+		rounds   = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				eng.DiagnoseBatch([]Request{
+					{ID: "w", Features: fv(150, 7), Explain: i%2 == 0},
+				})
+				if i%10 == 0 {
+					eng.Reload(testModel(t, "lan_cong_severe"))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				url := srv.URL + "/metrics"
+				req, _ := http.NewRequest(http.MethodGet, url, nil)
+				if g%2 == 0 {
+					req.Header.Set("Accept", "application/openmetrics-text")
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("scrape failed: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := metricValue(t, string(body), "vqserve_requests_total"); got != writers*rounds {
+		t.Fatalf("vqserve_requests_total = %v, want %d", got, writers*rounds)
+	}
+}

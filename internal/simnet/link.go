@@ -244,17 +244,27 @@ func (d *linkDir) crossQueueDelay(now time.Duration) time.Duration {
 
 // enqueue offers a packet to the direction's FIFO. Called by NIC.send.
 func (d *linkDir) enqueue(pkt *Packet) {
+	tr := d.link.sim.tracer
 	if d.link.down {
 		d.stats.ChannelLoss++
+		if tr.Enabled() {
+			tr.Instant("net", "channel_loss", fmt.Sprintf("link=%s down #%d %s", d.link.name, pkt.ID, pkt.Flow), 0)
+		}
 		return
 	}
 	if d.qBytes+pkt.Size() > d.cfg.QueueBytes {
 		d.stats.QueueDrops++
+		if tr.Enabled() {
+			tr.Instant("net", "queue_drop", fmt.Sprintf("link=%s qbytes=%d #%d %s", d.link.name, d.qBytes, pkt.ID, pkt.Flow), 0)
+		}
 		return
 	}
 	d.queue = append(d.queue, pkt)
 	d.qBytes += pkt.Size()
 	d.stats.Enqueued++
+	if tr.Enabled() {
+		tr.Instant("net", "enqueue", fmt.Sprintf("link=%s bytes=%d #%d %s", d.link.name, pkt.Size(), pkt.ID, pkt.Flow), 0)
+	}
 	if !d.busy {
 		d.startService()
 	}
@@ -293,6 +303,11 @@ func (d *linkDir) startService() {
 
 	total := time.Duration(tries)*txTime + time.Duration(tries-1)*d.cfg.RetryBackoff
 	d.stats.Retries += int64(tries - 1)
+	if tries > 1 {
+		if tr := sim.tracer; tr.Enabled() {
+			tr.Instant("net", "retry", fmt.Sprintf("link=%s attempts=%d lost=%t #%d %s", d.link.name, tries, lost, pkt.ID, pkt.Flow), 0)
+		}
+	}
 
 	sim.After(total, func() {
 		// Packet leaves the queue whether or not it survived.
@@ -301,6 +316,9 @@ func (d *linkDir) startService() {
 
 		if d.link.down || lost {
 			d.stats.ChannelLoss++
+			if tr := sim.tracer; tr.Enabled() {
+				tr.Instant("net", "channel_loss", fmt.Sprintf("link=%s #%d %s", d.link.name, pkt.ID, pkt.Flow), 0)
+			}
 		} else {
 			d.stats.TxPackets++
 			d.stats.TxBytes += int64(pkt.Size())

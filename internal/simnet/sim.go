@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"vqprobe/internal/trace"
 )
 
 // Sim is a discrete-event simulator. The zero value is not usable; create
@@ -29,6 +31,7 @@ type Sim struct {
 	rng    *rand.Rand
 	nextID uint64
 	halted bool
+	tracer *trace.Tracer
 }
 
 // New returns a simulator whose random number generator is seeded with
@@ -44,6 +47,18 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Rand returns the simulator's random source. All model components must
 // draw randomness from here to preserve reproducibility.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetTracer attaches an event recorder to the simulation. Everything
+// running on this Sim (links, TCP connections, the video player) emits
+// spans and instant events into it. A nil tracer (the default) disables
+// recording at zero cost; the tracer should be clocked by s.Now so
+// events carry virtual timestamps.
+func (s *Sim) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the attached recorder, or nil when tracing is off.
+// The nil result is safe to use directly: all trace.Tracer methods
+// no-op on a nil receiver.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past is clamped to the present: the event runs at Now.

@@ -1,6 +1,7 @@
 package tcpsim
 
 import (
+	"fmt"
 	"time"
 
 	"vqprobe/internal/simnet"
@@ -233,6 +234,7 @@ func (c *Conn) Abort(reason string) {
 		return
 	}
 	c.state = StateAborted
+	c.tracef("abort", "%s", reason)
 	c.rtoGen++
 	c.persistGen++
 	c.host.forget(c)
@@ -272,6 +274,7 @@ func (c *Conn) establish() {
 	c.sndUna, c.sndNxt = 1, 1
 	c.synRetries = 0
 	c.rtoGen++ // cancel handshake timer
+	c.tracef("established", "handshake=%v", c.handshake)
 	if c.OnEstablished != nil {
 		c.OnEstablished()
 	}
@@ -424,6 +427,7 @@ func (c *Conn) enterFastRecovery() {
 	c.inRecovery = true
 	c.cwnd = c.ssthresh + 3*float64(c.mss)
 	c.stats.FastRetransmits++
+	c.tracef("fast_retransmit", "una=%d ssthresh=%.0f", c.sndUna, c.ssthresh)
 	c.retransmitUna()
 }
 
@@ -434,6 +438,9 @@ func (c *Conn) growCwnd(acked int64) {
 			inc = float64(c.mss)
 		}
 		c.cwnd += inc
+		if c.cwnd >= c.ssthresh {
+			c.tracef("aimd", "slow start -> congestion avoidance cwnd=%.0f ssthresh=%.0f", c.cwnd, c.ssthresh)
+		}
 	} else { // congestion avoidance
 		c.cwnd += float64(c.mss) * float64(c.mss) / c.cwnd
 	}
@@ -707,6 +714,17 @@ func (c *Conn) emit(payload int, hdr *simnet.TCPHeader) {
 
 func (c *Conn) sim() *simnet.Sim { return c.host.Sim() }
 
+// tracef records a connection-level instant event ("tcp" track) on the
+// simulation's tracer, tagged with the connection's flow key. The format
+// arguments are only rendered when a tracer is attached.
+func (c *Conn) tracef(name, format string, args ...any) {
+	tr := c.sim().Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	tr.Instant("tcp", name, fmt.Sprintf(format, args...)+" ["+c.flow.String()+"]", 0)
+}
+
 // ---- timers ----
 
 func (c *Conn) sampleRTT(ack int64) {
@@ -770,6 +788,7 @@ func (c *Conn) onRTO() {
 		}
 		c.stats.Timeouts++
 		c.rtoConsecutiv++
+		c.tracef("rto", "rto=%v consecutive=%d una=%d", c.rto, c.rtoConsecutiv, c.sndUna)
 		if c.rtoConsecutiv > maxRTORetries {
 			c.Abort("retransmission limit exceeded")
 			return

@@ -7,6 +7,7 @@ import (
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/qoe"
 	"vqprobe/internal/simnet"
+	"vqprobe/internal/trace"
 	"vqprobe/internal/video"
 )
 
@@ -32,6 +33,11 @@ type SessionResult struct {
 	// Timeline is the player's event log (state changes, stalls), for
 	// inspection tools; never used for training.
 	Timeline []video.Event
+
+	// Trace is the session's event recorder, populated only when
+	// SessionConfig.TraceBuf was positive. Timestamps are virtual
+	// (simulator) time.
+	Trace *trace.Tracer
 }
 
 // Combined merges the given vantage points' records into one prefixed
@@ -67,6 +73,10 @@ type SessionConfig struct {
 	// permanently at that time — a roaming user leaving coverage
 	// mid-session (wild-scenario mobility).
 	RadioOutageAt time.Duration
+	// TraceBuf, when positive, attaches a trace.Tracer with that ring
+	// capacity to the session's simulator (virtual-clock timestamps);
+	// it comes back in SessionResult.Trace. Zero disables tracing.
+	TraceBuf int
 }
 
 // RunSession builds a fresh topology, injects the fault, streams one
@@ -75,6 +85,12 @@ type SessionConfig struct {
 func RunSession(cfg SessionConfig) SessionResult {
 	topo := Build(cfg.Opts)
 	sim := topo.Sim
+
+	var tracer *trace.Tracer
+	if cfg.TraceBuf > 0 {
+		tracer = trace.New(trace.Config{Capacity: cfg.TraceBuf, Clock: sim.Now})
+		sim.SetTracer(tracer)
+	}
 
 	dur := cfg.FaultDur
 	if dur == 0 {
@@ -92,6 +108,7 @@ func RunSession(cfg SessionConfig) SessionResult {
 	clip := cfg.Clip
 	topo.Server.ClipFor = func(simnet.FlowKey) video.Clip { return clip }
 
+	runSpan := tracer.StartSpan("testbed", "session", 0)
 	player := video.Play(topo.PhoneHost, topo.PhoneDev, AddrServer, clip, video.PlayerConfig{})
 	player.OnFinish = func(video.Report) { sim.Halt() }
 
@@ -106,6 +123,7 @@ func RunSession(cfg SessionConfig) SessionResult {
 	if !player.Done() {
 		player.ForceFinish()
 	}
+	runSpan.EndDetail("fault=" + cfg.Spec.Fault.String())
 
 	rep := player.Report()
 	mos := qoe.MOS(rep)
@@ -123,6 +141,7 @@ func RunSession(cfg SessionConfig) SessionResult {
 		},
 	}
 	res.Timeline = player.Events()
+	res.Trace = tracer
 	flow := player.Flow()
 	res.Records["mobile"] = topo.Mobile.Record(flow)
 	if topo.Router != nil {

@@ -6,6 +6,7 @@ import (
 
 	"vqprobe/internal/faults"
 	"vqprobe/internal/qoe"
+	"vqprobe/internal/trace"
 	"vqprobe/internal/video"
 	"vqprobe/internal/wireless"
 )
@@ -260,5 +261,68 @@ func TestRunAdaptiveSession(t *testing.T) {
 	}
 	if rep.AvgBitrate <= 0 {
 		t.Error("no bitrate recorded")
+	}
+}
+
+func TestSessionTracing(t *testing.T) {
+	res := RunSession(SessionConfig{
+		Opts:     Options{Seed: 7, BackgroundScale: 0.3},
+		Spec:     faults.Spec{Fault: qoe.LANCongestion, Intensity: 1.0},
+		Clip:     sd(25),
+		TraceBuf: 1 << 16,
+	})
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("TraceBuf set but SessionResult.Trace is nil")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced session recorded no events")
+	}
+	// Index the buffer: the player's session span must parent the
+	// download span, and a congested session must show net activity.
+	var sessionID, downloadParent trace.SpanID
+	names := map[string]int{}
+	tracks := map[string]int{}
+	for _, ev := range tr.Events() {
+		names[ev.Name]++
+		tracks[ev.Track]++
+		switch {
+		case ev.Track == "player" && ev.Name == "session" && ev.Kind == trace.KindSpan:
+			sessionID = ev.ID
+		case ev.Track == "player" && ev.Name == "download" && ev.Kind == trace.KindSpan:
+			downloadParent = ev.Parent
+		}
+	}
+	if sessionID == 0 {
+		t.Fatal("no player session span recorded")
+	}
+	if downloadParent != sessionID {
+		t.Errorf("download span parent = %d, want session span %d", downloadParent, sessionID)
+	}
+	for _, want := range []string{"net", "player", "tcp", "testbed"} {
+		if tracks[want] == 0 {
+			t.Errorf("no events on track %q (tracks: %v)", want, tracks)
+		}
+	}
+	if names["enqueue"] == 0 {
+		t.Error("congested session recorded no enqueue events")
+	}
+	if names["established"] == 0 {
+		t.Error("no TCP established event recorded")
+	}
+
+	// The same seed without TraceBuf must not trace (disabled default)
+	// and must produce identical results: tracing cannot perturb the
+	// simulation because it draws no randomness and schedules nothing.
+	plain := RunSession(SessionConfig{
+		Opts: Options{Seed: 7, BackgroundScale: 0.3},
+		Spec: faults.Spec{Fault: qoe.LANCongestion, Intensity: 1.0},
+		Clip: sd(25),
+	})
+	if plain.Trace != nil {
+		t.Error("untraced session has non-nil Trace")
+	}
+	if plain.MOS != res.MOS {
+		t.Errorf("tracing changed the simulation: MOS %.4f vs %.4f", plain.MOS, res.MOS)
 	}
 }

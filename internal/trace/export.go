@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the NDJSON wire form of an Event. Timestamps are integer
+// nanoseconds from the clock epoch so virtual-clock traces round-trip
+// exactly.
+type jsonEvent struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Track   string `json:"track"`
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	Kind    string `json:"kind"` // "span" | "instant"
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+}
+
+// WriteNDJSON writes one JSON object per buffered event, oldest first.
+// The format is stable and greppable; see docs/OBSERVABILITY.md.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		kind := "span"
+		if ev.Kind == KindInstant {
+			kind = "instant"
+		}
+		je := jsonEvent{
+			ID: uint64(ev.ID), Parent: uint64(ev.Parent),
+			Track: ev.Track, Name: ev.Name, Detail: ev.Detail, Kind: kind,
+			StartNS: ev.Start.Nanoseconds(), DurNS: ev.Dur.Nanoseconds(),
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. ts and
+// dur are microseconds; fractional values are allowed, so nanosecond
+// precision survives.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // id/parent/detail
+}
+
+// WriteChromeTrace writes the buffer in Chrome trace_event JSON format
+// ({"traceEvents": [...]}), loadable in Perfetto or chrome://tracing.
+// Each distinct Track becomes its own named thread row (via
+// thread_name metadata events); Perfetto nests same-track spans by
+// time containment, which matches the parent IDs we record.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+
+	// Map tracks to thread IDs in order of first appearance so the
+	// output is deterministic for a given buffer.
+	tids := make(map[string]int)
+	var order []string
+	for _, ev := range events {
+		if _, ok := tids[ev.Track]; !ok {
+			tids[ev.Track] = len(tids) + 1
+			order = append(order, ev.Track)
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(order))
+	for _, track := range order {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Track, Pid: 1, Tid: tids[ev.Track],
+			Ts: float64(ev.Start.Nanoseconds()) / 1e3,
+		}
+		args := map[string]any{"id": uint64(ev.ID)}
+		if ev.Parent != 0 {
+			args["parent"] = uint64(ev.Parent)
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		ce.Args = args
+		if ev.Kind == KindInstant {
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		} else {
+			ce.Ph = "X"
+			dur := float64(ev.Dur.Nanoseconds()) / 1e3
+			ce.Dur = &dur
+		}
+		out = append(out, ce)
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, `,"displayTimeUnit":"ms"}`)
+	return err
+}

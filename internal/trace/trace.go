@@ -1,0 +1,249 @@
+// Package trace is a stdlib-only, allocation-light span and event
+// recorder for the vqprobe pipeline. One Tracer instance covers one
+// timeline — a simulated session (clocked by simnet's virtual clock) or
+// a serving process (clocked by wall time) — and stores events in a
+// bounded ring buffer, so a long-running daemon keeps the most recent
+// window instead of growing without bound.
+//
+// The design goals, in order:
+//
+//  1. Zero cost when disabled. Every method is safe on a nil *Tracer
+//     and returns immediately, so call sites need no guards and the
+//     disabled path performs no allocation.
+//  2. Explicit structure. Spans carry explicit parent IDs rather than
+//     goroutine- or context-implicit nesting; the simulator is
+//     single-threaded over virtual time and the serving engine is
+//     sharded, so implicit nesting would be wrong in both.
+//  3. Portable output. Events export as NDJSON (one JSON object per
+//     line, for grep/jq) or as Chrome trace_event JSON loadable in
+//     Perfetto (https://ui.perfetto.dev). See export.go.
+//
+// Timestamps are time.Durations from an arbitrary epoch supplied by the
+// Clock function: simnet.Sim.Now for simulations (virtual time), or
+// wall time since tracer creation by default. Both are monotonic, which
+// is all the exporters require.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span or instant event within one Tracer. IDs are
+// dense and start at 1; 0 means "no parent" / "no span".
+type SpanID uint64
+
+// Event kinds, chosen to match the Chrome trace_event phase letters.
+const (
+	KindSpan    byte = 'X' // complete span with a duration
+	KindInstant byte = 'i' // point-in-time event
+)
+
+// Event is one recorded span or instant. Events are plain values; the
+// ring buffer stores them inline.
+type Event struct {
+	ID     SpanID
+	Parent SpanID        // 0 = root
+	Start  time.Duration // offset from the tracer's clock epoch
+	Dur    time.Duration // 0 for instants
+	Track  string        // timeline row: "net", "tcp", "player", "serve", ...
+	Name   string        // event name: "stall", "rto", "predict", ...
+	Detail string        // free-form annotation, may be empty
+	Kind   byte          // KindSpan or KindInstant
+}
+
+// Config parameterizes New. The zero value is usable: a 4096-entry ring
+// clocked by wall time since creation.
+type Config struct {
+	// Capacity is the ring buffer size in events. Once full, new events
+	// overwrite the oldest; Dropped reports how many were lost.
+	// Non-positive means DefaultCapacity.
+	Capacity int
+
+	// Clock returns the current time as an offset from a fixed epoch.
+	// It must be monotonic and safe for concurrent use if the tracer
+	// is shared across goroutines. Nil means wall time since New.
+	Clock func() time.Duration
+}
+
+// DefaultCapacity is the ring size used when Config.Capacity is unset.
+const DefaultCapacity = 4096
+
+// Tracer records events into a bounded ring. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops).
+type Tracer struct {
+	clock func() time.Duration
+	ids   atomic.Uint64
+
+	mu  sync.Mutex
+	buf []Event // ring storage, len == capacity
+	n   uint64  // total events ever recorded; write cursor = n % len(buf)
+}
+
+// New returns a Tracer with the given configuration.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t := &Tracer{buf: make([]Event, cfg.Capacity)}
+	if cfg.Clock != nil {
+		t.clock = cfg.Clock
+	} else {
+		epoch := time.Now()
+		t.clock = func() time.Duration { return time.Since(epoch) }
+	}
+	return t
+}
+
+// Enabled reports whether events will actually be recorded. It is the
+// idiomatic guard for call sites that would otherwise pay to format a
+// detail string.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the tracer's clock reading, or 0 on a nil tracer.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// NextID allocates a fresh span ID. Exposed for callers that need the
+// ID before the event is recorded (e.g. to propagate as a parent).
+func (t *Tracer) NextID() SpanID {
+	if t == nil {
+		return 0
+	}
+	return SpanID(t.ids.Add(1))
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	t.buf[t.n%uint64(len(t.buf))] = ev
+	t.n++
+	t.mu.Unlock()
+}
+
+// Instant records a point-in-time event and returns its ID.
+func (t *Tracer) Instant(track, name, detail string, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.NextID()
+	t.record(Event{ID: id, Parent: parent, Start: t.clock(), Track: track, Name: name, Detail: detail, Kind: KindInstant})
+	return id
+}
+
+// RecordSpan records an already-measured complete span: it started at
+// start (on the tracer's clock) and lasted dur. Use this when the
+// caller measures with its own stopwatch, e.g. the serving engine which
+// times stages with time.Time deltas.
+func (t *Tracer) RecordSpan(track, name, detail string, parent SpanID, start, dur time.Duration) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.NextID()
+	t.record(Event{ID: id, Parent: parent, Start: start, Dur: dur, Track: track, Name: name, Detail: detail, Kind: KindSpan})
+	return id
+}
+
+// Span is an in-progress interval handed out by StartSpan. It is a
+// plain value — copying is fine, and the zero Span (from a nil tracer)
+// is inert: End and EndDetail no-op, ID returns 0.
+type Span struct {
+	tr     *Tracer
+	start  time.Duration
+	id     SpanID
+	parent SpanID
+	track  string
+	name   string
+}
+
+// StartSpan opens a span; the event is recorded when End (or
+// EndDetail) is called. parent may be 0 for a root span.
+func (t *Tracer) StartSpan(track, name string, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, start: t.clock(), id: t.NextID(), parent: parent, track: track, name: name}
+}
+
+// ID returns the span's ID, or 0 for an inert span.
+func (s Span) ID() SpanID { return s.id }
+
+// Active reports whether the span will record anything on End.
+func (s Span) Active() bool { return s.tr != nil }
+
+// End records the span with no detail annotation.
+func (s Span) End() { s.EndDetail("") }
+
+// EndDetail records the span with a detail annotation. Calling it more
+// than once records the span more than once; don't.
+func (s Span) EndDetail(detail string) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.record(Event{ID: s.id, Parent: s.parent, Start: s.start, Dur: s.tr.clock() - s.start,
+		Track: s.track, Name: s.name, Detail: detail, Kind: KindSpan})
+}
+
+// Len reports how many events are currently held (≤ capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Dropped reports how many events were overwritten because the ring
+// filled up.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns a copy of the buffered events in recording order
+// (oldest first). Spans appear at the position they *ended*, which is
+// fine for both exporters — neither requires start-time order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cap64 := uint64(len(t.buf))
+	if t.n <= cap64 {
+		out := make([]Event, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	cur := t.n % cap64
+	out = append(out, t.buf[cur:]...)
+	out = append(out, t.buf[:cur]...)
+	return out
+}
+
+// Reset discards all buffered events. The ID counter keeps running so
+// IDs stay unique across the tracer's lifetime.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.n = 0
+	t.mu.Unlock()
+}

@@ -7,6 +7,7 @@ import (
 	"vqprobe/internal/hardware"
 	"vqprobe/internal/simnet"
 	"vqprobe/internal/tcpsim"
+	"vqprobe/internal/trace"
 )
 
 // PlayerState is the playback state machine.
@@ -154,6 +155,15 @@ type Player struct {
 	ticker *simnet.Ticker
 	events []Event
 
+	// Tracing (inert zero values when the Sim has no tracer). The
+	// session span parents everything; download/startup/stall spans are
+	// zeroed once ended so teardown can close whatever remains open.
+	tr           *trace.Tracer
+	sessionSpan  trace.Span
+	downloadSpan trace.Span
+	startupSpan  trace.Span
+	stallSpan    trace.Span
+
 	// OnFinish fires exactly once with the final report.
 	OnFinish func(r Report)
 }
@@ -171,6 +181,7 @@ func (p *Player) Events() []Event { return p.events }
 
 func (p *Player) logEvent(kind, detail string) {
 	p.events = append(p.events, Event{At: p.sim.Now(), Kind: kind, Detail: detail})
+	p.tr.Instant("player", kind, detail, p.sessionSpan.ID())
 }
 
 // Play starts a session for clip against serverAddr. The device model
@@ -187,6 +198,10 @@ func Play(host *tcpsim.Host, device *hardware.Device, serverAddr simnet.Addr, cl
 		start:        host.Sim().Now(),
 		headerToSkip: responseHeader,
 	}
+	p.tr = p.sim.Tracer()
+	p.sessionSpan = p.tr.StartSpan("player", "session", 0)
+	p.downloadSpan = p.tr.StartSpan("player", "download", p.sessionSpan.ID())
+	p.startupSpan = p.tr.StartSpan("player", "startup", p.sessionSpan.ID())
 	p.conn = host.Dial(serverAddr, Port)
 	p.conn.SetRcvBuf(cfg.RcvBuf)
 	p.conn.SetAutoRead(false)
@@ -200,6 +215,7 @@ func Play(host *tcpsim.Host, device *hardware.Device, serverAddr simnet.Addr, cl
 	p.conn.OnPeerClose = func() {
 		p.drainSocket(1 << 30)
 		p.downloadDone = true
+		p.endDownloadSpan(fmt.Sprintf("bytes=%d", p.downloaded))
 		p.conn.Close()
 	}
 	p.conn.OnAbort = func(reason string) {
@@ -210,6 +226,7 @@ func Play(host *tcpsim.Host, device *hardware.Device, serverAddr simnet.Addr, cl
 		// Mid-stream loss of the connection: whatever is buffered still
 		// plays out, but the session cannot complete.
 		p.downloadDone = true
+		p.endDownloadSpan("aborted: " + reason)
 		if p.failReason == "" {
 			p.failReason = "connection lost mid-stream: " + reason
 		}
@@ -281,6 +298,8 @@ func (p *Player) tick(now time.Duration) {
 			p.startupDelay = now - p.start
 			p.state = StatePlaying
 			p.logEvent("play", fmt.Sprintf("startup %.1fs", p.startupDelay.Seconds()))
+			p.startupSpan.End()
+			p.startupSpan = trace.Span{}
 		}
 	case StatePlaying:
 		if df < decoderStallBelow {
@@ -335,6 +354,7 @@ func (p *Player) enterStall(now time.Duration, decoder bool) {
 	if decoder {
 		reason = "decoder overloaded"
 	}
+	p.stallSpan = p.tr.StartSpan("player", "stall", p.sessionSpan.ID())
 	p.logEvent("stall", reason)
 }
 
@@ -345,7 +365,16 @@ func (p *Player) exitStall(now time.Duration) {
 		p.stallTime += d
 	}
 	p.state = StatePlaying
+	p.stallSpan.EndDetail(fmt.Sprintf("stalled %.1fs", d.Seconds()))
+	p.stallSpan = trace.Span{}
 	p.logEvent("resume", fmt.Sprintf("stalled %.1fs", d.Seconds()))
+}
+
+// endDownloadSpan closes the download span exactly once; later calls
+// see the zeroed (inert) span and no-op.
+func (p *Player) endDownloadSpan(detail string) {
+	p.downloadSpan.EndDetail(detail)
+	p.downloadSpan = trace.Span{}
 }
 
 func (p *Player) fail(reason string) {
@@ -372,6 +401,15 @@ func (p *Player) teardown() {
 	if p.conn.State() != tcpsim.StateAborted && p.conn.State() != tcpsim.StateDone {
 		p.conn.Close()
 	}
+	// Close any span the session ended before completing, then the
+	// session span itself, so every recorded span has a duration.
+	p.stallSpan.EndDetail("session ended while stalled")
+	p.stallSpan = trace.Span{}
+	p.startupSpan.EndDetail("never started playing")
+	p.startupSpan = trace.Span{}
+	p.endDownloadSpan(fmt.Sprintf("incomplete bytes=%d", p.downloaded))
+	p.sessionSpan.EndDetail(fmt.Sprintf("state=%s played=%.1fs stalls=%d", p.state, p.playedSec, p.stalls))
+	p.sessionSpan = trace.Span{}
 	if p.OnFinish != nil {
 		p.OnFinish(p.Report())
 	}

@@ -34,6 +34,17 @@ type ServeRequest = serve.Request
 // ServeResult is an Engine's answer for one request.
 type ServeResult = serve.Result
 
+// Explanation is the recorded decision path behind one prediction:
+// every split consulted (with thresholds, observed values and
+// fractional weights for missing features) and the leaves that
+// contributed. Produced by CompiledModel.DiagnoseExplain or a
+// ServeRequest with Explain set; Rule() renders it as one
+// human-readable sentence.
+type Explanation = c45.Explanation
+
+// ExplainStep is one consulted split in an Explanation's path.
+type ExplainStep = c45.PathStep
+
 // CompileModel flattens a trained model into its serving form.
 func CompileModel(m *Model) (*CompiledModel, error) {
 	ct, err := c45.Compile(m.pipeline.Tree)
