@@ -159,6 +159,7 @@ func learnerData(b *testing.B) *ml.Dataset {
 
 func BenchmarkFeatureConstruction(b *testing.B) {
 	d := learnerData(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		features.Construct(d)
@@ -168,6 +169,7 @@ func BenchmarkFeatureConstruction(b *testing.B) {
 func BenchmarkFCBFSelection(b *testing.B) {
 	d := learnerData(b)
 	constructed, _ := features.Construct(d)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		features.FCBF(constructed, 0.02)
@@ -177,6 +179,7 @@ func BenchmarkFCBFSelection(b *testing.B) {
 func BenchmarkC45Training(b *testing.B) {
 	d := learnerData(b)
 	reduced, _, _ := features.Select(d, 0.02)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c45.Default().TrainTree(reduced)
@@ -188,6 +191,7 @@ func BenchmarkC45Prediction(b *testing.B) {
 	reduced, _, _ := features.Select(d, 0.02)
 	tree := c45.Default().TrainTree(reduced)
 	fv := reduced.Instances[0].Features
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree.Predict(fv)
@@ -197,6 +201,7 @@ func BenchmarkC45Prediction(b *testing.B) {
 func BenchmarkNaiveBayesTraining(b *testing.B) {
 	d := learnerData(b)
 	reduced, _, _ := features.Select(d, 0.02)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bayes.New().Train(reduced)
@@ -206,6 +211,7 @@ func BenchmarkNaiveBayesTraining(b *testing.B) {
 func BenchmarkSVMTraining(b *testing.B) {
 	d := learnerData(b)
 	reduced, _, _ := features.Select(d, 0.02)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svm.New(svm.Config{Seed: int64(i)}).Train(reduced)
@@ -215,6 +221,7 @@ func BenchmarkSVMTraining(b *testing.B) {
 func BenchmarkCrossValidation(b *testing.B) {
 	d := learnerData(b)
 	reduced, _, _ := features.Select(d, 0.02)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ml.CrossValidate(c45.Default(), reduced, 10, rand.New(rand.NewSource(int64(i))))

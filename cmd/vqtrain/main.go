@@ -6,12 +6,15 @@
 //
 //	vqtrain -in dataset.csv -out model.json [-task exact]
 //	        [-vps mobile,router,server] [-tree] [-features]
+//	        [-train-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vqprobe"
@@ -25,6 +28,9 @@ func main() {
 		vps      = flag.String("vps", "mobile,router,server", "vantage points recorded in the model")
 		showTree = flag.Bool("tree", false, "print the trained decision tree")
 		showSel  = flag.Bool("features", false, "print the selected features")
+		workers  = flag.Int("train-workers", 0, "training worker bound; 0 = GOMAXPROCS, 1 = serial (model is identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after training to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -32,16 +38,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pf.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	model, err := vqprobe.TrainFromCSV(f, vqprobe.Task(*task), strings.Split(*vps, ","))
+	model, err := vqprobe.TrainFromCSVWorkers(f, vqprobe.Task(*task), strings.Split(*vps, ","), *workers)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *memProf != "" {
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mf.Close()
 	}
 
 	if *showSel {

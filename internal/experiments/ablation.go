@@ -85,7 +85,7 @@ func AblationVPPairs(s *Suite) *Table {
 	}
 	for _, vps := range sets {
 		d := dataset(s.Controlled(), vps, testbed.LocationLabel)
-		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed+23)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed+23, s.cfg.TrainWorkers)
 		name := vps[0]
 		for _, v := range vps[1:] {
 			name += "+" + v
@@ -211,7 +211,7 @@ func AblationSeeds(s *Suite) *Table {
 		res := testbed.GenerateControlled(testbed.GenConfig{Sessions: n, Seed: seed, Workers: s.cfg.Workers})
 		for _, set := range VPSets {
 			d := dataset(res, set.VPs, testbed.SeverityLabel)
-			conf := cvPipeline(d, s.cfg.Folds, seed)
+			conf := cvPipeline(d, s.cfg.Folds, seed, s.cfg.TrainWorkers)
 			acc[set.Name] = append(acc[set.Name], conf.Accuracy())
 		}
 	}

@@ -48,7 +48,7 @@ func Fig3ProblemDetection(s *Suite) *Table {
 	}
 	for _, set := range VPSets {
 		d := dataset(s.Controlled(), set.VPs, testbed.SeverityLabel)
-		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed, s.cfg.TrainWorkers)
 		for _, cls := range severityOrder {
 			t.AddRow(set.Name, pct(conf.Accuracy()), cls, f3(conf.Precision(cls)), f3(conf.Recall(cls)))
 		}
@@ -67,7 +67,7 @@ func LocationDetection(s *Suite) *Table {
 	}
 	for _, set := range VPSets {
 		d := dataset(s.Controlled(), set.VPs, testbed.LocationLabel)
-		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed, s.cfg.TrainWorkers)
 		classes := conf.Classes()
 		sort.Strings(classes)
 		for _, cls := range classes {
@@ -88,7 +88,7 @@ func Fig4ExactProblem(s *Suite) *Table {
 	}
 	for _, set := range VPSets {
 		d := dataset(s.Controlled(), set.VPs, testbed.ExactLabel)
-		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed)
+		conf := cvPipeline(d, s.cfg.Folds, s.cfg.Seed, s.cfg.TrainWorkers)
 		counts := d.ClassCounts()
 		for _, cls := range qoe.ExactClasses() {
 			if counts[cls] == 0 {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vqprobe/internal/testbed"
+)
+
+// TestPipelineWorkerInvariance is the end-to-end determinism proof on a
+// controlled corpus: the fitted tree, the FCBF-selected feature list,
+// and the cross-validated confusion matrix are all byte-identical
+// whether the stack runs serially or on 8 workers.
+func TestPipelineWorkerInvariance(t *testing.T) {
+	sessions := testbed.GenerateControlled(testbed.GenConfig{Sessions: 120, Seed: 7})
+	d := dataset(sessions, []string{"mobile", "router", "server"}, testbed.SeverityLabel)
+	if d.Len() < 100 {
+		t.Fatalf("corpus too small: %d instances", d.Len())
+	}
+
+	serial := TrainPipelineWorkers(d, 1)
+	serialTree, err := json.Marshal(serial.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		p := TrainPipelineWorkers(d, workers)
+		if !reflect.DeepEqual(p.Selected, serial.Selected) {
+			t.Errorf("workers=%d selected features differ: %v vs %v", workers, p.Selected, serial.Selected)
+		}
+		tree, err := json.Marshal(p.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(tree) != string(serialTree) {
+			t.Errorf("workers=%d serialized tree differs from serial fit", workers)
+		}
+	}
+
+	serialCV := cvPipeline(d, 5, 3, 1).String()
+	for _, workers := range []int{2, 8} {
+		if got := cvPipeline(d, 5, 3, workers).String(); got != serialCV {
+			t.Errorf("workers=%d CV confusion differs from serial run:\n%s\nvs\n%s", workers, got, serialCV)
+		}
+	}
+}

@@ -335,8 +335,8 @@ func ExtFineSeverity(s *Suite) *Table {
 		Header: []string{"vp", "3-band accuracy", "5-band accuracy", "5-band macro recall"},
 	}
 	for _, set := range VPSets {
-		coarse := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.SeverityLabel), s.cfg.Folds, s.cfg.Seed+51)
-		fine := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.FineSeverityLabel), s.cfg.Folds, s.cfg.Seed+51)
+		coarse := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.SeverityLabel), s.cfg.Folds, s.cfg.Seed+51, s.cfg.TrainWorkers)
+		fine := cvPipeline(dataset(s.Controlled(), set.VPs, testbed.FineSeverityLabel), s.cfg.Folds, s.cfg.Seed+51, s.cfg.TrainWorkers)
 		t.AddRow(set.Name, pct(coarse.Accuracy()), pct(fine.Accuracy()), f3(fine.MacroRecall()))
 	}
 	t.AddNote("finer bands cost accuracy at the band edges; the paper anticipated needing more training data")

@@ -34,13 +34,23 @@ type Pipeline struct {
 	Tree     *c45.Tree
 }
 
-// TrainPipeline fits the full FC+FS+C4.5 stack on a training dataset.
+// TrainPipeline fits the full FC+FS+C4.5 stack on a training dataset
+// with the default (GOMAXPROCS) training parallelism.
 func TrainPipeline(train *ml.Dataset) *Pipeline {
+	return TrainPipelineWorkers(train, 0)
+}
+
+// TrainPipelineWorkers is TrainPipeline with an explicit bound on
+// training workers (zero selects GOMAXPROCS, 1 forces a fully serial
+// fit). FCBF selection and the C4.5 build are both deterministic for
+// any worker count, so the fitted pipeline is byte-identical whatever
+// the bound.
+func TrainPipelineWorkers(train *ml.Dataset, workers int) *Pipeline {
 	constructed, norm := features.Construct(train)
-	scores := features.FCBF(constructed, fcbfDelta)
+	scores := features.FCBFWorkers(constructed, fcbfDelta, workers)
 	names := features.Names(scores)
 	projected := constructed.Project(names)
-	tree := c45.Default().TrainTree(projected)
+	tree := c45.New(c45.Config{Workers: workers}).TrainTree(projected)
 	return &Pipeline{Norm: norm, Selected: names, Tree: tree}
 }
 
@@ -58,10 +68,12 @@ func (p *Pipeline) Evaluate(test *ml.Dataset) *ml.Confusion {
 // cvPipeline runs the paper's 10-fold protocol: feature construction and
 // selection are performed once on the corpus (as Weka workflows of the
 // era did), then the classifier is cross-validated on the reduced
-// dataset.
-func cvPipeline(d *ml.Dataset, folds int, seed int64) *ml.Confusion {
+// dataset. workers bounds both the concurrent folds and, within each
+// fold's tree build, the split-search fan-out (zero = GOMAXPROCS).
+func cvPipeline(d *ml.Dataset, folds int, seed int64, workers int) *ml.Confusion {
 	reduced, _, _ := features.Select(d, fcbfDelta)
-	return ml.CrossValidate(c45.Default(), reduced, folds, rand.New(rand.NewSource(seed)))
+	return ml.CrossValidateWorkers(c45.New(c45.Config{Workers: workers}), reduced, folds,
+		rand.New(rand.NewSource(seed)), workers)
 }
 
 // dataset builds the labeled per-VP dataset from session results.

@@ -16,6 +16,11 @@ type Config struct {
 	Seed               int64
 	Folds              int // cross-validation folds; default 10
 	Workers            int
+	// TrainWorkers bounds the parallelism inside the learning stack
+	// (concurrent CV folds, per-node split search, FCBF scoring); zero
+	// selects GOMAXPROCS. Every worker count yields byte-identical
+	// models and confusions, so this is purely a throughput knob.
+	TrainWorkers int
 }
 
 func (c *Config) defaults() {

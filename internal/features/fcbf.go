@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vqprobe/internal/ml"
+	"vqprobe/internal/parallel"
 )
 
 // fcbfBins is the number of equal-frequency bins used to discretize
@@ -74,10 +75,31 @@ func entropyOf(xs []int, nSym int) float64 {
 	return h
 }
 
-// condEntropy computes H(X|Y).
-func condEntropy(x []int, nx int, y []int, ny int) float64 {
-	joint := make([]float64, nx*ny)
-	ycount := make([]float64, ny)
+// suScratch is one worker's reusable contingency-table buffers, so
+// pairwise symmetric-uncertainty evaluations allocate nothing after
+// warm-up.
+type suScratch struct {
+	joint  []float64
+	ycount []float64
+}
+
+// condEntropy computes H(X|Y), building the contingency table in the
+// worker's scratch buffers.
+func condEntropy(x []int, nx int, y []int, ny int, sc *suScratch) float64 {
+	if cap(sc.joint) < nx*ny {
+		sc.joint = make([]float64, nx*ny)
+	}
+	if cap(sc.ycount) < ny {
+		sc.ycount = make([]float64, ny)
+	}
+	joint := sc.joint[:nx*ny]
+	ycount := sc.ycount[:ny]
+	for i := range joint {
+		joint[i] = 0
+	}
+	for i := range ycount {
+		ycount[i] = 0
+	}
 	for i := range x {
 		joint[y[i]*nx+x[i]]++
 		ycount[y[i]]++
@@ -102,65 +124,89 @@ func condEntropy(x []int, nx int, y []int, ny int) float64 {
 	return h
 }
 
-// su computes symmetrical uncertainty 2*IG/(H(X)+H(Y)).
-func su(x []int, nx int, y []int, ny int) float64 {
-	hx := entropyOf(x, nx)
-	hy := entropyOf(y, ny)
+// su computes symmetrical uncertainty 2*IG/(H(X)+H(Y)) from memoized
+// marginal entropies hx and hy; only the contingency table is built per
+// call.
+func su(x []int, nx int, hx float64, y []int, ny int, hy float64, sc *suScratch) float64 {
 	if hx+hy == 0 {
 		return 0
 	}
-	ig := hx - condEntropy(x, nx, y, ny)
+	ig := hx - condEntropy(x, nx, y, ny, sc)
 	return 2 * ig / (hx + hy)
 }
 
-// FCBF runs the Fast Correlation-Based Filter (Yu & Liu, 2003): rank
-// features by symmetrical uncertainty with the class, keep those above
-// delta, then remove every feature that is more correlated with an
-// already-selected (predominant) feature than with the class.
-//
-// It returns the selected feature names in rank order together with
-// their class SU values.
-func FCBF(d *ml.Dataset, delta float64) []SUScore {
-	names := d.Features()
-	nInst := d.Len()
-	if nInst == 0 || len(names) == 0 {
-		return nil
-	}
+// corpus is the memoized state for one FCBF run, shared between the
+// discretization step (equal-frequency or Fayyad-Irani MDL), the
+// class-relevance ranking and the pairwise redundancy elimination: the
+// raw feature columns are extracted from the instance maps exactly
+// once, and every feature's marginal entropy H(X) is computed exactly
+// once instead of from scratch per feature pair.
+type corpus struct {
+	names  []string
+	y      []int
+	nClass int
+	cols   [][]int
+	syms   []int
+	hx     []float64 // H(feature f) over its symbols, memoized
+	hy     float64   // H(class), memoized
+}
 
-	// Class symbols.
+// buildCorpus extracts and discretizes every feature column (in
+// parallel across features) and memoizes the marginal entropies.
+func buildCorpus(d *ml.Dataset, disc Discretizer, workers int) *corpus {
+	names := d.Features()
+	nInst, nF := d.Len(), len(names)
 	classes := d.Classes()
 	cidx := make(map[string]int, len(classes))
-	for i, c := range classes {
-		cidx[c] = i
+	for i, cl := range classes {
+		cidx[cl] = i
 	}
-	y := make([]int, nInst)
-	for i, in := range d.Instances {
-		y[i] = cidx[in.Class]
+	c := &corpus{
+		names: names, y: make([]int, nInst), nClass: len(classes),
+		cols: make([][]int, nF), syms: make([]int, nF), hx: make([]float64, nF),
 	}
-
-	// Discretize every feature column once.
-	cols := make([][]int, len(names))
-	col := make([]float64, nInst)
-	for f, name := range names {
-		for i, in := range d.Instances {
-			if v, ok := in.Features[name]; ok {
-				col[i] = v
-			} else {
-				col[i] = ml.Missing
+	// One pass over the instance maps scatters values into a
+	// column-major slab; absent values stay Missing.
+	raw := make([]float64, nF*nInst)
+	for i := range raw {
+		raw[i] = ml.Missing
+	}
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		c.y[i] = cidx[in.Class]
+		for name, v := range in.Features {
+			if f := d.FeatureIndex(name); f >= 0 {
+				raw[f*nInst+i] = v
 			}
 		}
-		cols[f] = discretize(col)
 	}
-	nSym := fcbfBins + 1
+	parallel.For(nF, workers, func(f int) {
+		c.cols[f], c.syms[f] = disc(raw[f*nInst:(f+1)*nInst], c.y, c.nClass)
+		c.hx[f] = entropyOf(c.cols[f], c.syms[f])
+	})
+	c.hy = entropyOf(c.y, c.nClass)
+	return c
+}
 
-	// SU with the class.
-	scores := make([]SUScore, 0, len(names))
-	suClass := make([]float64, len(names))
-	for f, name := range names {
-		s := su(cols[f], nSym, y, len(classes))
-		suClass[f] = s
-		if s > delta {
-			scores = append(scores, SUScore{Feature: name, SU: s})
+// rank runs the FCBF ranking and redundancy elimination over the
+// corpus. Relevance scoring fans out across features; elimination
+// rounds fan out across the not-yet-removed candidates of each
+// predominant feature (each candidate's verdict depends only on the
+// serially-chosen predominant feature, so any worker count produces the
+// same selection).
+func (c *corpus) rank(delta float64, workers int) []SUScore {
+	nF := len(c.names)
+	resolved := parallel.Workers(workers, nF)
+	scratch := make([]suScratch, resolved)
+
+	suClass := make([]float64, nF)
+	parallel.ForWorker(nF, resolved, func(w, f int) {
+		suClass[f] = su(c.cols[f], c.syms[f], c.hx[f], c.y, c.nClass, c.hy, &scratch[w])
+	})
+	scores := make([]SUScore, 0, nF)
+	for f, name := range c.names {
+		if suClass[f] > delta {
+			scores = append(scores, SUScore{Feature: name, SU: suClass[f]})
 		}
 	}
 	sort.Slice(scores, func(i, j int) bool {
@@ -171,8 +217,8 @@ func FCBF(d *ml.Dataset, delta float64) []SUScore {
 	})
 
 	// Redundancy elimination.
-	index := make(map[string]int, len(names))
-	for f, n := range names {
+	index := make(map[string]int, nF)
+	for f, n := range c.names {
 		index[n] = f
 	}
 	removed := make([]bool, len(scores))
@@ -183,17 +229,41 @@ func FCBF(d *ml.Dataset, delta float64) []SUScore {
 		}
 		selected = append(selected, scores[i])
 		fi := index[scores[i].Feature]
-		for j := i + 1; j < len(scores); j++ {
+		rest := len(scores) - i - 1
+		w := resolved
+		if rest < 32 {
+			w = 1 // not worth a fan-out
+		}
+		parallel.ForWorker(rest, w, func(wk, jj int) {
+			j := i + 1 + jj
 			if removed[j] {
-				continue
+				return
 			}
 			fj := index[scores[j].Feature]
-			if su(cols[fj], nSym, cols[fi], nSym) >= suClass[fj] {
+			if su(c.cols[fj], c.syms[fj], c.hx[fj], c.cols[fi], c.syms[fi], c.hx[fi], &scratch[wk]) >= suClass[fj] {
 				removed[j] = true
 			}
-		}
+		})
 	}
 	return selected
+}
+
+// FCBF runs the Fast Correlation-Based Filter (Yu & Liu, 2003): rank
+// features by symmetrical uncertainty with the class, keep those above
+// delta, then remove every feature that is more correlated with an
+// already-selected (predominant) feature than with the class.
+//
+// It returns the selected feature names in rank order together with
+// their class SU values.
+func FCBF(d *ml.Dataset, delta float64) []SUScore {
+	return FCBFWorkers(d, delta, 0)
+}
+
+// FCBFWorkers is FCBF with an explicit worker bound (zero selects
+// GOMAXPROCS, 1 forces serial); the selection is byte-identical for any
+// worker count.
+func FCBFWorkers(d *ml.Dataset, delta float64, workers int) []SUScore {
+	return FCBFWithWorkers(d, delta, EqualFrequency(), workers)
 }
 
 // Names extracts the feature names from a ranked score list.

@@ -1,0 +1,78 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// fcbfCorpus builds a dataset with correlated feature groups (so
+// redundancy elimination has real work to do) and some missing values.
+func fcbfCorpus(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]ml.Instance, n)
+	for i := range ins {
+		base := rng.NormFloat64()
+		fv := metrics.Vector{}
+		for f := 0; f < 12; f++ {
+			var v float64
+			switch {
+			case f < 4: // informative, mutually redundant group
+				v = base + rng.NormFloat64()*0.1*float64(f+1)
+			case f < 8: // weakly informative
+				v = base*0.3 + rng.NormFloat64()
+			default: // noise
+				v = rng.NormFloat64()
+			}
+			if rng.Float64() >= 0.08 {
+				fv[fmt.Sprintf("g%02d", f)] = v
+			}
+		}
+		cls := "a"
+		if base > 0 {
+			cls = "b"
+		}
+		ins[i] = ml.Instance{Features: fv, Class: cls}
+	}
+	return ml.NewDataset(ins)
+}
+
+// TestFCBFWorkerInvariance proves the ranking and redundancy
+// elimination produce an identical selection (names, order, and exact
+// SU values) for any worker count, with both discretizers.
+func TestFCBFWorkerInvariance(t *testing.T) {
+	d := fcbfCorpus(400, 17)
+	for _, tc := range []struct {
+		name string
+		disc Discretizer
+	}{
+		{"equal-frequency", EqualFrequency()},
+		{"mdl", MDL()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := FCBFWithWorkers(d, 0.01, tc.disc, 1)
+			if len(want) == 0 {
+				t.Fatal("selection is empty; corpus has no signal")
+			}
+			for _, workers := range []int{2, 8} {
+				got := FCBFWithWorkers(d, 0.01, tc.disc, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d selection differs:\n%v\nvs\n%v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFCBFWorkersMatchesFCBF pins the convenience wrappers to the same
+// result.
+func TestFCBFWorkersMatchesFCBF(t *testing.T) {
+	d := fcbfCorpus(200, 23)
+	if got, want := FCBFWorkers(d, 0.02, 8), FCBF(d, 0.02); !reflect.DeepEqual(got, want) {
+		t.Errorf("FCBFWorkers(8) = %v, FCBF = %v", got, want)
+	}
+}

@@ -171,72 +171,17 @@ func entropyAndClassesFromLeft(left, total []float64, n, side, nClass int) (floa
 // FCBFWith runs FCBF using a custom discretizer (see FCBF for the
 // algorithm itself).
 func FCBFWith(d *ml.Dataset, delta float64, disc Discretizer) []SUScore {
-	names := d.Features()
-	nInst := d.Len()
-	if nInst == 0 || len(names) == 0 {
+	return FCBFWithWorkers(d, delta, disc, 0)
+}
+
+// FCBFWithWorkers is FCBFWith with an explicit worker bound (zero
+// selects GOMAXPROCS, 1 forces serial). Discretization, relevance
+// scoring and redundancy elimination all run on the shared memoized
+// corpus (columns extracted once, marginal entropies computed once) and
+// produce a byte-identical selection for any worker count.
+func FCBFWithWorkers(d *ml.Dataset, delta float64, disc Discretizer, workers int) []SUScore {
+	if d.Len() == 0 || len(d.Features()) == 0 {
 		return nil
 	}
-	classes := d.Classes()
-	cidx := make(map[string]int, len(classes))
-	for i, c := range classes {
-		cidx[c] = i
-	}
-	y := make([]int, nInst)
-	for i, in := range d.Instances {
-		y[i] = cidx[in.Class]
-	}
-
-	cols := make([][]int, len(names))
-	syms := make([]int, len(names))
-	col := make([]float64, nInst)
-	for f, name := range names {
-		for i, in := range d.Instances {
-			if v, ok := in.Features[name]; ok {
-				col[i] = v
-			} else {
-				col[i] = ml.Missing
-			}
-		}
-		cols[f], syms[f] = disc(col, y, len(classes))
-	}
-
-	scores := make([]SUScore, 0, len(names))
-	suClass := make([]float64, len(names))
-	for f, name := range names {
-		s := su(cols[f], syms[f], y, len(classes))
-		suClass[f] = s
-		if s > delta {
-			scores = append(scores, SUScore{Feature: name, SU: s})
-		}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].SU != scores[j].SU {
-			return scores[i].SU > scores[j].SU
-		}
-		return scores[i].Feature < scores[j].Feature
-	})
-
-	index := make(map[string]int, len(names))
-	for f, n := range names {
-		index[n] = f
-	}
-	removed := make([]bool, len(scores))
-	var selected []SUScore
-	for i := range scores {
-		if removed[i] {
-			continue
-		}
-		selected = append(selected, scores[i])
-		fi := index[scores[i].Feature]
-		for j := i + 1; j < len(scores); j++ {
-			if removed[j] {
-				continue
-			}
-			fj := index[scores[j].Feature]
-			if su(cols[fj], syms[fj], cols[fi], syms[fi]) >= suClass[fj] {
-				removed[j] = true
-			}
-		}
-	}
-	return selected
+	return buildCorpus(d, disc, workers).rank(delta, workers)
 }

@@ -16,6 +16,7 @@ import (
 
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
+	"vqprobe/internal/parallel"
 )
 
 // Config tunes the learner. The zero value is usable; defaults match
@@ -29,6 +30,13 @@ type Config struct {
 	NoPrune bool
 	// MaxDepth caps tree depth; zero means unlimited.
 	MaxDepth int
+	// Workers bounds the goroutines used for split search across
+	// attributes within a node. Zero selects GOMAXPROCS; 1 forces a
+	// fully serial build. Every worker count produces byte-identical
+	// trees: per-attribute scans write to disjoint candidate slots and
+	// the winning split is selected serially in attribute order
+	// (gain, then attribute index, then threshold).
+	Workers int
 }
 
 // Trainer builds C4.5 trees.
@@ -54,24 +62,89 @@ func Default() *Trainer { return New(Config{}) }
 func (t *Trainer) Train(d *ml.Dataset) ml.Classifier { return t.TrainTree(d) }
 
 // TrainTree builds and returns the concrete tree.
+//
+// The builder uses a presorted column-index design (CART/XGBoost
+// style): each attribute's value order is sorted exactly once per call,
+// and stable index partitions are threaded down the tree, so per-node
+// split search is a linear scan instead of an O(n log n) sort per
+// attribute per node. Scratch memory (index partitions, entry lists,
+// class-distribution buffers) lives in reusable stack-discipline arenas
+// instead of being allocated per node.
 func (t *Trainer) TrainTree(d *ml.Dataset) *Tree {
-	x, yStr := d.Matrix()
 	classes := d.Classes()
-	cidx := map[string]int{}
+	feats := d.Features()
+	nInst, nF := d.Len(), len(feats)
+	tr := &Tree{features: append([]string{}, feats...), classes: classes}
+	cidx := make(map[string]int, len(classes))
 	for i, c := range classes {
 		cidx[c] = i
 	}
-	y := make([]int, len(yStr))
-	for i, s := range yStr {
-		y[i] = cidx[s]
+
+	// Column-major value matrix: vals[f*nInst+i] is instance i's value
+	// for feature f, NaN when absent. Filling by iterating each
+	// instance's map once avoids the per-(instance,feature) lookups of
+	// Dataset.Matrix.
+	y := make([]int, nInst)
+	vals := make([]float64, nF*nInst)
+	for i := range vals {
+		vals[i] = ml.Missing
 	}
-	tr := &Tree{features: append([]string{}, d.Features()...), classes: classes}
-	b := &builder{cfg: t.cfg, x: x, y: y, nClass: len(classes)}
-	ents := make([]entry, len(x))
-	for i := range x {
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		y[i] = cidx[in.Class]
+		for name, v := range in.Features {
+			if f := d.FeatureIndex(name); f >= 0 {
+				vals[f*nInst+i] = v
+			}
+		}
+	}
+
+	b := &builder{
+		cfg: t.cfg, y: y, nClass: len(classes),
+		nF: nF, nInst: nInst, vals: vals,
+		weight:  make([]float64, nInst),
+		side:    make([]uint8, nInst),
+		cands:   make([]candidate, nF),
+		workers: parallel.Workers(t.cfg.Workers, nF),
+	}
+	b.entArena.blockLen = max(512, 2*nInst)
+	b.idxArena.blockLen = max(1024, nF*nInst)
+	b.listArena.blockLen = max(64, 8*nF)
+	b.scratch = make([]splitScratch, b.workers)
+	for w := range b.scratch {
+		b.scratch[w] = splitScratch{
+			knownDist: make([]float64, b.nClass),
+			leftDist:  make([]float64, b.nClass),
+		}
+	}
+
+	// Presort: one (value, index) order per attribute, missing values
+	// excluded. Index partitions threaded down the tree stay stable, so
+	// this order is established exactly once.
+	rootSorted := make([][]int32, nF)
+	parallel.For(nF, b.workers, func(f int) {
+		col := vals[f*nInst : (f+1)*nInst]
+		ids := make([]int32, 0, nInst)
+		for i, v := range col {
+			if !ml.IsMissing(v) {
+				ids = append(ids, int32(i))
+			}
+		}
+		sort.Slice(ids, func(a, c int) bool {
+			va, vc := col[ids[a]], col[ids[c]]
+			if va != vc {
+				return va < vc
+			}
+			return ids[a] < ids[c]
+		})
+		rootSorted[f] = ids
+	})
+
+	ents := make([]entry, nInst)
+	for i := range ents {
 		ents[i] = entry{idx: i, w: 1}
 	}
-	tr.root = b.build(ents, 0)
+	tr.root = b.build(ents, rootSorted, 0)
 	if !t.cfg.NoPrune {
 		prune(tr.root, t.cfg.Confidence)
 	}
@@ -83,11 +156,87 @@ type entry struct {
 	w   float64
 }
 
+// arena is a stack-discipline bump allocator: build marks it before
+// allocating a node's child partitions and releases back to the mark
+// once the subtree is complete, so one tree's worth of scratch is
+// reused across every node instead of allocated per node. blockLen is
+// sized by the builder to roughly one tree level's worth of demand, so
+// small trees don't pay for huge blocks.
+type arena[T any] struct {
+	blockLen int
+	blocks   [][]T
+	bi, off  int
+}
+
+type arenaMark struct{ bi, off int }
+
+func (a *arena[T]) mark() arenaMark { return arenaMark{a.bi, a.off} }
+
+func (a *arena[T]) release(m arenaMark) { a.bi, a.off = m.bi, m.off }
+
+func (a *arena[T]) alloc(n int) []T {
+	for a.bi < len(a.blocks) {
+		if blk := a.blocks[a.bi]; a.off+n <= len(blk) {
+			s := blk[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		a.bi++
+		a.off = 0
+	}
+	size := a.blockLen
+	if n > size {
+		size = n
+	}
+	a.blocks = append(a.blocks, make([]T, size))
+	a.bi = len(a.blocks) - 1
+	a.off = n
+	return a.blocks[a.bi][0:n:n]
+}
+
+// splitScratch is one worker's reusable class-distribution buffers for
+// candidate split search.
+type splitScratch struct {
+	knownDist []float64
+	leftDist  []float64
+}
+
+// side bit flags for partitioning the presorted index lists.
+const (
+	sideLeft  = 1
+	sideRight = 2
+)
+
+// parallelSplitWork is the minimum node work (entries x attributes)
+// before split search fans out to the worker pool; smaller nodes scan
+// serially to avoid goroutine overhead. The threshold only affects
+// scheduling, never results.
+const parallelSplitWork = 8192
+
 type builder struct {
 	cfg    Config
-	x      [][]float64
 	y      []int
 	nClass int
+	nF     int
+	nInst  int
+	// vals is the column-major value matrix (see TrainTree).
+	vals []float64
+	// weight holds, for every instance in the node currently being
+	// processed, its (possibly fractional) weight at that node; entries
+	// are overwritten on node entry, so the array is valid only for the
+	// instances of the current node.
+	weight []float64
+	// side records, during a split, which child(ren) an instance goes
+	// to; read only for the node's own instances.
+	side    []uint8
+	miss    []entry
+	cands   []candidate
+	scratch []splitScratch
+	workers int
+
+	entArena  arena[entry]
+	idxArena  arena[int32]
+	listArena arena[[]int32]
 }
 
 // node is one tree node. Leaves have feature == -1.
@@ -154,7 +303,14 @@ type candidate struct {
 	ratio     float64
 }
 
-func (b *builder) build(ents []entry, depth int) *node {
+// build grows the subtree for ents. sorted holds, per attribute, the
+// node's instances with known values in presorted (value, index) order;
+// children receive stable partitions of these lists, so the order
+// established once in TrainTree is never re-sorted.
+func (b *builder) build(ents []entry, sorted [][]int32, depth int) *node {
+	for _, e := range ents {
+		b.weight[e.idx] = e.w
+	}
 	dist, total := b.dist(ents)
 	n := &node{feature: -1, class: majority(dist), dist: dist, weight: total}
 	if total < 2*b.cfg.MinLeaf || entropy(dist, total) == 0 ||
@@ -162,139 +318,174 @@ func (b *builder) build(ents []entry, depth int) *node {
 		return n
 	}
 
-	cands := b.candidates(ents, dist, total)
-	if len(cands) == 0 {
-		return n
-	}
-	// C4.5 heuristic: among candidates with at least average gain, pick
-	// the best gain ratio.
-	var avg float64
-	for _, c := range cands {
-		avg += c.gain
-	}
-	avg /= float64(len(cands))
-	best := candidate{ratio: -1}
-	for _, c := range cands {
-		if c.gain >= avg-1e-12 && c.ratio > best.ratio {
-			best = c
-		}
-	}
-	if best.ratio < 0 {
+	best := b.bestCandidate(ents, sorted, total)
+	if best.feature < 0 {
 		return n
 	}
 
+	entMark := b.entArena.mark()
+	idxMark := b.idxArena.mark()
+	listMark := b.listArena.mark()
 	left, right, lw, rw := b.split(ents, best.feature, best.threshold)
 	if lw < b.cfg.MinLeaf || rw < b.cfg.MinLeaf {
+		b.entArena.release(entMark)
 		return n
 	}
+	leftSorted, rightSorted := b.partitionSorted(sorted)
 	n.feature = best.feature
 	n.threshold = best.threshold
 	n.gain = best.gain
 	n.leftFrac = lw / (lw + rw)
-	n.left = b.build(left, depth+1)
-	n.right = b.build(right, depth+1)
+	n.left = b.build(left, leftSorted, depth+1)
+	n.right = b.build(right, rightSorted, depth+1)
+	b.entArena.release(entMark)
+	b.idxArena.release(idxMark)
+	b.listArena.release(listMark)
 	return n
 }
 
-// candidates evaluates the best threshold per feature.
-func (b *builder) candidates(ents []entry, dist []float64, total float64) []candidate {
-	type vw struct {
-		v float64
-		y int
-		w float64
+// bestCandidate evaluates the best threshold per attribute (in parallel
+// for large nodes) and applies the C4.5 selection heuristic: among
+// candidates with at least average gain, pick the best gain ratio. Ties
+// break to the lowest attribute index, then the lowest threshold —
+// fixed ordering that keeps the choice identical for any worker count.
+func (b *builder) bestCandidate(ents []entry, sorted [][]int32, total float64) candidate {
+	workers := b.workers
+	if len(ents)*b.nF < parallelSplitWork {
+		workers = 1
 	}
-	var out []candidate
-	baseH := entropy(dist, total)
-	buf := make([]vw, 0, len(ents))
+	cands := b.cands
+	parallel.ForWorker(b.nF, workers, func(w, f int) {
+		cands[f] = b.scanAttribute(f, sorted[f], total, &b.scratch[w])
+	})
 
-	for f := 0; f < len(b.x[0]); f++ {
-		buf = buf[:0]
-		var knownW, missW float64
-		knownDist := make([]float64, b.nClass)
-		for _, e := range ents {
-			v := b.x[e.idx][f]
-			if ml.IsMissing(v) {
-				missW += e.w
-				continue
-			}
-			buf = append(buf, vw{v: v, y: b.y[e.idx], w: e.w})
-			knownW += e.w
-			knownDist[b.y[e.idx]] += e.w
+	var avg float64
+	valid := 0
+	for f := range cands {
+		if cands[f].feature >= 0 {
+			avg += cands[f].gain
+			valid++
 		}
-		if knownW < 2*b.cfg.MinLeaf || len(buf) < 2 {
-			continue
-		}
-		sort.Slice(buf, func(i, j int) bool { return buf[i].v < buf[j].v })
-		if buf[0].v == buf[len(buf)-1].v {
-			continue
-		}
-		knownH := entropy(knownDist, knownW)
-		knownFrac := knownW / total
-
-		leftDist := make([]float64, b.nClass)
-		var leftW float64
-		bestGain, bestThr, splits := -1.0, 0.0, 0
-		for i := 0; i < len(buf)-1; i++ {
-			leftDist[buf[i].y] += buf[i].w
-			leftW += buf[i].w
-			if buf[i].v == buf[i+1].v {
-				continue
-			}
-			splits++
-			if leftW < b.cfg.MinLeaf || knownW-leftW < b.cfg.MinLeaf {
-				continue
-			}
-			rightW := knownW - leftW
-			rH := 0.0
-			// right dist = knownDist - leftDist
-			var h float64
-			for c := 0; c < b.nClass; c++ {
-				l := leftDist[c]
-				r := knownDist[c] - l
-				if l > 0 {
-					h -= l * math.Log2(l/leftW)
-				}
-				if r > 0 {
-					rH -= r * math.Log2(r/rightW)
-				}
-			}
-			condH := (h + rH) / knownW
-			g := knownH - condH
-			if g > bestGain {
-				bestGain = g
-				bestThr = (buf[i].v + buf[i+1].v) / 2
-			}
-		}
-		if bestGain <= 0 || splits == 0 {
-			continue
-		}
-		// C4.5 release 8 MDL correction for continuous splits.
-		gain := knownFrac * (bestGain - math.Log2(float64(splits))/knownW)
-		if gain <= 1e-9 {
-			continue
-		}
-		_ = baseH
-		// Split info over left/right/missing shares of the node.
-		lw, rw := 0.0, 0.0
-		for _, e := range buf {
-			if e.v <= bestThr {
-				lw += e.w
-			} else {
-				rw += e.w
-			}
-		}
-		si := splitInfo([]float64{lw, rw, missW}, total)
-		if si <= 1e-9 {
-			continue
-		}
-		out = append(out, candidate{feature: f, threshold: bestThr, gain: gain, ratio: gain / si})
 	}
-	return out
+	none := candidate{feature: -1, ratio: -1}
+	if valid == 0 {
+		return none
+	}
+	avg /= float64(valid)
+	best := none
+	for f := range cands {
+		if c := cands[f]; c.feature >= 0 && c.gain >= avg-1e-12 && c.ratio > best.ratio {
+			best = c
+		}
+	}
+	return best
 }
 
-func splitInfo(parts []float64, total float64) float64 {
+// scanAttribute finds the best threshold for one attribute with two
+// linear passes over the node's presorted index list: one accumulating
+// the known-value class distribution, one sweeping split points.
+func (b *builder) scanAttribute(f int, known []int32, total float64, sc *splitScratch) candidate {
+	none := candidate{feature: -1}
+	if len(known) < 2 {
+		return none
+	}
+	col := b.vals[f*b.nInst : (f+1)*b.nInst]
+	if col[known[0]] == col[known[len(known)-1]] {
+		return none
+	}
+	knownDist := sc.knownDist
+	for c := range knownDist {
+		knownDist[c] = 0
+	}
+	var knownW float64
+	for _, id := range known {
+		w := b.weight[id]
+		knownDist[b.y[id]] += w
+		knownW += w
+	}
+	if knownW < 2*b.cfg.MinLeaf {
+		return none
+	}
+	knownH := entropy(knownDist, knownW)
+	knownFrac := knownW / total
+	missW := total - knownW
+
+	// Threshold sweep with incremental entropy: maintain
+	// fLeft = sum_c l_c*log2(l_c) and fRight = sum_c r_c*log2(r_c), so
+	// moving one instance across the boundary costs O(1) log calls and
+	// the split entropy at a boundary is
+	//   h + rH = xlogx(leftW) - fLeft + xlogx(rightW) - fRight
+	// instead of an O(nClass) recompute per candidate threshold.
+	leftDist := sc.leftDist
+	for c := range leftDist {
+		leftDist[c] = 0
+	}
+	var leftW, fLeft, fRight float64
+	for c := 0; c < b.nClass; c++ {
+		fRight += xlogx(knownDist[c])
+	}
+	bestGain, bestThr, splits := -1.0, 0.0, 0
+	for i := 0; i < len(known)-1; i++ {
+		id := known[i]
+		w := b.weight[id]
+		c := b.y[id]
+		l := leftDist[c]
+		r := knownDist[c] - l
+		fLeft += xlogx(l+w) - xlogx(l)
+		fRight += xlogx(r-w) - xlogx(r)
+		leftDist[c] = l + w
+		leftW += w
+		v := col[id]
+		vNext := col[known[i+1]]
+		if v == vNext {
+			continue
+		}
+		splits++
+		if leftW < b.cfg.MinLeaf || knownW-leftW < b.cfg.MinLeaf {
+			continue
+		}
+		rightW := knownW - leftW
+		condH := (xlogx(leftW) - fLeft + xlogx(rightW) - fRight) / knownW
+		if g := knownH - condH; g > bestGain {
+			bestGain = g
+			bestThr = (v + vNext) / 2
+		}
+	}
+	if bestGain <= 0 || splits == 0 {
+		return none
+	}
+	// C4.5 release 8 MDL correction for continuous splits.
+	gain := knownFrac * (bestGain - math.Log2(float64(splits))/knownW)
+	if gain <= 1e-9 {
+		return none
+	}
+	// Split info over left/right/missing shares of the node.
+	var lw, rw float64
+	for _, id := range known {
+		if col[id] <= bestThr {
+			lw += b.weight[id]
+		} else {
+			rw += b.weight[id]
+		}
+	}
+	si := splitInfo(lw, rw, missW, total)
+	if si <= 1e-9 {
+		return none
+	}
+	return candidate{feature: f, threshold: bestThr, gain: gain, ratio: gain / si}
+}
+
+// xlogx returns v*log2(v), continuously extended to 0 at v <= 0.
+func xlogx(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return v * math.Log2(v)
+}
+
+func splitInfo(lw, rw, missW, total float64) float64 {
 	h := 0.0
-	for _, p := range parts {
+	for _, p := range [3]float64{lw, rw, missW} {
 		if p > 0 {
 			f := p / total
 			h -= f * math.Log2(f)
@@ -304,36 +495,96 @@ func splitInfo(parts []float64, total float64) float64 {
 }
 
 // split partitions entries; instances with a missing split value go to
-// both sides with fractional weight (C4.5's fractional instances).
+// both sides with fractional weight (C4.5's fractional instances). It
+// also records each instance's destination in b.side for
+// partitionSorted. Child entry lists come from the entry arena.
 func (b *builder) split(ents []entry, f int, thr float64) (left, right []entry, lw, rw float64) {
-	var missing []entry
+	col := b.vals[f*b.nInst : (f+1)*b.nInst]
+	var nL, nR, nM int
 	for _, e := range ents {
-		v := b.x[e.idx][f]
+		v := col[e.idx]
 		switch {
 		case ml.IsMissing(v):
-			missing = append(missing, e)
+			nM++
+		case v <= thr:
+			nL++
+		default:
+			nR++
+		}
+	}
+	left = b.entArena.alloc(nL + nM)[:0]
+	right = b.entArena.alloc(nR + nM)[:0]
+	b.miss = b.miss[:0]
+	for _, e := range ents {
+		v := col[e.idx]
+		switch {
+		case ml.IsMissing(v):
+			b.miss = append(b.miss, e)
 		case v <= thr:
 			left = append(left, e)
 			lw += e.w
+			b.side[e.idx] = sideLeft
 		default:
 			right = append(right, e)
 			rw += e.w
+			b.side[e.idx] = sideRight
 		}
 	}
 	if lw+rw > 0 {
 		lf := lw / (lw + rw)
-		for _, e := range missing {
+		for _, e := range b.miss {
+			var s uint8
 			if wl := e.w * lf; wl > 1e-6 {
 				left = append(left, entry{idx: e.idx, w: wl})
 				lw += wl
+				s |= sideLeft
 			}
 			if wr := e.w * (1 - lf); wr > 1e-6 {
 				right = append(right, entry{idx: e.idx, w: wr})
 				rw += wr
+				s |= sideRight
 			}
+			b.side[e.idx] = s
+		}
+	} else {
+		for _, e := range b.miss {
+			b.side[e.idx] = 0
 		}
 	}
 	return left, right, lw, rw
+}
+
+// partitionSorted stably partitions every attribute's presorted index
+// list into the two children using the side flags set by split, keeping
+// each child's lists in (value, index) order without re-sorting.
+// Instances missing the split value appear in both children.
+func (b *builder) partitionSorted(sorted [][]int32) (ls, rs [][]int32) {
+	ls = b.listArena.alloc(b.nF)
+	rs = b.listArena.alloc(b.nF)
+	for f, src := range sorted {
+		var nL, nR int
+		for _, id := range src {
+			s := b.side[id]
+			nL += int(s & 1)
+			nR += int(s >> 1)
+		}
+		l := b.idxArena.alloc(nL)
+		r := b.idxArena.alloc(nR)
+		li, ri := 0, 0
+		for _, id := range src {
+			s := b.side[id]
+			if s&sideLeft != 0 {
+				l[li] = id
+				li++
+			}
+			if s&sideRight != 0 {
+				r[ri] = id
+				ri++
+			}
+		}
+		ls[f], rs[f] = l, r
+	}
+	return ls, rs
 }
 
 // ---- prediction ----

@@ -1,0 +1,358 @@
+package c45
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+// ---- naive reference implementation ----
+//
+// refBuilder is an independent per-node C4.5 builder: it extracts and
+// re-sorts every attribute at every node, exactly the work the
+// presorted-index design avoids. It shares only the cold helpers
+// (entropy, splitInfo, majority, prune) with the production builder;
+// the split search and partitioning are written from the algorithm
+// definition. Byte-identical serialized trees from both builders are
+// the correctness proof for the presorted fast path.
+
+type refBuilder struct {
+	cfg    Config
+	y      []int
+	nClass int
+	nF     int
+	nInst  int
+	vals   []float64 // column-major, ml.Missing when absent
+	weight []float64 // per-node instance weights, overwritten on entry
+}
+
+func naiveTrainTree(cfg Config, d *ml.Dataset) *Tree {
+	cfg = New(cfg).cfg // apply the trainer defaults
+	classes := d.Classes()
+	feats := d.Features()
+	nInst, nF := d.Len(), len(feats)
+	cidx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	y := make([]int, nInst)
+	vals := make([]float64, nF*nInst)
+	for i := range vals {
+		vals[i] = ml.Missing
+	}
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		y[i] = cidx[in.Class]
+		for name, v := range in.Features {
+			if f := d.FeatureIndex(name); f >= 0 {
+				vals[f*nInst+i] = v
+			}
+		}
+	}
+	rb := &refBuilder{
+		cfg: cfg, y: y, nClass: len(classes), nF: nF, nInst: nInst,
+		vals: vals, weight: make([]float64, nInst),
+	}
+	ents := make([]entry, nInst)
+	for i := range ents {
+		ents[i] = entry{idx: i, w: 1}
+	}
+	tr := &Tree{features: append([]string{}, feats...), classes: classes}
+	tr.root = rb.build(ents, 0)
+	if !cfg.NoPrune {
+		prune(tr.root, cfg.Confidence)
+	}
+	return tr
+}
+
+func (b *refBuilder) build(ents []entry, depth int) *node {
+	for _, e := range ents {
+		b.weight[e.idx] = e.w
+	}
+	dist := make([]float64, b.nClass)
+	var total float64
+	for _, e := range ents {
+		dist[b.y[e.idx]] += e.w
+		total += e.w
+	}
+	n := &node{feature: -1, class: majority(dist), dist: dist, weight: total}
+	if total < 2*b.cfg.MinLeaf || entropy(dist, total) == 0 ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return n
+	}
+
+	// Candidate per attribute, evaluated serially with a fresh sort of
+	// the node's known values each time.
+	cands := make([]candidate, b.nF)
+	for f := 0; f < b.nF; f++ {
+		cands[f] = b.scan(f, ents, total)
+	}
+	var avg float64
+	valid := 0
+	for f := range cands {
+		if cands[f].feature >= 0 {
+			avg += cands[f].gain
+			valid++
+		}
+	}
+	if valid == 0 {
+		return n
+	}
+	avg /= float64(valid)
+	best := candidate{feature: -1, ratio: -1}
+	for f := range cands {
+		if c := cands[f]; c.feature >= 0 && c.gain >= avg-1e-12 && c.ratio > best.ratio {
+			best = c
+		}
+	}
+	if best.feature < 0 {
+		return n
+	}
+
+	left, right, lw, rw := b.split(ents, best.feature, best.threshold)
+	if lw < b.cfg.MinLeaf || rw < b.cfg.MinLeaf {
+		return n
+	}
+	n.feature = best.feature
+	n.threshold = best.threshold
+	n.gain = best.gain
+	n.leftFrac = lw / (lw + rw)
+	n.left = b.build(left, depth+1)
+	n.right = b.build(right, depth+1)
+	return n
+}
+
+func (b *refBuilder) scan(f int, ents []entry, total float64) candidate {
+	none := candidate{feature: -1}
+	col := b.vals[f*b.nInst : (f+1)*b.nInst]
+	known := make([]int32, 0, len(ents))
+	for _, e := range ents {
+		if !ml.IsMissing(col[e.idx]) {
+			known = append(known, int32(e.idx))
+		}
+	}
+	sort.Slice(known, func(a, c int) bool {
+		va, vc := col[known[a]], col[known[c]]
+		if va != vc {
+			return va < vc
+		}
+		return known[a] < known[c]
+	})
+	if len(known) < 2 || col[known[0]] == col[known[len(known)-1]] {
+		return none
+	}
+	knownDist := make([]float64, b.nClass)
+	var knownW float64
+	for _, id := range known {
+		w := b.weight[id]
+		knownDist[b.y[id]] += w
+		knownW += w
+	}
+	if knownW < 2*b.cfg.MinLeaf {
+		return none
+	}
+	knownH := entropy(knownDist, knownW)
+	knownFrac := knownW / total
+	missW := total - knownW
+
+	// Same incremental-entropy formulation as the production scan (the
+	// reference's independence is structural — per-node re-sorting, no
+	// arenas, no parallelism — while the floating-point arithmetic must
+	// match exactly for byte-identical trees).
+	leftDist := make([]float64, b.nClass)
+	var leftW, fLeft, fRight float64
+	for c := 0; c < b.nClass; c++ {
+		fRight += xlogx(knownDist[c])
+	}
+	bestGain, bestThr, splits := -1.0, 0.0, 0
+	for i := 0; i < len(known)-1; i++ {
+		id := known[i]
+		w := b.weight[id]
+		c := b.y[id]
+		l := leftDist[c]
+		r := knownDist[c] - l
+		fLeft += xlogx(l+w) - xlogx(l)
+		fRight += xlogx(r-w) - xlogx(r)
+		leftDist[c] = l + w
+		leftW += w
+		v := col[id]
+		vNext := col[known[i+1]]
+		if v == vNext {
+			continue
+		}
+		splits++
+		if leftW < b.cfg.MinLeaf || knownW-leftW < b.cfg.MinLeaf {
+			continue
+		}
+		rightW := knownW - leftW
+		condH := (xlogx(leftW) - fLeft + xlogx(rightW) - fRight) / knownW
+		if g := knownH - condH; g > bestGain {
+			bestGain = g
+			bestThr = (v + vNext) / 2
+		}
+	}
+	if bestGain <= 0 || splits == 0 {
+		return none
+	}
+	gain := knownFrac * (bestGain - math.Log2(float64(splits))/knownW)
+	if gain <= 1e-9 {
+		return none
+	}
+	var lw, rw float64
+	for _, id := range known {
+		if col[id] <= bestThr {
+			lw += b.weight[id]
+		} else {
+			rw += b.weight[id]
+		}
+	}
+	si := splitInfo(lw, rw, missW, total)
+	if si <= 1e-9 {
+		return none
+	}
+	return candidate{feature: f, threshold: bestThr, gain: gain, ratio: gain / si}
+}
+
+func (b *refBuilder) split(ents []entry, f int, thr float64) (left, right []entry, lw, rw float64) {
+	col := b.vals[f*b.nInst : (f+1)*b.nInst]
+	var miss []entry
+	for _, e := range ents {
+		v := col[e.idx]
+		switch {
+		case ml.IsMissing(v):
+			miss = append(miss, e)
+		case v <= thr:
+			left = append(left, e)
+			lw += e.w
+		default:
+			right = append(right, e)
+			rw += e.w
+		}
+	}
+	if lw+rw > 0 {
+		lf := lw / (lw + rw)
+		for _, e := range miss {
+			if wl := e.w * lf; wl > 1e-6 {
+				left = append(left, entry{idx: e.idx, w: wl})
+				lw += wl
+			}
+			if wr := e.w * (1 - lf); wr > 1e-6 {
+				right = append(right, entry{idx: e.idx, w: wr})
+				rw += wr
+			}
+		}
+	}
+	return left, right, lw, rw
+}
+
+// ---- test corpus ----
+
+// synthDataset builds a labeled numeric dataset with informative
+// features, pure-noise features, integer-valued features (consecutive
+// equal values in the sorted order), and optionally missing values —
+// everything the split search has code paths for.
+func synthDataset(n, nf int, seed int64, missProb float64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]ml.Instance, n)
+	for i := range ins {
+		fv := metrics.Vector{}
+		var score float64
+		for f := 0; f < nf; f++ {
+			v := rng.NormFloat64()*2 + float64(f%3)
+			if f%4 == 3 {
+				v = math.Round(v) // discrete-ish: exercises equal-value runs
+			}
+			if f < 4 {
+				score += v * float64(f+1)
+			}
+			if rng.Float64() >= missProb {
+				fv[fmt.Sprintf("f%02d", f)] = v
+			}
+		}
+		score += rng.NormFloat64()
+		cls := "low"
+		switch {
+		case score > 6:
+			cls = "high"
+		case score > 0:
+			cls = "mid"
+		}
+		ins[i] = ml.Instance{Features: fv, Class: cls}
+	}
+	return ml.NewDataset(ins)
+}
+
+func marshalTree(t *testing.T, tr *Tree) string {
+	t.Helper()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("marshal tree: %v", err)
+	}
+	return string(b)
+}
+
+// ---- tests ----
+
+func TestPresortedBuilderMatchesNaiveReference(t *testing.T) {
+	datasets := map[string]*ml.Dataset{
+		"complete": synthDataset(300, 10, 11, 0),
+		"missing":  synthDataset(300, 10, 12, 0.15),
+	}
+	configs := map[string]Config{
+		"default":  {},
+		"noprune":  {NoPrune: true},
+		"depth3":   {MaxDepth: 3},
+		"minleaf5": {MinLeaf: 5},
+	}
+	for dn, d := range datasets {
+		for cn, cfg := range configs {
+			t.Run(dn+"/"+cn, func(t *testing.T) {
+				want := marshalTree(t, naiveTrainTree(cfg, d))
+				for _, workers := range []int{1, 8} {
+					c := cfg
+					c.Workers = workers
+					got := marshalTree(t, New(c).TrainTree(d))
+					if got != want {
+						t.Errorf("workers=%d: presorted tree differs from naive reference", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestTrainTreeWorkerInvariance(t *testing.T) {
+	// Large enough that len(ents)*nF exceeds the parallelSplitWork gate
+	// at the root, so the parallel scan path actually runs.
+	d := synthDataset(700, 14, 21, 0.1)
+	if 700*14 < parallelSplitWork {
+		t.Fatal("corpus too small to exercise the parallel split path")
+	}
+	want := marshalTree(t, New(Config{Workers: 1}).TrainTree(d))
+	for _, workers := range []int{2, 3, 8} {
+		got := marshalTree(t, New(Config{Workers: workers}).TrainTree(d))
+		if got != want {
+			t.Errorf("workers=%d tree differs from serial build", workers)
+		}
+	}
+}
+
+func TestForestWorkerInvariance(t *testing.T) {
+	d := synthDataset(200, 8, 31, 0.1)
+	serial := NewForest(ForestConfig{Trees: 8, Seed: 5, Workers: 1, Tree: Config{NoPrune: true}}).TrainForest(d)
+	parallel := NewForest(ForestConfig{Trees: 8, Seed: 5, Workers: 8, Tree: Config{NoPrune: true}}).TrainForest(d)
+	if serial.Trees() != parallel.Trees() {
+		t.Fatalf("tree counts differ: %d vs %d", serial.Trees(), parallel.Trees())
+	}
+	for i := range serial.trees {
+		if a, b := marshalTree(t, serial.trees[i]), marshalTree(t, parallel.trees[i]); a != b {
+			t.Errorf("forest tree %d differs between worker counts", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
+	"vqprobe/internal/parallel"
 )
 
 // Forest is a bagged ensemble of C4.5 trees with per-tree feature
@@ -30,6 +31,11 @@ type ForestConfig struct {
 	// Tree is the per-tree learner config (pruning usually off inside
 	// a bagged ensemble).
 	Tree Config
+	// Workers bounds the goroutines training trees concurrently. Zero
+	// selects GOMAXPROCS. The ensemble is byte-identical for any worker
+	// count: every tree's bootstrap sample and feature subset are drawn
+	// serially from the master RNG before training fans out.
+	Workers int
 }
 
 // ForestTrainer builds forests.
@@ -51,7 +57,10 @@ func NewForest(cfg ForestConfig) *ForestTrainer {
 // Train implements ml.Trainer.
 func (t *ForestTrainer) Train(d *ml.Dataset) ml.Classifier { return t.TrainForest(d) }
 
-// TrainForest builds the concrete ensemble.
+// TrainForest builds the concrete ensemble. Per-tree randomness
+// (bootstrap sample, feature subset) is drawn serially up front from
+// the master RNG; training then fans out over the worker pool, so the
+// ensemble is byte-identical to a serial build.
 func (t *ForestTrainer) TrainForest(d *ml.Dataset) *Forest {
 	rng := rand.New(rand.NewSource(t.cfg.Seed + 1))
 	features := d.Features()
@@ -59,8 +68,12 @@ func (t *ForestTrainer) TrainForest(d *ml.Dataset) *Forest {
 	if nf < 1 {
 		nf = 1
 	}
-	f := &Forest{classes: d.Classes()}
-	for i := 0; i < t.cfg.Trees; i++ {
+	type plan struct {
+		boot []ml.Instance
+		keep []string
+	}
+	plans := make([]plan, t.cfg.Trees)
+	for i := range plans {
 		// Bootstrap sample of instances.
 		boot := make([]ml.Instance, d.Len())
 		for j := range boot {
@@ -72,10 +85,21 @@ func (t *ForestTrainer) TrainForest(d *ml.Dataset) *Forest {
 		for j := 0; j < nf; j++ {
 			keep[j] = features[perm[j]]
 		}
-		sub := ml.NewDataset(boot).Project(keep)
-		tree := New(t.cfg.Tree).TrainTree(sub)
-		f.trees = append(f.trees, tree)
+		plans[i] = plan{boot: boot, keep: keep}
 	}
+
+	workers := parallel.Workers(t.cfg.Workers, t.cfg.Trees)
+	treeCfg := t.cfg.Tree
+	if workers > 1 {
+		// Concurrent trees already saturate the pool; keep each build's
+		// split search serial instead of oversubscribing.
+		treeCfg.Workers = 1
+	}
+	f := &Forest{classes: d.Classes(), trees: make([]*Tree, t.cfg.Trees)}
+	parallel.For(t.cfg.Trees, workers, func(i int) {
+		sub := ml.NewDataset(plans[i].boot).Project(plans[i].keep)
+		f.trees[i] = New(treeCfg).TrainTree(sub)
+	})
 	return f
 }
 

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"vqprobe/internal/parallel"
 )
 
 // Confusion is a multi-class confusion matrix.
@@ -167,14 +169,29 @@ func Evaluate(cl Classifier, test *Dataset) *Confusion {
 
 // CrossValidate performs stratified k-fold cross-validation, the
 // protocol the paper uses throughout (k=10). The returned confusion
-// matrix pools predictions from every fold.
+// matrix pools predictions from every fold. Folds train concurrently on
+// up to GOMAXPROCS workers; see CrossValidateWorkers for the
+// determinism contract.
 func CrossValidate(t Trainer, d *Dataset, k int, rng *rand.Rand) *Confusion {
+	return CrossValidateWorkers(t, d, k, rng, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with an explicit bound on
+// concurrent folds (zero selects GOMAXPROCS, 1 forces serial). The
+// fold assignment is drawn from rng before any training starts, each
+// fold records its predictions in instance order, and the pooled
+// confusion matrix is assembled serially in fold order — so the result
+// is byte-identical for any worker count. The Trainer must be safe for
+// concurrent Train calls (all trainers in this repo are: they keep
+// configuration only and derive per-call state from it).
+func CrossValidateWorkers(t Trainer, d *Dataset, k int, rng *rand.Rand, workers int) *Confusion {
 	if k < 2 {
 		panic("ml: cross-validation needs k >= 2")
 	}
 	folds := stratifiedFolds(d, k, rng)
-	conf := NewConfusion(d.Classes())
-	for f := 0; f < k; f++ {
+	type pred struct{ actual, predicted string }
+	results := make([][]pred, k)
+	parallel.For(k, workers, func(f int) {
 		var train, test []Instance
 		for i, in := range d.Instances {
 			if folds[i] == f {
@@ -184,11 +201,19 @@ func CrossValidate(t Trainer, d *Dataset, k int, rng *rand.Rand) *Confusion {
 			}
 		}
 		if len(test) == 0 || len(train) == 0 {
-			continue
+			return
 		}
 		cl := t.Train(NewDataset(train))
-		for _, in := range test {
-			conf.Add(in.Class, cl.Predict(in.Features))
+		ps := make([]pred, len(test))
+		for i, in := range test {
+			ps[i] = pred{actual: in.Class, predicted: cl.Predict(in.Features)}
+		}
+		results[f] = ps
+	})
+	conf := NewConfusion(d.Classes())
+	for f := range results {
+		for _, p := range results[f] {
+			conf.Add(p.actual, p.predicted)
 		}
 	}
 	return conf

@@ -1,0 +1,61 @@
+package ml_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+)
+
+// cvDataset is a small labeled corpus with enough signal that CV folds
+// grow non-trivial trees (and with missing values so fractional
+// instances are in play).
+func cvDataset(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]ml.Instance, n)
+	for i := range ins {
+		fv := metrics.Vector{}
+		var score float64
+		for f := 0; f < 8; f++ {
+			v := rng.NormFloat64() + float64(f%2)
+			if f < 3 {
+				score += v
+			}
+			if rng.Float64() >= 0.1 {
+				fv[fmt.Sprintf("x%d", f)] = v
+			}
+		}
+		cls := "neg"
+		if score > 0.5 {
+			cls = "pos"
+		}
+		ins[i] = ml.Instance{Features: fv, Class: cls}
+	}
+	return ml.NewDataset(ins)
+}
+
+// TestCrossValidateWorkerInvariance proves the determinism contract:
+// for a fixed fold-assignment RNG seed, the pooled confusion matrix is
+// byte-identical whether folds run serially or on 8 workers.
+func TestCrossValidateWorkerInvariance(t *testing.T) {
+	d := cvDataset(240, 9)
+	run := func(workers int) string {
+		rng := rand.New(rand.NewSource(7))
+		return ml.CrossValidateWorkers(c45.New(c45.Config{Workers: 1}), d, 10, rng, workers).String()
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d confusion differs from serial run:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+	// Nested parallelism (concurrent folds, each tree build itself
+	// fanning out) must not change anything either.
+	rng := rand.New(rand.NewSource(7))
+	if got := ml.CrossValidateWorkers(c45.New(c45.Config{Workers: 4}), d, 10, rng, 4).String(); got != want {
+		t.Errorf("nested workers confusion differs from serial run")
+	}
+}

@@ -1,0 +1,72 @@
+// Package parallel provides the bounded worker-pool primitives shared
+// by dataset generation (internal/testbed) and the training stack
+// (internal/ml, internal/ml/c45, internal/features). Every pool here is
+// deterministic-by-construction for callers that write results into
+// per-index slots: work items are identified by index, outputs land in
+// disjoint locations, and aggregation happens serially in index order
+// at the call site.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob against a task count: zero or a
+// negative request means GOMAXPROCS, and the result never exceeds the
+// number of tasks — spinning up more goroutines than tasks is pure
+// overhead (the bug runAll in internal/testbed used to have).
+func Workers(requested, tasks int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > tasks {
+		requested = tasks
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// and blocks until all calls return. The worker count is resolved with
+// Workers; when it collapses to 1 the loop runs inline with no
+// goroutines and no allocation, so hot paths can call For
+// unconditionally.
+func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker's identity passed to the callback:
+// fn(w, i) receives w in [0, resolved workers), letting callers index
+// per-worker scratch buffers without synchronization. Items are handed
+// out dynamically (work stealing via a shared counter), so the mapping
+// of items to workers is not deterministic — only the per-index outputs
+// are.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersCapsAtTasks(t *testing.T) {
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d, want 3", got)
+	}
+	if got, want := Workers(0, 2), min(runtime.GOMAXPROCS(0), 2); got != want {
+		t.Errorf("Workers(0,2) = %d, want %d", got, want)
+	}
+	if got := Workers(0, 1<<30); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0,huge) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1,0) = %d, want 1", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("For(0, ...) invoked the callback")
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n, workers = 500, 4
+	var bad atomic.Int32
+	For(1, 1, func(int) {}) // exercise the inline path too
+	ForWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d callbacks saw an out-of-range worker id", bad.Load())
+	}
+}

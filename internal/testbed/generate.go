@@ -2,13 +2,12 @@ package testbed
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"vqprobe/internal/faults"
 	"vqprobe/internal/hardware"
 	"vqprobe/internal/ml"
+	"vqprobe/internal/parallel"
 	"vqprobe/internal/qoe"
 	"vqprobe/internal/video"
 	"vqprobe/internal/wireless"
@@ -31,35 +30,18 @@ func (c *GenConfig) defaults() {
 	if c.FaultProb == 0 {
 		c.FaultProb = 0.45
 	}
-	if c.Workers == 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
 	if c.Sessions == 0 {
 		c.Sessions = 400
 	}
 }
 
-// runAll executes the per-index session closures on a worker pool. Each
-// session owns an independent simulation, so ordering does not affect
-// results.
+// runAll executes the per-index session closures on the shared bounded
+// worker pool (internal/parallel, the same helper the training stack
+// uses), which caps workers at the session count. Each session owns an
+// independent simulation, so ordering does not affect results.
 func runAll(n, workers int, run func(i int) SessionResult) []SessionResult {
 	out := make([]SessionResult, n)
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = run(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	parallel.For(n, workers, func(i int) { out[i] = run(i) })
 	return out
 }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — training-path performance harness.
+#
+#   scripts/bench.sh run     full-length benchmark run; rewrites the
+#                            committed baseline reports/BENCH_PR3.json
+#   scripts/bench.sh check   quick run compared against the committed
+#                            baseline; fails on a gross regression
+#                            (the CI smoke guard)
+#
+# The benchmark set covers the training hot path this baseline tracks:
+# feature construction, FCBF selection, C4.5 tree building, prediction,
+# and 10-fold cross-validation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkFeatureConstruction|BenchmarkFCBFSelection|BenchmarkC45Training|BenchmarkC45Prediction|BenchmarkCrossValidation'
+BASELINE=reports/BENCH_PR3.json
+MODE="${1:-run}"
+
+run_bench() { # $1: -benchtime value
+  go test -run '^$' -bench "^(${BENCHES})\$" -benchmem -benchtime "$1" .
+}
+
+case "$MODE" in
+run)
+  out="$(run_bench 1s)"
+  printf '%s\n' "$out"
+  printf '%s\n' "$out" | python3 scripts/bench_report.py parse >"$BASELINE"
+  echo "wrote $BASELINE"
+  ;;
+check)
+  out="$(run_bench 5x)"
+  printf '%s\n' "$out"
+  printf '%s\n' "$out" | python3 scripts/bench_report.py parse |
+    python3 scripts/bench_report.py compare "$BASELINE"
+  ;;
+*)
+  echo "usage: scripts/bench.sh [run|check]" >&2
+  exit 2
+  ;;
+esac

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Benchmark report helper for scripts/bench.sh.
+
+  bench_report.py parse             stdin: `go test -bench` output
+                                    stdout: {name: {ns_op, b_op, allocs_op}}
+  bench_report.py compare BASELINE  stdin: a report produced by `parse`
+                                    exits 1 when a benchmark regressed past
+                                    the tolerances vs the committed baseline
+"""
+import json
+import re
+import sys
+
+# Smoke tolerances: wall-clock is noisy on shared CI runners, so only a
+# gross slowdown fails; allocation counts are nearly deterministic, so
+# they get a tighter bound.
+NS_TOLERANCE = 4.0
+ALLOC_TOLERANCE = 2.5
+
+LINE = re.compile(
+    r"^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op"
+)
+
+
+def parse(stream):
+    out = {}
+    for line in stream:
+        m = LINE.match(line)
+        if m:
+            out[m.group(1)] = {
+                "ns_op": float(m.group(2)),
+                "b_op": float(m.group(3)),
+                "allocs_op": float(m.group(4)),
+            }
+    return out
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "parse":
+        report = parse(sys.stdin)
+        if not report:
+            sys.exit("bench_report.py: no benchmark lines found on stdin")
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return
+
+    if len(sys.argv) == 3 and sys.argv[1] == "compare":
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+        current = json.load(sys.stdin)
+        failures = []
+        for name, base in sorted(baseline.items()):
+            cur = current.get(name)
+            if cur is None:
+                failures.append(f"{name}: missing from current run")
+                continue
+            if cur["ns_op"] > base["ns_op"] * NS_TOLERANCE:
+                failures.append(
+                    f"{name}: {cur['ns_op']:.0f} ns/op vs baseline "
+                    f"{base['ns_op']:.0f} (> {NS_TOLERANCE}x)"
+                )
+            if cur["allocs_op"] > base["allocs_op"] * ALLOC_TOLERANCE + 16:
+                failures.append(
+                    f"{name}: {cur['allocs_op']:.0f} allocs/op vs baseline "
+                    f"{base['allocs_op']:.0f} (> {ALLOC_TOLERANCE}x)"
+                )
+        if failures:
+            print("benchmark regression vs reports/BENCH_PR3.json:", file=sys.stderr)
+            for f in failures:
+                print("  " + f, file=sys.stderr)
+            sys.exit(1)
+        print(f"benchmarks within tolerance of baseline ({len(baseline)} compared)")
+        return
+
+    sys.exit(__doc__)
+
+
+if __name__ == "__main__":
+    main()

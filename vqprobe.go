@@ -261,6 +261,13 @@ func LoadModel(r io.Reader) (*Model, error) {
 // WriteCSV (cmd/vqlab). The task and vantage points are recorded in the
 // model for bookkeeping; the CSV's class column defines the labels.
 func TrainFromCSV(r io.Reader, task Task, vps []string) (*Model, error) {
+	return TrainFromCSVWorkers(r, task, vps, 0)
+}
+
+// TrainFromCSVWorkers is TrainFromCSV with an explicit bound on
+// training parallelism (zero selects GOMAXPROCS, 1 forces a serial
+// fit). The fitted model is byte-identical for any worker count.
+func TrainFromCSVWorkers(r io.Reader, task Task, vps []string, workers int) (*Model, error) {
 	d, err := ml.ReadCSV(r)
 	if err != nil {
 		return nil, err
@@ -268,7 +275,7 @@ func TrainFromCSV(r io.Reader, task Task, vps []string) (*Model, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("vqprobe: empty training dataset")
 	}
-	return &Model{Task: task, VPs: vps, pipeline: experiments.TrainPipeline(d)}, nil
+	return &Model{Task: task, VPs: vps, pipeline: experiments.TrainPipelineWorkers(d, workers)}, nil
 }
 
 // EvaluateCSV scores the model against a labeled CSV dataset.
