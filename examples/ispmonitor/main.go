@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"vqprobe"
 )
@@ -46,8 +47,13 @@ func main() {
 		}
 	}
 	fmt.Println("generated trouble tickets:")
-	for k, v := range tickets {
-		fmt.Printf("  %3d x %s\n", v, k)
+	kinds := make([]string, 0, len(tickets))
+	for k := range tickets {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %3d x %s\n", tickets[k], k)
 	}
 
 	conf, err := detect.Evaluate(live)

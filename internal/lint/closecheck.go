@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCloseCheck flags discarded Close/Flush errors on writers. For
+// a reader, Close rarely has anything to say; for a writer, Close and
+// Flush are where buffered bytes actually reach the file — dropping
+// that error means a truncated CSV trace or report that looks like it
+// was written successfully. Exactly this class of bug produces
+// "sometimes the last rows are missing" mysteries in pipeline output.
+//
+// Scope, deliberately narrow to stay high-signal:
+//   - plain statements `w.Close()` / `w.Flush()` where the method
+//     returns an error and the receiver has a Write method;
+//   - `defer w.Flush()` (the error is structurally unobservable;
+//     deferred Close is left alone because close-on-cleanup after an
+//     explicit flush-and-check is idiomatic);
+//   - files known to be read-only — variables assigned from os.Open in
+//     the same file — are skipped even though *os.File technically has
+//     a Write method: nothing buffered means nothing to lose.
+var AnalyzerCloseCheck = &Analyzer{
+	Name:     "closecheck",
+	Severity: SeverityWarn,
+	Doc: "Flags unchecked Close/Flush errors on writers (receiver has a Write " +
+		"method, Close/Flush returns error): a dropped flush error silently " +
+		"truncates output files.",
+	RunFile: func(p *Pass, f *ast.File) {
+		readOnly := readOnlyFiles(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if receiverIn(p, call, readOnly) {
+						return true
+					}
+					if name, bad := uncheckedWriterClose(p, call); bad {
+						p.Report(call.Pos(),
+							name+" on a writer discards its error; buffered output may be silently lost",
+							"check it: if err := x."+name+"(); err != nil { ... } (or return/record the error)")
+					}
+				}
+			case *ast.DeferStmt:
+				if name, bad := uncheckedWriterClose(p, stmt.Call); bad && name == "Flush" {
+					p.Report(stmt.Call.Pos(),
+						"deferred Flush discards its error; the final buffer may never reach the file",
+						"flush explicitly before returning and check the error; keep defer Close for cleanup only")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// readOnlyFiles collects the objects of variables assigned from
+// os.Open anywhere in f: their Close has no buffered writes to lose.
+func readOnlyFiles(p *Pass, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) < 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, isFn := p.PkgFunc(call); !isFn || pkgPath != "os" || name != "Open" {
+			return true
+		}
+		if id, isIdent := assign.Lhs[0].(*ast.Ident); isIdent {
+			if obj := p.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverIn reports whether call's receiver is a plain identifier in
+// the given object set.
+func receiverIn(p *Pass, call *ast.CallExpr, set map[types.Object]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return set[p.Info.Uses[id]]
+}
+
+// uncheckedWriterClose reports whether call is a Close/Flush method
+// invocation returning exactly one error on a receiver that has a
+// Write method.
+func uncheckedWriterClose(p *Pass, call *ast.CallExpr) (string, bool) {
+	m, recv, ok := p.MethodCall(call)
+	if !ok {
+		return "", false
+	}
+	name := m.Name()
+	if name != "Close" && name != "Flush" {
+		return "", false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return "", false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	if !HasMethod(recv, "Write") {
+		return "", false
+	}
+	return name, true
+}

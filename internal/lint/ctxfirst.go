@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxFirst is the API-hygiene check for request-scoped code
+// (written for internal/serve, enforced everywhere since it is cheap):
+// a context.Context parameter must be the first parameter, and contexts
+// must not be stored in struct fields. Both rules exist for the same
+// reason — cancellation flows along call chains, and anything that
+// hides the context (position, struct capture) eventually produces a
+// handler that cannot be cancelled or traces that attach to the wrong
+// request.
+var AnalyzerCtxFirst = &Analyzer{
+	Name:     "ctxfirst",
+	Severity: SeverityWarn,
+	Doc: "Requires context.Context parameters to come first (after the receiver) " +
+		"and forbids storing contexts in struct fields; cancellation must flow " +
+		"through call chains, not hide in state.",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.FuncDecl:
+					checkCtxParams(p, node.Type)
+				case *ast.FuncLit:
+					checkCtxParams(p, node.Type)
+				case *ast.StructType:
+					for _, field := range node.Fields.List {
+						if isContextType(p.TypeOf(field.Type)) {
+							p.Report(field.Type.Pos(),
+								"context.Context stored in a struct field outlives the call it belongs to",
+								"pass the context as the first parameter of each method that needs it")
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+func checkCtxParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Walk individual parameters: a single *ast.Field may declare
+	// several names (a, b context.Context), all sharing one position.
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(p.TypeOf(field.Type)) && idx > 0 {
+			p.Report(field.Type.Pos(),
+				"context.Context parameter is not first; call sites and wrappers expect ctx up front",
+				"move ctx to the first parameter position")
+		}
+		idx += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

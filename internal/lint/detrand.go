@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// detrandAllowed are the math/rand package-level functions that do not
+// touch the shared global source: constructors that the caller seeds
+// explicitly.
+var detrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// AnalyzerDetRand enforces the byte-identical-output invariant from
+// docs/PERFORMANCE.md: every random draw in library code must come
+// from a *rand.Rand threaded down from the experiment configuration's
+// seed. The global math/rand functions (rand.Intn, rand.Float64,
+// rand.Shuffle, ...) share a process-wide source that other goroutines
+// can advance, so a single call makes worker-count invariance and
+// cross-run reproducibility unprovable. math/rand/v2's top-level
+// functions are auto-seeded and are flagged for the same reason.
+//
+// The check also flags seeding from the wall clock
+// (rand.NewSource(time.Now().UnixNano()) and friends): a time-derived
+// seed is just global randomness with extra steps.
+var AnalyzerDetRand = &Analyzer{
+	Name:     "detrand",
+	Severity: SeverityError,
+	Doc: "Forbids global math/rand (and math/rand/v2) top-level draws and " +
+		"wall-clock-derived seeds in library code; RNGs must be *rand.Rand " +
+		"instances constructed from the experiment config's seed and threaded " +
+		"explicitly.",
+	RunFile: func(p *Pass, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := p.PkgFunc(call)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if !detrandAllowed[name] {
+				p.Report(call.Pos(),
+					"rand."+name+" draws from the shared global source; results depend on every other draw in the process",
+					"construct rng := rand.New(rand.NewSource(cfg.Seed)) and thread it to this call site")
+				return true
+			}
+			if name == "NewSource" && callsWallClock(p, call) {
+				p.Report(call.Pos(),
+					"rand.NewSource seeded from the wall clock is nondeterministic across runs",
+					"seed from the experiment config (cfg.Seed) so runs are reproducible")
+			}
+			return true
+		})
+	},
+}
+
+// callsWallClock reports whether any subexpression of call invokes a
+// wall-clock function of package time.
+func callsWallClock(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, ok := p.PkgFunc(inner); ok && pkgPath == "time" {
+				if _, banned := wallClockFuncs[name]; banned {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// fmtFormatFuncs maps fmt's formatting functions to the index of their
+// format-string argument.
+var fmtFormatFuncs = map[string]int{
+	"Sprintf": 0,
+	"Printf":  0,
+	"Errorf":  0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+// AnalyzerFloatFmt enforces explicit precision when floats reach
+// formatted output. %v renders a float with strconv's shortest-round-
+// trip algorithm, so 0.1+0.2 prints as 0.30000000000000004 and two
+// almost-equal accuracies print with different widths — report tables
+// stop aligning, CSV diffs churn on the 17th digit, and golden files
+// break on harmless refactors. Report and CSV emitters must choose a
+// precision (%.3f, %.6g, strconv.FormatFloat with an explicit prec).
+var AnalyzerFloatFmt = &Analyzer{
+	Name:     "floatfmt",
+	Severity: SeverityWarn,
+	Doc: "Flags %v applied to float arguments in fmt formatting calls: report and " +
+		"CSV output must pick an explicit precision (e.g. %.3f) so tables align " +
+		"and diffs are stable.",
+	RunFile: func(p *Pass, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := p.PkgFunc(call)
+			if !ok || pkgPath != "fmt" {
+				return true
+			}
+			fmtIdx, isFormatter := fmtFormatFuncs[name]
+			if !isFormatter || len(call.Args) <= fmtIdx {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[fmtIdx]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			args := call.Args[fmtIdx+1:]
+			for _, argIdx := range verbVArgIndexes(format) {
+				if argIdx >= len(args) {
+					continue
+				}
+				if isFloat(p.TypeOf(args[argIdx])) {
+					p.Report(args[argIdx].Pos(),
+						"float formatted with %v in fmt."+name+"; width varies per value and run",
+						"use an explicit precision verb such as %.3f or %.6g")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// verbVArgIndexes parses a printf format string and returns the operand
+// indexes consumed by a bare %v verb. It tracks * width/precision
+// operands so indexes stay aligned; explicit argument indexes (%[1]v)
+// abort the scan, returning what was found so far (they are rare and
+// not worth mis-attributing).
+func verbVArgIndexes(format string) []int {
+	var out []int
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && isFmtFlag(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return out // explicit argument index: bail
+		}
+		// width
+		for i < len(format) && isDigit(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		}
+		explicitPrec := false
+		if i < len(format) && format[i] == '.' {
+			explicitPrec = true
+			i++
+			for i < len(format) && isDigit(format[i]) {
+				i++
+			}
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == 'v' && !explicitPrec {
+			out = append(out, arg)
+		}
+		arg++
+	}
+	return out
+}
+
+func isFmtFlag(c byte) bool {
+	return c == '+' || c == '-' || c == '#' || c == ' ' || c == '0'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isFloat reports whether t is (or is named with underlying)
+// float32/float64, or a composite of them commonly passed to %v
+// directly is not considered — only scalar floats.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+// TestVerbVArgIndexes pins the printf-verb scanner: which operand
+// indexes a bare %v consumes, with flags, widths, * operands, and the
+// explicit-index bailout.
+func TestVerbVArgIndexes(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []int
+	}{
+		{"no verbs", nil},
+		{"%v", []int{0}},
+		{"%d %v", []int{1}},
+		{"%v %v", []int{0, 1}},
+		{"100%% %v", []int{0}},
+		{"%-8v", []int{0}},
+		{"%.3f %v", []int{1}},
+		{"%.4v", nil},        // precision pins the width; not a bare %v
+		{"%.*v", nil},        // star precision is explicit too (consumes an arg)
+		{"%*d %v", []int{2}}, // * width consumes an operand
+		{"%[1]v %v", nil},    // explicit index: bail out rather than misattribute
+		{"trailing %", nil},
+	}
+	for _, c := range cases {
+		got := verbVArgIndexes(c.format)
+		if len(got) != len(c.want) {
+			t.Errorf("verbVArgIndexes(%q) = %v, want %v", c.format, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("verbVArgIndexes(%q) = %v, want %v", c.format, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityWarn.String() != "warning" || SeverityError.String() != "error" {
+		t.Error("severity strings drive GitHub annotation commands; they must be warning/error")
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked (non-test) package of the
+// module under analysis.
+type Package struct {
+	Dir    string // absolute directory
+	RelDir string // module-relative directory, "" for the root
+	Path   string // import path
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+
+	// TypeErrors holds type-checker complaints. The engine analyzes
+	// what it can anyway — the repo is expected to compile, so any
+	// entry here usually means a loader limitation worth surfacing
+	// rather than hiding.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages using only the standard
+// library: go/parser for syntax and go/types with the source importer
+// ("go/importer" compiling dependencies from source) for types. One
+// Loader shares a FileSet and an importer cache across packages, so
+// stdlib dependencies are compiled once per process.
+type Loader struct {
+	Fset *token.FileSet
+
+	imp  types.ImporterFrom
+	impM sync.Mutex // the source importer is not safe for concurrent use
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer by locking around the shared source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.impM.Lock()
+	defer l.impM.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
+}
+
+// ModuleRoot walks up from dir to the nearest go.mod and returns its
+// directory and the declared module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, readErr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if readErr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// ListPackageDirs walks the module rooted at root and returns every
+// directory containing at least one non-test .go file, skipping
+// testdata, vendor, and hidden directories. Results are sorted and
+// module-root-relative ("" denotes the root itself).
+func ListPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "node_modules") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && isLintedGoFile(e.Name()) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				dirs = append(dirs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func isLintedGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// LoadDir parses and type-checks the non-test package in dir (absolute
+// path), assigning it importPath. relDir is recorded on the result for
+// per-directory configuration.
+func (l *Loader) LoadDir(dir, relDir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isLintedGoFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg := &Package{Dir: dir, RelDir: relDir, Path: importPath, Fset: l.Fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the package even on errors; partial type info is
+	// still useful to the analyzers.
+	pkg.Pkg, _ = conf.Check(importPath, l.Fset, files, info)
+	return pkg, nil
+}
+
+// LoadModule loads every package of the module rooted at root. dirs
+// restricts loading to the given module-relative directories; nil means
+// all of them.
+func (l *Loader) LoadModule(root string, dirs []string) ([]*Package, error) {
+	_, modPath, err := ModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	if dirs == nil {
+		dirs, err = ListPackageDirs(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, rel := range dirs {
+		dir := root
+		importPath := modPath
+		if rel != "" {
+			dir = filepath.Join(root, filepath.FromSlash(rel))
+			importPath = modPath + "/" + rel
+		}
+		p, err := l.LoadDir(dir, rel, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

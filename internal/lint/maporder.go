@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMapOrder flags map iteration whose per-element effects land
+// in an ordered sink — a slice built outside the loop, a writer, a
+// printer, or an encoder. Go randomizes map iteration order on purpose,
+// so such loops produce run-to-run different output: the exact failure
+// mode the training engine's byte-identical guarantee (and every CSV /
+// report / Prometheus emitter in this repo) must exclude.
+//
+// The one sanctioned pattern is collect-then-sort: append only the keys
+// to a slice and sort it before use. The analyzer recognizes that idiom
+// — an appended-to slice that is later passed to package sort or
+// slices, or has a Sort method called on it — and stays quiet.
+var AnalyzerMapOrder = &Analyzer{
+	Name:     "maporder",
+	Severity: SeverityError,
+	Doc: "Forbids map iteration that feeds an ordered sink (slice append, writer, " +
+		"printer, encoder) unless the collected slice is subsequently sorted. " +
+		"Map order is randomized; ordered output must come from sorted keys.",
+	RunFile: func(p *Pass, f *ast.File) {
+		for _, body := range funcBodies(f) {
+			checkMapOrderBody(p, body)
+		}
+	},
+}
+
+func checkMapOrderBody(p *Pass, body *ast.BlockStmt) {
+	inspectSkippingNestedFuncs(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, body, rng)
+		return true // nested ranges inside this one are checked on their own visit
+	})
+}
+
+// checkMapRange reports order-sensitive sinks inside one map-range
+// body. funcBody is the innermost enclosing function body, used to
+// look for a later sort of any slice the loop builds.
+func checkMapRange(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	reported := false
+	report := func(pos ast.Node, what string) {
+		if reported {
+			return // one finding per loop keeps the sweep reviewable
+		}
+		reported = true
+		p.Report(rng.Pos(),
+			"map iteration order feeds "+what+"; iteration order is randomized per run",
+			"collect the keys into a slice, sort it, and range over the sorted keys")
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(outer, ...) — building an ordered slice from unordered
+		// iteration. Allowed when the slice is sorted afterwards.
+		if isBuiltinCall(p, call, "append") {
+			if obj := appendTargetOutside(p, call, rng); obj != nil && !sortedLater(p, funcBody, obj) {
+				report(call, "a slice built outside the loop (append without a later sort)")
+			}
+			return true
+		}
+		// Writers, printers, encoders: bytes hit the sink in iteration
+		// order immediately, so no later pass can fix it.
+		if name, sinky := orderSensitiveCall(p, call); sinky {
+			report(call, name)
+		}
+		return true
+	})
+}
+
+// appendTargetOutside resolves append's destination to a variable
+// declared outside the range statement, or nil.
+func appendTargetOutside(p *Pass, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // loop-local scratch; it dies with the iteration
+	}
+	return obj
+}
+
+// sortedLater reports whether funcBody contains a sort of obj: a call
+// to package sort or slices with obj as an argument, or obj.Sort().
+func sortedLater(p *Pass, funcBody *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		argMatches := func() bool {
+			for _, a := range call.Args {
+				if id, isIdent := ast.Unparen(a).(*ast.Ident); isIdent && p.Info.Uses[id] == obj {
+					return true
+				}
+			}
+			return false
+		}
+		if pkgPath, _, isPkgFn := p.PkgFunc(call); isPkgFn && (pkgPath == "sort" || pkgPath == "slices") {
+			if argMatches() {
+				found = true
+				return false
+			}
+		}
+		if m, _, isMethod := p.MethodCall(call); isMethod && m.Name() == "Sort" {
+			if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+				if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent && p.Info.Uses[id] == obj {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderSensitiveCall classifies calls that emit bytes or elements in
+// call order: Write*/Print*/Encode* methods, fmt printers, and the
+// print builtins.
+func orderSensitiveCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	if m, _, ok := p.MethodCall(call); ok {
+		name := m.Name()
+		switch {
+		case hasAnyPrefix(name, "Write", "Print", "Encode", "Fprint"):
+			return "a " + name + " sink", true
+		}
+		return "", false
+	}
+	if pkgPath, name, ok := p.PkgFunc(call); ok {
+		if pkgPath == "fmt" && hasAnyPrefix(name, "Print", "Fprint", "Append") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if isBuiltinCall(p, call, "print") || isBuiltinCall(p, call, "println") {
+		return "a print builtin", true
+	}
+	return "", false
+}
+
+// isBuiltinCall reports whether call invokes the named Go builtin (as
+// opposed to a user-defined function that shadows the name).
+func isBuiltinCall(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if len(s) >= len(pre) && s[:len(pre)] == pre {
+			return true
+		}
+	}
+	return false
+}

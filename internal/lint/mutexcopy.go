@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMutexCopy flags function signatures that pass or return
+// synchronization state by value: a parameter, result, or receiver
+// whose type (directly or through embedded/nested struct fields)
+// contains a sync or sync/atomic primitive. A copied mutex guards a
+// different memory word than the original — both sides "lock" and race
+// anyway, and the race detector only catches it when the schedule
+// cooperates. go vet's copylocks covers assignments; this check covers
+// the API surface, where the mistake is usually introduced.
+var AnalyzerMutexCopy = &Analyzer{
+	Name:     "mutexcopy",
+	Severity: SeverityError,
+	Doc: "Forbids passing, returning, or receiving by value any type that " +
+		"(transitively) contains a sync or sync/atomic primitive; hand out " +
+		"pointers so there is exactly one lock word.",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkMutexCopyFunc(p, fn)
+			}
+		}
+	},
+}
+
+func checkMutexCopyFunc(p *Pass, fn *ast.FuncDecl) {
+	qualifier := func(other *types.Package) string {
+		if other == p.Pkg {
+			return ""
+		}
+		return other.Name()
+	}
+	reportField := func(field *ast.Field, role string) {
+		t := p.TypeOf(field.Type)
+		if t == nil || !containsLockByValue(t, nil) {
+			return
+		}
+		name := types.TypeString(t, qualifier)
+		p.Report(field.Type.Pos(),
+			role+" of type "+name+" copies a sync primitive; the copy locks a different word than the original",
+			"take a pointer (*"+name+") instead")
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			reportField(field, "value receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			reportField(field, "parameter")
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			reportField(field, "result")
+		}
+	}
+}
+
+// containsLockByValue reports whether t, held by value, embeds
+// synchronization state. Pointers, slices, maps, channels, interfaces,
+// and function types break the chain: copying those copies a reference,
+// which is fine.
+func containsLockByValue(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				// Every struct type in these packages is a primitive
+				// that must not be copied (Mutex, WaitGroup, Once,
+				// atomic.Int64, ...). Interfaces (sync.Locker) are not.
+				_, isStruct := named.Underlying().(*types.Struct)
+				return isStruct
+			}
+		}
+	}
+
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockByValue(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockByValue(u.Elem(), seen)
+	}
+	return false
+}

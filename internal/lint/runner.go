@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"vqprobe/internal/parallel"
+)
+
+// Runner applies a set of analyzers to loaded packages, in parallel,
+// with per-directory configuration and //lint:ignore suppression.
+type Runner struct {
+	Analyzers []*Analyzer
+	Config    *Config
+
+	// Workers bounds per-package parallelism; <=0 means GOMAXPROCS
+	// (resolved by internal/parallel, the same pool discipline as the
+	// training engine: per-index output slots, serial merge).
+	Workers int
+}
+
+// Run analyzes pkgs and returns all diagnostics — suppressed ones
+// included, flagged — sorted by position. Callers filter on Suppressed
+// for exit-code decisions; formatters show or hide them as appropriate.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	cfg := r.Config
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	// Directive validation recognizes every registered check, not just
+	// the ones enabled for this run: `-checks virtclock` must not
+	// reclassify a valid `//lint:ignore maporder ...` as unknown.
+	known := ByName()
+	for _, a := range r.Analyzers {
+		known[a.Name] = a
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	parallel.For(len(pkgs), r.Workers, func(i int) {
+		perPkg[i] = r.runPackage(pkgs[i], known, cfg)
+	})
+
+	var all []Diagnostic
+	for _, ds := range perPkg {
+		all = append(all, ds...)
+	}
+	SortDiagnostics(all)
+	return all
+}
+
+// runPackage runs every enabled analyzer over one package and applies
+// the package's suppression directives.
+func (r *Runner) runPackage(pkg *Package, known map[string]*Analyzer, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+
+	// Parse directives first: malformed ones are diagnostics in their
+	// own right, and well-formed ones suppress findings below.
+	byFile := make(map[string][]ignoreDirective)
+	fset := pkg.Fset
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		byFile[name] = parseDirectives(fset, f, known, func(d Diagnostic) {
+			diags = append(diags, d)
+		})
+	}
+
+	for _, a := range r.Analyzers {
+		if a.Name == DirectiveCheckName {
+			continue // handled above, during directive parsing
+		}
+		if !cfg.EnabledIn(a.Name, pkg.RelDir) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			RelDir:   pkg.RelDir,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if a.Run != nil {
+			a.Run(pass)
+		}
+		if a.RunFile != nil {
+			for _, f := range pkg.Files {
+				a.RunFile(pass, f)
+			}
+		}
+	}
+
+	applySuppressions(diags, byFile)
+	return diags
+}

@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/lint"
+)
+
+// TestSelfLint runs the full analyzer suite over the real repository —
+// the same thing `go run ./cmd/vqlint ./...` does in CI — and fails on
+// any unsuppressed diagnostic. Keeping this in tier-1 tests means an
+// invariant regression fails `go test ./...` locally, not just the CI
+// lint job.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module; skipped in -short")
+	}
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := lint.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := lint.LoadConfigFile(filepath.Join(root, lint.ConfigFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(lint.ByName()); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := sharedLoader.LoadModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error (loader bug or broken code): %v", p.Path, terr)
+		}
+	}
+
+	runner := &lint.Runner{Analyzers: lint.All(), Config: cfg}
+	diags := runner.Run(pkgs)
+
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		if d.Suppressed {
+			// The audit trail half of the suppression policy: a
+			// suppression that reaches here always carries its reason.
+			if strings.TrimSpace(d.SuppressReason) == "" {
+				t.Errorf("%s:%d: suppressed %s finding without a reason", rel, d.Pos.Line, d.Check)
+			}
+			continue
+		}
+		t.Errorf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+
+	// The suite only earns its keep while it is actually exercised:
+	// the intentional wall-clock sites in serve/ and trace/ must keep
+	// flowing through the directive machinery.
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected suppressed virtclock findings in internal/serve and internal/trace; did the analyzer stop firing?")
+	}
+}

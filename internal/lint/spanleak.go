@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSpanLeak enforces the tracing contract from
+// docs/OBSERVABILITY.md: every span handed out by a Start* method must
+// be ended. An unended span simply never appears in the export — the
+// timeline silently loses exactly the interval someone was trying to
+// observe, which is the worst kind of observability bug because nothing
+// fails.
+//
+// The check is structural, not a full all-paths dataflow: a started
+// span must either (a) have End/EndDetail called on it somewhere in the
+// same function, or (b) escape the function (stored in a field or
+// variable visible outside, passed along, returned), in which case the
+// receiver owns the obligation. Discarding the result of a Start* call
+// — as an expression statement or into the blank identifier — is always
+// a leak.
+var AnalyzerSpanLeak = &Analyzer{
+	Name:     "spanleak",
+	Severity: SeverityError,
+	Doc: "Requires every span returned by a Start* method (a result type with an " +
+		"End method) to be ended in the starting function or to escape it; " +
+		"discarded Start* results are reported unconditionally.",
+	RunFile: func(p *Pass, f *ast.File) {
+		for _, body := range funcBodies(f) {
+			checkSpanLeakBody(p, body)
+		}
+	},
+}
+
+// isSpanStart reports whether call invokes a Start*-named function or
+// method whose single result type carries an End method.
+func isSpanStart(p *Pass, call *ast.CallExpr) bool {
+	var name string
+	if m, _, ok := p.MethodCall(call); ok {
+		name = m.Name()
+	} else if _, fn, ok := p.PkgFunc(call); ok {
+		name = fn
+	} else {
+		return false
+	}
+	if !hasAnyPrefix(name, "Start") {
+		return false
+	}
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if _, isTuple := t.(*types.Tuple); isTuple {
+		return false // multi-result Start funcs are not span constructors
+	}
+	return HasMethod(t, "End")
+}
+
+func checkSpanLeakBody(p *Pass, body *ast.BlockStmt) {
+	inspectSkippingNestedFuncs(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isSpanStart(p, call) {
+				p.Report(call.Pos(),
+					"span started and immediately discarded; it will never be recorded",
+					"assign the span and call End (or defer span.End()) when the interval closes")
+			}
+		case *ast.AssignStmt:
+			checkSpanAssign(p, body, stmt)
+		}
+		return true
+	})
+}
+
+func checkSpanAssign(p *Pass, body *ast.BlockStmt, assign *ast.AssignStmt) {
+	// Only the aligned form x := Start() / x = Start() matters; a span
+	// in a multi-value context came from a function the analyzer
+	// already vetted at its own return site.
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isSpanStart(p, call) {
+			continue
+		}
+		switch lhs := assign.Lhs[i].(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				p.Report(call.Pos(),
+					"span started into the blank identifier; it will never be recorded",
+					"keep the span and call End when the interval closes")
+				continue
+			}
+			obj := p.Info.Defs[lhs]
+			if obj == nil {
+				obj = p.Info.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			if !spanEndedOrEscapes(p, body, obj, lhs) {
+				p.Reportf(call.Pos(),
+					"span %s is never ended and never escapes this function; the interval will be lost",
+					lhs.Name)
+			}
+		default:
+			// Assignment into a field or element: the span escapes into
+			// a structure whose owner is responsible for ending it.
+		}
+	}
+}
+
+// spanEndedOrEscapes scans the function body for either an
+// End/EndDetail call on obj or any use that lets obj outlive the
+// function's span-tracking (argument, return, composite literal,
+// further assignment, address-taken, channel send).
+func spanEndedOrEscapes(p *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	ok := false
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || id == def || p.Info.Uses[id] != obj {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch pn := parent.(type) {
+		case *ast.SelectorExpr:
+			// span.End() / span.EndDetail(...) discharges the
+			// obligation; any other method call (span.ID()) does not.
+			if pn.Sel.Name == "End" || pn.Sel.Name == "EndDetail" {
+				ok = true
+			}
+		case *ast.CallExpr:
+			for _, a := range pn.Args {
+				if a == n {
+					ok = true // passed along: callee takes ownership
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range pn.Rhs {
+				if r == n {
+					ok = true // reassigned somewhere with its own tracking
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+			ok = true
+		case *ast.UnaryExpr:
+			ok = pn.Op.String() == "&"
+		}
+		return true
+	})
+	return ok
+}

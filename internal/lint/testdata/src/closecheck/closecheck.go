@@ -1,0 +1,77 @@
+// Package closecheck is golden-file input for the closecheck analyzer:
+// discarded Close/Flush errors on writers are flagged; checked calls,
+// error-free signatures, and non-writers are not.
+package closecheck
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func uncheckedClose(f *os.File) {
+	f.Close() // want "Close on a writer discards its error"
+}
+
+func uncheckedFlush(w *bufio.Writer) {
+	w.Flush() // want "Flush on a writer discards its error"
+}
+
+func deferredFlush(w *bufio.Writer) {
+	defer w.Flush() // want "deferred Flush discards its error"
+	w.WriteString("row")
+}
+
+// checkedClose propagates the error — stays silent.
+func checkedClose(f *os.File) error {
+	return f.Close()
+}
+
+// checkedFlush handles the error — stays silent.
+func checkedFlush(w *bufio.Writer) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredClose is idiomatic cleanup after an explicit checked flush —
+// near miss, stays silent by design.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}
+
+// readerClose closes something with no Write method — near miss, stays
+// silent: a reader's Close rarely has anything to report.
+func readerClose(r io.ReadCloser) {
+	r.Close()
+}
+
+// voidFlush has no error result (csv.Writer's shape) — near miss,
+// stays silent: there is nothing to check.
+type voidFlusher struct{}
+
+func (voidFlusher) Write(p []byte) (int, error) { return len(p), nil }
+func (voidFlusher) Flush()                      {}
+
+func flushVoid(v voidFlusher) {
+	v.Flush()
+}
+
+// readOnlyOpen closes a file obtained from os.Open — near miss, stays
+// silent: a read-only file has no buffered writes to lose.
+func readOnlyOpen(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	f.Close()
+	return buf[:n], err
+}
+
+func ignoredClose(f *os.File) {
+	//lint:ignore closecheck exiting the process right after; nothing to do with the error
+	f.Close()
+}

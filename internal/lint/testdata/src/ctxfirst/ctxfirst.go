@@ -1,0 +1,53 @@
+// Package ctxfirst is golden-file input for the ctxfirst analyzer:
+// misplaced context.Context parameters and context struct fields are
+// flagged; ctx-first signatures and request-scoped plumbing are not.
+package ctxfirst
+
+import "context"
+
+func ctxSecond(name string, ctx context.Context) error { // want "context.Context parameter is not first"
+	return ctx.Err()
+}
+
+func ctxLast(a, b int, ctx context.Context) int { // want "context.Context parameter is not first"
+	_ = ctx
+	return a + b
+}
+
+type request struct {
+	ctx  context.Context // want "context.Context stored in a struct field"
+	body []byte
+}
+
+// ctxFirst is the sanctioned shape — near miss, stays silent.
+func ctxFirst(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// noCtx has no context at all — stays silent.
+func noCtx(a, b int) int { return a + b }
+
+// methodCtxFirst: the receiver does not count as a parameter.
+type server struct{ addr string }
+
+func (s *server) handle(ctx context.Context, path string) error {
+	_ = s.addr
+	return ctx.Err()
+}
+
+func literalCtxSecond() func(int, context.Context) {
+	return func(n int, ctx context.Context) { // want "context.Context parameter is not first"
+		_ = n
+	}
+}
+
+func useRequest(r request) int { return len(r.body) }
+
+func ignoredField() {
+	type job struct {
+		//lint:ignore ctxfirst detached background job carries its own lifecycle ctx
+		ctx context.Context
+	}
+	var j job
+	_ = j.ctx
+}

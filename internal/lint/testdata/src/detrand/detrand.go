@@ -1,0 +1,37 @@
+// Package detrand is golden-file input for the detrand analyzer:
+// global math/rand draws and wall-clock seeds are flagged; seeded
+// *rand.Rand instances threaded from config are not.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config mirrors the experiment config: the seed is explicit state.
+type Config struct{ Seed int64 }
+
+func globalDraws() float64 {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the shared global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the shared global source"
+	return rand.Float64()              // want "rand.Float64 draws from the shared global source"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+// threadedRNG is the sanctioned pattern — the near miss that must stay
+// silent: the same function names (Intn, Float64, Shuffle) called as
+// methods on an explicitly seeded generator.
+func threadedRNG(cfg Config) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := rng.Intn(10)
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Float64()
+}
+
+func ignoredGlobal() int {
+	//lint:ignore detrand jitter for a log message, never observable in results
+	return rand.Int()
+}

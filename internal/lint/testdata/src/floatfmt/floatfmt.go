@@ -1,0 +1,46 @@
+// Package floatfmt is golden-file input for the floatfmt analyzer: %v
+// applied to floats in fmt formatting calls is flagged; explicit
+// precision verbs, non-floats, and precision-carrying %v are not.
+package floatfmt
+
+import (
+	"fmt"
+	"io"
+)
+
+func reportRow(name string, acc float64) string {
+	return fmt.Sprintf("%s accuracy=%v", name, acc) // want "float formatted with %v in fmt.Sprintf"
+}
+
+func printRow(acc float64) {
+	fmt.Printf("acc=%v\n", acc) // want "float formatted with %v in fmt.Printf"
+}
+
+func writeRow(w io.Writer, acc float32) {
+	fmt.Fprintf(w, "acc=%v\n", acc) // want "float formatted with %v in fmt.Fprintf"
+}
+
+func starWidth(acc float64) string {
+	return fmt.Sprintf("%*d %v", 8, 42, acc) // want "float formatted with %v in fmt.Sprintf"
+}
+
+// explicitPrecision is the sanctioned form — near miss, stays silent.
+func explicitPrecision(acc float64) string {
+	return fmt.Sprintf("accuracy=%.3f stall=%.6g", acc, acc*2)
+}
+
+// precisionV carries an explicit precision through %v — silent: the
+// width is pinned, which is all the check demands.
+func precisionV(acc float64) string {
+	return fmt.Sprintf("%.4v", acc)
+}
+
+// intV formats a non-float with %v — near miss, stays silent.
+func intV(n int, label string) string {
+	return fmt.Sprintf("%v=%v", label, n)
+}
+
+func ignoredV(acc float64) string {
+	//lint:ignore floatfmt debug string, never written to a report or CSV
+	return fmt.Sprintf("%v", acc)
+}

@@ -1,0 +1,84 @@
+// Package maporder is golden-file input for the maporder analyzer:
+// map ranges feeding ordered sinks are flagged; collect-then-sort and
+// pure aggregation are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendWithoutSort(m map[string]int) []string {
+	var rows []string
+	for k, v := range m { // want "map iteration order feeds a slice built outside the loop"
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+func printDirectly(m map[string]int) {
+	for k, v := range m { // want "map iteration order feeds fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func writeDirectly(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want "map iteration order feeds a WriteString sink"
+		sb.WriteString(k)
+	}
+}
+
+// collectThenSort is the sanctioned idiom — near miss, stays silent.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return rows
+}
+
+// sortSliceLater uses sort.Slice with a comparator — also sanctioned.
+func sortSliceLater(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// aggregate only folds values — order-insensitive, stays silent.
+func aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// localScratch appends to a slice born inside the loop body — it dies
+// each iteration, so order cannot leak; stays silent.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		pair := make([]int, 0, 2)
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}
+
+func ignoredRange(m map[string]int) []string {
+	var rows []string
+	//lint:ignore maporder consumer builds a set; order never reaches output
+	for k := range m {
+		rows = append(rows, k)
+	}
+	return rows
+}

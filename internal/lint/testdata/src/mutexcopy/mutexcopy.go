@@ -1,0 +1,71 @@
+// Package mutexcopy is golden-file input for the mutexcopy analyzer:
+// signatures moving sync state by value are flagged; pointer plumbing
+// and lock-free values are not.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter embeds a mutex directly.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Registry nests the lock two levels deep.
+type Registry struct {
+	inner Counter
+	name  string
+}
+
+// Stats carries only a reference to sync state — copying it is fine.
+type Stats struct {
+	c *Counter
+	n int
+}
+
+func passByValue(c Counter) int { // want "parameter of type Counter copies a sync primitive"
+	return c.n
+}
+
+func returnByValue() Counter { // want "result of type Counter copies a sync primitive"
+	return Counter{}
+}
+
+func (c Counter) valueReceiver() int { // want "value receiver of type Counter copies a sync primitive"
+	return c.n
+}
+
+func nestedByValue(r Registry) string { // want "parameter of type Registry copies a sync primitive"
+	return r.name
+}
+
+func atomicByValue(v atomic.Int64) int64 { // want "parameter of type atomic.Int64 copies a sync primitive"
+	return v.Load()
+}
+
+// pointerPlumbing is the sanctioned shape — near miss, stays silent.
+func pointerPlumbing(c *Counter, r *Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.inner.n++
+}
+
+// referenceCopy copies only a pointer to the lock — stays silent.
+func referenceCopy(s Stats) int {
+	return s.n
+}
+
+// lockerParam takes the interface — stays silent: interfaces hold a
+// reference, nothing is copied.
+func lockerParam(l sync.Locker) {
+	l.Lock()
+	l.Unlock()
+}
+
+//lint:ignore mutexcopy snapshot type: the copy is intentional and never locked again
+func snapshotByValue(c Counter) int {
+	return c.n
+}

@@ -1,0 +1,88 @@
+// Package spanleak is golden-file input for the spanleak analyzer. It
+// models the internal/trace API shape: Start* methods returning a value
+// with an End method.
+package spanleak
+
+// Span mimics trace.Span: value type, End records it.
+type Span struct{ id uint64 }
+
+// End records the span.
+func (s Span) End() {}
+
+// EndDetail records the span with an annotation.
+func (s Span) EndDetail(detail string) {}
+
+// ID returns the span's identifier.
+func (s Span) ID() uint64 { return s.id }
+
+// Tracer mimics trace.Tracer.
+type Tracer struct{ next uint64 }
+
+// StartSpan opens a span.
+func (t *Tracer) StartSpan(track, name string) Span {
+	t.next++
+	return Span{id: t.next}
+}
+
+// StartBatch is a multi-result Start* func — near miss, not a span
+// constructor, stays silent.
+func (t *Tracer) StartBatch(n int) ([]Span, error) { return nil, nil }
+
+type holder struct{ span Span }
+
+func discarded(t *Tracer) {
+	t.StartSpan("sim", "step") // want "span started and immediately discarded"
+}
+
+func blanked(t *Tracer) {
+	_ = t.StartSpan("sim", "step") // want "span started into the blank identifier"
+}
+
+func neverEnded(t *Tracer) uint64 {
+	s := t.StartSpan("sim", "step") // want "span s is never ended and never escapes"
+	return s.ID()
+}
+
+func properlyEnded(t *Tracer) {
+	s := t.StartSpan("sim", "step")
+	defer s.End()
+}
+
+func endedWithDetail(t *Tracer) {
+	s := t.StartSpan("sim", "step")
+	s.EndDetail("done")
+}
+
+// escapesToField hands the obligation to the holder — stays silent.
+func escapesToField(t *Tracer, h *holder) {
+	h.span = t.StartSpan("player", "session")
+}
+
+// escapesAsArg passes the span along — callee owns it; stays silent.
+func escapesAsArg(t *Tracer) {
+	s := t.StartSpan("player", "download")
+	finishLater(s)
+}
+
+// escapesAsReturn returns the span — caller owns it; stays silent.
+func escapesAsReturn(t *Tracer) Span {
+	s := t.StartSpan("player", "startup")
+	return s
+}
+
+func finishLater(s Span) { s.End() }
+
+func ignoredLeak(t *Tracer) uint64 {
+	//lint:ignore spanleak parent id is recorded by the child span at End
+	s := t.StartSpan("sim", "root")
+	return s.ID()
+}
+
+// batches uses the multi-result Start* — near miss, stays silent.
+func batches(t *Tracer) int {
+	spans, err := t.StartBatch(3)
+	if err != nil {
+		return 0
+	}
+	return len(spans)
+}

@@ -1,0 +1,43 @@
+// Package virtclock is golden-file input for the virtclock analyzer:
+// wall-clock reads/waits are flagged; virtual-clock arithmetic and
+// clock-free uses of package time are not.
+package virtclock
+
+import "time"
+
+// Sim mimics the discrete-event clock: a plain counter, no wall time.
+type Sim struct{ now time.Duration }
+
+// Now is the virtual clock read — allowed.
+func (s *Sim) Now() time.Duration { return s.now }
+
+func simulateStep(s *Sim) time.Duration {
+	start := s.Now() // near miss: a method named Now on the event clock is fine
+	s.now += 5 * time.Millisecond
+	return s.Now() - start
+}
+
+func leakWallClock(s *Sim) time.Duration {
+	start := time.Now()               // want "time.Now would read the wall clock"
+	time.Sleep(time.Millisecond)      // want "time.Sleep would wait on the wall clock"
+	_ = time.Since(start)             // want "time.Since would read the wall clock"
+	<-time.After(time.Millisecond)    // want "time.After would wait on the wall clock"
+	tk := time.NewTicker(time.Second) // want "time.NewTicker would wait on the wall clock"
+	tk.Stop()
+	return s.Now()
+}
+
+func ignoredWallClock() time.Duration {
+	//lint:ignore virtclock this path measures real host latency by design
+	t0 := time.Now()
+	return time.Since(t0) //lint:ignore virtclock same-line suppression form, also by design
+}
+
+// durationMath only uses time for arithmetic and construction — the
+// near-miss set that must stay silent.
+func durationMath(d time.Duration) time.Duration {
+	deadline := d + 3*time.Second
+	epoch := time.Unix(0, 0)
+	_ = epoch
+	return deadline.Round(time.Millisecond)
+}

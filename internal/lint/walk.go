@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// inspectWithStack walks root like ast.Inspect but hands fn the stack
+// of ancestor nodes (outermost first, not including n itself). fn's
+// return value controls descent exactly as in ast.Inspect.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// funcBodies returns the body of every function declaration and literal
+// in f, innermost bodies excluded from their parents' entries — i.e.
+// each returned body should be scanned with skipNestedFuncs to attribute
+// statements to exactly one function.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// inspectSkippingNestedFuncs walks body but does not descend into
+// nested function literals, so statement-level analyses attribute each
+// node to exactly one function body (funcBodies already lists the
+// nested literals separately).
+func inspectSkippingNestedFuncs(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	first := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if first {
+			first = false
+			return fn(n)
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}

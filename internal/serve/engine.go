@@ -239,6 +239,7 @@ type Engine struct {
 // serving the given snapshot.
 func NewEngine(m *Model, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	//lint:ignore virtclock process start time for /healthz uptime is wall time by design
 	e := &Engine{cfg: cfg, reg: cfg.Registry, start: time.Now()}
 	e.model.Store(m)
 	e.obs = newObs(e.reg)
@@ -274,6 +275,7 @@ func (e *Engine) Submit(req Request, res *Result, done func()) error {
 		return ErrClosed
 	}
 	sh := e.shards[e.shardFor(req.ID)]
+	//lint:ignore virtclock queue-wait timing measures real enqueue latency; serving has no virtual clock
 	j := job{req: req, res: res, done: done, enq: time.Now()}
 	if e.cfg.Policy == Shed {
 		select {

@@ -72,6 +72,7 @@ func (e *Engine) runWorker(sh *shard) {
 		sh.depth.Set(float64(len(sh.ch)))
 		e.obs.batchSize.Observe(float64(len(batch)))
 		m := e.model.Load()
+		//lint:ignore virtclock serving measures real request latency; there is no virtual clock here
 		dequeued := time.Now()
 		for i := range batch {
 			e.process(m, &batch[i], &row, &acc, dequeued)
@@ -92,6 +93,7 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 		e.obs.errs.Inc()
 		return
 	}
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t0 := time.Now()
 	if len(*row) != len(m.plan) {
 		*row = make([]float64, len(m.plan))
@@ -100,6 +102,7 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 		*acc = make([]float64, len(m.tree.Classes()))
 	}
 	m.fillRow(metrics.Vector(j.req.Features), *row)
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t1 := time.Now()
 	normD := t1.Sub(t0)
 
@@ -111,6 +114,7 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 	} else {
 		cls = m.tree.PredictRowInto(*row, *acc)
 	}
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t2 := time.Now()
 	predD := t2.Sub(t1)
 	totalD := t2.Sub(j.enq)

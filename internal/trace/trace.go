@@ -90,7 +90,12 @@ func New(cfg Config) *Tracer {
 	if cfg.Clock != nil {
 		t.clock = cfg.Clock
 	} else {
+		// The default clock is intentionally the wall clock: it serves
+		// real-time tracers (vqserve). Simulations override it with the
+		// virtual clock via Config.Clock (see simnet).
+		//lint:ignore virtclock documented wall-clock epoch for real-time tracers
 		epoch := time.Now()
+		//lint:ignore virtclock documented wall-clock epoch for real-time tracers
 		t.clock = func() time.Duration { return time.Since(epoch) }
 	}
 	return t
