@@ -30,6 +30,7 @@ import (
 	"vqprobe"
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
+	"vqprobe/internal/serve"
 )
 
 // chunkRows bounds memory with -parallel: rows are classified and
@@ -112,6 +113,13 @@ func main() {
 		} else {
 			results = make([]vqprobe.ServeResult, len(reqs))
 			for i := range reqs {
+				// Mirror the engine's schema validation: a literal "NaN"
+				// or "Inf" cell would otherwise be indistinguishable from
+				// a missing value and silently fall through tree branches.
+				if err := serve.ValidateFeatures(reqs[i].Features); err != nil {
+					results[i] = vqprobe.ServeResult{ID: reqs[i].ID, Err: err.Error()}
+					continue
+				}
 				if *explain {
 					results[i] = cm.DiagnoseExplain(metrics.Vector(reqs[i].Features))
 				} else {

@@ -82,6 +82,7 @@ func main() {
 		batch     = flag.Int("batch", 32, "max jobs drained per worker wakeup")
 		policy    = flag.String("policy", "block", "full-queue policy: block (backpressure) or shed")
 		watch     = flag.Duration("watch", 0, "poll the model file and hot-reload on change (0 = off)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGTERM")
 		logFmt    = flag.String("log-format", "text", "log output format: text or json")
 		traceBuf  = flag.Int("trace-buf", 0, "span ring-buffer capacity; > 0 enables tracing and /debug/trace")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -140,7 +141,13 @@ func main() {
 		go watchModel(eng, logger, *modelPath, *watch, stopWatch)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, tracer, eng.Handler())}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: accessLog(logger, tracer, eng.Handler()),
+		// Bound how long a slow (or malicious) client may dribble its
+		// request headers before tying up a connection.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -151,16 +158,38 @@ func main() {
 		logger.Error("server failed", "err", err)
 		os.Exit(1)
 	case s := <-sig:
-		logger.Info("draining", "signal", s.String())
+		logger.Info("draining", "signal", s.String(), "deadline", *drain)
 	}
 	close(stopWatch)
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// A second signal during the drain forces immediate exit.
+	go func() {
+		s := <-sig
+		logger.Warn("forced exit", "signal", s.String())
+		os.Exit(1)
+	}()
+	drainAndClose(logger, srv, eng, *drain)
+}
+
+// drainAndClose shuts the HTTP listener down with a deadline, drains
+// the engine's queues, and verifies the request accounting balances:
+// every request accepted into the pipeline was answered (classified or
+// failed) before exit. An imbalance means requests were dropped on the
+// floor and is reported as an error.
+func drainAndClose(logger *slog.Logger, srv *http.Server, eng *serve.Engine, deadline time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("shutdown", "err", err)
 	}
 	eng.Close()
-	logger.Info("drained cleanly")
+	submitted, requests, errs, shed := eng.Counters()
+	if submitted != requests+errs {
+		logger.Error("drain accounting imbalance: requests dropped",
+			"submitted", submitted, "classified", requests, "errors", errs, "shed", shed)
+		return
+	}
+	logger.Info("drained cleanly",
+		"submitted", submitted, "classified", requests, "errors", errs, "shed", shed)
 }
 
 // statusWriter records the response status for the access log.
@@ -224,7 +253,10 @@ func watchModel(eng *serve.Engine, logger *slog.Logger, path string, every time.
 		}
 		m, err := loadModel(path)
 		if err != nil {
-			logger.Warn("reload skipped", "err", err)
+			// Keep serving the last-good model; /healthz turns degraded
+			// until a subsequent reload succeeds.
+			eng.NoteReloadError(err)
+			logger.Warn("reload failed, serving last-good model", "err", err)
 			continue
 		}
 		last = st.ModTime()

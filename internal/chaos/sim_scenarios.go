@@ -1,0 +1,167 @@
+package chaos
+
+// Fault scenarios for the virtual-clock simulation stack (simnet /
+// tcpsim / video / hardware). Everything here runs on the simulator's
+// deterministic event loop, so the event log of a scenario is a pure
+// function of the seed — the determinism test replays a scenario and
+// compares logs byte for byte.
+
+import (
+	"math"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+	"vqprobe/internal/video"
+)
+
+// simRig is one phone-to-server topology with an adaptive streaming
+// session riding on it.
+type simRig struct {
+	sim    *simnet.Sim
+	link   *simnet.Link
+	dev    *hardware.Device
+	player *video.AdaptivePlayer
+	rep    video.AdaptiveReport
+	got    bool
+}
+
+func (h *Harness) newSimRig(seed int64, linkCfg simnet.LinkConfig, dur time.Duration) *simRig {
+	r := &simRig{sim: simnet.New(seed)}
+	cn := r.sim.NewNode("phone", 1)
+	sn := r.sim.NewNode("server", 2)
+	cnic, snic := cn.AddNIC("wlan0"), sn.AddNIC("eth0")
+	r.link = simnet.ConnectSym(r.sim, "l", cnic, snic, linkCfg)
+	client := tcpsim.NewHost(cn, cnic)
+	server := tcpsim.NewHost(sn, snic)
+	r.dev = hardware.NewDevice(r.sim, hardware.ProfileGalaxyS2)
+
+	session := video.NewAdaptiveSession(dur, video.AdaptiveConfig{})
+	session.ServeAdaptive(server)
+	r.player = video.PlayAdaptive(client, r.dev, 2, session)
+	r.player.OnFinish = func(rep video.AdaptiveReport) { r.rep = rep; r.got = true; r.sim.Halt() }
+	return r
+}
+
+// checkReport asserts the invariants every terminated session must
+// satisfy, regardless of what was injected: a report was delivered,
+// its fields are finite and non-negative, and its MOS lands on
+// [1, MOSMax].
+func (h *Harness) checkReport(r *simRig, scenario string) {
+	h.TB.Helper()
+	if !r.got {
+		h.Fatalf("%s: session never terminated (player state: done=%v)", scenario, r.player.Done())
+	}
+	rep := r.rep
+	if math.IsNaN(rep.PlayedSec) || math.IsInf(rep.PlayedSec, 0) || rep.PlayedSec < 0 {
+		h.Failf("%s: non-finite PlayedSec %v", scenario, rep.PlayedSec)
+	}
+	if rep.StallTime < 0 || rep.SessionTime < 0 || rep.StartupDelay < 0 || rep.Stalls < 0 {
+		h.Failf("%s: negative timing fields: %+v", scenario, rep.Report)
+	}
+	if rep.StallTime > rep.SessionTime {
+		h.Failf("%s: stalled %v of a %v session", scenario, rep.StallTime, rep.SessionTime)
+	}
+	m := qoe.MOS(rep.Report)
+	if math.IsNaN(m) || m < 1 || m > qoe.MOSMax {
+		h.Failf("%s: MOS %v outside [1, %v]", scenario, m, qoe.MOSMax)
+	}
+	h.Logf("%s: completed=%v failed=%v reason=%q stalls=%d stall=%v startup=%v session=%v mos=%.4f",
+		scenario, rep.Completed, rep.Failed, rep.FailReason, rep.Stalls,
+		rep.StallTime, rep.StartupDelay, rep.SessionTime, m)
+}
+
+// SimFlakySession streams a clip over a link that degrades mid-session
+// with a seeded schedule: loss windows, rate collapses, short outages
+// (below the retransmission-abort horizon), and device stress bursts.
+// Contract: the session always terminates (completed or cleanly
+// failed) and scores a finite MOS.
+func (h *Harness) SimFlakySession() {
+	h.TB.Helper()
+	seed := h.Rand.Int63()
+	r := h.newSimRig(seed, simnet.LinkConfig{
+		Rate: 8e6, Delay: 25 * time.Millisecond, QueueBytes: 128 * 1024,
+	}, 30*time.Second)
+
+	// Seeded fault schedule across the first two minutes of the session.
+	rng := h.Rand
+	events := 2 + rng.Intn(4)
+	for i := 0; i < events; i++ {
+		at := time.Duration(2+rng.Intn(40)) * time.Second
+		switch rng.Intn(3) {
+		case 0: // loss window
+			p := 0.05 + rng.Float64()*0.2
+			dur := time.Duration(1+rng.Intn(5)) * time.Second
+			h.Logf("flaky: inject loss p=%.3f at=%v dur=%v", p, at, dur)
+			r.sim.At(at, func() {
+				r.link.SetLoss(simnet.AtoB, p)
+				r.link.SetLoss(simnet.BtoA, p)
+			})
+			r.sim.At(at+dur, func() {
+				r.link.SetLoss(simnet.AtoB, 0)
+				r.link.SetLoss(simnet.BtoA, 0)
+			})
+		case 1: // short outage, below the RTO-abort horizon
+			dur := time.Duration(500+rng.Intn(2000)) * time.Millisecond
+			h.Logf("flaky: inject outage at=%v dur=%v", at, dur)
+			r.sim.At(at, func() { r.link.SetDown(true) })
+			r.sim.At(at+dur, func() { r.link.SetDown(false) })
+		default: // device stress burst
+			cpu := 60 + rng.Float64()*38
+			dur := time.Duration(2+rng.Intn(8)) * time.Second
+			h.Logf("flaky: inject stress cpu=%.1f at=%v dur=%v", cpu, at, dur)
+			r.dev.Stress(cpu, 0, 30, at, dur)
+		}
+	}
+
+	r.sim.Run(10 * time.Minute) // hard watchdog: a hung session fails the report check
+	h.checkReport(r, "flaky")
+}
+
+// SimMidStreamAbort kills the transport at a seeded point mid-stream.
+// Contract: the player notices promptly (no multi-minute zombie
+// sessions draining a dead buffer), reports a failure with the abort
+// reason, and still produces a well-formed, scorable report.
+func (h *Harness) SimMidStreamAbort() {
+	h.TB.Helper()
+	seed := h.Rand.Int63()
+	r := h.newSimRig(seed, simnet.LinkConfig{
+		Rate: 3e6, Delay: 30 * time.Millisecond, QueueBytes: 96 * 1024,
+	}, 30*time.Second)
+
+	abortAt := time.Duration(3+h.Rand.Intn(10)) * time.Second
+	h.Logf("abort: inject at=%v", abortAt)
+	r.sim.At(abortAt, func() { r.player.InjectAbort("chaos transport loss") })
+	r.sim.Run(10 * time.Minute)
+	h.checkReport(r, "abort")
+	if r.got && !r.rep.Failed {
+		h.Failf("abort: session with severed transport reported success")
+	}
+	// Promptness: the player may only linger to drain its buffer.
+	if limit := abortAt + 35*time.Second; r.got && r.rep.SessionTime > limit {
+		h.Failf("abort: zombie session lingered %v after a %v abort", r.rep.SessionTime, abortAt)
+	}
+}
+
+// SimStarvedStartup throttles the link so hard the session can barely
+// start, with a mid-startup outage for good measure. Contract: the
+// player either limps to completion or abandons within its tolerance —
+// it must never hang — and the report stays scorable.
+func (h *Harness) SimStarvedStartup() {
+	h.TB.Helper()
+	seed := h.Rand.Int63()
+	rate := (0.1 + h.Rand.Float64()*0.4) * 1e6
+	r := h.newSimRig(seed, simnet.LinkConfig{
+		Rate: rate, Delay: 60 * time.Millisecond, QueueBytes: 64 * 1024,
+	}, 20*time.Second)
+	h.Logf("starved: rate=%.0f", rate)
+
+	outageAt := time.Duration(1+h.Rand.Intn(4)) * time.Second
+	r.sim.At(outageAt, func() { r.link.SetDown(true) })
+	r.sim.At(outageAt+1500*time.Millisecond, func() { r.link.SetDown(false) })
+
+	r.sim.Run(20 * time.Minute)
+	h.checkReport(r, "starved")
+}

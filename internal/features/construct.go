@@ -5,6 +5,7 @@
 package features
 
 import (
+	"math"
 	"strings"
 
 	"vqprobe/internal/metrics"
@@ -61,7 +62,10 @@ func NewNormalizer(d *ml.Dataset) *Normalizer {
 		}
 		max := 0.0
 		for _, in := range d.Instances {
-			if v, ok := in.Features[f]; ok && v > max {
+			// Skip non-finite samples: one +Inf reading would become the
+			// divisor for the whole feature, collapsing every finite value
+			// to 0 and turning the Inf sample itself into NaN (Inf/Inf).
+			if v, ok := in.Features[f]; ok && !math.IsInf(v, 0) && v > max {
 				max = v
 			}
 		}

@@ -1,0 +1,45 @@
+package features
+
+// Regression test: a single +Inf sample in a max-scaled feature
+// (throughput, NIC utilization) used to become the dataset-level
+// divisor, collapsing every finite value of that feature to 0 and
+// turning the Inf sample itself into NaN (Inf/Inf) after normalization.
+
+import (
+	"math"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func TestNormalizerIgnoresNonFiniteSamples(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: map[string]float64{"mobile.throughput_bps": 2e6}, Class: "good"},
+		{Features: map[string]float64{"mobile.throughput_bps": math.Inf(1)}, Class: "good"},
+		{Features: map[string]float64{"mobile.throughput_bps": 4e6}, Class: "good"},
+	})
+	n := NewNormalizer(d)
+	if got := n.Scales()["mobile.throughput_bps"]; got != 4e6 {
+		t.Fatalf("max scale = %v, want 4e6 (the largest finite sample)", got)
+	}
+	fv := n.ApplyVector(metrics.Vector{"mobile.throughput_bps": 2e6})
+	if got := fv["mobile.throughput_bps"]; got != 0.5 {
+		t.Errorf("normalized value = %v, want 0.5", got)
+	}
+}
+
+func TestNormalizerAllNonFiniteLeavesUnscaled(t *testing.T) {
+	d := ml.NewDataset([]ml.Instance{
+		{Features: map[string]float64{"mobile.nic_rx_util": math.Inf(1)}, Class: "good"},
+	})
+	n := NewNormalizer(d)
+	if _, ok := n.Scales()["mobile.nic_rx_util"]; ok {
+		t.Error("feature with only non-finite samples got a scale divisor")
+	}
+	// ApplyVector must pass finite values through untouched, never NaN.
+	fv := n.ApplyVector(metrics.Vector{"mobile.nic_rx_util": 0.7})
+	if got := fv["mobile.nic_rx_util"]; got != 0.7 || math.IsNaN(got) {
+		t.Errorf("unscaled value = %v, want 0.7", got)
+	}
+}

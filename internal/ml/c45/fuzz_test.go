@@ -1,0 +1,72 @@
+package c45
+
+// Fuzz target for the compiled tree evaluator: any row — NaN, Inf,
+// subnormals, huge magnitudes — must classify without panicking, the
+// answer must be one of the training classes, and the allocation-free
+// PredictRowInto fast path must agree exactly with PredictRow.
+
+import (
+	"math"
+	"testing"
+
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+)
+
+func fuzzTree(f *testing.F) *CompiledTree {
+	f.Helper()
+	var insts []ml.Instance
+	for rtt := 10.0; rtt <= 200; rtt += 10 {
+		for loss := 0.0; loss <= 10; loss++ {
+			cls := "good"
+			if rtt > 100 {
+				if loss > 5 {
+					cls = "severe"
+				} else {
+					cls = "mild"
+				}
+			}
+			insts = append(insts, ml.Instance{
+				Features: metrics.Vector{"rtt": rtt, "loss": loss},
+				Class:    cls,
+			})
+		}
+	}
+	tree := Default().TrainTree(ml.NewDataset(insts))
+	ct, err := Compile(tree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ct
+}
+
+func FuzzPredictRow(f *testing.F) {
+	ct := fuzzTree(f)
+	classes := map[string]bool{}
+	for _, c := range ct.Classes() {
+		classes[c] = true
+	}
+
+	f.Add(50.0, 0.0)
+	f.Add(150.0, 8.0)
+	f.Add(math.NaN(), math.NaN())
+	f.Add(math.Inf(1), math.Inf(-1))
+	f.Add(math.MaxFloat64, -math.MaxFloat64)
+	f.Add(math.SmallestNonzeroFloat64, 0.0)
+
+	acc := make([]float64, len(ct.Classes()))
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		row := make([]float64, len(ct.Schema()))
+		vals := []float64{a, b}
+		for i := range row {
+			row[i] = vals[i%len(vals)]
+		}
+		got := ct.PredictRow(row)
+		if !classes[got] {
+			t.Fatalf("PredictRow(%v, %v) invented class %q", a, b, got)
+		}
+		if into := ct.PredictRowInto(row, acc); into != got {
+			t.Fatalf("PredictRowInto disagrees with PredictRow on (%v, %v): %q vs %q", a, b, into, got)
+		}
+	})
+}

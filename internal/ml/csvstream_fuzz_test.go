@@ -1,0 +1,55 @@
+package ml
+
+// Fuzz target for the streaming CSV ingest decoder: arbitrary bytes
+// must never panic the reader, and every successfully decoded row must
+// be consistent with the header schema.
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func FuzzCSVStream(f *testing.F) {
+	f.Add("a,b,class\n1,2,good\n")
+	f.Add("a,b,class\n,,x\n1,,y\n")
+	f.Add("class\ngood\n")
+	f.Add("a,class\nNaN,good\n+Inf,bad\n")
+	f.Add("a,b,class\n1,2\n")             // short row
+	f.Add("a,b,class\n1,2,3,extra\n")     // long row
+	f.Add("\"a\nb\",class\n\"1\",good\n") // quoted header with newline
+	f.Add("a,b,class\r\n1,2,good\r\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := NewCSVStream(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		nfeat := len(s.Features())
+		for rows := 0; rows < 10000; rows++ {
+			fv, _, err := s.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // per-row errors are the contract; panics are not
+			}
+			if len(fv) > nfeat {
+				t.Fatalf("row decoded %d features for a %d-column schema", len(fv), nfeat)
+			}
+			for k := range fv {
+				found := false
+				for _, h := range s.Features() {
+					if h == k {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("row invented feature %q not in header", k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package qoe
+
+// Regression tests for degenerate sessions: reports carrying zeros or
+// non-finite values (a session that never played a frame, a corrupted
+// upstream measurement) must still score to a finite MOS on [1, MOSMax]
+// and band deterministically.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vqprobe/internal/video"
+)
+
+func finiteInBand(t *testing.T, name string, m float64) {
+	t.Helper()
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Fatalf("%s: MOS is non-finite (%v)", name, m)
+	}
+	if m < 1 || m > MOSMax {
+		t.Errorf("%s: MOS %v outside [1, %v]", name, m, MOSMax)
+	}
+}
+
+func TestMOSDegenerateSessions(t *testing.T) {
+	cases := []struct {
+		name string
+		r    video.Report
+	}{
+		{"zero report", video.Report{}},
+		{"zero duration clip", video.Report{
+			Clip: video.Clip{Duration: 0, FPS: 0}, PlayedSec: 0, SessionTime: 0}},
+		{"zero bytes, stalls but no stall time", video.Report{Stalls: 3}},
+		{"stall time but zero stalls", video.Report{StallTime: 10 * time.Second}},
+		{"NaN played seconds", video.Report{PlayedSec: math.NaN(), SkippedFrames: 100,
+			SessionTime: 30 * time.Second}},
+		{"Inf played seconds", video.Report{PlayedSec: math.Inf(1),
+			SessionTime: 30 * time.Second, SkippedFrames: 10}},
+		{"negative session time", video.Report{SessionTime: -time.Second, Stalls: 1,
+			StallTime: time.Second}},
+		{"huge stall share", video.Report{SessionTime: time.Second,
+			StallTime: time.Hour, Stalls: 1}},
+	}
+	for _, c := range cases {
+		finiteInBand(t, c.name, MOS(c.r))
+	}
+}
+
+func TestSeverityOfNonFinite(t *testing.T) {
+	// A non-finite score (only possible when callers bypass MOS's
+	// clamping) bands as Severe — the conservative reading — and must
+	// not panic or band as Good.
+	if got := SeverityOf(math.NaN()); got != Severe {
+		t.Errorf("SeverityOf(NaN) = %v, want Severe", got)
+	}
+	if got := SeverityOf(math.Inf(-1)); got != Severe {
+		t.Errorf("SeverityOf(-Inf) = %v, want Severe", got)
+	}
+	if got := SeverityOf(math.Inf(1)); got != Good {
+		t.Errorf("SeverityOf(+Inf) = %v, want Good", got)
+	}
+}
+
+func TestRebufferFrequencyZeroSession(t *testing.T) {
+	r := video.Report{Stalls: 5, SessionTime: 0}
+	if f := r.RebufferFrequency(); f != 0 {
+		t.Errorf("zero-duration session: frequency %v, want 0 (not Inf)", f)
+	}
+	if d := (video.Report{Stalls: 0, StallTime: time.Second}).MeanStallDuration(); d != 0 {
+		t.Errorf("zero stalls: mean duration %v, want 0", d)
+	}
+}

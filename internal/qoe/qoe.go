@@ -15,6 +15,7 @@ package qoe
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"vqprobe/internal/video"
@@ -205,13 +206,21 @@ func MOS(r video.Report) float64 {
 			m = 3.0
 		}
 	}
-	if m < 1 {
+	// Clamp to the scale's floor. The explicit NaN/Inf check matters: a
+	// degenerate report (non-finite PlayedSec or stall stats from an
+	// upstream bug) would otherwise leak a non-finite score into the
+	// labels — NaN compares false against every threshold, so it would
+	// silently band as Severe and poison the training set.
+	if math.IsNaN(m) || math.IsInf(m, 0) || m < 1 {
 		m = 1
 	}
 	return m
 }
 
-// SeverityOf bands a MOS using the paper's thresholds.
+// SeverityOf bands a MOS using the paper's thresholds. A NaN score
+// (only possible when a caller bypasses MOS's clamping) bands as Severe
+// — the conservative reading of a corrupted measurement — because NaN
+// compares false against both thresholds.
 func SeverityOf(mos float64) Severity {
 	switch {
 	case mos > 3:

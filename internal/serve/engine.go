@@ -10,6 +10,8 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -164,6 +166,23 @@ type Config struct {
 	// stage latency histograms, and enables the /debug/trace endpoint.
 	// Nil (the default) disables all of it at zero per-request cost.
 	Tracer *trace.Tracer
+	// RequestTimeout, when positive, bounds how long a request may sit
+	// in a shard queue: a job dequeued after its deadline is answered
+	// with a timeout error instead of being classified against a stale
+	// world. Zero disables the check.
+	RequestTimeout time.Duration
+	// RetryMax bounds how many times DiagnoseBatch re-submits one
+	// request shed by a full queue before giving up and surfacing
+	// ErrOverloaded. Zero disables retries (every shed is final).
+	RetryMax int
+	// RetryBackoff is the pause before each re-submission; doubles per
+	// attempt. Zero with RetryMax > 0 selects 1ms.
+	RetryBackoff time.Duration
+	// InjectFault, when set, runs inside the worker just before
+	// classification. A non-nil return fails the request with that
+	// error; a panic exercises the worker's recovery path. This is the
+	// chaos-testing seam (internal/chaos) — leave nil in production.
+	InjectFault func(*Request) error
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +194,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 32
+	}
+	if c.RetryMax > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -230,6 +252,12 @@ type Engine struct {
 	closed  bool
 	workers sync.WaitGroup
 
+	// reloadErr holds the last failed reload's error message; nil when
+	// the engine is healthy. A failed reload never replaces the served
+	// model — the engine degrades gracefully, answering from the
+	// last-good snapshot while /healthz surfaces the condition.
+	reloadErr atomic.Pointer[string]
+
 	reg   *metrics.Registry
 	obs   *obs
 	start time.Time
@@ -260,10 +288,34 @@ func (e *Engine) Registry() *metrics.Registry { return e.reg }
 
 // Reload atomically swaps in a new model snapshot. In-flight requests
 // finish against whichever snapshot their batch loaded; nothing is
-// dropped.
+// dropped. A successful reload clears any degraded state left by a
+// previously failed one.
 func (e *Engine) Reload(m *Model) {
 	e.model.Store(m)
+	e.reloadErr.Store(nil)
 	e.obs.reloads.Inc()
+}
+
+// NoteReloadError records a failed reload attempt. The served model is
+// untouched — the engine keeps answering from the last-good snapshot —
+// but /healthz reports status "degraded" with the error until a reload
+// succeeds.
+func (e *Engine) NoteReloadError(err error) {
+	if err == nil {
+		return
+	}
+	msg := err.Error()
+	e.reloadErr.Store(&msg)
+	e.obs.reloadFails.Inc()
+}
+
+// LastReloadError returns the message of the most recent failed reload,
+// or "" when the engine is healthy.
+func (e *Engine) LastReloadError() string {
+	if p := e.reloadErr.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Submit enqueues one request. res is written and done invoked exactly
@@ -287,7 +339,48 @@ func (e *Engine) Submit(req Request, res *Result, done func()) error {
 	} else {
 		sh.ch <- j
 	}
+	e.obs.submitted.Inc()
 	sh.depth.Set(float64(len(sh.ch)))
+	return nil
+}
+
+// submitRetry is Submit plus bounded retry with exponential backoff on
+// shed (ErrOverloaded) responses — transient overload smooths out,
+// sustained overload still surfaces after RetryMax attempts.
+func (e *Engine) submitRetry(req Request, res *Result, done func()) error {
+	err := e.Submit(req, res, done)
+	if e.cfg.RetryMax <= 0 {
+		return err
+	}
+	backoff := e.cfg.RetryBackoff
+	for attempt := 0; attempt < e.cfg.RetryMax && errors.Is(err, ErrOverloaded); attempt++ {
+		e.obs.retries.Inc()
+		//lint:ignore virtclock retry backoff paces real queue pressure; serving has no virtual clock
+		time.Sleep(backoff)
+		backoff *= 2
+		err = e.Submit(req, res, done)
+	}
+	return err
+}
+
+// ValidateFeatures rejects feature vectors carrying NaN or ±Inf
+// values. NaN is the pipeline's internal missing-value sentinel: letting
+// it in from a client would silently classify the record down the
+// missing-value path of every split instead of failing loudly. The
+// offending feature named is the lexicographically smallest one, so the
+// error is deterministic regardless of map iteration order.
+func ValidateFeatures(fv map[string]float64) error {
+	bad := ""
+	for k, v := range fv {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			if bad == "" || k < bad {
+				bad = k
+			}
+		}
+	}
+	if bad != "" {
+		return fmt.Errorf("feature %q: non-finite value (NaN/Inf not allowed)", bad)
+	}
 	return nil
 }
 
@@ -301,13 +394,22 @@ func (e *Engine) DiagnoseBatch(reqs []Request) []Result {
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
-		if err := e.Submit(reqs[i], &res[i], wg.Done); err != nil {
+		if err := e.submitRetry(reqs[i], &res[i], wg.Done); err != nil {
 			res[i] = Result{ID: reqs[i].ID, Err: err.Error()}
 			wg.Done()
 		}
 	}
 	wg.Wait()
 	return res
+}
+
+// Counters returns the engine's request accounting. After Close has
+// drained the pipeline the invariant submitted == requests + errors
+// must hold: every request accepted into a queue is answered exactly
+// once, classified or failed. Shed requests never enter the pipeline
+// and appear only in shed.
+func (e *Engine) Counters() (submitted, requests, errors, shed uint64) {
+	return e.obs.submitted.Value(), e.obs.requests.Value(), e.obs.errs.Value(), e.obs.shed.Value()
 }
 
 // Close stops intake, drains every queued request, and waits for the

@@ -54,7 +54,7 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		json.NewEncoder(w).Encode(map[string]any{"status": "no model"})
 		return
 	}
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"task":     m.Task(),
 		"features": len(m.Schema()),
@@ -62,7 +62,14 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"shards":   len(e.shards),
 		//lint:ignore virtclock daemon uptime for /healthz is wall time by design
 		"uptime_seconds": int64(time.Since(e.start).Seconds()),
-	})
+	}
+	// A failed reload leaves the engine answering from the last-good
+	// snapshot: alive (200) but degraded, and /healthz says why.
+	if msg := e.LastReloadError(); msg != "" {
+		body["status"] = "degraded"
+		body["last_reload_error"] = msg
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -79,15 +86,17 @@ func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		results []Result
 		reqs    []Request
 		slots   []int // result index per submitted request
+		lineno  int   // true input line number, blank lines included
 	)
 	for sc.Scan() {
+		lineno++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			results = append(results, Result{Err: fmt.Sprintf("line %d: %v", len(results)+1, err)})
+			results = append(results, Result{Err: fmt.Sprintf("line %d: %v", lineno, err)})
 			continue
 		}
 		slots = append(slots, len(results))
@@ -108,7 +117,11 @@ func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for i := range results {
-		enc.Encode(&results[i])
+		// A write error means the client went away; stop encoding the
+		// rest of the batch instead of churning through a dead socket.
+		if err := enc.Encode(&results[i]); err != nil {
+			return
+		}
 	}
 }
 
@@ -123,6 +136,8 @@ func (e *Engine) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := e.cfg.ReloadFunc()
 	if err != nil {
+		// Keep serving the last-good snapshot; /healthz turns degraded.
+		e.NoteReloadError(err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

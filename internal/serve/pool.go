@@ -83,15 +83,58 @@ func (e *Engine) runWorker(sh *shard) {
 // process classifies one job against the snapshot m, reusing the
 // worker-local row and accumulator scratch. dequeued is when the
 // worker pulled the job's batch off the shard queue.
+//
+// A panic anywhere in classification (or in the caller's done callback)
+// is recovered here and surfaced as a per-request error: one poisoned
+// request must never kill a shard worker, which would strand every
+// later job hashed to that shard and hang Close.
 func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Time) {
+	counted := false // whether requests/errs already accounts for this job
+	defer func() {
+		if r := recover(); r != nil {
+			// Panic escaped from j.done() after the job itself completed:
+			// swallow it so the worker lives; the job's accounting stands.
+			e.obs.panics.Inc()
+		}
+	}()
 	defer j.done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.res.ID = j.req.ID
+			j.res.Err = fmt.Sprintf("internal error: recovered panic: %v", r)
+			e.obs.panics.Inc()
+			if !counted {
+				e.obs.errs.Inc()
+			}
+		}
+	}()
 	queueD := dequeued.Sub(j.enq)
-	if m == nil {
+	fail := func(msg string) {
 		e.obs.queueHist.Observe(queueD.Seconds())
 		j.res.ID = j.req.ID
-		j.res.Err = "no model loaded"
+		j.res.Err = msg
 		e.obs.errs.Inc()
+		counted = true
+	}
+	if m == nil {
+		fail("no model loaded")
 		return
+	}
+	if d := e.cfg.RequestTimeout; d > 0 && queueD > d {
+		e.obs.timeouts.Inc()
+		fail(fmt.Sprintf("request timed out after %v in queue (limit %v)", queueD, d))
+		return
+	}
+	if err := ValidateFeatures(j.req.Features); err != nil {
+		e.obs.invalid.Inc()
+		fail(err.Error())
+		return
+	}
+	if f := e.cfg.InjectFault; f != nil {
+		if err := f(&j.req); err != nil {
+			fail(err.Error())
+			return
+		}
 	}
 	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t0 := time.Now()
@@ -146,12 +189,19 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 		e.obs.totalHist.Observe(totalD.Seconds())
 	}
 	e.obs.requests.Inc()
+	counted = true
 }
 
 // obs bundles the engine's metric handles; names are documented in
 // docs/SERVING.md.
+//
+// Accounting invariant (checked by internal/chaos and vqserve's drain):
+// once the engine is drained, submitted == requests + errs. Shed
+// requests never enter the pipeline and are counted only in shed.
 type obs struct {
 	requests, shed, errs, reloads *metrics.Counter
+	submitted, panics, timeouts   *metrics.Counter
+	invalid, retries, reloadFails *metrics.Counter
 	inflight                      *metrics.Gauge
 	queueHist, normHist, predHist *metrics.Histogram
 	totalHist, batchSize          *metrics.Histogram
@@ -163,15 +213,21 @@ func newObs(reg *metrics.Registry) *obs {
 			"per-stage request latency", metrics.LatencyBuckets)
 	}
 	return &obs{
-		requests:  reg.Counter("vqserve_requests_total", "requests classified"),
-		shed:      reg.Counter("vqserve_shed_total", "requests rejected by the shed policy"),
-		errs:      reg.Counter("vqserve_errors_total", "requests that failed to classify"),
-		reloads:   reg.Counter("vqserve_model_reloads_total", "model hot reloads"),
-		inflight:  reg.Gauge("vqserve_inflight", "requests currently in the pipeline"),
-		queueHist: stage("queue"),
-		normHist:  stage("normalize"),
-		predHist:  stage("predict"),
-		totalHist: stage("total"),
+		requests:    reg.Counter("vqserve_requests_total", "requests classified"),
+		shed:        reg.Counter("vqserve_shed_total", "requests rejected by the shed policy"),
+		errs:        reg.Counter("vqserve_errors_total", "requests that failed to classify"),
+		reloads:     reg.Counter("vqserve_model_reloads_total", "model hot reloads"),
+		submitted:   reg.Counter("vqserve_submitted_total", "requests accepted into a shard queue"),
+		panics:      reg.Counter("vqserve_panics_recovered_total", "worker panics recovered"),
+		timeouts:    reg.Counter("vqserve_timeouts_total", "requests expired in queue past RequestTimeout"),
+		invalid:     reg.Counter("vqserve_invalid_total", "requests rejected for non-finite feature values"),
+		retries:     reg.Counter("vqserve_retries_total", "shed requests re-submitted with backoff"),
+		reloadFails: reg.Counter("vqserve_reload_failures_total", "model reload attempts that failed (engine degraded)"),
+		inflight:    reg.Gauge("vqserve_inflight", "requests currently in the pipeline"),
+		queueHist:   stage("queue"),
+		normHist:    stage("normalize"),
+		predHist:    stage("predict"),
+		totalHist:   stage("total"),
 		batchSize: reg.Histogram("vqserve_batch_size", "jobs drained per worker wakeup",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 	}

@@ -336,11 +336,21 @@ func (c *Conn) handleSegment(pkt *simnet.Packet) {
 		return
 	}
 
+	// Application callbacks (OnData, OnSendDone, OnPeerClose) may call
+	// Abort or Close reentrantly; re-check liveness after every step that
+	// can run one, or an aborted connection keeps emitting ACKs and can
+	// fire OnPeerClose after OnAbort.
 	if hdr.Flags.Has(simnet.FlagACK) {
 		c.processAck(hdr.Ack, hdr.Window, pkt.Payload == 0 && !hdr.Flags.Has(simnet.FlagFIN))
+		if c.dead() {
+			return
+		}
 	}
 	if pkt.Payload > 0 {
 		c.processData(hdr.Seq, int64(pkt.Payload))
+		if c.dead() {
+			return
+		}
 	}
 	if hdr.Flags.Has(simnet.FlagFIN) {
 		c.finSeq = hdr.Seq + int64(pkt.Payload)
@@ -464,6 +474,9 @@ func (c *Conn) processData(seq, n int64) {
 		c.rcvNxt = end
 		delivered += c.drainOOO()
 		c.deliver(delivered)
+		if c.dead() {
+			return // the app aborted the connection from OnData
+		}
 		c.ackInOrder()
 		c.checkPeerFin()
 	default:
@@ -525,7 +538,7 @@ func (c *Conn) deliver(n int64) {
 }
 
 func (c *Conn) checkPeerFin() {
-	if c.peerDone || c.finSeq < 0 || c.rcvNxt < c.finSeq {
+	if c.dead() || c.peerDone || c.finSeq < 0 || c.rcvNxt < c.finSeq {
 		return
 	}
 	c.rcvNxt = c.finSeq + 1 // FIN consumes one sequence number
@@ -562,6 +575,10 @@ func (c *Conn) maybeDone() {
 }
 
 // ---- sending ----
+
+// dead reports whether the connection has been torn down (aborted or
+// fully closed) and must neither emit segments nor fire callbacks.
+func (c *Conn) dead() bool { return c.state == StateAborted || c.state == StateDone }
 
 func (c *Conn) dataEnd() int64 { return 1 + c.appBytes }
 
@@ -702,6 +719,9 @@ func (c *Conn) ackInOrder() {
 }
 
 func (c *Conn) sendPure(flags simnet.TCPFlags) {
+	if c.dead() {
+		return // never emit from a torn-down connection
+	}
 	hdr := &simnet.TCPHeader{Seq: c.sndNxt, Ack: c.rcvNxt, Flags: flags, Window: c.advertiseWnd()}
 	c.emit(0, hdr)
 }

@@ -1,0 +1,90 @@
+package tcpsim
+
+// Regression tests for callback reentrancy: an application that calls
+// Abort from inside OnData (or any other connection callback) tears the
+// connection down while handleSegment is still on the stack. The
+// aborted connection must not keep emitting ACKs, and OnPeerClose must
+// never fire after OnAbort.
+
+import (
+	"testing"
+	"time"
+
+	"vqprobe/internal/simnet"
+)
+
+// TestAbortFromOnDataStopsEmission pins that a connection aborted from
+// its own OnData callback emits no further segments: before the fix,
+// the in-order data path continued into ackInOrder/checkPeerFin after
+// the callback returned, ACKing from a dead connection.
+func TestAbortFromOnDataStopsEmission(t *testing.T) {
+	n := newTestNet(t, 21, simnet.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond})
+	n.server.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() {
+			c.Write(200_000)
+			c.Close()
+		}
+		c.OnData = func(int) {}
+	})
+	cc := n.client.Dial(2, 80)
+	cc.SetAutoRead(true)
+	var aborted bool
+	var segsAtAbort int64
+	peerCloseAfterAbort := false
+	cc.OnEstablished = func() { cc.Write(300) }
+	cc.OnData = func(int) {
+		if !aborted {
+			aborted = true
+			cc.Abort("app rejected stream")
+			segsAtAbort = cc.Stats().SegsSent
+		}
+	}
+	cc.OnPeerClose = func() {
+		if aborted {
+			peerCloseAfterAbort = true
+		}
+	}
+	n.sim.Run(time.Minute)
+
+	if !aborted {
+		t.Fatal("OnData never fired; transfer did not start")
+	}
+	if got := cc.Stats().SegsSent; got != segsAtAbort {
+		t.Errorf("aborted connection kept sending: %d segments at abort, %d at end", segsAtAbort, got)
+	}
+	if peerCloseAfterAbort {
+		t.Error("OnPeerClose fired after OnAbort")
+	}
+	if cc.State() != StateAborted {
+		t.Errorf("state %v, want aborted", cc.State())
+	}
+}
+
+// TestAbortFromOnDataWithFin covers the tighter race: the final data
+// segment carries the peer's FIN, so checkPeerFin runs in the same
+// handleSegment invocation as the aborting OnData callback. Before the
+// fix OnPeerClose fired on the already-aborted connection.
+func TestAbortFromOnDataWithFin(t *testing.T) {
+	n := newTestNet(t, 22, simnet.LinkConfig{Rate: 10e6, Delay: 5 * time.Millisecond})
+	n.server.Listen(80, func(c *Conn) {
+		c.OnEstablished = func() {
+			c.Write(400) // single segment, FIN rides right behind
+			c.Close()
+		}
+		c.OnData = func(int) {}
+	})
+	cc := n.client.Dial(2, 80)
+	cc.SetAutoRead(true)
+	peerClosed := false
+	cc.OnEstablished = func() { cc.Write(300) }
+	cc.OnData = func(int) { cc.Abort("reject on first byte") }
+	cc.OnPeerClose = func() { peerClosed = true }
+	n.sim.Run(time.Minute)
+
+	if cc.State() != StateAborted {
+		t.Fatalf("state %v, want aborted", cc.State())
+	}
+	if peerClosed {
+		t.Error("OnPeerClose fired on a connection aborted from OnData")
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+// Regression tests for clock-skew hardening: a Config.Clock that steps
+// backwards between a span's start and end (NTP step, broken virtual
+// clock) must not record negative durations or pre-epoch starts, which
+// render as garbage in Perfetto and corrupt duration accounting.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEndDetailClampsBackwardsClock(t *testing.T) {
+	now := 10 * time.Second
+	tr := New(Config{Capacity: 8, Clock: func() time.Duration { return now }})
+	s := tr.StartSpan("test", "skew", 0)
+	now = 7 * time.Second // clock steps backwards mid-span
+	s.End()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if evs[0].Dur != 0 {
+		t.Errorf("backwards clock recorded Dur=%v, want clamped to 0", evs[0].Dur)
+	}
+	if evs[0].Start != 10*time.Second {
+		t.Errorf("Start=%v, want the span's original start", evs[0].Start)
+	}
+}
+
+func TestRecordSpanClampsNegativeInputs(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	tr.RecordSpan("test", "neg", "", 0, -5*time.Second, -time.Second)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if evs[0].Start != 0 || evs[0].Dur != 0 {
+		t.Errorf("negative stopwatch recorded Start=%v Dur=%v, want both clamped to 0",
+			evs[0].Start, evs[0].Dur)
+	}
+}

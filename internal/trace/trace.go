@@ -148,6 +148,16 @@ func (t *Tracer) RecordSpan(track, name, detail string, parent SpanID, start, du
 	if t == nil {
 		return 0
 	}
+	// Clamp rather than trust the caller's stopwatch: a skewed clock
+	// must not produce spans that start before the epoch or run
+	// backwards — both render as garbage in Perfetto and break
+	// duration accounting downstream.
+	if start < 0 {
+		start = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
 	id := t.NextID()
 	t.record(Event{ID: id, Parent: parent, Start: start, Dur: dur, Track: track, Name: name, Detail: detail, Kind: KindSpan})
 	return id
@@ -189,7 +199,11 @@ func (s Span) EndDetail(detail string) {
 	if s.tr == nil {
 		return
 	}
-	s.tr.record(Event{ID: s.id, Parent: s.parent, Start: s.start, Dur: s.tr.clock() - s.start,
+	dur := s.tr.clock() - s.start
+	if dur < 0 {
+		dur = 0 // clock skewed backwards between start and end
+	}
+	s.tr.record(Event{ID: s.id, Parent: s.parent, Start: s.start, Dur: dur,
 		Track: s.track, Name: s.name, Detail: detail, Kind: KindSpan})
 }
 

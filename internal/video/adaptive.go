@@ -211,8 +211,14 @@ func (p *AdaptivePlayer) chooseRung() int {
 	return r
 }
 
+// downloadOver reports that no more media will arrive: every segment
+// was fetched, or the transport closed or was lost mid-stream.
+func (p *AdaptivePlayer) downloadOver() bool {
+	return p.downloadOK || p.completed >= p.session.segments
+}
+
 func (p *AdaptivePlayer) requestNext() {
-	if p.requested >= p.session.segments {
+	if p.requested >= p.session.segments || p.downloadOK {
 		return
 	}
 	r := p.chooseRung()
@@ -291,8 +297,16 @@ func (p *AdaptivePlayer) tick(now time.Duration) {
 			p.fail("startup timeout: user abandoned")
 			return
 		}
+		// downloadOver (not just all-segments-fetched) matters in every
+		// branch below: a connection lost mid-stream must play out what
+		// is buffered and then end, instead of waiting for segments that
+		// will never arrive until the abandonment timer fires.
+		if p.state == StateBuffering && p.downloadOver() && p.bufferedSec <= 0 {
+			p.finish() // nothing buffered and nothing coming
+			return
+		}
 		if p.bufferedSec >= cfg.Player.StartupBufferSec ||
-			(p.completed == p.session.segments && p.bufferedSec > 0) {
+			(p.downloadOver() && p.bufferedSec > 0) {
 			p.startupDelay = now - p.start
 			p.state = StatePlaying
 		}
@@ -304,7 +318,7 @@ func (p *AdaptivePlayer) tick(now time.Duration) {
 			return
 		}
 		if p.bufferedSec < tickSec {
-			if p.completed >= p.session.segments {
+			if p.downloadOver() {
 				p.playedSec += p.bufferedSec
 				p.finish()
 				return
@@ -334,8 +348,16 @@ func (p *AdaptivePlayer) tick(now time.Duration) {
 			return
 		}
 		if p.bufferedSec >= cfg.Player.ResumeBufferSec ||
-			(p.completed >= p.session.segments && p.bufferedSec > 0) {
+			(p.downloadOver() && p.bufferedSec > 0) {
 			p.exitStall(now)
+			return
+		}
+		if p.downloadOver() && p.bufferedSec <= 0 {
+			// Stream is over (or the transport is gone) and nothing is
+			// left to play: end the session now rather than stalling
+			// until the abandonment timer.
+			p.exitStall(now)
+			p.finish()
 		}
 	}
 }
@@ -350,7 +372,11 @@ func (p *AdaptivePlayer) exitStall(now time.Duration) {
 }
 
 func (p *AdaptivePlayer) fail(reason string) {
-	p.failReason = reason
+	// Keep the first recorded reason (e.g. a mid-stream connection loss)
+	// over downstream symptoms like the abandonment timeout.
+	if p.failReason == "" {
+		p.failReason = reason
+	}
 	p.state = StateFailed
 	p.teardown()
 }
@@ -391,6 +417,16 @@ func (p *AdaptivePlayer) ForceFinish() {
 
 // Flow returns the session's TCP flow key for probe lookup.
 func (p *AdaptivePlayer) Flow() simnet.FlowKey { return p.conn.Flow() }
+
+// InjectAbort severs the session's transport mid-stream, driving the
+// same code path as a network-initiated reset. Fault-injection seam for
+// internal/chaos; production sessions never call it.
+func (p *AdaptivePlayer) InjectAbort(reason string) {
+	if p.Done() {
+		return
+	}
+	p.conn.Abort("injected: " + reason)
+}
 
 // Report assembles the adaptive QoE ground truth.
 func (p *AdaptivePlayer) Report() AdaptiveReport {

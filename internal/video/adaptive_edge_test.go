@@ -1,0 +1,225 @@
+package video
+
+// Stall and teardown edge cases for the adaptive player, pinned by the
+// chaos sweep (see docs/ROBUSTNESS.md): exact boundary behavior of the
+// minStall accounting and the abandonment tolerance, stalls entered
+// while the session is still starting up, and mid-stream loss of the
+// transport while stalled or buffering.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vqprobe/internal/hardware"
+	"vqprobe/internal/simnet"
+	"vqprobe/internal/tcpsim"
+)
+
+// adaptiveChaosRig is adaptiveRig with access to the player and the
+// link, so tests can inject faults mid-session.
+type adaptiveChaosRig struct {
+	sim     *simnet.Sim
+	link    *simnet.Link
+	dev     *hardware.Device
+	session *AdaptiveSession
+	player  *AdaptivePlayer
+	rep     AdaptiveReport
+	got     bool
+}
+
+func newAdaptiveChaosRig(t *testing.T, seed int64, linkCfg simnet.LinkConfig, dur time.Duration) *adaptiveChaosRig {
+	t.Helper()
+	r := &adaptiveChaosRig{sim: simnet.New(seed)}
+	cn := r.sim.NewNode("phone", 1)
+	sn := r.sim.NewNode("server", 2)
+	cnic, snic := cn.AddNIC("wlan0"), sn.AddNIC("eth0")
+	r.link = simnet.ConnectSym(r.sim, "l", cnic, snic, linkCfg)
+	client := tcpsim.NewHost(cn, cnic)
+	server := tcpsim.NewHost(sn, snic)
+	r.dev = hardware.NewDevice(r.sim, hardware.ProfileGalaxyS2)
+
+	r.session = NewAdaptiveSession(dur, AdaptiveConfig{})
+	r.session.ServeAdaptive(server)
+	r.player = PlayAdaptive(client, r.dev, 2, r.session)
+	r.player.OnFinish = func(rep AdaptiveReport) { r.rep = rep; r.got = true; r.sim.Halt() }
+	return r
+}
+
+// Sub-minStall interruptions are render jitter, not rebuffering events:
+// they must not count, must not accumulate across repeats, and the
+// boundary is inclusive (exactly minStall counts).
+func TestAdaptiveSubMinStallNotDoubleCounted(t *testing.T) {
+	p := &AdaptivePlayer{}
+
+	// Two back-to-back interruptions just under the threshold.
+	for i := 0; i < 2; i++ {
+		p.state = StateStalled
+		p.stallStart = time.Duration(i+1) * time.Second
+		p.exitStall(p.stallStart + minStall - time.Millisecond)
+		if p.state != StatePlaying {
+			t.Fatalf("stall %d: state %v after exitStall, want playing", i, p.state)
+		}
+	}
+	if p.stalls != 0 || p.stallTime != 0 {
+		t.Errorf("two sub-minStall interruptions counted: stalls=%d stallTime=%v (want 0, 0)",
+			p.stalls, p.stallTime)
+	}
+
+	// Exactly minStall is a real stall.
+	p.state = StateStalled
+	p.stallStart = 10 * time.Second
+	p.exitStall(p.stallStart + minStall)
+	if p.stalls != 1 || p.stallTime != minStall {
+		t.Errorf("stall of exactly minStall: stalls=%d stallTime=%v (want 1, %v)",
+			p.stalls, p.stallTime, minStall)
+	}
+}
+
+// The progressive player shares the accounting; pin it too.
+func TestPlayerSubMinStallNotDoubleCounted(t *testing.T) {
+	p := &Player{sim: simnet.New(0)}
+	for i := 0; i < 2; i++ {
+		p.state = StateStalled
+		p.stallStart = time.Duration(i+1) * time.Second
+		p.exitStall(p.stallStart + minStall - time.Millisecond)
+	}
+	if p.stalls != 0 || p.stallTime != 0 {
+		t.Errorf("sub-minStall interruptions counted: stalls=%d stallTime=%v", p.stalls, p.stallTime)
+	}
+	p.state = StateStalled
+	p.stallStart = 10 * time.Second
+	p.exitStall(p.stallStart + minStall)
+	if p.stalls != 1 || p.stallTime != minStall {
+		t.Errorf("exact-boundary stall: stalls=%d stallTime=%v", p.stalls, p.stallTime)
+	}
+}
+
+// A stall lasting exactly the abandonment tolerance must not abandon:
+// the tolerance check is strictly greater-than, so the session fails
+// only on the first tick past the boundary.
+func TestAdaptiveStallAtAbandonmentBoundary(t *testing.T) {
+	r := newAdaptiveChaosRig(t, 11,
+		simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, QueueBytes: 128 * 1024},
+		40*time.Second)
+	p := r.player
+	cfg := r.session.cfg.Player
+	tolerance := cfg.AbandonAfter + r.session.duration
+
+	// Ticks land on multiples of cfg.Tick. Rewrite the session mid-run,
+	// between two ticks, so that at the next tick (mutateAt+tick/2) the
+	// stall sits exactly at the tolerance boundary, and one tick later
+	// it is past it.
+	const mutateBase = 5 * time.Second
+	mutateAt := mutateBase + cfg.Tick/2
+	boundaryTick := mutateBase + cfg.Tick
+	r.sim.At(mutateAt, func() {
+		r.link.SetDown(true) // nothing more arrives; drain stays empty
+		p.state = StateStalled
+		p.stallDecoder = false
+		p.stallStart = mutateAt
+		p.bufferedSec = 0
+		p.segBytes = 0
+		p.requested = r.session.segments // no further requests
+		p.start = boundaryTick - tolerance
+	})
+	r.sim.At(boundaryTick+cfg.Tick/4, func() {
+		if p.state != StateStalled {
+			t.Errorf("at the tolerance boundary: state %v, want still stalled", p.state)
+		}
+	})
+	r.sim.At(boundaryTick+cfg.Tick+cfg.Tick/4, func() {
+		if p.state != StateFailed {
+			t.Errorf("one tick past the tolerance: state %v, want failed", p.state)
+		}
+		r.sim.Halt()
+	})
+	r.sim.Run(mutateBase + time.Minute)
+
+	if !strings.Contains(p.failReason, "stalled beyond tolerance") {
+		t.Errorf("fail reason %q, want abandonment", p.failReason)
+	}
+}
+
+// A device overloaded from the first frame stalls the session the
+// moment playback starts (stall entered during startup); once the load
+// clears, playback resumes and completes with sane accounting.
+func TestAdaptiveStallEnteredDuringStartup(t *testing.T) {
+	r := newAdaptiveChaosRig(t, 12,
+		simnet.LinkConfig{Rate: 20e6, Delay: 20 * time.Millisecond, QueueBytes: 128 * 1024},
+		40*time.Second)
+	r.dev.Stress(98, 0, 50, 0, 15*time.Second)
+	r.sim.Run(10 * time.Minute)
+	if !r.got {
+		t.Fatalf("session never finished; state %v", r.player.state)
+	}
+	rep := r.rep
+	if rep.Failed {
+		t.Fatalf("session failed: %s", rep.FailReason)
+	}
+	if rep.Stalls < 1 || rep.StallTime <= 0 {
+		t.Errorf("overloaded decoder during startup: stalls=%d stallTime=%v, want >= 1 stall",
+			rep.Stalls, rep.StallTime)
+	}
+	if rep.StartupDelay < 0 || rep.StartupDelay > r.session.cfg.Player.AbandonAfter {
+		t.Errorf("implausible startup delay %v", rep.StartupDelay)
+	}
+	if rep.StallTime > rep.SessionTime {
+		t.Errorf("stallTime %v exceeds sessionTime %v", rep.StallTime, rep.SessionTime)
+	}
+}
+
+// Regression: a connection lost mid-stream while the buffer is low used
+// to hang the adaptive session in Stalled/Buffering until the
+// abandonment timer (AbandonAfter + duration), because only
+// completed == segments — never the dead transport — ended the wait.
+// The session must instead play out what it has and terminate promptly,
+// preserving the root-cause failure reason.
+func TestAdaptiveMidStreamAbortTerminatesPromptly(t *testing.T) {
+	r := newAdaptiveChaosRig(t, 13,
+		simnet.LinkConfig{Rate: 3e6, Delay: 30 * time.Millisecond, QueueBytes: 96 * 1024},
+		40*time.Second)
+	const abortAt = 6 * time.Second
+	r.sim.At(abortAt, func() { r.player.InjectAbort("mid-stream chaos") })
+	r.sim.Run(10 * time.Minute)
+	if !r.got {
+		t.Fatalf("session never finished; state %v buffered=%.1fs downloadOK=%v",
+			r.player.state, r.player.bufferedSec, r.player.downloadOK)
+	}
+	rep := r.rep
+	if !rep.Failed {
+		t.Fatalf("aborted mid-stream but not marked failed: %+v", rep)
+	}
+	if !strings.Contains(rep.FailReason, "connection lost mid-stream") {
+		t.Errorf("fail reason %q, want the mid-stream root cause preserved", rep.FailReason)
+	}
+	// Before the fix the session idled until AbandonAfter + duration
+	// (100s). With at most MaxBufferSec of media buffered at the abort,
+	// it must end well before that.
+	maxEnd := abortAt + time.Duration(r.session.cfg.MaxBufferSec)*time.Second + 10*time.Second
+	if rep.SessionTime > maxEnd {
+		t.Errorf("session dragged on for %v after a dead transport (limit %v)", rep.SessionTime, maxEnd)
+	}
+}
+
+// Same fault while the session is still buffering (nothing played yet):
+// the old code could only fail via the startup-abandonment timer.
+func TestAdaptiveAbortDuringStartupFailsFast(t *testing.T) {
+	// A starved link keeps the session buffering long enough to inject.
+	r := newAdaptiveChaosRig(t, 14,
+		simnet.LinkConfig{Rate: 0.2e6, Delay: 50 * time.Millisecond, QueueBytes: 64 * 1024},
+		40*time.Second)
+	const abortAt = 2 * time.Second
+	r.sim.At(abortAt, func() { r.player.InjectAbort("startup chaos") })
+	r.sim.Run(10 * time.Minute)
+	if !r.got {
+		t.Fatalf("session never finished; state %v", r.player.state)
+	}
+	if !r.rep.Failed {
+		t.Fatalf("aborted during startup but not failed: %+v", r.rep)
+	}
+	if r.rep.SessionTime > 30*time.Second {
+		t.Errorf("startup abort took %v to surface (want well under the %v abandonment timer)",
+			r.rep.SessionTime, r.session.cfg.Player.AbandonAfter)
+	}
+}

@@ -245,6 +245,11 @@ func (p *Player) Done() bool { return p.state == StateFinished || p.state == Sta
 
 // BufferSec returns the current playout buffer level in media seconds.
 func (p *Player) BufferSec() float64 {
+	// A degenerate clip (zero/negative bitrate) must not poison the
+	// whole QoE pipeline with NaN/Inf buffer levels.
+	if p.clip.Bitrate <= 0 {
+		return 0
+	}
 	return float64(p.downloaded)*8/p.clip.Bitrate - p.playedSec
 }
 
@@ -378,9 +383,14 @@ func (p *Player) endDownloadSpan(detail string) {
 }
 
 func (p *Player) fail(reason string) {
-	p.failReason = reason
+	// Keep the first recorded reason: a session that lost its connection
+	// mid-stream and later abandons should report the root cause, not
+	// the downstream symptom.
+	if p.failReason == "" {
+		p.failReason = reason
+	}
 	p.state = StateFailed
-	p.logEvent("failed", reason)
+	p.logEvent("failed", p.failReason)
 	p.teardown()
 }
 
@@ -456,3 +466,14 @@ func (p *Player) Report() Report {
 // Flow returns the TCP flow key of the session's connection, which is
 // what vantage-point probes key their records on.
 func (p *Player) Flow() simnet.FlowKey { return p.conn.Flow() }
+
+// InjectAbort severs the session's transport mid-stream, driving the
+// same code path as a network-initiated reset. This is the fault-
+// injection seam used by internal/chaos; production sessions never call
+// it.
+func (p *Player) InjectAbort(reason string) {
+	if p.Done() {
+		return
+	}
+	p.conn.Abort("injected: " + reason)
+}

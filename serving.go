@@ -67,3 +67,12 @@ func (m *Model) FeatureSchema() []string { return m.pipeline.Tree.Features() }
 func NewEngine(m *CompiledModel, cfg EngineConfig) *Engine {
 	return serve.NewEngine(m, cfg)
 }
+
+// ValidateFeatures rejects feature vectors carrying NaN or ±Inf values
+// — NaN is the pipeline's missing-value sentinel, so letting one in
+// would silently classify the record down every split's missing-value
+// path. The Engine applies this check to every request; callers using
+// CompiledModel.Diagnose directly should apply it themselves.
+func ValidateFeatures(fv map[string]float64) error {
+	return serve.ValidateFeatures(fv)
+}
