@@ -1,0 +1,183 @@
+// Command vqfleet simulates a population-scale fleet of video sessions
+// and streams them into windowed fleet analytics: percentile sketches
+// for startup delay, stall ratio and MOS plus per-fault-class and
+// per-root-cause counters. A million-session fleet runs in bounded
+// memory (peak RSS is set by -shards × -maxlive pooled session slots,
+// not by -sessions) and the summary bytes are identical for any
+// -workers value — see docs/FLEET.md for the determinism contract.
+//
+// Usage:
+//
+//	vqfleet [-sessions 1000000] [-seed 1] [-workers 0] [-shards 8]
+//	        [-horizon 1h] [-window 1m] [-maxlive 4096]
+//	        [-fault-prob 0.30] [-fault wan_cong|...|none]
+//	        [-fidelity fast|full] [-model model.json]
+//	        [-json] [-o fleet.txt] [-quiet]
+//	vqfleet -replay 123456 [same scenario flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"vqprobe"
+	"vqprobe/internal/fleet"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/serve"
+)
+
+func main() {
+	var (
+		sessions  = flag.Int("sessions", 100000, "fleet population size")
+		seed      = flag.Int64("seed", 1, "master seed (per-session sub-seeds derive from it)")
+		workers   = flag.Int("workers", 0, "goroutines executing shards; 0 = GOMAXPROCS (any value: identical output)")
+		shards    = flag.Int("shards", 8, "event-loop count (part of the virtual topology)")
+		horizon   = flag.Duration("horizon", time.Hour, "virtual-time span session arrivals spread over")
+		window    = flag.Duration("window", time.Minute, "tumbling aggregation window")
+		maxLive   = flag.Int("maxlive", 4096, "pooled live-session slots per shard (memory bound)")
+		faultProb = flag.Float64("fault-prob", 0.30, "probability a session carries an induced fault")
+		faultName = flag.String("fault", "", "pin all faulty sessions to one fault class (default: natural mix)")
+		fidelity  = flag.String("fidelity", "fast", "fast = fluid session model; full = packet-level testbed (~1000x cost)")
+		modelPath = flag.String("model", "", "trained model: diagnose every session through the serve engine and score accuracy")
+		asJSON    = flag.Bool("json", false, "emit the fleet summary as JSON instead of text")
+		outPath   = flag.String("o", "", "write the summary to a file instead of stdout")
+		quiet     = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+		replay    = flag.Int64("replay", -1, "re-simulate one session index in isolation and print it")
+	)
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Sessions:  *sessions,
+		Seed:      *seed,
+		Workers:   *workers,
+		Shards:    *shards,
+		Horizon:   *horizon,
+		Window:    *window,
+		MaxLive:   *maxLive,
+		FaultProb: *faultProb,
+		Full:      *fidelity == "full",
+	}
+	if *fidelity != "fast" && *fidelity != "full" {
+		fmt.Fprintf(os.Stderr, "vqfleet: unknown -fidelity %q (want fast or full)\n", *fidelity)
+		os.Exit(2)
+	}
+	if *faultName != "" && *faultName != "none" {
+		found := false
+		for _, f := range qoe.Faults {
+			if f.String() == *faultName {
+				cfg.PinFault, found = f, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "vqfleet: unknown fault %q\n", *faultName)
+			os.Exit(2)
+		}
+	}
+
+	var engine *serve.Engine
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err := vqprobe.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		compiled, err := model.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		engine = serve.NewEngine(compiled, serve.Config{})
+		defer engine.Close()
+		cfg.Engine = engine
+		cfg.ModelTask = string(model.Task)
+	}
+
+	if *replay >= 0 {
+		doReplay(cfg, uint64(*replay))
+		return
+	}
+
+	var done atomic.Int64
+	if !*quiet {
+		cfg.Progress = func(n int) { done.Add(int64(n)) }
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "vqfleet: %d/%d sessions\n", done.Load(), *sessions)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	sum, stats, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var out []byte
+	if *asJSON {
+		out, err = sum.EncodeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, '\n')
+	} else {
+		out = sum.EncodeText()
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "vqfleet: %d sessions in %v (%.0f sessions/sec, peak %d live/shard of %d slots)\n",
+			*sessions, elapsed.Round(time.Millisecond),
+			float64(*sessions)/elapsed.Seconds(), stats.MaxLive, cfg.MaxLive)
+	}
+}
+
+// doReplay pulls one session out of the fleet and prints everything
+// known about it — the flagged-session drill-down path.
+func doReplay(cfg fleet.Config, index uint64) {
+	res, err := fleet.Replay(cfg, index)
+	if err != nil {
+		fatal(err)
+	}
+	sc, sum, rep := res.Scenario, res.Summary, res.Report
+	fmt.Printf("session %d (seed %d): arrival=%v wan=%s tech=%s clip=%.1fMb/s %v tier=%d\n",
+		sc.Index, sc.Seed, sc.Arrival.Round(time.Millisecond), sc.WAN, sc.Tech,
+		sc.Clip.Bitrate/1e6, sc.Clip.Duration.Round(time.Second), sc.DeviceTier)
+	fmt.Printf("scenario: fault=%s intensity=%.2f window=[%v +%v] rssi=%.1fdBm bg=%.2f\n",
+		sc.Spec.Fault, sc.Spec.Intensity, sc.FaultFrom.Round(time.Millisecond),
+		sc.FaultDur.Round(time.Millisecond), sc.BaseRSSI, sc.Background)
+	fmt.Printf("outcome: mos=%.2f severity=%s startup=%v stalls=%d (%v) played=%.1fs completed=%v\n",
+		sum.MOS, sum.Severity, rep.StartupDelay.Round(time.Millisecond),
+		rep.Stalls, rep.StallTime.Round(time.Millisecond), rep.PlayedSec, rep.Completed)
+	if rep.Failed {
+		fmt.Printf("FAILED: %s\n", rep.FailReason)
+	}
+	fmt.Printf("cause: truth=%s diagnosed=%s\n",
+		fleet.CauseClasses()[sum.TrueCause()], fleet.CauseClasses()[sum.Cause])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vqfleet:", err)
+	os.Exit(1)
+}

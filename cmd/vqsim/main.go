@@ -8,7 +8,12 @@
 //
 //	vqsim [-fault none|wan_cong|wan_shaped|lan_cong|lan_shaped|mobile_load|low_rssi|wifi_interf]
 //	      [-intensity 0.7] [-seed 1] [-wan dsl|mobile] [-bitrate 1.2e6]
-//	      [-duration 40s] [-model model.json]
+//	      [-duration 40s] [-model model.json] [-sessions 1]
+//
+// With -sessions N (N > 1) the same scenario is repeated N times with
+// seeds seed..seed+N-1 through a pooled testbed.Runner — the same cheap
+// path vqfleet's full-fidelity mode uses — printing one line per
+// session and an aggregate instead of the single-session deep dive.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		bitrate   = flag.Float64("bitrate", 1.2e6, "clip bitrate, bits/s")
 		duration  = flag.Duration("duration", 40*time.Second, "clip duration")
 		modelPath = flag.String("model", "", "optional trained model to diagnose the session")
+		sessions  = flag.Int("sessions", 1, "repeat the session N times (seeds seed..seed+N-1) via a pooled runner")
 	)
 	flag.Parse()
 
@@ -55,7 +61,7 @@ func main() {
 		wanProfile = testbed.WANMobile
 	}
 
-	res := testbed.RunSession(testbed.SessionConfig{
+	cfg := testbed.SessionConfig{
 		Opts: testbed.Options{
 			Seed: *seed, WAN: wanProfile,
 			BackgroundScale: 0.4, ServerLoadMean: 0.1,
@@ -63,7 +69,14 @@ func main() {
 		},
 		Spec: faults.Spec{Fault: fault, Intensity: *intensity},
 		Clip: video.Clip{ID: 1, Quality: video.SD, Bitrate: *bitrate, Duration: *duration, FPS: 30},
-	})
+	}
+
+	if *sessions > 1 {
+		runRepeated(cfg, *sessions, fault, *intensity, wanProfile)
+		return
+	}
+
+	res := testbed.RunSession(cfg)
 
 	fmt.Printf("session: fault=%s intensity=%.2f wan=%s clip=%.1fMb/s %v\n\n",
 		fault, *intensity, wanProfile, *bitrate/1e6, *duration)
@@ -117,4 +130,48 @@ func main() {
 		d := model.DiagnoseSession(res)
 		fmt.Printf("\ndiagnosis (%s model): %s  [truth: %s]\n", model.Task, d.Class, res.Label.ExactClass())
 	}
+}
+
+// runRepeated replays the scenario n times with consecutive seeds
+// through one pooled testbed.Runner, reusing per-session buffers
+// instead of reallocating them — each result is consumed before the
+// next Run, as the Runner aliasing contract requires.
+func runRepeated(cfg testbed.SessionConfig, n int, fault qoe.Fault, intensity float64, wan testbed.WANProfile) {
+	fmt.Printf("sessions: %d x fault=%s intensity=%.2f wan=%s clip=%.1fMb/s %v\n\n",
+		n, fault, intensity, wan, cfg.Clip.Bitrate/1e6, cfg.Clip.Duration)
+
+	runner := testbed.NewRunner()
+	var (
+		mosSum               float64
+		startupSum, stallSum time.Duration
+		severe, mild, failed int
+	)
+	base := cfg.Opts.Seed
+	for i := 0; i < n; i++ {
+		cfg.Opts.Seed = base + int64(i)
+		res := runner.Run(cfg)
+		r := res.Report
+		mosSum += res.MOS
+		startupSum += r.StartupDelay
+		stallSum += r.StallTime
+		switch res.Label.Severity {
+		case qoe.Severe:
+			severe++
+		case qoe.Mild:
+			mild++
+		}
+		status := "ok"
+		if r.Failed {
+			failed++
+			status = "FAILED: " + r.FailReason
+		}
+		fmt.Printf("  seed=%-6d mos=%.2f (%-6s) startup=%-8v stalls=%-3d stall=%-8v %s\n",
+			cfg.Opts.Seed, res.MOS, res.Label.Severity,
+			r.StartupDelay.Round(time.Millisecond), r.Stalls,
+			r.StallTime.Round(time.Millisecond), status)
+	}
+	fn := float64(n)
+	fmt.Printf("\naggregate: mean_mos=%.2f mean_startup=%v mean_stall=%v severe=%d mild=%d failed=%d\n",
+		mosSum/fn, (startupSum / time.Duration(n)).Round(time.Millisecond),
+		(stallSum / time.Duration(n)).Round(time.Millisecond), severe, mild, failed)
 }

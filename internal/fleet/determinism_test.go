@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"vqprobe/internal/features"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/ml"
+	"vqprobe/internal/ml/c45"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/serve"
+)
+
+func testFleetConfig(sessions int) Config {
+	return Config{Sessions: sessions, Seed: 7}
+}
+
+func runText(t *testing.T, cfg Config) ([]byte, RunStats) {
+	t.Helper()
+	sum, stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum.EncodeText(), stats
+}
+
+// The headline determinism contract: the encoded fleet summary is
+// byte-identical for any worker count, because session outcomes are
+// index-pure and shard merges are exact.
+func TestWorkerInvariance(t *testing.T) {
+	cfg := testFleetConfig(20000)
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		sum, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := sum.EncodeText()
+		js, err := sum.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = append(text, js...)
+			continue
+		}
+		if !bytes.Equal(ref, append(text, js...)) {
+			t.Fatalf("workers=%d produced different summary bytes", workers)
+		}
+	}
+}
+
+// MaxLive bounds memory, not outcomes: squeezing the pool to a handful
+// of slots forces heavy slot reuse and admission throttling, yet the
+// summary bytes must not move. The high-water mark must respect the
+// configured bound — that is the bounded-memory guarantee in units of
+// session slots.
+func TestMaxLiveInvarianceAndBound(t *testing.T) {
+	cfg := testFleetConfig(20000)
+	ref, refStats := runText(t, cfg)
+	if refStats.MaxLive > 4096 {
+		t.Fatalf("high-water %d exceeds default MaxLive", refStats.MaxLive)
+	}
+
+	cfg.MaxLive = 16
+	squeezed, stats := runText(t, cfg)
+	if !bytes.Equal(ref, squeezed) {
+		t.Fatal("MaxLive=16 changed the summary bytes")
+	}
+	if stats.MaxLive > 16 {
+		t.Fatalf("high-water %d exceeds MaxLive=16", stats.MaxLive)
+	}
+	// 20k sessions over an hour through 8×16 slots only fits if slots
+	// are actually reused; a high-water at the cap proves throttling
+	// engaged rather than the pool growing.
+	if stats.MaxLive != 16 {
+		t.Fatalf("high-water %d, want the cap (16) under pressure", stats.MaxLive)
+	}
+}
+
+// Scenario sampling is a pure function of (seed, index): resampling any
+// index must reproduce the scenario exactly, in any order.
+func TestScenarioIndexPure(t *testing.T) {
+	cfg := testFleetConfig(1000)
+	cfg = cfg.withDefaults()
+	first := make([]Scenario, 50)
+	for i := range first {
+		first[i] = SampleScenario(cfg, uint64(i))
+	}
+	for i := len(first) - 1; i >= 0; i-- { // resample in reverse order
+		if again := SampleScenario(cfg, uint64(i)); !reflect.DeepEqual(first[i], again) {
+			t.Fatalf("scenario %d not reproducible", i)
+		}
+	}
+	other := cfg
+	other.Seed = 8
+	if reflect.DeepEqual(first[0], SampleScenario(other, 0)) {
+		t.Fatal("different master seeds produced the same scenario")
+	}
+}
+
+// A fleet run must aggregate exactly the sessions it was asked for:
+// re-deriving every scenario independently and counting ground-truth
+// fault classes must reproduce the fleet's ByFault counters.
+func TestFleetMatchesScenarioCensus(t *testing.T) {
+	cfg := testFleetConfig(20000)
+	sum, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var census [nFaults + 1]uint64
+	dcfg := cfg.withDefaults()
+	for i := uint64(0); i < uint64(cfg.Sessions); i++ {
+		census[SampleScenario(dcfg, i).Spec.Fault]++
+	}
+	if sum.Total.ByFault != census {
+		t.Fatalf("fleet ByFault %v != independent census %v", sum.Total.ByFault, census)
+	}
+}
+
+// The gold equivalence test: replaying every session in isolation
+// (fresh session state, no pooling, no multiplexing) and aggregating
+// the records must reproduce the multiplexed fleet run byte for byte.
+// This is what makes -replay trustworthy — the record it prints for
+// any index is exactly the record the fleet run folded in.
+func TestReplayEquivalence(t *testing.T) {
+	cfg := testFleetConfig(5000)
+	sum, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := cfg.withDefaults()
+	agg := NewAggregator(dcfg.Horizon, dcfg.Window)
+	for i := uint64(0); i < uint64(cfg.Sessions); i++ {
+		res, err := Replay(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Summary
+		agg.Observe(&s, false)
+	}
+	replayed := &FleetSummary{
+		Seed: sum.Seed, Sessions: sum.Sessions, Shards: sum.Shards,
+		Horizon: sum.Horizon, Window: sum.Window,
+		Total: agg.Total, Windows: agg.Windows,
+	}
+	if !bytes.Equal(sum.EncodeText(), replayed.EncodeText()) {
+		t.Fatal("isolated replays do not reproduce the fleet summary")
+	}
+}
+
+// The CHAOS_SEED-style escape hatch at scale: out of a 100k-session
+// run, pull one flagged (severe, faulted) session and re-simulate it
+// alone; the replay must be self-consistent and repeatable.
+func TestReplayFlaggedSessionFrom100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-session run")
+	}
+	cfg := testFleetConfig(100000)
+	sum, stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total.Sessions != 100000 {
+		t.Fatalf("aggregated %d sessions, want 100000", sum.Total.Sessions)
+	}
+	if sum.Total.BySeverity[qoe.Severe] == 0 {
+		t.Fatal("a 100k fleet produced no severe sessions to flag")
+	}
+	if stats.MaxLive > 4096 {
+		t.Fatalf("high-water %d exceeds the slot pool", stats.MaxLive)
+	}
+
+	// Find a flagged session the way an operator would drill in: scan
+	// indices, replay candidates, stop at the first severe faulted one.
+	dcfg := cfg.withDefaults()
+	flagged := int64(-1)
+	var rec ReplayResult
+	for i := uint64(0); i < uint64(cfg.Sessions); i++ {
+		if SampleScenario(dcfg, i).Spec.Fault == qoe.FaultNone {
+			continue
+		}
+		res, err := Replay(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Severity == qoe.Severe {
+			flagged, rec = int64(i), res
+			break
+		}
+	}
+	if flagged < 0 {
+		t.Fatal("no severe faulted session found")
+	}
+	again, err := Replay(cfg, uint64(flagged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Summary != again.Summary {
+		t.Fatalf("replay of session %d not repeatable:\n%+v\n%+v", flagged, rec.Summary, again.Summary)
+	}
+	if got := rec.Summary.TrueCause(); got != CauseIndex(rec.Scenario.Spec.Fault.String()) {
+		t.Fatalf("flagged session %d: true cause %d does not attribute its fault %s",
+			flagged, got, rec.Scenario.Spec.Fault)
+	}
+}
+
+// Pooled slot reuse must not leak state between sessions: resetting a
+// slot that just ran a heavy faulted session onto a new index must
+// yield the same summary as a fresh slot.
+func TestSlotReuseLeavesNoResidue(t *testing.T) {
+	cfg := testFleetConfig(1000)
+	cfg.PinFault = qoe.WANCongestion
+	cfg = cfg.withDefaults()
+
+	runSlot := func(s *session, idx uint64) SessionSummary {
+		s.reset(&cfg, idx)
+		for at := s.firstEvent(); at > 0; {
+			at = s.step(at)
+		}
+		var sum SessionSummary
+		s.summarize(&sum)
+		return sum
+	}
+
+	var dirty session
+	runSlot(&dirty, 3) // heavy faulted session leaves the slot dirty
+	reused := runSlot(&dirty, 4)
+
+	var fresh session
+	if want := runSlot(&fresh, 4); reused != want {
+		t.Fatalf("slot reuse changed session 4:\nreused %+v\nfresh  %+v", reused, want)
+	}
+}
+
+// fleetTestModel trains a tiny decision tree over the features the
+// fluid model synthesizes, so the engine-fed path can run end to end
+// in-process.
+func fleetTestModel(t testing.TB) *serve.Model {
+	t.Helper()
+	var insts []ml.Instance
+	for ratio := 0.0; ratio <= 0.5; ratio += 0.02 {
+		for rssi := -85.0; rssi <= -50; rssi += 5 {
+			cls := "good"
+			if ratio > 0.1 {
+				if rssi < -75 {
+					cls = "low_rssi_severe"
+				} else {
+					cls = "wan_cong_mild"
+				}
+			}
+			insts = append(insts, ml.Instance{
+				Features: metrics.Vector{
+					"mobile.app_stall_ratio":        ratio,
+					"mobile.wlan0_nic_rssi_dbm_avg": rssi,
+				},
+				Class: cls,
+			})
+		}
+	}
+	d := ml.NewDataset(insts)
+	constructed, norm := features.Construct(d)
+	ct, err := c45.Compile(c45.Default().TrainTree(constructed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewModel("exact", norm, ct)
+}
+
+// Feeding every summary through the serve engine must preserve worker
+// invariance: diagnosis verdicts land per-index, so batch boundaries
+// and engine scheduling cannot reorder anything observable.
+func TestEngineFedWorkerInvariance(t *testing.T) {
+	eng := serve.NewEngine(fleetTestModel(t), serve.Config{Shards: 2})
+	defer eng.Close()
+
+	cfg := testFleetConfig(4000)
+	cfg.Engine = eng
+	cfg.ModelTask = "exact"
+	cfg.DiagBatch = 37 // deliberately odd so batches straddle retirements
+
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		sum, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Total.DiagTotal != uint64(cfg.Sessions) {
+			t.Fatalf("diagnosed %d of %d sessions", sum.Total.DiagTotal, cfg.Sessions)
+		}
+		if sum.Total.DiagMatch == 0 {
+			t.Fatal("model matched nothing — feature plumbing broken?")
+		}
+		text := sum.EncodeText()
+		if ref == nil {
+			ref = text
+			continue
+		}
+		if !bytes.Equal(ref, text) {
+			t.Fatalf("engine-fed run with workers=%d changed the summary bytes", workers)
+		}
+	}
+}
+
+// Full fidelity routes the same scenarios through the packet-level
+// testbed via the pooled Runner; a small fleet must aggregate cleanly.
+func TestFullFidelitySmallFleet(t *testing.T) {
+	cfg := testFleetConfig(12)
+	cfg.Full = true
+	cfg.Horizon = 10 * time.Minute
+	cfg.Window = time.Minute
+	sum, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total.Sessions != 12 {
+		t.Fatalf("aggregated %d sessions, want 12", sum.Total.Sessions)
+	}
+	rep, err := Replay(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Index != 5 || rep.Summary.SessionSec <= 0 {
+		t.Fatalf("full-fidelity replay summary malformed: %+v", rep.Summary)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, _, err := Run(Config{Sessions: 0}); err == nil {
+		t.Fatal("Sessions=0 accepted")
+	}
+	if _, _, err := Run(Config{Sessions: 1, Horizon: time.Minute, Window: time.Hour}); err == nil {
+		t.Fatal("Window > Horizon accepted")
+	}
+	if _, err := Replay(testFleetConfig(10), 10); err == nil {
+		t.Fatal("out-of-range replay index accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"errors"
+	"time"
+
+	"vqprobe/internal/parallel"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/serve"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+)
+
+// Config bounds one fleet run.
+type Config struct {
+	// Sessions is the population size.
+	Sessions int
+	// Seed is the master seed; every session derives its private
+	// sub-seed from it and its index.
+	Seed int64
+	// Workers caps the goroutines executing shards; zero selects
+	// GOMAXPROCS. Any value yields the identical summary.
+	Workers int
+	// Shards is the event-loop count. It is part of the virtual
+	// topology (fixed default 8, NOT tied to the machine's core count)
+	// so the default summary is machine-independent; sessions map to
+	// shards by index modulo Shards.
+	Shards int
+	// Horizon is the span of the fleet's virtual clock over which
+	// session arrivals spread. Zero selects 1h.
+	Horizon time.Duration
+	// Window is the tumbling aggregation window. Zero selects 1m.
+	Window time.Duration
+	// MaxLive caps concurrently live sessions per shard — the pooled
+	// slot count, and with it the run's peak memory. Zero selects 4096.
+	MaxLive int
+	// FaultProb is the probability a session carries an induced fault;
+	// zero selects 0.30 (the wild-setting rate).
+	FaultProb float64
+	// PinFault forces every faulty session to one fault class (fleet
+	// what-if sweeps); FaultNone samples the natural mix.
+	PinFault qoe.Fault
+	// Engine, when set, feeds every finished session's synthesized
+	// feature vector through the serve diagnosis engine and scores the
+	// verdicts against ground truth (per-window DiagTotal/DiagMatch).
+	Engine *serve.Engine
+	// DiagBatch is the per-shard DiagnoseBatch size; zero selects 128.
+	DiagBatch int
+	// ModelTask annotates the summary when Engine is set.
+	ModelTask string
+	// Full routes sessions through the packet-level testbed (pooled
+	// testbed.Runner) instead of the fluid model: ~1000× the per-session
+	// cost, for ground-truthing small fleets.
+	Full bool
+	// Progress, when set, is called from shard goroutines with the
+	// number of sessions just completed; it must be safe for concurrent
+	// use (e.g. an atomic counter add).
+	Progress func(n int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = time.Hour
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.MaxLive <= 0 {
+		c.MaxLive = 4096
+	}
+	if c.DiagBatch <= 0 {
+		c.DiagBatch = 128
+	}
+	if c.FaultProb < 0 {
+		c.FaultProb = 0
+	}
+	return c
+}
+
+// RunStats reports execution-side observations (not part of the
+// deterministic summary): the bounded-memory tests assert on them.
+type RunStats struct {
+	// MaxLive is the highest number of concurrently live pooled
+	// sessions observed on any shard — the memory high-water mark in
+	// units of session slots.
+	MaxLive int
+	// Shards echoes the resolved shard count.
+	Shards int
+}
+
+// Run simulates the configured fleet and returns its summary. The
+// summary — including its EncodeText/EncodeJSON bytes — is a pure
+// function of the Config's scenario knobs: Workers, MaxLive, DiagBatch
+// and Progress cannot change it (see docs/FLEET.md for the contract
+// and internal/fleet determinism tests for the proof).
+func Run(cfg Config) (*FleetSummary, RunStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sessions <= 0 {
+		return nil, RunStats{}, errors.New("fleet: Sessions must be positive")
+	}
+	if cfg.Window > cfg.Horizon {
+		return nil, RunStats{}, errors.New("fleet: Window exceeds Horizon")
+	}
+
+	shards := make([]*shard, cfg.Shards)
+	if cfg.Full {
+		parallel.For(cfg.Shards, cfg.Workers, func(i int) {
+			shards[i] = runFullShard(i, &cfg)
+		})
+	} else {
+		parallel.For(cfg.Shards, cfg.Workers, func(i int) {
+			s := newShard(i, &cfg)
+			s.run()
+			shards[i] = s
+		})
+	}
+
+	// Merge in fixed shard-index order. (Exactness of the sketch merge
+	// makes the order irrelevant; fixing it anyway keeps the contract
+	// simple to state and test.)
+	agg := NewAggregator(cfg.Horizon, cfg.Window)
+	stats := RunStats{Shards: cfg.Shards}
+	for _, s := range shards {
+		agg.Merge(s.agg)
+		if s.maxLive > stats.MaxLive {
+			stats.MaxLive = s.maxLive
+		}
+	}
+	sum := &FleetSummary{
+		Seed:      cfg.Seed,
+		Sessions:  uint64(cfg.Sessions),
+		Shards:    cfg.Shards,
+		Horizon:   cfg.Horizon,
+		Window:    cfg.Window,
+		ModelTask: cfg.ModelTask,
+		Total:     agg.Total,
+		Windows:   agg.Windows,
+	}
+	return sum, stats, nil
+}
+
+// runFullShard is the full-fidelity twin of shard.run: the same
+// scenarios, shard mapping and aggregation, but each session runs the
+// packet-level testbed through a pooled testbed.Runner (the cheap path
+// vqsim -sessions shares). Sessions execute sequentially per shard —
+// at ~ms each there is nothing to multiplex.
+func runFullShard(id int, cfg *Config) *shard {
+	s := newShard(id, cfg)
+	runner := testbed.NewRunner()
+	for idx := uint64(id); idx < uint64(cfg.Sessions); idx += uint64(cfg.Shards) {
+		sc := SampleScenario(*cfg, idx)
+		res := runner.Run(sc.SessionConfig())
+		var sum SessionSummary
+		summaryFromResult(sc, &res, &sum)
+		if cfg.Engine != nil {
+			req := serve.Request{Features: res.Combined("mobile", "router", "server")}
+			out := cfg.Engine.DiagnoseBatch([]serve.Request{req})
+			if out[0].Err == "" {
+				sum.Cause = CauseIndex(out[0].Cause)
+			} else {
+				sum.Cause = CauseUnknown
+			}
+			s.agg.Observe(&sum, true)
+		} else {
+			s.agg.Observe(&sum, false)
+		}
+		s.completed++
+		if s.maxLive < 1 {
+			s.maxLive = 1
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(1)
+		}
+	}
+	return s
+}
+
+// summaryFromResult rolls a full-testbed session result into the same
+// fixed-size record the fluid model emits.
+func summaryFromResult(sc Scenario, res *testbed.SessionResult, sum *SessionSummary) {
+	rep := res.Report
+	sess := rep.SessionTime.Seconds()
+	*sum = SessionSummary{
+		Index:      sc.Index,
+		Fault:      sc.Spec.Fault,
+		Severity:   res.Label.Severity,
+		Abandoned:  rep.Failed,
+		Completed:  rep.Completed,
+		ArrivalSec: float32(sc.Arrival.Seconds()),
+		StartupSec: float32(rep.StartupDelay.Seconds()),
+		Stalls:     uint32(rep.Stalls),
+		StallSec:   float32(rep.StallTime.Seconds()),
+		StallRatio: float32(safeDiv(rep.StallTime.Seconds(), sess)),
+		PlayedSec:  float32(rep.PlayedSec),
+		SessionSec: float32(sess),
+		MOS:        float32(res.MOS),
+		Bytes:      uint64(rep.BytesReceived),
+	}
+	sum.Cause = sum.TrueCause()
+}
+
+// ReplayResult is one re-simulated session, for drilling into a
+// flagged record out of a fleet run.
+type ReplayResult struct {
+	Scenario Scenario
+	Summary  SessionSummary
+	Report   video.Report
+}
+
+// Replay re-simulates session `index` of the configured fleet in
+// isolation and returns its summary and full report. Because sessions
+// are index-pure, the summary is bit-identical to the record the fleet
+// run aggregated — the CHAOS_SEED-style escape hatch for production
+// debugging: any session out of a million can be pulled out and
+// inspected alone.
+func Replay(cfg Config, index uint64) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	if index >= uint64(cfg.Sessions) {
+		return ReplayResult{}, errors.New("fleet: replay index out of range")
+	}
+	sc := SampleScenario(cfg, index)
+	if cfg.Full {
+		runner := testbed.NewRunner()
+		res := runner.Run(sc.SessionConfig())
+		var sum SessionSummary
+		summaryFromResult(sc, &res, &sum)
+		return ReplayResult{Scenario: sc, Summary: sum, Report: res.Report}, nil
+	}
+	var s session
+	s.reset(&cfg, index)
+	at := s.firstEvent()
+	for at > 0 {
+		at = s.step(at)
+	}
+	var sum SessionSummary
+	s.summarize(&sum)
+	if cfg.Engine != nil {
+		fv := make(map[string]float64, 12)
+		s.features(fv)
+		out := cfg.Engine.DiagnoseBatch([]serve.Request{{Features: fv}})
+		if out[0].Err == "" {
+			sum.Cause = CauseIndex(out[0].Cause)
+		} else {
+			sum.Cause = CauseUnknown
+		}
+	}
+	return ReplayResult{Scenario: sc, Summary: sum, Report: s.report()}, nil
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"math/rand"
+	"time"
+
+	"vqprobe/internal/faults"
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+	"vqprobe/internal/wireless"
+)
+
+// Scenario is the complete deterministic description of one fleet
+// session: everything the playback model (or the full-fidelity testbed
+// bridge) needs is derived from the master seed and the session index
+// alone, never from execution order. That index-purity is the root of
+// the fleet determinism contract — shard count, worker count and
+// admission timing cannot change a session's outcome because they are
+// not inputs to it.
+type Scenario struct {
+	Index uint64
+	Seed  int64
+	// Arrival is the session's start time on the fleet's virtual clock,
+	// uniform over the configured horizon.
+	Arrival time.Duration
+
+	WAN  testbed.WANProfile
+	Tech wireless.Technology
+	Clip video.Clip
+
+	Spec      faults.Spec
+	FaultFrom time.Duration
+	FaultDur  time.Duration
+
+	BaseRSSI   float64
+	Background float64
+	ServerLoad float64
+	// DeviceTier buckets the handset population: 0 flagship, 1
+	// mid-range, 2 budget (weakest decode and ingest capacity).
+	DeviceTier int
+	// PatienceStartup / PatienceStall are the abandonment thresholds:
+	// users give up when startup or cumulative stalling exceeds them.
+	PatienceStartup time.Duration
+	PatienceStall   time.Duration
+}
+
+// splitmix64 is the SplitMix64 mixer (Steele et al.), the standard
+// cheap way to derive statistically independent sub-seeds from
+// (masterSeed, index) without any shared-stream coupling.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives session index i's private seed from the master seed.
+func SubSeed(master int64, i uint64) int64 {
+	return int64(splitmix64(splitmix64(uint64(master)) ^ splitmix64(i+0x1D8AF066)))
+}
+
+// smSource is a SplitMix64-backed rand.Source64: 8 bytes of state
+// instead of the ~5KB lagged-Fibonacci state math/rand's default
+// source carries. With MaxLive pooled sessions per shard that state
+// difference is the fleet's memory high-water mark, so the slots use
+// this. Streams from distinct SplitMix64 seeds are independent enough
+// for scenario sampling and capacity noise.
+type smSource struct{ s uint64 }
+
+func (r *smSource) Seed(seed int64) { r.s = uint64(seed) }
+func (r *smSource) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+func (r *smSource) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// newSessionRand builds the compact deterministic generator a pooled
+// session slot owns; Seed(SubSeed(...)) re-arms it per session.
+func newSessionRand(seed int64) *rand.Rand {
+	return rand.New(&smSource{s: uint64(seed)})
+}
+
+// SampleScenario draws session i's scenario from the population mix.
+// The mix mirrors the paper's in-the-wild setting (Section 6.2) scaled
+// to a service population: mostly CDN-served WiFi viewers, a 3G slice,
+// arbitrary signal quality, and cfg.FaultProb of sessions suffering one
+// induced problem from the Table 2 catalogue.
+func SampleScenario(cfg Config, i uint64) Scenario {
+	return sampleScenario(cfg, i, newSessionRand(SubSeed(cfg.Seed, i)))
+}
+
+// sampleScenario draws from rng, which the caller must have seeded
+// with SubSeed(cfg.Seed, i) — the pooled-session path reuses one
+// *rand.Rand per slot and keeps drawing session dynamics from the same
+// stream, which is equivalent to SampleScenario by construction.
+func sampleScenario(cfg Config, i uint64, rng *rand.Rand) Scenario {
+	seed := SubSeed(cfg.Seed, i)
+	sc := Scenario{Index: i, Seed: seed}
+
+	sc.Arrival = time.Duration(rng.Int63n(int64(cfg.Horizon)))
+
+	// Service/access mix: 3:1 CDN vs. private DSL origin, 70% WiFi.
+	sc.Tech = wireless.TechWiFi
+	sc.WAN = testbed.WANCDN
+	if rng.Float64() < 0.25 {
+		sc.WAN = testbed.WANDSL
+	}
+	if rng.Float64() < 0.30 {
+		sc.Tech = wireless.Tech3G
+		sc.WAN = testbed.WANMobile
+	}
+
+	// Clip: top-100-like catalog shape — short-form dominated with a
+	// long-form tail, SD:HD at 60:40.
+	dur := 20 + rng.ExpFloat64()*45
+	if dur > 300 {
+		dur = 300
+	}
+	clip := video.Clip{ID: int(i%1000) + 1, Quality: video.SD, FPS: 30,
+		Duration: time.Duration(dur * float64(time.Second))}
+	if rng.Float64() < 0.40 {
+		clip.Quality = video.HD
+		clip.Bitrate = 2.5e6 + 3.5e6*rng.Float64()
+	} else {
+		clip.Bitrate = 1.0e6 + 1.5e6*rng.Float64()
+	}
+	sc.Clip = clip
+
+	// Signal: most users sit in comfortable coverage; the tail roams
+	// toward the association edge. Cellular hides the worst of it.
+	sc.BaseRSSI = -45 - 35*rng.Float64()*rng.Float64()
+	if sc.Tech == wireless.Tech3G && sc.BaseRSSI < -72 {
+		sc.BaseRSSI = -72 - 10*rng.Float64()
+	}
+
+	sc.Background = 0.2 + 0.6*rng.Float64()
+	sc.ServerLoad = 0.05 + 0.2*rng.Float64()
+	sc.DeviceTier = deviceTier(rng)
+	sc.PatienceStartup = time.Duration((30 + 60*rng.Float64()) * float64(time.Second))
+	sc.PatienceStall = time.Duration(float64(clip.Duration) * (0.35 + 0.4*rng.Float64()))
+
+	// Fault matrix: the natural-occurrence mix of GenerateWild — biased
+	// to congestion and signal problems, shaping faults excluded in the
+	// wild — unless the caller pins the whole fleet to one fault.
+	prob := cfg.FaultProb
+	if prob == 0 {
+		prob = 0.30
+	}
+	sc.Spec = faults.Spec{Fault: qoe.FaultNone}
+	if cfg.PinFault != qoe.FaultNone {
+		sc.Spec = faults.Spec{Fault: cfg.PinFault, Intensity: 0.1 + 0.9*rng.Float64()}
+	} else if rng.Float64() < prob {
+		natural := [...]qoe.Fault{
+			qoe.WANCongestion, qoe.WANCongestion, qoe.LANCongestion,
+			qoe.MobileLoad, qoe.LowRSSI, qoe.LowRSSI, qoe.WiFiInterference,
+		}
+		sc.Spec = faults.Spec{
+			Fault:     natural[rng.Intn(len(natural))],
+			Intensity: 0.25 + 0.75*rng.Float64(),
+		}
+	}
+	if sc.Spec.Fault != qoe.FaultNone {
+		// Problems occupy a window inside the session, wild-style: they
+		// may start before the viewer does and often outlast the clip.
+		sc.FaultFrom = time.Duration(float64(clip.Duration) * 0.15 * rng.Float64())
+		sc.FaultDur = time.Duration(float64(clip.Duration) * (0.7 + 0.6*rng.Float64()))
+	}
+	return sc
+}
+
+func deviceTier(rng *rand.Rand) int {
+	switch v := rng.Float64(); {
+	case v < 0.35:
+		return 0
+	case v < 0.80:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SessionConfig bridges a fleet scenario onto the full-fidelity
+// testbed: the same scenario that drives the cheap fluid model can be
+// replayed through the packet-level simulation (vqfleet -fidelity
+// full, or vqfleet -replay ... -full) for ground-truthing the fleet
+// model, at ~three orders of magnitude more cost per session.
+func (sc Scenario) SessionConfig() testbed.SessionConfig {
+	opts := testbed.Options{
+		Seed:             sc.Seed,
+		WAN:              sc.WAN,
+		Tech:             sc.Tech,
+		BaseRSSI:         sc.BaseRSSI,
+		Mobility:         true,
+		Pacing:           sc.WAN == testbed.WANCDN,
+		BackgroundScale:  sc.Background,
+		ServerLoadMean:   sc.ServerLoad,
+		InstrumentRouter: sc.Tech == wireless.TechWiFi,
+		InstrumentServer: sc.WAN != testbed.WANCDN,
+	}
+	return testbed.SessionConfig{
+		Opts:      opts,
+		Spec:      sc.Spec,
+		FaultFrom: sc.FaultFrom,
+		FaultDur:  sc.FaultDur,
+		Clip:      sc.Clip,
+	}
+}

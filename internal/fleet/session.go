@@ -1,0 +1,503 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"vqprobe/internal/qoe"
+	"vqprobe/internal/testbed"
+	"vqprobe/internal/video"
+	"vqprobe/internal/wireless"
+)
+
+// The fleet session model is a fluid approximation of the packet-level
+// testbed: instead of simulating every TCP segment (~24ms and ~200k
+// allocations per session), it advances a progressive-download player
+// analytically between capacity-change events. Throughput is piecewise
+// constant — resampled every few virtual seconds and whenever the
+// scenario's fault window opens or closes — and within one segment the
+// buffer trajectory is linear, so stall/resume/startup/completion
+// boundaries are computed in closed form. A session costs a few dozen
+// heap events (~µs), which is what makes a million-session fleet
+// tractable on one machine. The same Scenario can be re-run through the
+// full testbed (Scenario.SessionConfig) to ground-truth the
+// approximation; docs/FLEET.md compares the two.
+
+type playState uint8
+
+const (
+	stStartup playState = iota // buffering toward first frame
+	stPlaying                  // rendering; download may still run
+	stStalled                  // buffer ran dry mid-play
+	stDone
+)
+
+// Player model constants: the testbed player starts after ~2s of media
+// and resumes a stall with ~1.5s in the buffer.
+const (
+	startupTargetSec = 2.0
+	resumeTargetSec  = 1.5
+	minEventStep     = time.Millisecond // floor on boundary steps (float-precision guard)
+)
+
+// session is the pooled per-slot state: one live session of a shard's
+// event loop. It is reused across sessions (reset() reinitializes every
+// field), so a shard's memory is O(MaxLive), not O(sessions).
+type session struct {
+	sc  Scenario
+	rng *rand.Rand
+
+	state    playState
+	t        time.Duration // fleet-clock time of last integration
+	end      time.Duration // fleet-clock hard cap for this session
+	epochEnd time.Duration // current capacity segment's end
+
+	thr       float64 // current goodput, bits/s
+	downBits  float64
+	totalBits float64
+	playedSec float64
+	doneDown  bool
+
+	// derived static rates
+	wanBase  float64
+	devBase  float64
+	rttMS    float64
+	skipFrac float64 // frames skipped per rendered frame under decode stress
+
+	// accumulated QoE ground truth
+	startup    time.Duration
+	stallStart time.Duration
+	stallTime  time.Duration
+	stalls     int
+	skipped    float64
+	bufSum     float64 // ∫ buffer dt, for BufferMeanSec
+	failed     bool
+	failReason string
+
+	// current capacity segment's measurement-plane snapshot
+	segRTT      float64
+	segCPU      float64
+	segRSSI     float64
+	segLossPkts float64
+	segRetry    float64
+
+	// accumulated measurement-plane estimates (feature synthesis)
+	rttSum     float64 // ∫ rtt dt over download time
+	rttDur     float64
+	retransPkt float64
+	retries    float64
+	cpuSum     float64
+	cpuDur     float64
+	rssiSum    float64
+	rssiDur    float64
+}
+
+// reset re-arms the slot for session index idx of cfg's fleet: the
+// slot's pooled *rand.Rand is reseeded with the session's private
+// sub-seed, the scenario sampled from it, and the playback dynamics
+// keep drawing from the same stream.
+func (s *session) reset(cfg *Config, idx uint64) {
+	rng := s.rng
+	if rng == nil {
+		rng = newSessionRand(SubSeed(cfg.Seed, idx))
+	} else {
+		rng.Seed(SubSeed(cfg.Seed, idx))
+	}
+	sc := sampleScenario(*cfg, idx, rng)
+	*s = session{sc: sc, rng: rng}
+	s.t = sc.Arrival
+	s.end = sc.Arrival + 4*sc.Clip.Duration + 90*time.Second
+	s.totalBits = sc.Clip.Bitrate * sc.Clip.Duration.Seconds()
+
+	switch sc.WAN {
+	case testbed.WANCDN:
+		s.wanBase, s.rttMS = 20e6, 46
+	case testbed.WANMobile:
+		s.wanBase, s.rttMS = 5.22e6, 210
+	default: // DSL
+		s.wanBase, s.rttMS = 7.8e6, 104
+	}
+	switch sc.DeviceTier {
+	case 0:
+		s.devBase = 48e6
+	case 1:
+		s.devBase = 28e6
+	default:
+		s.devBase = 14e6
+	}
+
+	// Connection setup + first media bytes: a TCP handshake and request
+	// round trip plus server think time under load.
+	setup := time.Duration((1.5*s.rttMS/1e3 + 0.25*sc.ServerLoad) * float64(time.Second))
+	s.t += setup
+	s.resample()
+}
+
+// start pushes the session's first event time (its arrival, after
+// connection setup).
+func (s *session) firstEvent() time.Duration { return s.t }
+
+// faultActive reports whether the scenario's fault window covers fleet
+// time t (session-relative windowing, like testbed.RunSession).
+func (s *session) faultActive(t time.Duration) bool {
+	if s.sc.Spec.Fault == qoe.FaultNone {
+		return false
+	}
+	rel := t - s.sc.Arrival
+	return rel >= s.sc.FaultFrom && rel < s.sc.FaultFrom+s.sc.FaultDur
+}
+
+// wifiCap maps an instantaneous RSSI to an achievable WLAN goodput —
+// the fluid stand-in for rate adaptation plus retransmissions.
+func wifiCap(rssi float64) float64 {
+	switch {
+	case rssi >= -60:
+		return 42e6
+	case rssi >= -85:
+		return 42e6 + (rssi+60)/(25)*(42e6-2.2e6) // linear down to 2.2 Mbit/s at -85
+	case rssi >= -89:
+		return 2.2e6 + (rssi+85)/4*(2.2e6-0.25e6)
+	default:
+		return 0.25e6
+	}
+}
+
+// resample ends the current capacity segment and draws the next one:
+// base path capacity, cross-traffic breathing, the fault's effect when
+// its window is open, and multiplicative noise. It also refreshes the
+// measurement-plane estimators (RTT, CPU, RSSI, loss) that the feature
+// synthesizer integrates.
+func (s *session) resample() {
+	sc, rng := &s.sc, s.rng
+	active := s.faultActive(s.t)
+	i := sc.Spec.Intensity
+
+	wan := s.wanBase * (1 - 0.35*sc.Background*(0.5+0.5*rng.Float64())) * (1 - 0.5*sc.ServerLoad)
+	// Mobile-tap segment RTT: the testbed's mobile probe measures
+	// data→ack delay at the client tap, NOT the WAN path RTT — a few
+	// milliseconds when healthy, inflated by queueing at whichever hop
+	// the fault congests (calibrated against packet-level runs of the
+	// same scenarios; see docs/FLEET.md).
+	rtt := 0.6 + 4*sc.Background*rng.Float64()
+	loss := 0.00005
+	dev := s.devBase
+	cpu := 18 + 25*sc.Background*rng.Float64()
+	rssi := sc.BaseRSSI + rng.NormFloat64()*2
+	retryRate := 0.02 // link retries per packet, healthy baseline
+	radioMul := 1.0   // airtime share left to the session on the radio link
+	radioCap := math.Inf(1)
+	s.skipFrac = 0
+
+	if active {
+		switch sc.Spec.Fault {
+		case qoe.WANCongestion:
+			wan *= 1 - lerp(0.35, 0.95, i)*(0.8+0.2*rng.Float64())
+			rtt += 0.3 * lerp(20, 260, i)
+			loss += lerp(0.0005, 0.006, i)
+		case qoe.WANShaping:
+			wan *= lerp(0.8, 0.12, i)
+			rtt += 0.3 * lerp(20, 250, i)
+			loss += lerp(0.003, 0.03, i)
+		case qoe.LANCongestion:
+			// The congestor claims most of the medium; collisions eat
+			// much of what the share math leaves.
+			radioMul = (1 - lerp(0.8, 0.975, i)) * (0.5 + 0.5*rng.Float64())
+			retryRate += lerp(0.1, 0.3, i)
+			rtt += lerp(10, 120, i) * (0.5 + rng.Float64())
+			loss += lerp(0.0003, 0.003, i)
+		case qoe.LANShaping:
+			radioCap = lerp(12e6, 0.5e6, i)
+			rtt += lerp(2, 20, i)
+		case qoe.MobileLoad:
+			cpu = lerp(55, 97, i) + rng.NormFloat64()*2
+			dev *= 1 - 0.9*i
+			s.skipFrac = math.Max(0, lerp(-0.08, 0.4, i))
+			rtt += lerp(2, 8, i)
+		case qoe.LowRSSI:
+			rssi = lerp(-74, -90, i) + rng.NormFloat64()*1.5
+			retryRate += lerp(0.05, 0.4, i)
+			rtt += lerp(2, 15, i)
+		case qoe.WiFiInterference:
+			// A competing WLAN duty-cycles; this epoch it claims a
+			// breathing share of airtime.
+			share := lerp(0.45, 0.9, i) * (0.75 + 0.5*rng.Float64())
+			radioMul = math.Max(0.03, 1-share)
+			retryRate += lerp(0.1, 0.5, i)
+			rtt += lerp(1, 4, i)
+		}
+	}
+
+	var radio float64
+	if sc.Tech == wireless.Tech3G {
+		radio = 6.1e6 * (1 - 0.2*rng.Float64())
+		if rssi < -80 {
+			radio *= math.Max(0.15, 1-(-80-rssi)/15)
+		}
+	} else {
+		radio = wifiCap(rssi)
+	}
+	radio = math.Min(radio*radioMul, radioCap)
+
+	noise := math.Exp(rng.NormFloat64() * 0.15)
+	if noise < 0.6 {
+		noise = 0.6
+	} else if noise > 1.6 {
+		noise = 1.6
+	}
+	thr := math.Min(math.Min(wan, radio), dev) * noise
+	// Loss caps Reno throughput (simplified Mathis bound already folded
+	// into the testbed's links); approximate with a proportional drag.
+	// Link-layer retries similarly tax goodput.
+	thr *= math.Max(0.1, 1-25*loss)
+	thr *= 1 - 0.5*clamp01f(retryRate*1.5)
+	if thr < 1e3 {
+		thr = 1e3
+	}
+	s.thr = thr
+
+	// Measurement-plane snapshot for this segment, integrated by step().
+	s.segRTT = rtt
+	s.segCPU = cpu
+	s.segRSSI = rssi
+	s.segLossPkts = loss
+	s.segRetry = retryRate
+
+	epoch := time.Duration((2 + 4*rng.Float64()) * float64(time.Second))
+	s.epochEnd = s.t + epoch
+	// Snap the segment boundary to the fault window's edges so the
+	// effect starts and stops exactly on schedule.
+	for _, edge := range [2]time.Duration{sc.Arrival + sc.FaultFrom, sc.Arrival + sc.FaultFrom + sc.FaultDur} {
+		if sc.Spec.Fault != qoe.FaultNone && edge > s.t && edge < s.epochEnd {
+			s.epochEnd = edge
+		}
+	}
+}
+
+// step advances the session to `now` (integrating download/playback)
+// and returns the fleet time of its next event, or 0 when the session
+// finished. The shard loop calls it with the time it scheduled.
+func (s *session) step(now time.Duration) time.Duration {
+	s.integrate(now)
+	if s.state == stDone {
+		return 0
+	}
+
+	// State transitions at the current instant.
+	bitrate := s.sc.Clip.Bitrate
+	buf := s.downBits/bitrate - s.playedSec // media seconds in buffer
+	switch s.state {
+	case stStartup:
+		if s.downBits >= startupTargetSec*bitrate || s.doneDown {
+			s.startup = s.t - s.sc.Arrival
+			s.state = stPlaying
+		} else if s.t-s.sc.Arrival >= s.sc.PatienceStartup {
+			return s.finish(true, "startup_abandoned")
+		}
+	case stPlaying:
+		if s.playedSec >= s.sc.Clip.Duration.Seconds()-1e-9 {
+			return s.finish(false, "")
+		}
+		if !s.doneDown && buf <= 1e-9 {
+			s.state = stStalled
+			s.stalls++
+			s.stallStart = s.t
+		}
+	case stStalled:
+		if s.doneDown || buf >= resumeTargetSec-1e-9 {
+			s.stallTime += s.t - s.stallStart
+			s.stallStart = 0
+			s.state = stPlaying
+		} else if s.stallTime+(s.t-s.stallStart) >= s.sc.PatienceStall {
+			return s.finish(true, "stall_abandoned")
+		}
+	}
+	if s.t >= s.end {
+		return s.finish(!s.completedPlayout(), "wallclock_cap")
+	}
+
+	if s.t >= s.epochEnd {
+		s.resample()
+	}
+
+	// Closed-form time to the next boundary in the current segment.
+	next := s.epochEnd
+	bound := func(dtSec float64) {
+		if dtSec < 0 {
+			dtSec = 0
+		}
+		at := s.t + time.Duration(dtSec*float64(time.Second))
+		if at < s.t+minEventStep {
+			at = s.t + minEventStep
+		}
+		if at < next {
+			next = at
+		}
+	}
+	switch s.state {
+	case stStartup:
+		bound((startupTargetSec*bitrate - s.downBits) / s.thr)
+		pat := s.sc.Arrival + s.sc.PatienceStartup
+		if pat < next {
+			next = pat
+		}
+	case stPlaying:
+		bound(s.sc.Clip.Duration.Seconds() - s.playedSec) // playout end
+		if !s.doneDown {
+			bound((s.totalBits - s.downBits) / s.thr) // download completion
+			if s.thr < bitrate {                      // buffer depletion
+				bound(buf / (1 - s.thr/bitrate))
+			}
+		}
+	case stStalled:
+		bound((resumeTargetSec - buf) * bitrate / s.thr)
+		pat := s.t + (s.sc.PatienceStall - s.stallTime - (s.t - s.stallStart))
+		if pat < next {
+			next = pat
+		}
+	}
+	if s.end < next {
+		next = s.end
+	}
+	if next <= s.t {
+		next = s.t + minEventStep
+	}
+	return next
+}
+
+// integrate advances download and playback fluid state from s.t to now
+// and accumulates the measurement-plane integrals.
+func (s *session) integrate(now time.Duration) {
+	dt := (now - s.t).Seconds()
+	if dt <= 0 {
+		return
+	}
+	if !s.doneDown {
+		got := s.thr * dt
+		if s.downBits+got >= s.totalBits {
+			got = s.totalBits - s.downBits
+			s.doneDown = true
+		}
+		s.downBits += got
+		pkts := got / 8 / 1380
+		s.retransPkt += pkts * s.segLossPkts * 30 // retransmits per lost pkt incl. window fallout
+		s.retries += pkts * s.segRetry * 2        // MAC retries per data pkt (calibrated vs testbed)
+		s.rttSum += s.segRTT * dt
+		s.rttDur += dt
+	}
+	if s.state == stPlaying {
+		s.playedSec += dt
+		s.skipped += s.skipFrac * float64(s.sc.Clip.FPS) * dt
+		s.bufSum += math.Max(0, s.downBits/s.sc.Clip.Bitrate-s.playedSec) * dt
+	}
+	s.cpuSum += s.segCPU * dt
+	s.cpuDur += dt
+	s.rssiSum += s.segRSSI * dt
+	s.rssiDur += dt
+	s.t = now
+}
+
+func (s *session) completedPlayout() bool {
+	return s.playedSec >= s.sc.Clip.Duration.Seconds()-0.5
+}
+
+// finish closes the session and freezes its stats; step() returns 0
+// afterwards.
+func (s *session) finish(failed bool, reason string) time.Duration {
+	if s.state == stStalled && s.stallStart > 0 {
+		s.stallTime += s.t - s.stallStart
+	}
+	if s.state == stStartup && failed {
+		s.startup = s.t - s.sc.Arrival
+	}
+	s.failed = failed
+	s.failReason = reason
+	s.state = stDone
+	return 0
+}
+
+// report assembles the video.Report the real player would have
+// produced, which feeds the same qoe.MOS model the testbed uses — the
+// QoE layer is shared, only the transport beneath it is approximated.
+func (s *session) report() video.Report {
+	return video.Report{
+		Clip:          s.sc.Clip,
+		StartupDelay:  s.startup,
+		Stalls:        s.stalls,
+		StallTime:     s.stallTime,
+		SkippedFrames: int(s.skipped),
+		PlayedSec:     s.playedSec,
+		SessionTime:   s.t - s.sc.Arrival,
+		BufferMeanSec: safeDiv(s.bufSum, s.playedSec),
+		Completed:     s.completedPlayout(),
+		Failed:        s.failed && !s.completedPlayout(),
+		FailReason:    s.failReason,
+		BytesReceived: int64(s.downBits / 8),
+	}
+}
+
+// summarize rolls the finished session into its fixed-size record.
+func (s *session) summarize(sum *SessionSummary) {
+	rep := s.report()
+	mos := qoe.MOS(rep)
+	sess := rep.SessionTime.Seconds()
+	*sum = SessionSummary{
+		Index:      s.sc.Index,
+		Fault:      s.sc.Spec.Fault,
+		Severity:   qoe.SeverityOf(mos),
+		Abandoned:  rep.Failed,
+		Completed:  rep.Completed,
+		ArrivalSec: float32(s.sc.Arrival.Seconds()),
+		StartupSec: float32(rep.StartupDelay.Seconds()),
+		Stalls:     uint32(rep.Stalls),
+		StallSec:   float32(rep.StallTime.Seconds()),
+		StallRatio: float32(safeDiv(rep.StallTime.Seconds(), sess)),
+		PlayedSec:  float32(rep.PlayedSec),
+		SessionSec: float32(sess),
+		MOS:        float32(mos),
+		Bytes:      uint64(rep.BytesReceived),
+	}
+	sum.Cause = sum.TrueCause()
+}
+
+// features synthesizes the mobile-probe headline feature vector into
+// fv (cleared first; the map is pooled by the caller). Keys match the
+// testbed's mobile vantage point so trained models can consume fleet
+// sessions through the serve engine.
+func (s *session) features(fv map[string]float64) {
+	for k := range fv {
+		delete(fv, k)
+	}
+	sess := (s.t - s.sc.Arrival).Seconds()
+	// Throughput over session time: the testbed's paced progressive
+	// flow stays open for the whole session, so its flow-duration
+	// denominator is session time, not download-active time.
+	fv["mobile.tcp_s2c_throughput_bps"] = safeDiv(s.downBits, sess)
+	fv["mobile.tcp_s2c_rtt_ms_avg"] = safeDiv(s.rttSum, s.rttDur)
+	fv["mobile.tcp_s2c_retrans_pkts"] = s.retransPkt
+	fv["mobile.tcp_first_data_delay_s"] = 2.5*s.rttMS/1e3 + 0.3*s.sc.ServerLoad
+	fv["mobile.hw_cpu_pct_avg"] = safeDiv(s.cpuSum, s.cpuDur)
+	fv["mobile.wlan0_nic_rssi_dbm_avg"] = safeDiv(s.rssiSum, s.rssiDur)
+	fv["mobile.wlan0_nic_retries"] = s.retries
+	fv["mobile.app_startup_delay_s"] = s.startup.Seconds()
+	fv["mobile.app_stall_ratio"] = safeDiv(s.stallTime.Seconds(), sess)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func clamp01f(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

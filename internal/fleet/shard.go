@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"strconv"
+	"time"
+
+	"vqprobe/internal/serve"
+)
+
+// shardEvent is one pending wake-up of a live session slot.
+type shardEvent struct {
+	at   int64 // time.Duration, kept raw for compact comparisons
+	slot int32
+}
+
+// eventHeap is a hand-rolled binary min-heap over shardEvents —
+// container/heap would box every Push/Pop through an interface, and at
+// tens of events per session across a million sessions that garbage
+// dominates the run. Ordering is by time with slot as the tie-break,
+// so pop order is fully deterministic.
+type eventHeap []shardEvent
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].slot < h[j].slot
+}
+
+func (h *eventHeap) push(e shardEvent) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() shardEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.less(l, s) {
+			s = l
+		}
+		if r < n && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
+}
+
+// shard is one event loop of the fleet: it owns MaxLive pooled session
+// slots, a wake-up heap multiplexing the live set, and its private
+// aggregation state. Shard s simulates every session index i with
+// i % Shards == s; because session outcomes are index-pure, the shard
+// is an independent unit of work and shards can execute on any worker
+// in any order without changing a single bit of the merged summary.
+type shard struct {
+	id    int
+	cfg   *Config
+	agg   *Aggregator
+	slots []session
+	free  []int32
+	heap  eventHeap
+
+	// engine-feeding batch buffers (nil engine leaves them unused)
+	batchReqs []serve.Request
+	batchSums []SessionSummary
+	batchMaps []map[string]float64
+
+	maxLive   int // high-water mark of concurrently live sessions
+	completed uint64
+}
+
+func newShard(id int, cfg *Config) *shard {
+	s := &shard{
+		id:    id,
+		cfg:   cfg,
+		agg:   NewAggregator(cfg.Horizon, cfg.Window),
+		slots: make([]session, cfg.MaxLive),
+		free:  make([]int32, 0, cfg.MaxLive),
+		heap:  make(eventHeap, 0, cfg.MaxLive),
+	}
+	for i := cfg.MaxLive - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	if cfg.Engine != nil {
+		n := cfg.DiagBatch
+		s.batchReqs = make([]serve.Request, 0, n)
+		s.batchSums = make([]SessionSummary, 0, n)
+		s.batchMaps = make([]map[string]float64, n)
+		for i := range s.batchMaps {
+			s.batchMaps[i] = make(map[string]float64, 12)
+		}
+	}
+	return s
+}
+
+// run simulates every session of this shard. Admission is by index
+// order whenever a pooled slot is free; since sessions are independent
+// this changes nothing about any session's outcome, it only bounds how
+// many are in flight (memory O(MaxLive)).
+func (s *shard) run() {
+	next := uint64(s.id) // next session index owned by this shard
+	total := uint64(s.cfg.Sessions)
+	stride := uint64(s.cfg.Shards)
+	live := 0
+	for {
+		for len(s.free) > 0 && next < total {
+			slot := s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			sess := &s.slots[slot]
+			sess.reset(s.cfg, next)
+			s.heap.push(shardEvent{at: int64(sess.firstEvent()), slot: slot})
+			next += stride
+			live++
+			if live > s.maxLive {
+				s.maxLive = live
+			}
+		}
+		if len(s.heap) == 0 {
+			break
+		}
+		ev := s.heap.pop()
+		sess := &s.slots[ev.slot]
+		if at := sess.step(time.Duration(ev.at)); at > 0 {
+			s.heap.push(shardEvent{at: int64(at), slot: ev.slot})
+			continue
+		}
+		s.retire(ev.slot)
+		s.free = append(s.free, ev.slot)
+		live--
+	}
+	s.flushDiag()
+}
+
+// retire summarizes a finished slot and feeds it to the aggregator —
+// directly, or through the serve engine's diagnosis batch when a model
+// is attached.
+func (s *shard) retire(slot int32) {
+	sess := &s.slots[slot]
+	s.completed++
+	if s.cfg.Engine == nil {
+		var sum SessionSummary
+		sess.summarize(&sum)
+		s.agg.Observe(&sum, false)
+		if s.cfg.Progress != nil {
+			s.cfg.Progress(1)
+		}
+		return
+	}
+	i := len(s.batchReqs)
+	fv := s.batchMaps[i]
+	sess.features(fv)
+	var sum SessionSummary
+	sess.summarize(&sum)
+	s.batchReqs = append(s.batchReqs, serve.Request{
+		ID:       strconv.FormatUint(sum.Index, 10),
+		Features: fv,
+	})
+	s.batchSums = append(s.batchSums, sum)
+	if len(s.batchReqs) == cap(s.batchReqs) {
+		s.flushDiag()
+	}
+}
+
+// flushDiag sends the pending batch through the engine and aggregates
+// the diagnosed summaries. Results land per-index, so batch contents
+// and engine sharding cannot reorder anything observable.
+func (s *shard) flushDiag() {
+	if s.cfg.Engine == nil || len(s.batchReqs) == 0 {
+		return
+	}
+	results := s.cfg.Engine.DiagnoseBatch(s.batchReqs)
+	for i := range results {
+		sum := &s.batchSums[i]
+		if results[i].Err == "" {
+			sum.Cause = CauseIndex(results[i].Cause)
+		} else {
+			sum.Cause = CauseUnknown
+		}
+		s.agg.Observe(sum, true)
+	}
+	if s.cfg.Progress != nil {
+		s.cfg.Progress(len(s.batchReqs))
+	}
+	s.batchReqs = s.batchReqs[:0]
+	s.batchSums = s.batchSums[:0]
+}

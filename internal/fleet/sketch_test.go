@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func fillHist(h *Hist, seed int64, n int) {
+	rng := newSessionRand(seed)
+	for i := 0; i < n; i++ {
+		h.Add(rng.Float64() * 10)
+	}
+}
+
+// Sketch merges must be exact and order-independent: integer bin
+// counts make A+(B+C) == (C+A)+B bit for bit, which is what lets the
+// fleet merge shard aggregates in any order without changing a byte.
+func TestHistMergeOrderInvariance(t *testing.T) {
+	edges := LinearEdges(0, 10, 20)
+	parts := make([]*Hist, 4)
+	for i := range parts {
+		parts[i] = NewHist(edges)
+		fillHist(parts[i], int64(i+1), 500+i*37)
+	}
+
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+	}
+	var ref *Hist
+	for _, ord := range orders {
+		m := NewHist(edges)
+		for _, i := range ord {
+			m.Merge(parts[i])
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		if !reflect.DeepEqual(ref, m) {
+			t.Fatalf("merge order %v changed the sketch", ord)
+		}
+		var a, b strings.Builder
+		ref.appendTo(&a, "h", "")
+		m.appendTo(&b, "h", "")
+		if a.String() != b.String() {
+			t.Fatalf("merge order %v changed the rendered bytes", ord)
+		}
+	}
+	var want uint64
+	for _, p := range parts {
+		want += p.N
+	}
+	if ref.N != want {
+		t.Fatalf("merged N = %d, want %d", ref.N, want)
+	}
+}
+
+func TestHistMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched edge sets did not panic")
+		}
+	}()
+	NewHist(LinearEdges(0, 1, 4)).Merge(NewHist(LinearEdges(0, 1, 8)))
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(LinearEdges(0, 100, 100))
+	for v := 0.5; v < 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Fatalf("p50 = %v, want ~50", q)
+	}
+	if q := h.Quantile(0); q < h.Min || q > h.Max {
+		t.Fatalf("p0 = %v outside observed [%v, %v]", q, h.Min, h.Max)
+	}
+	if q := h.Quantile(1); q > h.Max {
+		t.Fatalf("p100 = %v above observed max %v", q, h.Max)
+	}
+	// Quantiles clamp to the observed range even when the bins are
+	// much wider than the data.
+	one := NewHist(LinearEdges(0, 100, 2))
+	one.Add(7)
+	if q := one.Quantile(0.99); q != 7 {
+		t.Fatalf("single-sample p99 = %v, want 7", q)
+	}
+}
+
+func TestHistAddDropsNaNAndClamps(t *testing.T) {
+	h := NewHist(LinearEdges(0, 1, 4))
+	h.Add(math.NaN())
+	if h.N != 0 {
+		t.Fatal("NaN was counted")
+	}
+	h.Add(-5) // below the first edge: clamps into the underflow bin
+	h.Add(99) // above the last edge: clamps into the overflow bin
+	if h.N != 2 {
+		t.Fatalf("N = %d, want 2", h.N)
+	}
+	if h.Min != -5 || h.Max != 99 {
+		t.Fatalf("min/max = %v/%v, want -5/99", h.Min, h.Max)
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := NewHist(LinearEdges(0, 1, 4))
+	fillHist(h, 1, 100)
+	h.Reset()
+	if h.N != 0 || h.Sum != 0 {
+		t.Fatalf("reset left N=%d Sum=%v", h.N, h.Sum)
+	}
+	for _, c := range h.Counts {
+		if c != 0 {
+			t.Fatal("reset left a non-zero bin")
+		}
+	}
+}
+
+func TestEdgesMonotonic(t *testing.T) {
+	for name, edges := range map[string][]float64{
+		"linear":  LinearEdges(0, 10, 16),
+		"log":     LogEdges(0.2, 60, 24),
+		"startup": startupEdges,
+		"stall":   stallRatioEdges,
+		"mos":     mosEdges,
+	} {
+		for i := 1; i < len(edges); i++ {
+			if !(edges[i] > edges[i-1]) {
+				t.Fatalf("%s edges not strictly increasing at %d: %v <= %v",
+					name, i, edges[i], edges[i-1])
+			}
+		}
+	}
+}

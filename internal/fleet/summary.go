@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"vqprobe/internal/qoe"
+)
+
+// SessionSummary is the fixed-size record one finished session leaves
+// behind — the fleet analogue of the `viewer_playback_events` →
+// session-summary rollup: everything downstream analytics need, nothing
+// that grows with session length. Event logs, traces and feature maps
+// die with the pooled session state.
+type SessionSummary struct {
+	Index      uint64
+	Fault      qoe.Fault
+	Severity   qoe.Severity
+	Cause      uint8 // root-cause class, index into CauseClasses
+	Abandoned  bool
+	Completed  bool
+	ArrivalSec float32
+	StartupSec float32
+	Stalls     uint32
+	StallSec   float32
+	StallRatio float32 // stall time / session time
+	PlayedSec  float32
+	SessionSec float32
+	MOS        float32
+	Bytes      uint64
+}
+
+// nFaults is the size of the qoe fault catalogue; array sizes need a
+// constant. An init check below keeps it honest against qoe.Faults.
+const nFaults = 7
+
+// Root-cause class indices: 0 is a healthy session, 1..nFaults follow
+// the qoe.Faults catalogue order, and the last class is a degraded
+// session with no attributable cause.
+const (
+	CauseGood    uint8 = 0
+	CauseUnknown uint8 = nFaults + 1
+	nCauses            = nFaults + 2
+)
+
+func init() {
+	if len(qoe.Faults) != nFaults {
+		panic("fleet: nFaults out of sync with qoe.Faults")
+	}
+}
+
+// CauseClasses enumerates the root-cause taxonomy in index order.
+func CauseClasses() []string {
+	out := make([]string, 0, nCauses)
+	out = append(out, "good")
+	for _, f := range qoe.Faults {
+		out = append(out, f.String())
+	}
+	return append(out, "unknown")
+}
+
+// CauseIndex maps a cause name (a qoe.Fault string, "good", or
+// anything else → unknown) to its class index.
+func CauseIndex(name string) uint8 {
+	if name == "good" {
+		return CauseGood
+	}
+	for i, f := range qoe.Faults {
+		if f.String() == name {
+			return uint8(i + 1)
+		}
+	}
+	return CauseUnknown
+}
+
+// TrueCause derives the ground-truth root-cause class of a summary:
+// healthy sessions are "good" regardless of any latent fault (the
+// fault didn't bite), degraded sessions attribute to the induced fault,
+// and degraded sessions without one are "unknown" — the same
+// conflation rule as testbed.LocationLabel.
+func (s *SessionSummary) TrueCause() uint8 {
+	if s.Severity == qoe.Good {
+		return CauseGood
+	}
+	if s.Fault == qoe.FaultNone {
+		return CauseUnknown
+	}
+	return CauseIndex(s.Fault.String())
+}
+
+// Histogram edge sets shared by every window (Hist retains, never
+// mutates, the edge slice).
+var (
+	startupEdges    = LogEdges(0.2, 60, 24)    // seconds
+	stallRatioEdges = LinearEdges(0, 0.8, 16)  // fraction of session time
+	mosEdges        = LinearEdges(1, 4.25, 13) // MOS scale, ~0.25 wide bins
+)
+
+// WindowSummary aggregates the sessions whose arrival fell in one
+// tumbling window of the fleet's virtual clock. All state is either an
+// integer counter or a fixed-bin Hist, so merging windows across shards
+// is exact and order-independent.
+type WindowSummary struct {
+	Sessions   uint64              `json:"sessions"`
+	Abandoned  uint64              `json:"abandoned"`
+	Completed  uint64              `json:"completed"`
+	BySeverity [3]uint64           `json:"by_severity"` // good/mild/severe
+	ByFault    [nFaults + 1]uint64 `json:"by_fault"`    // ground truth, qoe.Fault order (0 = none)
+	ByCause    [nCauses]uint64     `json:"by_cause"`    // diagnosed root cause
+	DiagTotal  uint64              `json:"diag_total"`  // sessions diagnosed by a model
+	DiagMatch  uint64              `json:"diag_match"`  // ... whose verdict matched ground truth
+	Startup    *Hist               `json:"startup_s"`
+	StallRatio *Hist               `json:"stall_ratio"`
+	MOS        *Hist               `json:"mos"`
+}
+
+func newWindowSummary() WindowSummary {
+	return WindowSummary{
+		Startup:    NewHist(startupEdges),
+		StallRatio: NewHist(stallRatioEdges),
+		MOS:        NewHist(mosEdges),
+	}
+}
+
+// observe folds one session summary into the window.
+func (w *WindowSummary) observe(s *SessionSummary, diagnosed bool) {
+	w.Sessions++
+	if s.Abandoned {
+		w.Abandoned++
+	}
+	if s.Completed {
+		w.Completed++
+	}
+	w.BySeverity[s.Severity]++
+	w.ByFault[s.Fault]++
+	w.ByCause[s.Cause]++
+	if diagnosed {
+		w.DiagTotal++
+		if s.Cause == s.TrueCause() {
+			w.DiagMatch++
+		}
+	}
+	w.Startup.Add(float64(s.StartupSec))
+	w.StallRatio.Add(float64(s.StallRatio))
+	w.MOS.Add(float64(s.MOS))
+}
+
+// merge adds o into w (exact: integer counters and shared-edge hists).
+func (w *WindowSummary) merge(o *WindowSummary) {
+	w.Sessions += o.Sessions
+	w.Abandoned += o.Abandoned
+	w.Completed += o.Completed
+	for i := range w.BySeverity {
+		w.BySeverity[i] += o.BySeverity[i]
+	}
+	for i := range w.ByFault {
+		w.ByFault[i] += o.ByFault[i]
+	}
+	for i := range w.ByCause {
+		w.ByCause[i] += o.ByCause[i]
+	}
+	w.DiagTotal += o.DiagTotal
+	w.DiagMatch += o.DiagMatch
+	w.Startup.Merge(o.Startup)
+	w.StallRatio.Merge(o.StallRatio)
+	w.MOS.Merge(o.MOS)
+}
+
+// Aggregator is one shard's streaming aggregation state: a fixed array
+// of tumbling windows plus an all-sessions rollup. Its memory is
+// O(windows × bins), set entirely by the horizon/window configuration —
+// independent of how many sessions flow through it.
+type Aggregator struct {
+	window  time.Duration
+	Total   WindowSummary
+	Windows []WindowSummary
+}
+
+// NewAggregator sizes the window array for the horizon.
+func NewAggregator(horizon, window time.Duration) *Aggregator {
+	n := int((horizon + window - 1) / window)
+	if n < 1 {
+		n = 1
+	}
+	a := &Aggregator{window: window, Total: newWindowSummary()}
+	a.Windows = make([]WindowSummary, n)
+	for i := range a.Windows {
+		a.Windows[i] = newWindowSummary()
+	}
+	return a
+}
+
+// Observe folds one finished session into its arrival window and the
+// total rollup.
+func (a *Aggregator) Observe(s *SessionSummary, diagnosed bool) {
+	i := int(time.Duration(float64(time.Second)*float64(s.ArrivalSec)) / a.window)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(a.Windows) {
+		i = len(a.Windows) - 1
+	}
+	a.Windows[i].observe(s, diagnosed)
+	a.Total.observe(s, diagnosed)
+}
+
+// Merge folds another aggregator (same horizon/window shape) into a.
+func (a *Aggregator) Merge(o *Aggregator) {
+	if len(a.Windows) != len(o.Windows) {
+		panic("fleet: merging aggregators with different window counts")
+	}
+	a.Total.merge(&o.Total)
+	for i := range a.Windows {
+		a.Windows[i].merge(&o.Windows[i])
+	}
+}
+
+// FleetSummary is the final artifact of a fleet run.
+type FleetSummary struct {
+	Seed      int64           `json:"seed"`
+	Sessions  uint64          `json:"sessions"`
+	Shards    int             `json:"shards"`
+	Horizon   time.Duration   `json:"horizon_ns"`
+	Window    time.Duration   `json:"window_ns"`
+	ModelTask string          `json:"model_task,omitempty"`
+	Total     WindowSummary   `json:"total"`
+	Windows   []WindowSummary `json:"windows"`
+}
+
+// EncodeJSON renders the summary as deterministic JSON: the struct has
+// no maps, so field order and therefore bytes are fixed for a given
+// run's inputs.
+func (f *FleetSummary) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", " ")
+}
+
+// EncodeText renders the human-readable fleet report. The encoding is
+// byte-stable for identical summaries (fixed iteration order, fixed
+// float formats) — the determinism tests compare these bytes across
+// worker counts.
+func (f *FleetSummary) EncodeText() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: sessions=%d seed=%d shards=%d horizon=%v window=%v\n",
+		f.Sessions, f.Seed, f.Shards, f.Horizon, f.Window)
+	t := &f.Total
+	fmt.Fprintf(&b, "outcome: completed=%d abandoned=%d good=%d mild=%d severe=%d\n",
+		t.Completed, t.Abandoned, t.BySeverity[0], t.BySeverity[1], t.BySeverity[2])
+	t.Startup.appendTo(&b, "startup", "s")
+	t.StallRatio.appendTo(&b, "stall_ratio", "")
+	t.MOS.appendTo(&b, "mos", "")
+	b.WriteString("by fault class (ground truth):\n")
+	fmt.Fprintf(&b, "  %-12s %d\n", "none", t.ByFault[qoe.FaultNone])
+	for _, fc := range qoe.Faults {
+		fmt.Fprintf(&b, "  %-12s %d\n", fc.String(), t.ByFault[fc])
+	}
+	b.WriteString("by root cause (diagnosed):\n")
+	for i, name := range CauseClasses() {
+		fmt.Fprintf(&b, "  %-12s %d\n", name, t.ByCause[i])
+	}
+	if t.DiagTotal > 0 {
+		fmt.Fprintf(&b, "diagnosis: model=%s total=%d match=%d accuracy=%.4f\n",
+			f.ModelTask, t.DiagTotal, t.DiagMatch, float64(t.DiagMatch)/float64(t.DiagTotal))
+	}
+	b.WriteString("windows (non-empty):\n")
+	for i := range f.Windows {
+		w := &f.Windows[i]
+		if w.Sessions == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  [%4d] t=%-8v n=%-8d good=%-8d mild=%-7d severe=%-7d p50_mos=%.3f p95_startup=%.3fs p95_stall=%.4f\n",
+			i, time.Duration(i)*f.Window, w.Sessions, w.BySeverity[0], w.BySeverity[1], w.BySeverity[2],
+			w.MOS.Quantile(0.50), w.Startup.Quantile(0.95), w.StallRatio.Quantile(0.95))
+	}
+	return []byte(b.String())
+}

@@ -171,7 +171,22 @@ func (vp *VantagePoint) Meter() *FlowMeter { return vp.meter }
 // flow. Feature names are flat (tcp_*, hw_*, <label>_nic_*); the caller
 // prefixes them with the VP name when combining vantage points.
 func (vp *VantagePoint) Record(flow simnet.FlowKey) metrics.Vector {
-	v := metrics.Vector{}
+	return vp.RecordInto(flow, nil)
+}
+
+// RecordInto is Record writing into a caller-supplied vector, which is
+// cleared first; a nil vector allocates a fresh one. Pooled session
+// runners (testbed.Runner, the vqfleet full-fidelity path) pass the
+// previous session's vector back in to keep the per-session record
+// path allocation-free.
+func (vp *VantagePoint) RecordInto(flow simnet.FlowKey, v metrics.Vector) metrics.Vector {
+	if v == nil {
+		v = metrics.Vector{}
+	} else {
+		for k := range v {
+			delete(v, k)
+		}
+	}
 	if fr := vp.meter.Flow(flow); fr != nil {
 		for k, val := range fr.Vector() {
 			v[k] = val

@@ -81,8 +81,41 @@ type SessionConfig struct {
 
 // RunSession builds a fresh topology, injects the fault, streams one
 // video and collects all records. Each session is its own simulation,
-// so sessions are independent and parallelizable.
+// so sessions are independent and parallelizable. Every returned
+// buffer is freshly allocated; loops running many sessions should use
+// a Runner, which reuses the result-assembly buffers between runs.
 func RunSession(cfg SessionConfig) SessionResult {
+	return runSession(cfg, nil)
+}
+
+// Runner runs sessions back to back, reusing the per-session
+// result-assembly buffers (vantage-point record vectors, the records
+// and context maps) between runs — the cheap path shared by
+// `vqsim -sessions` and the vqfleet full-fidelity mode. The returned
+// SessionResult aliases the Runner's buffers: consume or copy it
+// before the next Run. The simulation world itself (topology, TCP
+// state, player) is still rebuilt per session — sessions stay fully
+// independent; the Runner only removes the result-path churn.
+type Runner struct {
+	records map[string]metrics.Vector
+	context map[string]string
+}
+
+// NewRunner returns a Runner with empty reusable buffers.
+func NewRunner() *Runner {
+	return &Runner{
+		records: make(map[string]metrics.Vector, 3),
+		context: make(map[string]string, 4),
+	}
+}
+
+// Run executes one session on the pooled path. See Runner for the
+// aliasing contract.
+func (r *Runner) Run(cfg SessionConfig) SessionResult {
+	return runSession(cfg, r)
+}
+
+func runSession(cfg SessionConfig, pool *Runner) SessionResult {
 	topo := Build(cfg.Opts)
 	sim := topo.Sim
 
@@ -128,27 +161,49 @@ func RunSession(cfg SessionConfig) SessionResult {
 	rep := player.Report()
 	mos := qoe.MOS(rep)
 	res := SessionResult{
-		Report:  rep,
-		MOS:     mos,
-		Label:   qoe.Label{Fault: cfg.Spec.Fault, Severity: qoe.SeverityOf(mos)},
-		Spec:    cfg.Spec,
-		Extra:   cfg.Extra,
-		Records: map[string]metrics.Vector{},
-		Context: map[string]string{
-			"wan":     cfg.Opts.WAN.String(),
-			"tech":    string(cfg.Opts.Tech),
-			"quality": string(clip.Quality),
-		},
+		Report: rep,
+		MOS:    mos,
+		Label:  qoe.Label{Fault: cfg.Spec.Fault, Severity: qoe.SeverityOf(mos)},
+		Spec:   cfg.Spec,
+		Extra:  cfg.Extra,
 	}
+	// Result assembly: fresh maps on the one-shot path, the Runner's
+	// reused buffers on the pooled path.
+	var mobileVec, routerVec, serverVec metrics.Vector
+	if pool != nil {
+		res.Records = pool.records
+		for k := range res.Records {
+			if k == "mobile" {
+				mobileVec = res.Records[k]
+			}
+			if k == "router" {
+				routerVec = res.Records[k]
+			}
+			if k == "server" {
+				serverVec = res.Records[k]
+			}
+			delete(res.Records, k)
+		}
+		res.Context = pool.context
+		for k := range res.Context {
+			delete(res.Context, k)
+		}
+	} else {
+		res.Records = map[string]metrics.Vector{}
+		res.Context = map[string]string{}
+	}
+	res.Context["wan"] = cfg.Opts.WAN.String()
+	res.Context["tech"] = string(cfg.Opts.Tech)
+	res.Context["quality"] = string(clip.Quality)
 	res.Timeline = player.Events()
 	res.Trace = tracer
 	flow := player.Flow()
-	res.Records["mobile"] = topo.Mobile.Record(flow)
+	res.Records["mobile"] = topo.Mobile.RecordInto(flow, mobileVec)
 	if topo.Router != nil {
-		res.Records["router"] = topo.Router.Record(flow)
+		res.Records["router"] = topo.Router.RecordInto(flow, routerVec)
 	}
 	if topo.SrvVP != nil {
-		res.Records["server"] = topo.SrvVP.Record(flow)
+		res.Records["server"] = topo.SrvVP.RecordInto(flow, serverVec)
 	}
 	return res
 }

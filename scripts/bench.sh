@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# bench.sh — training-path performance harness.
+# bench.sh — training-path and fleet performance harness.
 #
 #   scripts/bench.sh run     full-length benchmark run; rewrites the
-#                            committed baseline reports/BENCH_PR3.json
+#                            committed baselines reports/BENCH_PR3.json
+#                            (training path) and reports/BENCH_PR6.json
+#                            (fleet sessions/sec)
 #   scripts/bench.sh check   quick run compared against the committed
-#                            baseline; fails on a gross regression
+#                            baselines; fails on a gross regression
 #                            (the CI smoke guard)
 #
-# The benchmark set covers the training hot path this baseline tracks:
-# feature construction, FCBF selection, C4.5 tree building, prediction,
-# and 10-fold cross-validation.
+# The training benchmark set covers feature construction, FCBF
+# selection, C4.5 tree building, prediction, and 10-fold
+# cross-validation. The fleet benchmark runs one b.N-session fleet so
+# ns/op is ns per simulated session; bench_report.py derives the
+# sessions/sec figure recorded in the baseline (see
+# docs/PERFORMANCE.md for the methodology).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES='BenchmarkFeatureConstruction|BenchmarkFCBFSelection|BenchmarkC45Training|BenchmarkC45Prediction|BenchmarkCrossValidation'
 BASELINE=reports/BENCH_PR3.json
+FLEET_BENCH='BenchmarkFleetSessions'
+FLEET_BASELINE=reports/BENCH_PR6.json
 MODE="${1:-run}"
 
 run_bench() { # $1: -benchtime value
   go test -run '^$' -bench "^(${BENCHES})\$" -benchmem -benchtime "$1" .
+}
+
+run_fleet_bench() { # $1: -benchtime value (use a fixed Nx: one iteration = one session)
+  go test -run '^$' -bench "^${FLEET_BENCH}\$" -benchmem -benchtime "$1" ./internal/fleet/
 }
 
 case "$MODE" in
@@ -27,12 +38,23 @@ run)
   printf '%s\n' "$out"
   printf '%s\n' "$out" | python3 scripts/bench_report.py parse >"$BASELINE"
   echo "wrote $BASELINE"
+  fleet_out="$(run_fleet_bench 200000x)"
+  printf '%s\n' "$fleet_out"
+  printf '%s\n' "$fleet_out" | python3 scripts/bench_report.py parse >"$FLEET_BASELINE"
+  echo "wrote $FLEET_BASELINE"
   ;;
 check)
-  out="$(run_bench 5x)"
+  # 100x: enough iterations to keep the sub-µs benches out of warmup
+  # noise (5x flaked BenchmarkC45Prediction past the 4x guard) while
+  # staying a quick smoke.
+  out="$(run_bench 100x)"
   printf '%s\n' "$out"
   printf '%s\n' "$out" | python3 scripts/bench_report.py parse |
     python3 scripts/bench_report.py compare "$BASELINE"
+  fleet_out="$(run_fleet_bench 20000x)"
+  printf '%s\n' "$fleet_out"
+  printf '%s\n' "$fleet_out" | python3 scripts/bench_report.py parse |
+    python3 scripts/bench_report.py compare "$FLEET_BASELINE"
   ;;
 *)
   echo "usage: scripts/bench.sh [run|check]" >&2

@@ -27,11 +27,17 @@ def parse(stream):
     for line in stream:
         m = LINE.match(line)
         if m:
-            out[m.group(1)] = {
+            entry = {
                 "ns_op": float(m.group(2)),
                 "b_op": float(m.group(3)),
                 "allocs_op": float(m.group(4)),
             }
+            # The fleet benchmark runs one b.N-session fleet, so ns/op
+            # is ns per simulated session — record the headline
+            # throughput figure alongside it.
+            if m.group(1) == "BenchmarkFleetSessions" and entry["ns_op"] > 0:
+                entry["sessions_per_sec"] = round(1e9 / entry["ns_op"], 1)
+            out[m.group(1)] = entry
     return out
 
 
@@ -65,7 +71,7 @@ def main():
                     f"{base['allocs_op']:.0f} (> {ALLOC_TOLERANCE}x)"
                 )
         if failures:
-            print("benchmark regression vs reports/BENCH_PR3.json:", file=sys.stderr)
+            print(f"benchmark regression vs {sys.argv[2]}:", file=sys.stderr)
             for f in failures:
                 print("  " + f, file=sys.stderr)
             sys.exit(1)

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — CI smoke for the fleet simulator (docs/FLEET.md).
+#
+# Asserts the two load-bearing vqfleet guarantees on a real binary:
+#
+#   determinism     a 50k-session fleet produces byte-identical summary
+#                   files for workers 1/2/8, on a race-instrumented
+#                   build (so the scheduler actually interleaves shards
+#                   differently run to run)
+#   bounded memory  peak RSS is set by shards × maxlive pooled slots,
+#                   not by -sessions: a 20x session-count spread must
+#                   not move the high-water mark materially
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SESSIONS="${FLEET_SMOKE_SESSIONS:-50000}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== determinism: identical summary bytes for workers 1/2/8 (race build) =="
+go build -race -o "$tmp/vqfleet.race" ./cmd/vqfleet
+for w in 1 2 8; do
+  "$tmp/vqfleet.race" -sessions "$SESSIONS" -workers "$w" -quiet -o "$tmp/w$w.txt"
+done
+cmp "$tmp/w1.txt" "$tmp/w2.txt"
+cmp "$tmp/w1.txt" "$tmp/w8.txt"
+echo "ok: $SESSIONS sessions, byte-identical for any worker count"
+
+echo "== bounded memory: peak RSS independent of session count =="
+go build -o "$tmp/vqfleet" ./cmd/vqfleet
+peak_rss() { # $@: command; echoes peak VmHWM in kB
+  "$@" &
+  local pid=$! peak=0 v
+  while kill -0 "$pid" 2>/dev/null; do
+    v="$(awk '/VmHWM/{print $2}' "/proc/$pid/status" 2>/dev/null || true)"
+    if [ -n "${v:-}" ] && [ "$v" -gt "$peak" ]; then peak="$v"; fi
+    sleep 0.02
+  done
+  wait "$pid"
+  echo "$peak"
+}
+small="$(peak_rss "$tmp/vqfleet" -sessions 10000 -quiet -o "$tmp/small.txt")"
+big=$((SESSIONS * 4))
+large="$(peak_rss "$tmp/vqfleet" -sessions "$big" -quiet -o "$tmp/large.txt")"
+echo "peak RSS: ${small}kB @ 10000 sessions, ${large}kB @ $big sessions"
+# Allow 1.5x + 16MB of slack for GC timing; real leakage of per-session
+# state at 20x the sessions dwarfs that immediately.
+if [ "$large" -gt $((small * 3 / 2 + 16384)) ]; then
+  echo "FAIL: peak RSS grew with session count" >&2
+  exit 1
+fi
+echo "ok: peak RSS flat across a $((big / 10000))x session-count spread"
