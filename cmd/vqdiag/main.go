@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
 	"vqprobe/internal/serve"
@@ -52,8 +53,13 @@ func main() {
 		strict    = flag.Bool("strict", false, "fail if any model feature is absent from the CSV header")
 		explain   = flag.Bool("explain", false, "print the decision rule behind each prediction")
 		logFmt    = flag.String("log-format", "text", "diagnostic log format: text or json")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqdiag")
+		return
+	}
 	switch *logFmt {
 	case "json":
 		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))

@@ -11,20 +11,31 @@
 //	vqfleet [-sessions 1000000] [-seed 1] [-workers 0] [-shards 8]
 //	        [-horizon 1h] [-window 1m] [-maxlive 4096]
 //	        [-fault-prob 0.30] [-fault wan_cong|...|none]
+//	        [-fault-step-at 30m] [-fault-step-prob 0.9] [-drift]
 //	        [-fidelity fast|full] [-model model.json]
 //	        [-json] [-o fleet.txt] [-quiet]
 //	vqfleet -replay 123456 [same scenario flags]
+//
+// -fault-step-at injects a mid-run incident: sessions arriving past the
+// offset carry faults with probability -fault-step-prob instead of
+// -fault-prob. -drift runs the obs cause-mix drift detector over the
+// windowed summary afterwards and prints the detected shift windows —
+// with a fault step, exactly one event at the step window. Progress
+// reporting is sampled from an obs telemetry plane (sessions retired,
+// sessions/sec, ETA); -quiet silences it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync/atomic"
 	"time"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/fleet"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/obs"
 	"vqprobe/internal/qoe"
 	"vqprobe/internal/serve"
 )
@@ -40,25 +51,35 @@ func main() {
 		maxLive   = flag.Int("maxlive", 4096, "pooled live-session slots per shard (memory bound)")
 		faultProb = flag.Float64("fault-prob", 0.30, "probability a session carries an induced fault")
 		faultName = flag.String("fault", "", "pin all faulty sessions to one fault class (default: natural mix)")
+		stepAt    = flag.Duration("fault-step-at", 0, "step the fault probability for arrivals at/after this horizon offset (0 = off)")
+		stepProb  = flag.Float64("fault-step-prob", 0.9, "fault probability after -fault-step-at")
+		driftOn   = flag.Bool("drift", false, "detect cause-mix drift across windows and print the events")
 		fidelity  = flag.String("fidelity", "fast", "fast = fluid session model; full = packet-level testbed (~1000x cost)")
 		modelPath = flag.String("model", "", "trained model: diagnose every session through the serve engine and score accuracy")
 		asJSON    = flag.Bool("json", false, "emit the fleet summary as JSON instead of text")
 		outPath   = flag.String("o", "", "write the summary to a file instead of stdout")
 		quiet     = flag.Bool("quiet", false, "suppress progress reporting on stderr")
 		replay    = flag.Int64("replay", -1, "re-simulate one session index in isolation and print it")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqfleet")
+		return
+	}
 
 	cfg := fleet.Config{
-		Sessions:  *sessions,
-		Seed:      *seed,
-		Workers:   *workers,
-		Shards:    *shards,
-		Horizon:   *horizon,
-		Window:    *window,
-		MaxLive:   *maxLive,
-		FaultProb: *faultProb,
-		Full:      *fidelity == "full",
+		Sessions:      *sessions,
+		Seed:          *seed,
+		Workers:       *workers,
+		Shards:        *shards,
+		Horizon:       *horizon,
+		Window:        *window,
+		MaxLive:       *maxLive,
+		FaultProb:     *faultProb,
+		FaultStepAt:   *stepAt,
+		FaultStepProb: *stepProb,
+		Full:          *fidelity == "full",
 	}
 	if *fidelity != "fast" && *fidelity != "full" {
 		fmt.Fprintf(os.Stderr, "vqfleet: unknown -fidelity %q (want fast or full)\n", *fidelity)
@@ -103,23 +124,31 @@ func main() {
 		return
 	}
 
-	var done atomic.Int64
+	// Progress reporting rides the obs telemetry plane: retired sessions
+	// land in a counter, a wall-clock sampler rings it, and each sample
+	// prints throughput and ETA derived from the ring history.
 	if !*quiet {
-		cfg.Progress = func(n int) { done.Add(int64(n)) }
+		preg := metrics.NewRegistry()
+		retired := preg.Counter("vqfleet_sessions_total", "sessions retired")
+		cfg.Progress = func(n int) { retired.Add(uint64(n)) }
+		total := float64(*sessions)
+		plane := obs.New(obs.Config{
+			Registry: preg,
+			Capacity: 64,
+			OnSample: func(p *obs.Plane, _ time.Duration) {
+				done, _ := p.Last("vqfleet_sessions_total")
+				rate := p.Rate("vqfleet_sessions_total", 10*time.Second)
+				eta := "?"
+				if rate > 0 && done < total {
+					eta = time.Duration(float64(time.Second) * (total - done) / rate).Round(time.Second).String()
+				}
+				fmt.Fprintf(os.Stderr, "vqfleet: %.0f/%d sessions (%.0f/sec, ETA %s)\n",
+					done, *sessions, rate, eta)
+			},
+		})
 		stop := make(chan struct{})
 		defer close(stop)
-		go func() {
-			tick := time.NewTicker(2 * time.Second)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					fmt.Fprintf(os.Stderr, "vqfleet: %d/%d sessions\n", done.Load(), *sessions)
-				}
-			}
-		}()
+		go plane.RunWall(2*time.Second, stop)
 	}
 
 	start := time.Now()
@@ -145,6 +174,16 @@ func main() {
 		}
 	} else {
 		os.Stdout.Write(out)
+	}
+	if *driftOn {
+		events := fleet.CauseDrift(sum, obs.DriftConfig{})
+		if len(events) == 0 {
+			fmt.Println("drift: none detected")
+		}
+		for _, ev := range events {
+			fmt.Printf("drift: window %d (t=%v) jsd=%.4f top mover %s (%+.3f) over %d sessions\n",
+				ev.Window, time.Duration(ev.Window)**window, ev.JSD, ev.Cause, ev.Delta, ev.Sessions)
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "vqfleet: %d sessions in %v (%.0f sessions/sec, peak %d live/shard of %d slots)\n",

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 		out      = flag.String("out", "", "output path (default stdout)")
 		format   = flag.String("format", "csv", "output format: csv, arff (Weka) or json (raw sessions)")
 		stats    = flag.Bool("stats", false, "print label distribution to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqlab")
+		return
+	}
 
 	cfg := vqprobe.SimulationConfig{Sessions: *sessions, Seed: *seed}
 	var results []vqprobe.Session

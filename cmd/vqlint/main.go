@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/lint"
 )
 
@@ -46,6 +47,7 @@ func run(argv []string) int {
 		workers    = fs.Int("workers", 0, "parallel package analyses (0 = GOMAXPROCS)")
 		list       = fs.Bool("list", false, "list analyzers and exit")
 		showSupp   = fs.Bool("show-suppressed", false, "also print suppressed findings with their reasons (text format)")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: vqlint [flags] [packages]\n\npackages are module directories or dir/... patterns (default ./...)\n\n")
@@ -53,6 +55,10 @@ func run(argv []string) int {
 	}
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(os.Stdout, "vqlint")
+		return 0
 	}
 
 	analyzers := lint.All()

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/experiments"
 )
 
@@ -30,8 +31,13 @@ func main() {
 		paperScale = flag.Bool("paperscale", false, "use the paper's dataset sizes (3919/2619/3495)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		markdown   = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqreport")
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {

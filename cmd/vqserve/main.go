@@ -7,16 +7,26 @@
 //	vqserve -model model.json [-addr :8700] [-shards N] [-queue 256]
 //	        [-batch 32] [-policy block|shed] [-watch 10s]
 //	        [-log-format text|json] [-trace-buf 0] [-pprof-addr ""]
+//	        [-obs 2s] [-obs-cap 360] [-slo slo.json]
 //
 // Endpoints:
 //
 //	POST /diagnose     NDJSON batch, one {"id","features"} object per line
 //	                   (add "explain":true for the decision path + rule)
-//	GET  /healthz      liveness + model summary
+//	GET  /healthz      liveness + model summary + firing SLO alerts
 //	GET  /metrics      Prometheus text exposition (OpenMetrics with
 //	                   exemplar trace IDs via Accept negotiation)
+//	GET  /vars         obs telemetry snapshot: ring-store history with
+//	                   rates, windowed quantiles and SLO alert state
+//	GET  /dashboard    self-contained HTML dashboard polling /vars
 //	POST /-/reload     re-read -model and hot-swap it without downtime
 //	GET  /debug/trace  span ring-buffer dump (only with -trace-buf > 0)
+//
+// The obs telemetry plane samples every metric into a fixed ring store
+// each -obs interval and evaluates SLO burn-rate alerts (multi-window,
+// Google SRE workbook style). -slo names a JSON objective file (see
+// docs/OBSERVABILITY.md); without it the stock vqserve objectives
+// apply. -obs 0 disables the plane and its endpoints entirely.
 //
 // With -watch, the model file's mtime is polled and the model reloads
 // automatically when a retrainer overwrites it (continuous training).
@@ -41,6 +51,9 @@ import (
 	"time"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
+	"vqprobe/internal/metrics"
+	"vqprobe/internal/obs"
 	"vqprobe/internal/serve"
 	"vqprobe/internal/trace"
 )
@@ -86,8 +99,16 @@ func main() {
 		logFmt    = flag.String("log-format", "text", "log output format: text or json")
 		traceBuf  = flag.Int("trace-buf", 0, "span ring-buffer capacity; > 0 enables tracing and /debug/trace")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		obsEvery  = flag.Duration("obs", 2*time.Second, "telemetry plane sampling interval; 0 disables /vars, /dashboard and SLO alerts")
+		obsCap    = flag.Int("obs-cap", 360, "telemetry ring capacity in samples per series")
+		sloPath   = flag.String("slo", "", "SLO objectives JSON (default: built-in vqserve objectives)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqserve")
+		return
+	}
 	logger := newLogger(*logFmt)
 	slog.SetDefault(logger)
 
@@ -112,13 +133,46 @@ func main() {
 		logger.Error("loading model failed", "path", *modelPath, "err", err)
 		os.Exit(1)
 	}
+
+	// The obs telemetry plane shares the engine's registry: burn-rate
+	// gauges land next to the engine's own series and every counter the
+	// engine registers is ring-sampled.
+	var plane *obs.Plane
+	var alertsFunc func() any
+	reg := metrics.NewRegistry()
+	if *obsEvery > 0 {
+		slos := obs.DefaultServeSLOs()
+		if *sloPath != "" {
+			f, err := os.Open(*sloPath)
+			if err != nil {
+				logger.Error("opening SLO config failed", "path", *sloPath, "err", err)
+				os.Exit(1)
+			}
+			slos, err = obs.LoadSLOs(f)
+			f.Close()
+			if err != nil {
+				logger.Error("loading SLO config failed", "path", *sloPath, "err", err)
+				os.Exit(1)
+			}
+		}
+		plane = obs.New(obs.Config{
+			Registry: reg,
+			Capacity: *obsCap,
+			SLOs:     slos,
+			Logger:   logger,
+		})
+		alertsFunc = func() any { return plane.FiringAlerts() }
+	}
+
 	eng := serve.NewEngine(model, serve.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
 		MaxBatch:   *batch,
 		Policy:     pol,
+		Registry:   reg,
 		ReloadFunc: func() (*serve.Model, error) { return loadModel(*modelPath) },
 		Tracer:     tracer,
+		AlertsFunc: alertsFunc,
 	})
 	logger.Info("serving",
 		"task", model.Task(), "features", len(model.Schema()),
@@ -141,9 +195,20 @@ func main() {
 		go watchModel(eng, logger, *modelPath, *watch, stopWatch)
 	}
 
+	handler := eng.Handler()
+	if plane != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/vars", plane.VarsHandler())
+		mux.Handle("/dashboard", plane.DashboardHandler())
+		handler = mux
+		go plane.RunWall(*obsEvery, stopWatch)
+		logger.Info("obs plane sampling", "interval", *obsEvery, "capacity", *obsCap)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: accessLog(logger, tracer, eng.Handler()),
+		Handler: accessLog(logger, tracer, handler),
 		// Bound how long a slow (or malicious) client may dribble its
 		// request headers before tying up a connection.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/faults"
 	"vqprobe/internal/qoe"
 	"vqprobe/internal/testbed"
@@ -40,8 +41,13 @@ func main() {
 		duration  = flag.Duration("duration", 40*time.Second, "clip duration")
 		modelPath = flag.String("model", "", "optional trained model to diagnose the session")
 		sessions  = flag.Int("sessions", 1, "repeat the session N times (seeds seed..seed+N-1) via a pooled runner")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqsim")
+		return
+	}
 
 	fault := qoe.FaultNone
 	if *faultName != "none" {

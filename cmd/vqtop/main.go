@@ -1,0 +1,246 @@
+// Command vqtop is a terminal dashboard for a running vqprobe daemon:
+// it polls the obs telemetry plane and renders live rates, sparklines,
+// windowed latency quantiles and firing SLO alerts.
+//
+// Two sources:
+//
+//	-source vars     poll /vars (a vqserve with -obs, or anything
+//	                 serving obs snapshots) — full ring history per poll
+//	-source metrics  poll a bare /metrics Prometheus exposition and run
+//	                 a local obs plane over it — works against any
+//	                 vqprobe daemon, history accumulates client-side
+//
+// -once prints a single frame and exits (snapshot mode, CI-friendly);
+// otherwise the screen redraws every -interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vqprobe/internal/buildinfo"
+	"vqprobe/internal/obs"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8700", "daemon base URL")
+		source   = flag.String("source", "vars", "telemetry source: vars or metrics")
+		interval = flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+		once     = flag.Bool("once", false, "print one frame and exit")
+		width    = flag.Int("width", 32, "sparkline width in cells")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqtop")
+		return
+	}
+	if *source != "vars" && *source != "metrics" {
+		fmt.Fprintln(os.Stderr, "vqtop: -source must be vars or metrics")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	// metrics mode: a local plane accumulates scrape history client-side.
+	local := obs.New(obs.Config{Capacity: 360})
+	start := time.Now()
+
+	for {
+		snap, err := fetch(client, *url, *source, local, time.Since(start))
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqtop: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			render(os.Stdout, *url, snap, *width)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch produces the next snapshot from the configured source.
+func fetch(client *http.Client, base, source string, local *obs.Plane, now time.Duration) (*obs.Snapshot, error) {
+	if source == "vars" {
+		body, err := get(client, base+"/vars")
+		if err != nil {
+			return nil, err
+		}
+		return obs.DecodeSnapshot(body)
+	}
+	body, err := get(client, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	series, err := obs.ParsePromText(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	local.Ingest(now, series)
+	return local.Snapshot(), nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+}
+
+// render draws one frame: header, alerts, then counters, gauges and
+// histograms in sorted-name order (the snapshot is already sorted).
+func render(w io.Writer, base string, s *obs.Snapshot, width int) {
+	fmt.Fprintf(w, "vqtop  %s  t=%.1fs  %d series\n", base, float64(s.NowNS)/1e9, len(s.Series))
+	renderAlerts(w, s.Alerts)
+
+	var counters, gauges, hists []obs.Series
+	for _, sr := range s.Series {
+		switch sr.Kind {
+		case "counter":
+			counters = append(counters, sr)
+		case "gauge":
+			gauges = append(gauges, sr)
+		case "histogram":
+			hists = append(hists, sr)
+		}
+	}
+	nameW := 12
+	for _, sr := range s.Series {
+		if len(sr.Name) > nameW {
+			nameW = len(sr.Name)
+		}
+	}
+	if nameW > 56 {
+		nameW = 56
+	}
+
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "\n%-*s %12s  %s\n", nameW, "COUNTERS", "rate/s", "trend")
+		for _, sr := range counters {
+			fmt.Fprintf(w, "%-*s %12s  %s\n", nameW, clip(sr.Name, nameW),
+				num(lastOf(sr.Rate)), spark(sr.Rate, width))
+		}
+	}
+	if len(gauges) > 0 {
+		fmt.Fprintf(w, "\n%-*s %12s  %s\n", nameW, "GAUGES", "value", "trend")
+		for _, sr := range gauges {
+			fmt.Fprintf(w, "%-*s %12s  %s\n", nameW, clip(sr.Name, nameW),
+				num(lastOf(sr.V)), spark(sr.V, width))
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "\n%-*s %12s %10s %10s %10s  %s\n", nameW, "HISTOGRAMS",
+			"obs/s", "p50", "p95", "p99", "p99 trend")
+		for _, sr := range hists {
+			fmt.Fprintf(w, "%-*s %12s %10s %10s %10s  %s\n", nameW, clip(sr.Name, nameW),
+				num(lastOf(sr.Rate)), num(lastOf(sr.P50)), num(lastOf(sr.P95)),
+				num(lastOf(sr.P99)), spark(sr.P99, width))
+		}
+	}
+}
+
+func renderAlerts(w io.Writer, alerts []obs.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	sorted := append([]obs.Alert(nil), alerts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].State != sorted[j].State {
+			return sorted[i].State == "firing" // firing first
+		}
+		return sorted[i].SLO < sorted[j].SLO
+	})
+	fmt.Fprintf(w, "slo: ")
+	parts := make([]string, 0, len(sorted))
+	for _, a := range sorted {
+		state := "ok"
+		if a.State == "firing" {
+			state = "FIRING"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s burn=%s/%s",
+			a.SLO, state, num(a.BurnFast), num(a.BurnSlow)))
+	}
+	fmt.Fprintln(w, strings.Join(parts, "  |  "))
+}
+
+func lastOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}
+
+// num renders a value compactly: SI-ish for large, fixed for small.
+func num(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case v >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w-1] + "…"
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders the trailing values as a unicode sparkline, scaled to
+// the visible min..max (an all-equal series draws flat at the bottom).
+func spark(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if span > 0 {
+			i = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
+}

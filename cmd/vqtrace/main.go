@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"vqprobe/internal/buildinfo"
 	"vqprobe/internal/faults"
 	"vqprobe/internal/qoe"
 	"vqprobe/internal/testbed"
@@ -43,8 +44,13 @@ func main() {
 		out       = flag.String("o", "session.trace.json", "output file ('-' = stdout)")
 		format    = flag.String("format", "chrome", "output format: chrome (trace_event JSON) or ndjson")
 		summary   = flag.Bool("summary", true, "print an event summary to stderr")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqtrace")
+		return
+	}
 
 	if *format != "chrome" && *format != "ndjson" {
 		fmt.Fprintf(os.Stderr, "vqtrace: unknown -format %q (want chrome or ndjson)\n", *format)

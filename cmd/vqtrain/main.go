@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"vqprobe"
+	"vqprobe/internal/buildinfo"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func main() {
 		workers  = flag.Int("train-workers", 0, "training worker bound; 0 = GOMAXPROCS, 1 = serial (model is identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after training to this file")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "vqtrain")
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "vqtrain: -in is required")
 		os.Exit(2)

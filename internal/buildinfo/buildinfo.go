@@ -1,0 +1,50 @@
+// Package buildinfo renders the uniform -version output every vqprobe
+// binary prints: module version and VCS state straight from the build
+// metadata the Go toolchain embeds, so release builds need no ldflags
+// plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Print writes the version block for one named binary.
+func Print(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, Version())
+	fmt.Fprintf(w, "  go: %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Version summarizes the embedded build metadata: the module version
+// when the binary was built from a tagged module, otherwise the VCS
+// revision (with a +dirty marker for modified trees), otherwise
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}

@@ -1,0 +1,22 @@
+package fleet
+
+import "vqprobe/internal/obs"
+
+// CauseDrift replays a fleet summary's tumbling windows through the obs
+// cause-mix drift detector: each window's diagnosed root-cause counts
+// (ByCause, in CauseClasses index order) are one observation, and the
+// returned events mark the windows where the population's cause mix
+// shifted against the trailing baseline. The summary is deterministic
+// for a given seed and the detector is pure, so the event list is too —
+// a seeded mid-run fault step (Config.FaultStepAt) provably raises the
+// same events at the same windows at any worker count.
+func CauseDrift(f *FleetSummary, cfg obs.DriftConfig) []obs.DriftEvent {
+	d := obs.NewDetector(cfg, CauseClasses())
+	var events []obs.DriftEvent
+	for i := range f.Windows {
+		if ev, ok := d.Observe(f.Windows[i].ByCause[:]); ok {
+			events = append(events, ev)
+		}
+	}
+	return events
+}

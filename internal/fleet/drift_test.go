@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vqprobe/internal/obs"
+)
+
+// TestFaultStepRaisesOneDriftEvent is the population-scale drift proof:
+// a 100k-session fleet with a seeded fault-probability step at 30m
+// (0.30 → 0.90 — a mid-run incident tripling the faulty share) must
+// raise exactly one cause-mix drift event, at the first stepped window,
+// with identical summary bytes and drift events at any worker count.
+// Sessions aggregate into their arrival window and the step keys off
+// arrival time, so window 30 is exactly the incident onset.
+func TestFaultStepRaisesOneDriftEvent(t *testing.T) {
+	cfg := Config{
+		Sessions:      100_000,
+		Seed:          7,
+		FaultStepAt:   30 * time.Minute,
+		FaultStepProb: 0.90,
+	}
+
+	var refText []byte
+	var refEvents []obs.DriftEvent
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		sum, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := sum.EncodeText()
+		events := CauseDrift(sum, obs.DriftConfig{})
+		if refText == nil {
+			refText, refEvents = text, events
+			continue
+		}
+		if !bytes.Equal(refText, text) {
+			t.Fatalf("workers=%d: summary bytes differ from workers=1", workers)
+		}
+		if len(events) != len(refEvents) {
+			t.Fatalf("workers=%d: %d drift events vs %d", workers, len(events), len(refEvents))
+		}
+		for i := range events {
+			if events[i] != refEvents[i] {
+				t.Fatalf("workers=%d: event %d = %+v vs %+v", workers, i, events[i], refEvents[i])
+			}
+		}
+	}
+
+	if len(refEvents) != 1 {
+		t.Fatalf("got %d drift events %+v, want exactly 1", len(refEvents), refEvents)
+	}
+	ev := refEvents[0]
+	if ev.Window != 30 {
+		t.Fatalf("drift at window %d, want 30 (the step window)", ev.Window)
+	}
+	if ev.JSD < 0.02 {
+		t.Fatalf("JSD = %v, below the firing threshold", ev.JSD)
+	}
+	// The dominant move is the good class losing ~60 points of mass to
+	// the fault classes.
+	if ev.Cause == "" || ev.Delta == 0 {
+		t.Fatalf("event carries no mover: %+v", ev)
+	}
+}
+
+// TestFaultStepOffIsNoop: the zero value leaves the fleet byte-identical
+// to a run without the fields — no drift, no behavior change.
+func TestFaultStepOffIsNoop(t *testing.T) {
+	base, _ := runText(t, testFleetConfig(20000))
+	stepped, _ := runText(t, Config{Sessions: 20000, Seed: 7, FaultStepAt: 0, FaultStepProb: 0.9})
+	if !bytes.Equal(base, stepped) {
+		t.Fatal("FaultStepAt=0 changed the summary bytes")
+	}
+	sum, _, err := Run(testFleetConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events := CauseDrift(sum, obs.DriftConfig{}); len(events) != 0 {
+		t.Fatalf("steady fleet raised drift events: %+v", events)
+	}
+}

@@ -40,6 +40,14 @@ type Config struct {
 	// PinFault forces every faulty session to one fault class (fleet
 	// what-if sweeps); FaultNone samples the natural mix.
 	PinFault qoe.Fault
+	// FaultStepAt, when positive, steps the fault probability to
+	// FaultStepProb for sessions arriving at or after this horizon
+	// offset — a seeded mid-run incident (CDN degradation, cell
+	// overload) the obs drift detector is expected to catch. The step
+	// keys off the session's arrival time, so it is index-pure: the
+	// same session sees the same probability at any worker count.
+	FaultStepAt   time.Duration
+	FaultStepProb float64
 	// Engine, when set, feeds every finished session's synthesized
 	// feature vector through the serve diagnosis engine and scores the
 	// verdicts against ground truth (per-window DiagTotal/DiagMatch).

@@ -150,6 +150,9 @@ func sampleScenario(cfg Config, i uint64, rng *rand.Rand) Scenario {
 	if prob == 0 {
 		prob = 0.30
 	}
+	if cfg.FaultStepAt > 0 && sc.Arrival >= cfg.FaultStepAt {
+		prob = cfg.FaultStepProb
+	}
 	sc.Spec = faults.Spec{Fault: qoe.FaultNone}
 	if cfg.PinFault != qoe.FaultNone {
 		sc.Spec = faults.Spec{Fault: cfg.PinFault, Intensity: 0.1 + 0.9*rng.Float64()}

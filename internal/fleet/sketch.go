@@ -15,187 +15,19 @@
 // -workers value. docs/FLEET.md spells out the full contract.
 package fleet
 
-import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
+import "vqprobe/internal/sketch"
+
+// Hist is the exact mergeable fixed-bin histogram sketch, now shared
+// with the obs telemetry plane via internal/sketch: fleet quantiles and
+// live obs quantiles go through byte-identical machinery. The alias
+// (rather than a wrapper type) keeps every existing fleet API and its
+// JSON encoding bit-for-bit what it was before the extraction.
+type Hist = sketch.Hist
+
+// Re-exported constructors so fleet callers and tests are untouched by
+// the internal/sketch extraction.
+var (
+	NewHist     = sketch.NewHist
+	LinearEdges = sketch.LinearEdges
+	LogEdges    = sketch.LogEdges
 )
-
-// Hist is a fixed-bin histogram sketch: the streaming, mergeable
-// percentile structure the aggregation layer uses. Bin edges are fixed
-// at construction, counts are integers, so merging two histograms is
-// exact bin-wise addition — commutative and associative, which is what
-// makes the fleet summary independent of merge order and worker count
-// (a t-digest would trade that exactness for adaptive resolution).
-//
-// Values below the first edge land in bin 0; values at or above the
-// last edge land in the final (overflow) bin. Quantiles interpolate
-// linearly inside a bin, so their error is bounded by bin width.
-type Hist struct {
-	// Edges are the n-1 interior bin boundaries for n bins, ascending.
-	Edges []float64 `json:"edges"`
-	// Counts has len(Edges)+1 bins.
-	Counts []uint64 `json:"counts"`
-	// N is the total observation count (sum of Counts).
-	N uint64 `json:"n"`
-	// Sum accumulates raw values for exact means.
-	Sum float64 `json:"sum"`
-	// Min/Max track exact extremes; meaningful only when N > 0.
-	Min float64 `json:"min"`
-	Max float64 `json:"max"`
-}
-
-// NewHist builds a histogram over the given interior edges (ascending,
-// at least one). The edge slice is retained, not copied; callers pass
-// literals or the shared edge sets below.
-func NewHist(edges []float64) *Hist {
-	if len(edges) == 0 {
-		panic("fleet: NewHist needs at least one edge")
-	}
-	for i := 1; i < len(edges); i++ {
-		if !(edges[i] > edges[i-1]) {
-			panic("fleet: NewHist edges must ascend")
-		}
-	}
-	return &Hist{Edges: edges, Counts: make([]uint64, len(edges)+1)}
-}
-
-// LinearEdges returns n-1 evenly spaced interior edges spanning
-// [lo, hi], producing n equal-width bins plus the two open tails.
-func LinearEdges(lo, hi float64, n int) []float64 {
-	edges := make([]float64, n-1)
-	for i := range edges {
-		edges[i] = lo + (hi-lo)*float64(i+1)/float64(n)
-	}
-	return edges
-}
-
-// LogEdges returns geometrically spaced interior edges from lo to hi
-// (both positive), matching the dynamic range of latency-like metrics.
-func LogEdges(lo, hi float64, n int) []float64 {
-	edges := make([]float64, n-1)
-	ratio := math.Pow(hi/lo, 1/float64(n-1))
-	v := lo
-	for i := range edges {
-		edges[i] = v
-		v *= ratio
-	}
-	return edges
-}
-
-// Add records one observation. NaN observations are dropped — they
-// carry no orderable value and would poison Sum.
-func (h *Hist) Add(v float64) {
-	if math.IsNaN(v) {
-		return
-	}
-	h.Counts[h.bin(v)]++
-	if h.N == 0 || v < h.Min {
-		h.Min = v
-	}
-	if h.N == 0 || v > h.Max {
-		h.Max = v
-	}
-	h.N++
-	h.Sum += v
-}
-
-// bin maps a value to its bin index: bin i covers [Edges[i-1],
-// Edges[i]), so the index is the number of edges <= v.
-func (h *Hist) bin(v float64) int {
-	return sort.Search(len(h.Edges), func(i int) bool { return h.Edges[i] > v })
-}
-
-// Merge adds o's bins into h. The histograms must share an edge set.
-func (h *Hist) Merge(o *Hist) {
-	if len(h.Edges) != len(o.Edges) {
-		panic("fleet: merging histograms with different shapes")
-	}
-	if o.N == 0 {
-		return
-	}
-	for i, c := range o.Counts {
-		h.Counts[i] += c
-	}
-	if h.N == 0 || o.Min < h.Min {
-		h.Min = o.Min
-	}
-	if h.N == 0 || o.Max > h.Max {
-		h.Max = o.Max
-	}
-	h.N += o.N
-	h.Sum += o.Sum
-}
-
-// Reset zeroes the histogram for reuse, keeping the edge set.
-func (h *Hist) Reset() {
-	for i := range h.Counts {
-		h.Counts[i] = 0
-	}
-	h.N, h.Sum, h.Min, h.Max = 0, 0, 0, 0
-}
-
-// Mean returns the exact mean of all observations (0 when empty).
-func (h *Hist) Mean() float64 {
-	if h.N == 0 {
-		return 0
-	}
-	return h.Sum / float64(h.N)
-}
-
-// Quantile estimates the q-quantile (q in [0,1]) by linear
-// interpolation within the containing bin, clamped to the observed
-// [Min, Max]. Returns 0 when the histogram is empty.
-func (h *Hist) Quantile(q float64) float64 {
-	if h.N == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return h.Min
-	}
-	if q >= 1 {
-		return h.Max
-	}
-	target := q * float64(h.N)
-	var cum float64
-	for i, c := range h.Counts {
-		next := cum + float64(c)
-		if next >= target && c > 0 {
-			lo, hi := h.binBounds(i)
-			frac := (target - cum) / float64(c)
-			return clampf(lo+(hi-lo)*frac, h.Min, h.Max)
-		}
-		cum = next
-	}
-	return h.Max
-}
-
-// binBounds returns the value range bin i covers, substituting the
-// observed extremes for the open tails.
-func (h *Hist) binBounds(i int) (lo, hi float64) {
-	if i == 0 {
-		return h.Min, h.Edges[0]
-	}
-	if i == len(h.Edges) {
-		return h.Edges[len(h.Edges)-1], h.Max
-	}
-	return h.Edges[i-1], h.Edges[i]
-}
-
-// appendTo renders the histogram's headline statistics into b in a
-// fixed format (part of the byte-stable fleet summary encoding).
-func (h *Hist) appendTo(b *strings.Builder, name, unit string) {
-	fmt.Fprintf(b, "  %-12s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g %s\n",
-		name, h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max, unit)
-}
-
-func clampf(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}

@@ -44,8 +44,8 @@ func TestHistMergeOrderInvariance(t *testing.T) {
 			t.Fatalf("merge order %v changed the sketch", ord)
 		}
 		var a, b strings.Builder
-		ref.appendTo(&a, "h", "")
-		m.appendTo(&b, "h", "")
+		ref.AppendTo(&a, "h", "")
+		m.AppendTo(&b, "h", "")
 		if a.String() != b.String() {
 			t.Fatalf("merge order %v changed the rendered bytes", ord)
 		}

@@ -247,9 +247,9 @@ func (f *FleetSummary) EncodeText() []byte {
 	t := &f.Total
 	fmt.Fprintf(&b, "outcome: completed=%d abandoned=%d good=%d mild=%d severe=%d\n",
 		t.Completed, t.Abandoned, t.BySeverity[0], t.BySeverity[1], t.BySeverity[2])
-	t.Startup.appendTo(&b, "startup", "s")
-	t.StallRatio.appendTo(&b, "stall_ratio", "")
-	t.MOS.appendTo(&b, "mos", "")
+	t.Startup.AppendTo(&b, "startup", "s")
+	t.StallRatio.AppendTo(&b, "stall_ratio", "")
+	t.MOS.AppendTo(&b, "mos", "")
 	b.WriteString("by fault class (ground truth):\n")
 	fmt.Fprintf(&b, "  %-12s %d\n", "none", t.ByFault[qoe.FaultNone])
 	for _, fc := range qoe.Faults {

@@ -270,6 +270,67 @@ func (r *Registry) writeText(w io.Writer, openMetrics bool) {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// SeriesSnapshot is one registered series' point-in-time state, the
+// introspection form the obs telemetry plane samples. Counter and gauge
+// values land in Value; histograms carry their bucket layout and
+// per-bucket (non-cumulative) counts. Bounds is shared with the live
+// histogram — callers must not mutate it; Counts is freshly copied.
+type SeriesSnapshot struct {
+	Name   string // base family name
+	Labels string // label body without braces, "" for none
+	Kind   string // "counter", "gauge" or "histogram"
+	Value  float64
+	// Histogram-only fields:
+	Bounds []float64 // ascending bucket upper bounds; +Inf implicit
+	Counts []uint64  // per-bucket counts, len(Bounds)+1 (last = overflow)
+	Sum    float64
+	Count  uint64
+}
+
+// FullName renders the series' registration name (base plus label set).
+func (s *SeriesSnapshot) FullName() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// Snapshot returns the state of every registered series, families in
+// registration order and series within a family in registration order —
+// a deterministic enumeration for the same registration and load
+// history. Individual metric reads are atomic; a histogram's buckets,
+// sum and count are read without a collective lock, so under concurrent
+// observation they may straddle an in-flight Observe (fine for
+// monitoring; quiesce writers for exact snapshots).
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SeriesSnapshot
+	for _, base := range r.order {
+		f := r.families[base]
+		for _, labels := range f.order {
+			s := f.series[labels]
+			snap := SeriesSnapshot{Name: f.name, Labels: labels, Kind: f.kind}
+			switch m := s.metric.(type) {
+			case *Counter:
+				snap.Value = float64(m.Value())
+			case *Gauge:
+				snap.Value = m.Value()
+			case *Histogram:
+				snap.Bounds = m.bounds
+				snap.Counts = make([]uint64, len(m.counts))
+				for i := range m.counts {
+					snap.Counts[i] = m.counts[i].Load()
+				}
+				snap.Sum = m.Sum()
+				snap.Count = m.Count()
+			}
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
 // Handler serves the registry over HTTP as a /metrics endpoint. The
 // default output is Prometheus text 0.0.4; a scraper whose Accept
 // header asks for application/openmetrics-text gets the OpenMetrics

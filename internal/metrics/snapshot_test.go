@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Snapshot must enumerate every series in registration order with the
+// exact live values — it is the contract the obs sampler builds on.
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	g := r.Gauge(`depth{shard="0"}`, "queue depth")
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(0.005) // bucket 0
+	h.Observe(0.05)  // bucket 1
+	h.Observe(0.5)   // bucket 2
+	h.Observe(5)     // overflow
+
+	ss := r.Snapshot()
+	if len(ss) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(ss))
+	}
+	if ss[0].Name != "reqs_total" || ss[0].Kind != "counter" || ss[0].Value != 7 {
+		t.Fatalf("counter snapshot = %+v", ss[0])
+	}
+	if ss[1].FullName() != `depth{shard="0"}` || ss[1].Kind != "gauge" || ss[1].Value != 3.5 {
+		t.Fatalf("gauge snapshot = %+v", ss[1])
+	}
+	hs := ss[2]
+	if hs.Kind != "histogram" || hs.Count != 4 || hs.Sum != 0.005+0.05+0.5+5 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if !reflect.DeepEqual(hs.Bounds, []float64{0.01, 0.1, 1}) {
+		t.Fatalf("bounds = %v", hs.Bounds)
+	}
+	if !reflect.DeepEqual(hs.Counts, []uint64{1, 1, 1, 1}) {
+		t.Fatalf("per-bucket counts = %v, want [1 1 1 1]", hs.Counts)
+	}
+
+	// Counts must be a copy: mutating the snapshot cannot reach the
+	// live histogram.
+	hs.Counts[0] = 99
+	if got := r.Snapshot()[2].Counts[0]; got != 1 {
+		t.Fatalf("snapshot mutation leaked into registry: %d", got)
+	}
+
+	// Registration order is stable across snapshots.
+	r.Counter("later_total", "registered after first snapshot")
+	ss2 := r.Snapshot()
+	for i, want := range []string{"reqs_total", "depth", "lat_seconds", "later_total"} {
+		if ss2[i].Name != want {
+			t.Fatalf("series %d = %q, want %q", i, ss2[i].Name, want)
+		}
+	}
+}

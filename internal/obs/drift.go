@@ -1,0 +1,206 @@
+package obs
+
+import "math"
+
+// The cause-mix drift detector takes the paper's diagnosis from
+// per-session to population-trend level: instead of asking "what is
+// wrong with this session", it watches the distribution of diagnosed
+// root causes across tumbling windows and flags the window where the
+// mix shifts against a trailing baseline — a CDN starting to misbehave
+// shows up as wan_cong mass growing before any single session looks
+// unusual. The distance is Jensen–Shannon divergence (symmetric,
+// bounded, defined for disjoint support), thresholds are deterministic,
+// and the detector carries no hidden clock: same window sequence in,
+// same events out.
+
+// DriftConfig tunes a Detector. The zero value selects the defaults.
+type DriftConfig struct {
+	// Baseline is how many trailing windows form the reference mix;
+	// zero selects 5.
+	Baseline int
+	// Threshold is the JSD (bits, in [0,1]) at or above which a window
+	// raises a drift event; zero selects 0.02 — roughly 10× the
+	// sampling noise of a ~1500-session window over ~9 classes, and
+	// well under the shift a real cause-mix step produces.
+	Threshold float64
+	// MinSessions gates evaluation: windows (and baselines) smaller
+	// than this are folded in but never scored, so sparse tails cannot
+	// fire on noise. Zero selects 200.
+	MinSessions uint64
+	// NoiseMult scales the sampling-noise floor. Two finite samples of
+	// the same underlying mix diverge by roughly
+	// (k−1)/(2·ln2)·(1/n + 1/m) bits in expectation (chi-square), so a
+	// window additionally must clear NoiseMult times that floor — a
+	// fixed threshold alone would fire on pure noise in small windows.
+	// Zero selects 3.
+	NoiseMult float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Baseline <= 0 {
+		c.Baseline = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.02
+	}
+	if c.MinSessions == 0 {
+		c.MinSessions = 200
+	}
+	if c.NoiseMult <= 0 {
+		c.NoiseMult = 3
+	}
+	return c
+}
+
+// DriftEvent is one detected cause-mix shift.
+type DriftEvent struct {
+	// Window is the index of the offending window in the observed
+	// sequence (0-based, counting every Observe call).
+	Window int `json:"window"`
+	// JSD is the Jensen–Shannon divergence (bits) between the window
+	// and the trailing baseline.
+	JSD float64 `json:"jsd"`
+	// Cause names the class whose probability moved the most, and
+	// Delta its probability change (signed, current − baseline).
+	Cause string  `json:"cause"`
+	Delta float64 `json:"delta"`
+	// Sessions is the offending window's population.
+	Sessions uint64 `json:"sessions"`
+}
+
+// Detector is the streaming drift detector. Feed it per-window class
+// counts in window order; it maintains a trailing baseline of the last
+// Baseline windows and, when a window diverges at or past Threshold,
+// emits an event and re-baselines onto the offending window — so a
+// step change raises exactly one event, not one per window until the
+// trailing mix catches up.
+type Detector struct {
+	cfg     DriftConfig
+	classes []string
+	trail   [][]uint64 // last cfg.Baseline accepted windows, oldest first
+	windows int        // Observe calls so far
+}
+
+// NewDetector builds a detector over the given class names (the
+// per-window count vectors must use the same indexing).
+func NewDetector(cfg DriftConfig, classes []string) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), classes: classes}
+}
+
+// Observe feeds the next window's class counts and reports whether it
+// raised a drift event. The counts slice is copied.
+func (d *Detector) Observe(counts []uint64) (DriftEvent, bool) {
+	idx := d.windows
+	d.windows++
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+
+	base, baseN := d.baseline(len(counts))
+	evaluable := n >= d.cfg.MinSessions && baseN >= d.cfg.MinSessions && len(d.trail) == d.cfg.Baseline
+	if evaluable {
+		jsd := JensenShannon(toDist(base), toDist(counts))
+		floor := d.cfg.NoiseMult * float64(len(counts)-1) / (2 * math.Ln2) *
+			(1/float64(n) + 1/float64(baseN))
+		if jsd >= d.cfg.Threshold && jsd >= floor {
+			ev := DriftEvent{Window: idx, JSD: jsd, Sessions: n}
+			ev.Cause, ev.Delta = topMover(d.classes, base, counts)
+			// Re-baseline on the offending window: the new mix is the
+			// new normal, and the step fires exactly once.
+			d.trail = d.trail[:0]
+			d.push(counts)
+			return ev, true
+		}
+	}
+	d.push(counts)
+	return DriftEvent{}, false
+}
+
+// push folds a window into the trailing baseline ring.
+func (d *Detector) push(counts []uint64) {
+	c := append([]uint64(nil), counts...)
+	if len(d.trail) == d.cfg.Baseline {
+		copy(d.trail, d.trail[1:])
+		d.trail[len(d.trail)-1] = c
+		return
+	}
+	d.trail = append(d.trail, c)
+}
+
+// baseline sums the trailing windows.
+func (d *Detector) baseline(k int) ([]uint64, uint64) {
+	sum := make([]uint64, k)
+	var n uint64
+	for _, w := range d.trail {
+		for i := range sum {
+			if i < len(w) {
+				sum[i] += w[i]
+				n += w[i]
+			}
+		}
+	}
+	return sum, n
+}
+
+func toDist(counts []uint64) []float64 {
+	out := make([]float64, len(counts))
+	var n float64
+	for _, c := range counts {
+		n += float64(c)
+	}
+	if n == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / n
+	}
+	return out
+}
+
+// topMover returns the class with the largest absolute probability
+// change between baseline and current. A near-tie (mass swapping
+// between two classes moves both by the same amount) prefers the class
+// gaining mass — naming the growing cause is the actionable half of a
+// swap; remaining ties break to the lowest index.
+func topMover(classes []string, base, cur []uint64) (string, float64) {
+	pb, pc := toDist(base), toDist(cur)
+	best, bestAbs := 0, -1.0
+	for i := range pc {
+		d := math.Abs(pc[i] - pb[i])
+		switch {
+		case d > bestAbs+1e-9:
+			best, bestAbs = i, d
+		case d > bestAbs-1e-9 && pc[i]-pb[i] > 0 && pc[best]-pb[best] < 0:
+			best, bestAbs = i, d
+		}
+	}
+	name := ""
+	if best < len(classes) {
+		name = classes[best]
+	}
+	return name, pc[best] - pb[best]
+}
+
+// JensenShannon returns the Jensen–Shannon divergence between two
+// probability distributions (same length, each summing to 1; an
+// all-zero distribution is treated as uniform-nothing and yields 0
+// against itself). Log base 2, so the result lives in [0, 1]: 0 for
+// identical distributions, 1 for disjoint support.
+func JensenShannon(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 {
+			d += p[i] / 2 * math.Log2(p[i]/m)
+		}
+		if i < len(q) && q[i] > 0 {
+			d += q[i] / 2 * math.Log2(q[i]/m)
+		}
+	}
+	// Clamp tiny negative float residue from cancellation.
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJensenShannon(t *testing.T) {
+	uni := []float64{0.25, 0.25, 0.25, 0.25}
+	if d := JensenShannon(uni, uni); d != 0 {
+		t.Fatalf("JSD(p,p) = %v, want 0", d)
+	}
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if d := JensenShannon(p, q); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("JSD(disjoint) = %v, want 1", d)
+	}
+	a := []float64{0.7, 0.2, 0.1}
+	b := []float64{0.5, 0.3, 0.2}
+	ab, ba := JensenShannon(a, b), JensenShannon(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Fatalf("JSD not symmetric: %v vs %v", ab, ba)
+	}
+	if ab <= 0 || ab >= 1 {
+		t.Fatalf("JSD(a,b) = %v, want in (0,1)", ab)
+	}
+	zero := []float64{0, 0, 0}
+	if d := JensenShannon(zero, zero); d != 0 {
+		t.Fatalf("JSD(zero,zero) = %v, want 0", d)
+	}
+}
+
+// mix builds a window of n sessions with the given class fractions.
+func mix(n uint64, fracs ...float64) []uint64 {
+	out := make([]uint64, len(fracs))
+	var used uint64
+	for i, f := range fracs {
+		out[i] = uint64(float64(n) * f)
+		used += out[i]
+	}
+	out[0] += n - used // rounding remainder to the first class
+	return out
+}
+
+var driftClasses = []string{"good", "wan_cong", "lte_sig", "device_cpu"}
+
+// TestDriftTruePositiveGold pins the step-change detection: a stable
+// mix for 10 windows, then a step where wan_cong mass triples, raises
+// exactly one event at the step window with wan_cong as the top mover.
+func TestDriftTruePositiveGold(t *testing.T) {
+	d := NewDetector(DriftConfig{}, driftClasses)
+	var events []DriftEvent
+	for w := 0; w < 20; w++ {
+		counts := mix(1500, 0.80, 0.10, 0.06, 0.04)
+		if w >= 10 {
+			counts = mix(1500, 0.60, 0.30, 0.06, 0.04)
+		}
+		if ev, ok := d.Observe(counts); ok {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d drift events %v, want exactly 1", len(events), events)
+	}
+	ev := events[0]
+	if ev.Window != 10 {
+		t.Fatalf("event at window %d, want 10", ev.Window)
+	}
+	if ev.Cause != "wan_cong" {
+		t.Fatalf("top mover = %q, want wan_cong", ev.Cause)
+	}
+	if ev.Delta < 0.15 || ev.Delta > 0.25 {
+		t.Fatalf("delta = %v, want ≈ +0.20", ev.Delta)
+	}
+	if ev.JSD < 0.02 {
+		t.Fatalf("JSD %v below threshold yet fired", ev.JSD)
+	}
+	if ev.Sessions != 1500 {
+		t.Fatalf("sessions = %d, want 1500", ev.Sessions)
+	}
+}
+
+// TestDriftNearMissGold pins the negative side: a perturbation sized
+// just under the threshold never fires, across a long run.
+func TestDriftNearMissGold(t *testing.T) {
+	d := NewDetector(DriftConfig{}, driftClasses)
+	for w := 0; w < 40; w++ {
+		counts := mix(1500, 0.80, 0.10, 0.06, 0.04)
+		if w >= 10 {
+			// Small wobble: ~2 points of mass moving, JSD ≈ 0.001,
+			// an order of magnitude under the 0.02 threshold.
+			counts = mix(1500, 0.78, 0.12, 0.06, 0.04)
+		}
+		if ev, ok := d.Observe(counts); ok {
+			t.Fatalf("near-miss fired at window %d: %+v", w, ev)
+		}
+	}
+}
+
+// TestDriftRebaselinesAfterFire checks the step becomes the new normal:
+// a second, different step after the first fires a second single event
+// (once the rebuilt 5-window baseline is full again — so a step at
+// window 20 is scored at window 20, baseline being windows 15-19).
+func TestDriftRebaselinesAfterFire(t *testing.T) {
+	d := NewDetector(DriftConfig{}, driftClasses)
+	var events []DriftEvent
+	phase := func(w int) []uint64 {
+		switch {
+		case w < 10:
+			return mix(1500, 0.80, 0.10, 0.06, 0.04)
+		case w < 20:
+			return mix(1500, 0.60, 0.30, 0.06, 0.04)
+		default:
+			return mix(1500, 0.60, 0.10, 0.26, 0.04)
+		}
+	}
+	for w := 0; w < 30; w++ {
+		if ev, ok := d.Observe(phase(w)); ok {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events %v, want 2 (one per step)", len(events), events)
+	}
+	if events[0].Window != 10 || events[1].Window != 20 {
+		t.Fatalf("events at windows %d,%d, want 10,20", events[0].Window, events[1].Window)
+	}
+	if events[1].Cause != "lte_sig" {
+		t.Fatalf("second event mover = %q, want lte_sig", events[1].Cause)
+	}
+}
+
+// TestDriftNoiseFloorScalesWithPopulation: the same proportional step
+// (JSD ≈ 0.048, clear of the fixed 0.02 threshold) fires at 1500
+// sessions/window but is suppressed at 100, where the sampling-noise
+// floor (≈ 0.078 for 4 classes) exceeds the observed divergence.
+func TestDriftNoiseFloorScalesWithPopulation(t *testing.T) {
+	for _, tc := range []struct {
+		n    uint64
+		want bool
+	}{{1500, true}, {100, false}} {
+		d := NewDetector(DriftConfig{MinSessions: 50}, driftClasses)
+		fired := false
+		for w := 0; w < 20; w++ {
+			counts := mix(tc.n, 0.80, 0.10, 0.06, 0.04)
+			if w >= 10 {
+				counts = mix(tc.n, 0.60, 0.30, 0.06, 0.04)
+			}
+			if _, ok := d.Observe(counts); ok {
+				fired = true
+			}
+		}
+		if fired != tc.want {
+			t.Fatalf("n=%d: fired=%v, want %v", tc.n, fired, tc.want)
+		}
+	}
+}
+
+// TestDriftMinSessionsGate: sparse windows are folded in but never
+// scored, no matter how divergent.
+func TestDriftMinSessionsGate(t *testing.T) {
+	d := NewDetector(DriftConfig{MinSessions: 200}, driftClasses)
+	for w := 0; w < 10; w++ {
+		if _, ok := d.Observe(mix(50, 0.80, 0.10, 0.06, 0.04)); ok {
+			t.Fatalf("fired on pre-baseline window %d", w)
+		}
+	}
+	// Wildly different mix, but only 50 sessions: gated.
+	if ev, ok := d.Observe(mix(50, 0.10, 0.80, 0.06, 0.04)); ok {
+		t.Fatalf("fired on sparse window: %+v", ev)
+	}
+}
+
+// TestDriftWarmup: nothing fires until the baseline ring is full.
+func TestDriftWarmup(t *testing.T) {
+	d := NewDetector(DriftConfig{Baseline: 5}, driftClasses)
+	// Alternate wildly from the very first window: the first 5 windows
+	// must stay quiet regardless.
+	for w := 0; w < 5; w++ {
+		fracs := []float64{0.80, 0.10, 0.06, 0.04}
+		if w%2 == 1 {
+			fracs = []float64{0.10, 0.80, 0.06, 0.04}
+		}
+		if ev, ok := d.Observe(mix(1500, fracs...)); ok {
+			t.Fatalf("fired during warmup at window %d: %+v", w, ev)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package obs
+
+import "net/http"
+
+// VarsHandler serves the plane's current snapshot as JSON — the /vars
+// endpoint. The payload is Snapshot.EncodeJSON: sorted series with raw
+// sample arrays plus derived rates and windowed quantiles, and every
+// SLO's alert state. vqtop and the /dashboard page both read it.
+func (p *Plane) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		data, err := p.Snapshot().EncodeJSON()
+		if err != nil {
+			http.Error(w, "obs: encoding snapshot: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+}
+
+// DashboardHandler serves a self-contained HTML page that polls the
+// sibling /vars endpoint and renders live rate sparklines, quantile
+// trends and alert state. No external assets: the page is one response,
+// usable from a laptop pointed at a lab box.
+func (p *Plane) DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	})
+}
+
+// dashboardHTML is the /dashboard page. Design notes: single time axis
+// per chart, 2px line marks, categorical slots in fixed order (p50/p95/
+// p99 always blue/orange/aqua), values and labels in text ink rather
+// than series colors, status color for firing alerts always paired with
+// the word "firing", and a table view of latest values as the
+// accessibility fallback. Light and dark palettes are both explicit.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>vqprobe dashboard</title>
+<style>
+  :root {
+    color-scheme: light dark;
+  }
+  .viz-root {
+    color-scheme: light;
+    --page:           #f9f9f7;
+    --surface-1:      #fcfcfb;
+    --text-primary:   #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted:     #898781;
+    --grid:           #e1e0d9;
+    --baseline:       #c3c2b7;
+    --border:         rgba(11,11,11,0.10);
+    --series-1:       #2a78d6;
+    --series-2:       #eb6834;
+    --series-3:       #1baf7a;
+    --status-critical:#d03b3b;
+    --status-good:    #0ca30c;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --page:           #0d0d0d;
+      --surface-1:      #1a1a19;
+      --text-primary:   #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted:     #898781;
+      --grid:           #2c2c2a;
+      --baseline:       #383835;
+      --border:         rgba(255,255,255,0.10);
+      --series-1:       #3987e5;
+      --series-2:       #d95926;
+      --series-3:       #199e70;
+      --status-critical:#d03b3b;
+      --status-good:    #0ca30c;
+    }
+  }
+  body.viz-root {
+    margin: 0; padding: 16px;
+    background: var(--page); color: var(--text-primary);
+    font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 15px; font-weight: 600; margin: 0; }
+  header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; margin-bottom: 12px; }
+  #meta { color: var(--text-muted); }
+  #alerts { display: flex; gap: 8px; flex-wrap: wrap; }
+  .chip {
+    border: 1px solid var(--border); border-radius: 10px; padding: 1px 8px;
+    color: var(--text-secondary); background: var(--surface-1);
+  }
+  .chip.firing { border-color: var(--status-critical); color: var(--text-primary); }
+  .chip.firing .dot { color: var(--status-critical); }
+  .chip .dot { color: var(--status-good); }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(300px, 1fr)); gap: 10px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 8px 10px; position: relative;
+  }
+  .card .name {
+    color: var(--text-secondary); font-size: 12px;
+    overflow: hidden; text-overflow: ellipsis; white-space: nowrap;
+  }
+  .card .val { font-size: 16px; font-weight: 600; margin: 2px 0 4px; }
+  .card .val small { color: var(--text-muted); font-weight: 400; font-size: 11px; }
+  .legend { display: flex; gap: 10px; color: var(--text-secondary); font-size: 11px; margin-top: 2px; }
+  .legend .sw { display: inline-block; width: 10px; height: 2px; vertical-align: middle; margin-right: 4px; }
+  svg { display: block; width: 100%; height: 64px; }
+  .tip {
+    position: absolute; pointer-events: none; display: none;
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 4px;
+    padding: 3px 6px; font-size: 11px; color: var(--text-secondary);
+    white-space: nowrap; z-index: 2;
+  }
+  details { margin-top: 16px; color: var(--text-secondary); }
+  table { border-collapse: collapse; margin-top: 6px; font-variant-numeric: tabular-nums; }
+  th, td { text-align: left; padding: 2px 14px 2px 0; border-bottom: 1px solid var(--grid); }
+  th { color: var(--text-muted); font-weight: 500; }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>vqprobe telemetry</h1>
+  <span id="meta">connecting…</span>
+  <span id="alerts"></span>
+</header>
+<div id="grid"></div>
+<details><summary>Table view (latest values)</summary>
+  <table><thead><tr><th>series</th><th>kind</th><th>value</th><th>rate /s</th><th>p99</th></tr></thead>
+  <tbody id="tbody"></tbody></table>
+</details>
+<script>
+"use strict";
+var W = 300, H = 64, PAD = 3;
+var QCOLORS = ["var(--series-1)", "var(--series-2)", "var(--series-3)"];
+
+function fmt(v) {
+  if (v === null || v === undefined || !isFinite(v)) return "–";
+  if (v !== 0 && Math.abs(v) < 0.01) return v.toExponential(2);
+  if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString("en-US");
+  return +v.toFixed(3) + "";
+}
+function secs(ns) { return (ns / 1e9).toFixed(1) + "s"; }
+
+// seriesLines: which arrays to plot for a series, fixed slot order.
+function seriesLines(s) {
+  if (s.kind === "histogram") {
+    return [{n: "p50", d: s.p50}, {n: "p95", d: s.p95}, {n: "p99", d: s.p99}];
+  }
+  if (s.kind === "counter") return [{n: "rate/s", d: s.rate}];
+  return [{n: "value", d: s.v}];
+}
+
+function pathFor(d, lo, hi) {
+  if (!d || d.length < 2) return "";
+  var span = hi - lo || 1, pts = [];
+  for (var i = 0; i < d.length; i++) {
+    var x = PAD + (W - 2 * PAD) * i / (d.length - 1);
+    var y = H - PAD - (H - 2 * PAD) * ((d[i] - lo) / span);
+    pts.push((i ? "L" : "M") + x.toFixed(1) + " " + y.toFixed(1));
+  }
+  return pts.join(" ");
+}
+
+function drawCard(card, s) {
+  var lines = seriesLines(s), lo = Infinity, hi = -Infinity;
+  lines.forEach(function (l) {
+    (l.d || []).forEach(function (v) { if (v < lo) lo = v; if (v > hi) hi = v; });
+  });
+  if (!isFinite(lo)) { lo = 0; hi = 1; }
+  if (lo > 0 && lo < hi * 0.5) lo = 0; // anchor near-zero ranges at zero
+  var svg = "";
+  // Recessive chrome: one baseline hairline, one mid gridline.
+  svg += '<line x1="0" y1="' + (H - PAD) + '" x2="' + W + '" y2="' + (H - PAD) + '" stroke="var(--baseline)" stroke-width="1"/>';
+  svg += '<line x1="0" y1="' + (H / 2) + '" x2="' + W + '" y2="' + (H / 2) + '" stroke="var(--grid)" stroke-width="1"/>';
+  lines.forEach(function (l, i) {
+    svg += '<path d="' + pathFor(l.d, lo, hi) + '" fill="none" stroke="' + QCOLORS[i] + '" stroke-width="2" stroke-linejoin="round"/>';
+  });
+  svg += '<line class="xh" x1="-9" y1="0" x2="-9" y2="' + H + '" stroke="var(--baseline)" stroke-width="1"/>';
+  card.querySelector("svg").innerHTML = svg;
+
+  var last = lines[0].d && lines[0].d.length ? lines[0].d[lines[0].d.length - 1] : null;
+  var unit = s.kind === "counter" ? " <small>/s</small>" :
+    (s.kind === "histogram" ? " <small>p50</small>" : "");
+  card.querySelector(".val").innerHTML = fmt(last) + unit;
+
+  var lg = card.querySelector(".legend");
+  if (lines.length > 1) {
+    lg.innerHTML = lines.map(function (l, i) {
+      return '<span><span class="sw" style="background:' + QCOLORS[i] + '"></span>' + l.n + "</span>";
+    }).join("");
+  } else {
+    lg.innerHTML = "";
+  }
+  card._series = s;
+  card._lines = lines;
+}
+
+function ensureCard(grid, cards, s) {
+  var card = cards[s.name];
+  if (!card) {
+    card = document.createElement("div");
+    card.className = "card";
+    card.innerHTML = '<div class="name"></div><div class="val">–</div>' +
+      '<svg viewBox="0 0 ' + W + " " + H + '" preserveAspectRatio="none" role="img"></svg>' +
+      '<div class="legend"></div><div class="tip"></div>';
+    card.querySelector(".name").textContent = s.name;
+    card.querySelector("svg").setAttribute("aria-label", s.name + " trend");
+    hookHover(card);
+    grid.appendChild(card);
+    cards[s.name] = card;
+  }
+  return card;
+}
+
+function hookHover(card) {
+  var svg = card.querySelector("svg"), tip = card.querySelector(".tip");
+  svg.addEventListener("mousemove", function (ev) {
+    var s = card._series, lines = card._lines;
+    if (!s || !s.t_ns || s.t_ns.length < 2) return;
+    var r = svg.getBoundingClientRect();
+    var i = Math.round((ev.clientX - r.left) / r.width * (s.t_ns.length - 1));
+    i = Math.max(0, Math.min(s.t_ns.length - 1, i));
+    var x = PAD + (W - 2 * PAD) * i / (s.t_ns.length - 1);
+    var xh = svg.querySelector(".xh");
+    if (xh) { xh.setAttribute("x1", x); xh.setAttribute("x2", x); }
+    tip.innerHTML = "t=" + secs(s.t_ns[i]) + " " + lines.map(function (l) {
+      return l.n + "=" + fmt(l.d ? l.d[i] : null);
+    }).join(" ");
+    tip.style.display = "block";
+    tip.style.left = Math.min(ev.clientX - r.left + 12, r.width - 120) + "px";
+    tip.style.top = "6px";
+  });
+  svg.addEventListener("mouseleave", function () {
+    tip.style.display = "none";
+    var xh = svg.querySelector(".xh");
+    if (xh) { xh.setAttribute("x1", -9); xh.setAttribute("x2", -9); }
+  });
+}
+
+function renderAlerts(alerts) {
+  var el = document.getElementById("alerts");
+  el.innerHTML = (alerts || []).map(function (a) {
+    var firing = a.state === "firing";
+    return '<span class="chip' + (firing ? " firing" : "") + '">' +
+      '<span class="dot">' + (firing ? "▲" : "●") + "</span> " +
+      a.slo + " " + a.state + " (burn " + fmt(a.burn_fast) + "/" + fmt(a.burn_slow) + ")</span>";
+  }).join("");
+}
+
+function renderTable(series) {
+  var rows = series.map(function (s) {
+    var last = function (d) { return d && d.length ? d[d.length - 1] : null; };
+    var v = s.kind === "histogram" ? last(s.count) : last(s.v);
+    return "<tr><td>" + s.name + "</td><td>" + s.kind + "</td><td>" + fmt(v) +
+      "</td><td>" + fmt(last(s.rate)) + "</td><td>" + fmt(last(s.p99)) + "</td></tr>";
+  });
+  document.getElementById("tbody").innerHTML = rows.join("");
+}
+
+var cards = {};
+function refresh() {
+  fetch("vars").then(function (r) { return r.json(); }).then(function (snap) {
+    var grid = document.getElementById("grid");
+    document.getElementById("meta").textContent =
+      "t=" + secs(snap.now_ns) + " · " + snap.series.length + " series";
+    renderAlerts(snap.alerts);
+    snap.series.forEach(function (s) { drawCard(ensureCard(grid, cards, s), s); });
+    renderTable(snap.series);
+  }).catch(function (err) {
+    document.getElementById("meta").textContent = "poll failed: " + err;
+  });
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,173 @@
+// Package obs is the live telemetry plane: a fixed-capacity ring
+// time-series store sampling a metrics.Registry, an SLO engine
+// evaluating declarative objectives as multi-window burn-rate alerts,
+// and a cause-mix drift detector over windowed population summaries.
+// It is the trend layer the paper's diagnosis story needs at operations
+// scale — point-in-time counters say what the system is doing now; the
+// obs plane says whether p99 diagnose latency is burning its SLO and
+// whether the fleet's root-cause mix just shifted.
+//
+// The plane is clock-agnostic: Sample(now) is an explicit tick, so
+// simulations drive it from their virtual clock (deterministic: same
+// seed + same tick times ⇒ byte-identical snapshots and alert
+// sequences), while live daemons run RunWall, the one wall-clock
+// driver. Quantiles over ring samples go through internal/sketch — the
+// same exact mergeable histogram machinery the fleet summaries use.
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"vqprobe/internal/metrics"
+)
+
+// Config assembles a Plane. Registry is the only required field.
+type Config struct {
+	// Registry is the metric source sampled on every tick.
+	Registry *metrics.Registry
+	// Capacity is the per-series ring size in samples; zero selects 360
+	// (12 minutes of history at a 2s interval).
+	Capacity int
+	// SLOs are the declarative objectives evaluated each tick.
+	SLOs []SLO
+	// Logger receives structured alert transition events; nil disables
+	// alert logging (evaluation still happens).
+	Logger *slog.Logger
+	// OnSample, when set, runs after each tick outside the plane lock —
+	// the hook vqfleet's -progress reporting hangs off.
+	OnSample func(p *Plane, now time.Duration)
+}
+
+// Plane is the live telemetry plane over one registry. All methods are
+// safe for concurrent use; Sample ticks are serialized by the caller's
+// clock (one RunWall goroutine, or explicit virtual-clock calls).
+type Plane struct {
+	cfg Config
+
+	mu    sync.Mutex
+	index map[string]int // series full name -> rings slot
+	rings []*ring
+	slos  []*sloState
+	now   int64 // last sample time, ns
+	ticks uint64
+}
+
+// New builds a plane over cfg.Registry. SLO burn-rate gauges
+// (vqserve_slo_burn_rate{slo=...,window=...}) are registered up front
+// so they appear in the registry's exposition from the first scrape.
+func New(cfg Config) *Plane {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 360
+	}
+	p := &Plane{cfg: cfg, index: map[string]int{}}
+	for _, s := range cfg.SLOs {
+		p.slos = append(p.slos, newSLOState(s.withDefaults(), cfg.Registry))
+	}
+	return p
+}
+
+// Sample takes one tick at time now (on whatever clock the caller
+// drives — virtual in simulations, wall in RunWall): it snapshots the
+// registry into the ring store and re-evaluates every SLO.
+func (p *Plane) Sample(now time.Duration) {
+	p.Ingest(now, p.cfg.Registry.Snapshot())
+}
+
+// Ingest appends externally produced series snapshots as one tick —
+// the seam vqtop's /metrics polling mode uses to run a local plane
+// over a remote daemon's exposition.
+func (p *Plane) Ingest(now time.Duration, series []metrics.SeriesSnapshot) {
+	tns := int64(now)
+	p.mu.Lock()
+	for i := range series {
+		s := &series[i]
+		name := s.FullName()
+		slot, ok := p.index[name]
+		if !ok {
+			slot = len(p.rings)
+			p.index[name] = slot
+			p.rings = append(p.rings, newRing(name, s.Kind, s.Bounds, p.cfg.Capacity))
+		}
+		p.rings[slot].append(tns, s)
+	}
+	p.now = tns
+	p.ticks++
+	p.evalSLOs(tns)
+	p.mu.Unlock()
+	if p.cfg.OnSample != nil {
+		p.cfg.OnSample(p, now)
+	}
+}
+
+// RunWall drives the plane from the host clock until stop closes: the
+// single wall-time driver live daemons (vqserve, vqfleet -progress)
+// use. Simulated code must call Sample on its virtual clock instead.
+func (p *Plane) RunWall(interval time.Duration, stop <-chan struct{}) {
+	//lint:ignore virtclock the live obs plane samples real daemons; wall ticks are the point
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	//lint:ignore virtclock wall epoch anchoring live sample timestamps, by design
+	start := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		//lint:ignore virtclock elapsed wall time since the epoch above, by design
+		p.Sample(time.Since(start))
+	}
+}
+
+// Now returns the time of the last tick on the driving clock.
+func (p *Plane) Now() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Duration(p.now)
+}
+
+// Ticks returns how many samples the plane has taken.
+func (p *Plane) Ticks() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ticks
+}
+
+// Last returns the most recent sampled value of a counter or gauge
+// series (by full name, labels included), and whether it exists.
+func (p *Plane) Last(name string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.ring(name)
+	if r == nil || r.n == 0 {
+		return 0, false
+	}
+	return r.value(r.n - 1), true
+}
+
+// Rate returns the per-second increase of a counter series (or a
+// histogram's observation count) over the trailing window, 0 when the
+// series is unknown or has no usable span.
+func (p *Plane) Rate(name string, window time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.ring(name)
+	if r == nil {
+		return 0
+	}
+	delta, span := r.deltaOver(p.now, int64(window))
+	if span <= 0 {
+		return 0
+	}
+	return delta / span
+}
+
+// ring returns the named series ring, nil when absent. Caller holds mu.
+func (p *Plane) ring(name string) *ring {
+	if slot, ok := p.index[name]; ok {
+		return p.rings[slot]
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vqprobe/internal/metrics"
+)
+
+// ParsePromText parses Prometheus text exposition (version 0.0.4, as
+// written by metrics.Registry.WriteText, OpenMetrics accepted too) back
+// into series snapshots — the inverse scrape that lets vqtop run a
+// local plane over a remote daemon's /metrics endpoint. Histogram
+// _bucket/_sum/_count lines are reassembled into one histogram snapshot
+// with per-bucket (non-cumulative) counts; families without a # TYPE
+// line are treated as gauges. Series come out in first-seen order, so a
+// stable exposition yields a stable snapshot order.
+func ParsePromText(r io.Reader) ([]metrics.SeriesSnapshot, error) {
+	kinds := map[string]string{}     // family base name -> kind
+	hists := map[string]*histBuild{} // histogram full name -> builder
+	var order []string               // histogram full names, first-seen
+	var out []metrics.SeriesSnapshot
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) >= 4 && f[1] == "TYPE" {
+				kinds[f[2]] = f[3]
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom text line %d: %w", lineNo, err)
+		}
+		base, suffix := splitSuffix(name, kinds)
+		switch suffix {
+		case "": // plain counter/gauge sample
+			kind := kinds[base]
+			if kind != "counter" && kind != "gauge" {
+				kind = "gauge" // untyped exposition reads as gauge
+			}
+			out = append(out, metrics.SeriesSnapshot{
+				Name: base, Labels: labels, Kind: kind, Value: value,
+			})
+		case "bucket":
+			rest, le, ok := extractLE(labels)
+			if !ok {
+				return nil, fmt.Errorf("obs: prom text line %d: _bucket without le label", lineNo)
+			}
+			h := histAt(hists, &order, base, rest)
+			if le == "+Inf" {
+				h.infCum = uint64(value)
+				h.sawInf = true
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: prom text line %d: bad le %q", lineNo, le)
+				}
+				h.bounds = append(h.bounds, bound)
+				h.cums = append(h.cums, uint64(value))
+			}
+		case "sum":
+			histAt(hists, &order, base, labels).sum = value
+		case "count":
+			histAt(hists, &order, base, labels).count = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading prom text: %w", err)
+	}
+
+	for _, full := range order {
+		s, err := hists[full].finish()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// histBuild accumulates one histogram series' exposition lines.
+type histBuild struct {
+	name   string
+	labels string
+	bounds []float64
+	cums   []uint64 // cumulative counts per finite bound, exposition order
+	infCum uint64
+	sawInf bool
+	sum    float64
+	count  uint64
+}
+
+func histAt(hists map[string]*histBuild, order *[]string, base, labels string) *histBuild {
+	full := base
+	if labels != "" {
+		full += "{" + labels + "}"
+	}
+	h, ok := hists[full]
+	if !ok {
+		h = &histBuild{name: base, labels: labels}
+		hists[full] = h
+		*order = append(*order, full)
+	}
+	return h
+}
+
+// finish converts cumulative bucket counts back to per-bucket counts.
+func (h *histBuild) finish() (metrics.SeriesSnapshot, error) {
+	full := h.name
+	if h.labels != "" {
+		full += "{" + h.labels + "}"
+	}
+	counts := make([]uint64, len(h.bounds)+1)
+	var prev uint64
+	for i, c := range h.cums {
+		if c < prev {
+			return metrics.SeriesSnapshot{}, fmt.Errorf("obs: histogram %s: non-monotone buckets", full)
+		}
+		counts[i] = c - prev
+		prev = c
+	}
+	total := h.count
+	if h.sawInf {
+		total = h.infCum
+	}
+	if total < prev {
+		return metrics.SeriesSnapshot{}, fmt.Errorf("obs: histogram %s: count below bucket total", full)
+	}
+	counts[len(h.bounds)] = total - prev
+	return metrics.SeriesSnapshot{
+		Name: h.name, Labels: h.labels, Kind: "histogram",
+		Bounds: h.bounds, Counts: counts, Sum: h.sum, Count: total,
+	}, nil
+}
+
+// splitSample breaks "name{labels} value [# exemplar]" into its parts.
+// Label values are quoted strings; braces and spaces inside quotes are
+// honored.
+func splitSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j, err := closeBrace(rest, i)
+		if err != nil {
+			return "", "", 0, err
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		f := strings.IndexByte(rest, ' ')
+		if f < 0 {
+			return "", "", 0, fmt.Errorf("no value on sample line")
+		}
+		name = rest[:f]
+		rest = strings.TrimSpace(rest[f+1:])
+	}
+	// Strip OpenMetrics exemplar annotation and trailing timestamp.
+	if i := strings.Index(rest, " #"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if f := strings.Fields(rest); len(f) > 0 {
+		rest = f[0]
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// closeBrace finds the index of the '}' matching the '{' at open,
+// skipping quoted label values (with backslash escapes).
+func closeBrace(s string, open int) (int, error) {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label set")
+}
+
+// splitSuffix decides whether a sample name is a histogram component
+// (_bucket/_sum/_count of a family # TYPE'd histogram) and returns the
+// family base plus the component suffix ("" for plain samples).
+func splitSuffix(name string, kinds map[string]string) (base, suffix string) {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if kinds[b] == "histogram" {
+				return b, suf[1:]
+			}
+		}
+	}
+	return name, ""
+}
+
+// extractLE removes the le label pair from a label body, returning the
+// remaining body, the le value, and whether le was present.
+func extractLE(labels string) (rest, le string, ok bool) {
+	parts := splitLabels(labels)
+	kept := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, "le=") {
+			v := strings.TrimPrefix(p, "le=")
+			le = strings.Trim(v, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ","), le, ok
+}
+
+// splitLabels splits a label body on top-level commas (quotes honored).
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, labels[start:])
+}

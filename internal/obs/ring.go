@@ -1,0 +1,192 @@
+package obs
+
+import "vqprobe/internal/metrics"
+
+// ring is the fixed-capacity sample store for one series. Counters and
+// gauges keep one float64 per sample; histograms keep the cumulative
+// per-bucket counts, sum and count per sample, which is what makes
+// windowed quantiles (delta between two samples → sketch.Hist) and
+// snapshot merging exact rather than approximate.
+type ring struct {
+	name   string
+	kind   string
+	bounds []float64 // histogram bucket upper bounds, shared, read-only
+
+	t []int64   // sample times, ns on the driving clock
+	v []float64 // counter/gauge sampled value
+
+	// histogram-only parallel arrays
+	count   []uint64
+	sum     []float64
+	buckets [][]uint64 // per-bucket (non-cumulative across buckets) counts
+
+	head    int // next write position
+	n       int // samples currently held
+	wrapped bool
+}
+
+func newRing(name, kind string, bounds []float64, capacity int) *ring {
+	r := &ring{
+		name:   name,
+		kind:   kind,
+		bounds: bounds,
+		t:      make([]int64, capacity),
+	}
+	if kind == "histogram" {
+		r.count = make([]uint64, capacity)
+		r.sum = make([]float64, capacity)
+		r.buckets = make([][]uint64, capacity)
+	} else {
+		r.v = make([]float64, capacity)
+	}
+	return r
+}
+
+// append records one sample, overwriting the oldest once full.
+func (r *ring) append(tns int64, s *metrics.SeriesSnapshot) {
+	i := r.head
+	r.t[i] = tns
+	if r.kind == "histogram" {
+		r.count[i] = s.Count
+		r.sum[i] = s.Sum
+		// Reuse the slot's bucket slice when shapes match; Snapshot
+		// hands us a fresh copy we could retain, but keeping our own
+		// storage makes ownership obvious.
+		if cap(r.buckets[i]) >= len(s.Counts) {
+			r.buckets[i] = r.buckets[i][:len(s.Counts)]
+			copy(r.buckets[i], s.Counts)
+		} else {
+			r.buckets[i] = append([]uint64(nil), s.Counts...)
+		}
+	} else {
+		r.v[i] = s.Value
+	}
+	r.head++
+	if r.head == len(r.t) {
+		r.head = 0
+		r.wrapped = true
+	}
+	if r.n < len(r.t) {
+		r.n++
+	}
+}
+
+// phys maps logical index i (0 = oldest held sample) to storage index.
+func (r *ring) phys(i int) int {
+	if !r.wrapped {
+		return i
+	}
+	return (r.head + i) % len(r.t)
+}
+
+func (r *ring) timeAt(i int) int64   { return r.t[r.phys(i)] }
+func (r *ring) value(i int) float64  { return r.v[r.phys(i)] }
+func (r *ring) countAt(i int) uint64 { return r.count[r.phys(i)] }
+func (r *ring) sumAt(i int) float64  { return r.sum[r.phys(i)] }
+
+// bucketsAt returns the cumulative bucket counts of logical sample i
+// (read-only; storage is reused on wrap).
+func (r *ring) bucketsAt(i int) []uint64 { return r.buckets[r.phys(i)] }
+
+// atOrBefore returns the logical index of the latest sample whose time
+// is <= tns. The second result is false when every held sample is
+// later: the caller then either falls back to the oldest sample
+// (wrapped ring — history lost) or to the process-start origin (young
+// ring — the counter was 0 at t=0 by construction).
+func (r *ring) atOrBefore(tns int64) (int, bool) {
+	lo, hi := 0, r.n // first index with time > tns
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.timeAt(mid) <= tns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	return lo - 1, true
+}
+
+// monotone value accessors for delta math: counters and histogram
+// counts both behave as cumulative series.
+func (r *ring) cumAt(i int) float64 {
+	if r.kind == "histogram" {
+		return float64(r.countAt(i))
+	}
+	return r.value(i)
+}
+
+// deltaOver returns the cumulative increase and the covered span in
+// seconds over the trailing window ending at tns. A young ring that
+// does not yet span the window anchors at the process origin (0 at
+// t=0); a wrapped ring anchors at its oldest sample. Counter resets
+// (value decreasing) clamp to zero rather than going negative.
+func (r *ring) deltaOver(tns, windowNS int64) (delta, spanSec float64) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	last := r.n - 1
+	cut := tns - windowNS
+	var baseV float64
+	var baseT int64
+	if j, ok := r.atOrBefore(cut); ok {
+		baseV, baseT = r.cumAt(j), r.timeAt(j)
+	} else if r.wrapped {
+		baseV, baseT = r.cumAt(0), r.timeAt(0)
+	} else {
+		baseV, baseT = 0, 0 // series started at zero with the process
+	}
+	delta = r.cumAt(last) - baseV
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, float64(r.timeAt(last)-baseT) / 1e9
+}
+
+// leCountAt returns, for a histogram ring, the cumulative number of
+// observations at or below threshold at logical sample i: the sum of
+// buckets whose upper bound is <= threshold. Observations in the first
+// bucket whose bound exceeds the threshold count as "above" — the
+// effective threshold is the largest bucket bound not exceeding it.
+func (r *ring) leCountAt(i int, threshold float64) uint64 {
+	b := r.bucketsAt(i)
+	var le uint64
+	for j, bound := range r.bounds {
+		if bound > threshold {
+			break
+		}
+		le += b[j]
+	}
+	return le
+}
+
+// badTotalOver returns, for a histogram ring, the number of
+// observations above threshold and the total observation count over
+// the trailing window ending at tns (same anchoring as deltaOver).
+func (r *ring) badTotalOver(tns, windowNS int64, threshold float64) (bad, total float64) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	last := r.n - 1
+	cut := tns - windowNS
+	var baseCount, baseLE uint64
+	if j, ok := r.atOrBefore(cut); ok {
+		baseCount, baseLE = r.countAt(j), r.leCountAt(j, threshold)
+	} else if r.wrapped {
+		baseCount, baseLE = r.countAt(0), r.leCountAt(0, threshold)
+	}
+	dCount := int64(r.countAt(last)) - int64(baseCount)
+	dLE := int64(r.leCountAt(last, threshold)) - int64(baseLE)
+	if dCount < 0 {
+		dCount = 0
+	}
+	if dLE < 0 {
+		dLE = 0
+	}
+	if dLE > dCount {
+		dLE = dCount
+	}
+	return float64(dCount - dLE), float64(dCount)
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"vqprobe/internal/metrics"
+)
+
+// TestBurnRateAlertGold drives a scripted latency spike through a
+// latency-form SLO on the virtual clock and pins the exact alert
+// transition times and burn values — the deterministic alerting proof.
+//
+// Script: 10 observations/tick at 1s ticks. Ticks 1-30 all fast
+// (0.05s), ticks 31-45 all slow (0.5s), ticks 46-80 fast again.
+// Objective 0.9 with threshold 0.1s and burn limit 2 over 10s/30s
+// windows means: fast burn = (bad in last 10s)/10, slow burn = (bad in
+// last 30s)/30. Both cross 2 at t=36s; the fast window drains below 2
+// at t=54s.
+func TestBurnRateAlertGold(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := metrics.NewRegistry()
+	slo := SLO{
+		Name: "latency", Hist: "lat_seconds", ThresholdS: 0.1,
+		Objective:  0.9,
+		FastWindow: Duration(10 * time.Second),
+		SlowWindow: Duration(30 * time.Second),
+		// 1.9 rather than 2.0: the crossing samples sit at burn 2.0
+		// exactly, and (bad/total)/(1-objective) carries float residue;
+		// the 0.1 margin keeps the gold transitions residue-proof.
+		Burn: 1.9,
+	}
+	p := New(Config{
+		Registry: reg, Capacity: 128, SLOs: []SLO{slo},
+		Logger: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+
+	type transition struct {
+		sec   int
+		state string
+	}
+	var got []transition
+	last := "ok"
+	for s := 1; s <= 80; s++ {
+		v := 0.05
+		if s >= 31 && s <= 45 {
+			v = 0.5
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		tick(p, s)
+		alerts := p.Alerts()
+		if len(alerts) != 1 {
+			t.Fatalf("tick %d: %d alerts, want 1", s, len(alerts))
+		}
+		a := alerts[0]
+		if a.State != last {
+			got = append(got, transition{s, a.State})
+			last = a.State
+		}
+		switch s {
+		case 36:
+			if math.Abs(a.BurnFast-6) > 1e-9 || math.Abs(a.BurnSlow-2) > 1e-9 {
+				t.Fatalf("tick 36: burn fast/slow = %v/%v, want 6/2", a.BurnFast, a.BurnSlow)
+			}
+		case 35:
+			if a.State != "ok" {
+				t.Fatalf("tick 35: firing early (slow burn %v)", a.BurnSlow)
+			}
+		}
+	}
+
+	want := []transition{{36, "firing"}, {54, "ok"}}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	out := logBuf.String()
+	if !strings.Contains(out, "slo alert firing") || !strings.Contains(out, "slo alert resolved") {
+		t.Fatalf("alert transitions not logged:\n%s", out)
+	}
+
+	// Firing state is visible on the healthz path.
+	p2 := New(Config{Registry: metrics.NewRegistry(), SLOs: []SLO{slo}})
+	if fa := p2.FiringAlerts(); fa == nil || len(fa) != 0 {
+		t.Fatalf("FiringAlerts on quiet plane = %#v, want empty non-nil", fa)
+	}
+}
+
+// TestBurnRateRatioSLO checks the counter-ratio objective form.
+func TestBurnRateRatioSLO(t *testing.T) {
+	reg := metrics.NewRegistry()
+	slo := SLO{
+		Name: "availability", Bad: "errs_total", Total: "reqs_total",
+		Objective:  0.99,
+		FastWindow: Duration(10 * time.Second),
+		SlowWindow: Duration(20 * time.Second),
+		Burn:       5,
+	}
+	p := New(Config{Registry: reg, Capacity: 64, SLOs: []SLO{slo}})
+	reqs := reg.Counter("reqs_total", "n")
+	errs := reg.Counter("errs_total", "n")
+
+	// 100 req/s, 10% errors: error rate 0.1, burn 0.1/0.01 = 10 > 5 on
+	// both windows once the slow window fills with errors.
+	for s := 1; s <= 25; s++ {
+		reqs.Add(100)
+		if s > 5 {
+			errs.Add(10)
+		}
+		tick(p, s)
+	}
+	a := p.Alerts()[0]
+	if a.State != "firing" {
+		t.Fatalf("ratio SLO not firing: %+v", a)
+	}
+	// Burn gauges are exported to the registry under the standard name.
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), `vqserve_slo_burn_rate{slo="availability",window="fast"}`) {
+		t.Fatalf("burn gauge missing from exposition:\n%s", buf.String())
+	}
+}
+
+func TestSLOValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"ratio form", `[{"name":"a","bad":"b","total":"t","objective":0.99}]`, true},
+		{"latency form", `[{"name":"a","hist":"h","threshold_s":0.25,"objective":0.999}]`, true},
+		{"string windows", `[{"name":"a","bad":"b","total":"t","objective":0.9,"fast_window":"5m","slow_window":"1h"}]`, true},
+		{"numeric window", `[{"name":"a","bad":"b","total":"t","objective":0.9,"fast_window":300000000000}]`, true},
+		{"missing name", `[{"bad":"b","total":"t","objective":0.99}]`, false},
+		{"both forms", `[{"name":"a","bad":"b","total":"t","hist":"h","threshold_s":1,"objective":0.99}]`, false},
+		{"no form", `[{"name":"a","objective":0.99}]`, false},
+		{"objective 1", `[{"name":"a","bad":"b","total":"t","objective":1}]`, false},
+		{"hist no threshold", `[{"name":"a","hist":"h","objective":0.99}]`, false},
+		{"unknown field", `[{"name":"a","bad":"b","total":"t","objective":0.99,"bogus":1}]`, false},
+	}
+	for _, tc := range cases {
+		_, err := LoadSLOs(strings.NewReader(tc.in))
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	// Defaults fill in.
+	slos, err := LoadSLOs(strings.NewReader(`[{"name":"a","bad":"b","total":"t","objective":0.9}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := slos[0].withDefaults()
+	if time.Duration(s.FastWindow) != 5*time.Minute || time.Duration(s.SlowWindow) != time.Hour || s.Burn != 14.4 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	for _, s := range DefaultServeSLOs() {
+		if err := s.validate(); err != nil {
+			t.Errorf("default SLO %q invalid: %v", s.Name, err)
+		}
+	}
+}

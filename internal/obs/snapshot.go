@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vqprobe/internal/sketch"
+)
+
+// Snapshot is the ring store unrolled into chronological arrays: the
+// /vars payload, the vqtop input, and the mergeable interchange form
+// for multi-replica rollups. Series are sorted by name and the struct
+// holds no maps, so EncodeJSON is byte-deterministic for identical
+// ring contents — the property the worker-invariance tests pin.
+type Snapshot struct {
+	NowNS  int64    `json:"now_ns"`
+	Series []Series `json:"series"`
+	Alerts []Alert  `json:"alerts,omitempty"`
+}
+
+// Series is one metric's sampled history plus derived views. Raw
+// arrays (T, V, Count, Sum, Buckets) are the merge substrate; Rate and
+// the quantile arrays are recomputed from raw data after any merge.
+type Series struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// T holds sample times in ns on the driving clock, oldest first.
+	T []int64 `json:"t_ns"`
+	// V holds counter/gauge sampled values (cumulative for counters).
+	V []float64 `json:"v,omitempty"`
+	// Rate is the per-second increase between consecutive samples, for
+	// counters and histogram observation counts (Rate[0] is 0: no
+	// predecessor inside the ring).
+	Rate []float64 `json:"rate,omitempty"`
+	// Histogram raw state per sample: cumulative observation count and
+	// sum, and per-bucket counts (len(Bounds)+1, last = overflow).
+	Bounds  []float64  `json:"bounds,omitempty"`
+	Count   []uint64   `json:"count,omitempty"`
+	Sum     []float64  `json:"sum,omitempty"`
+	Buckets [][]uint64 `json:"buckets,omitempty"`
+	// Windowed quantiles: per sample, over the observations that
+	// arrived since the previous sample (the first sample covers
+	// everything before it), through internal/sketch interpolation.
+	P50 []float64 `json:"p50,omitempty"`
+	P95 []float64 `json:"p95,omitempty"`
+	P99 []float64 `json:"p99,omitempty"`
+}
+
+// Snapshot unrolls the ring store. Series come out sorted by full
+// name; derived rate/quantile arrays are filled in.
+func (p *Plane) Snapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := &Snapshot{NowNS: p.now, Alerts: p.alertsLocked(false)}
+	for _, r := range p.rings {
+		s := Series{Name: r.name, Kind: r.kind}
+		s.T = make([]int64, r.n)
+		for i := 0; i < r.n; i++ {
+			s.T[i] = r.timeAt(i)
+		}
+		if r.kind == "histogram" {
+			s.Bounds = append([]float64(nil), r.bounds...)
+			s.Count = make([]uint64, r.n)
+			s.Sum = make([]float64, r.n)
+			s.Buckets = make([][]uint64, r.n)
+			for i := 0; i < r.n; i++ {
+				s.Count[i] = r.countAt(i)
+				s.Sum[i] = r.sumAt(i)
+				s.Buckets[i] = append([]uint64(nil), r.bucketsAt(i)...)
+			}
+		} else {
+			s.V = make([]float64, r.n)
+			for i := 0; i < r.n; i++ {
+				s.V[i] = r.value(i)
+			}
+		}
+		s.derive()
+		snap.Series = append(snap.Series, s)
+	}
+	sort.Slice(snap.Series, func(i, j int) bool { return snap.Series[i].Name < snap.Series[j].Name })
+	return snap
+}
+
+// derive recomputes Rate and the windowed quantile arrays from the raw
+// sample arrays. Safe to call repeatedly (after construction or merge).
+func (s *Series) derive() {
+	n := len(s.T)
+	switch s.Kind {
+	case "gauge":
+		s.Rate, s.P50, s.P95, s.P99 = nil, nil, nil, nil
+		return
+	case "counter":
+		s.Rate = make([]float64, n)
+		for i := 1; i < n; i++ {
+			s.Rate[i] = rate(s.V[i]-s.V[i-1], s.T[i]-s.T[i-1])
+		}
+		return
+	case "histogram":
+		s.Rate = make([]float64, n)
+		s.P50 = make([]float64, n)
+		s.P95 = make([]float64, n)
+		s.P99 = make([]float64, n)
+		prev := make([]uint64, len(s.Bounds)+1)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s.Rate[i] = rate(float64(s.Count[i])-float64(s.Count[i-1]), s.T[i]-s.T[i-1])
+			}
+			s.P50[i], s.P95[i], s.P99[i] = bucketQuantiles(s.Bounds, s.Buckets[i], prev)
+			copy(prev, s.Buckets[i])
+		}
+	}
+}
+
+func rate(delta float64, dtNS int64) float64 {
+	if dtNS <= 0 || delta <= 0 {
+		return 0
+	}
+	return delta / (float64(dtNS) / 1e9)
+}
+
+// bucketQuantiles computes p50/p95/p99 of the observations that landed
+// between two cumulative bucket snapshots (prev may be all-zero for
+// "everything so far"), through the shared sketch machinery. The open
+// tails are conservatively bounded: the underflow bin spans [0,
+// bounds[0]] and the overflow bin reports the last finite bound, so an
+// overflow-heavy window reads as "at least the top bucket bound".
+func bucketQuantiles(bounds []float64, cur, prev []uint64) (p50, p95, p99 float64) {
+	if len(bounds) == 0 {
+		return 0, 0, 0
+	}
+	h := sketch.Hist{Edges: bounds, Counts: make([]uint64, len(bounds)+1)}
+	for i := range h.Counts {
+		d := int64(cur[i]) - int64(prev[i])
+		if d > 0 {
+			h.Counts[i] = uint64(d)
+			h.N += uint64(d)
+		}
+	}
+	if h.N == 0 {
+		return 0, 0, 0
+	}
+	// Substitute deterministic extremes for the open tails: exact
+	// minima/maxima are not recoverable from bucket deltas.
+	h.Min = 0
+	if h.Counts[0] == 0 {
+		for i := 1; i < len(h.Counts); i++ {
+			if h.Counts[i] > 0 {
+				h.Min = bounds[i-1]
+				break
+			}
+		}
+	}
+	h.Max = bounds[len(bounds)-1]
+	if h.Counts[len(h.Counts)-1] == 0 {
+		for i := len(h.Counts) - 2; i >= 0; i-- {
+			if h.Counts[i] > 0 {
+				h.Max = bounds[i]
+				break
+			}
+		}
+	}
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// EncodeJSON renders the snapshot deterministically (sorted series, no
+// maps, fixed float formatting via encoding/json).
+func (s *Snapshot) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", " ")
+}
+
+// DecodeSnapshot parses an EncodeJSON payload (vqtop's /vars client).
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Merge folds o into s: series are matched by name and must have been
+// sampled at identical tick times (planes driven by the same clock —
+// shards of one process, or replicas on a shared virtual clock).
+// Counters, histogram counts/sums/buckets add exactly; gauges add too
+// (sum semantics: queue depths and inflight counts aggregate by
+// addition). Series present in only one snapshot are carried over.
+// Derived arrays are recomputed and the result re-sorted, so merging
+// in any order yields byte-identical encodings. Alerts are per-plane
+// state and do not merge: the result carries none.
+func (s *Snapshot) Merge(o *Snapshot) error {
+	if o.NowNS > s.NowNS {
+		s.NowNS = o.NowNS
+	}
+	s.Alerts = nil
+	byName := make(map[string]int, len(s.Series))
+	for i := range s.Series {
+		byName[s.Series[i].Name] = i
+	}
+	for i := range o.Series {
+		os := &o.Series[i]
+		j, ok := byName[os.Name]
+		if !ok {
+			s.Series = append(s.Series, *copySeries(os))
+			continue
+		}
+		ms := &s.Series[j]
+		if ms.Kind != os.Kind {
+			return fmt.Errorf("obs: merge %s: kind %s vs %s", os.Name, ms.Kind, os.Kind)
+		}
+		if len(ms.T) != len(os.T) {
+			return fmt.Errorf("obs: merge %s: %d vs %d samples", os.Name, len(ms.T), len(os.T))
+		}
+		for k := range ms.T {
+			if ms.T[k] != os.T[k] {
+				return fmt.Errorf("obs: merge %s: sample %d at t=%d vs t=%d", os.Name, k, ms.T[k], os.T[k])
+			}
+		}
+		switch ms.Kind {
+		case "counter", "gauge":
+			for k := range ms.V {
+				ms.V[k] += os.V[k]
+			}
+		case "histogram":
+			if len(ms.Bounds) != len(os.Bounds) {
+				return fmt.Errorf("obs: merge %s: bucket layouts differ", os.Name)
+			}
+			for k := range ms.Count {
+				ms.Count[k] += os.Count[k]
+				ms.Sum[k] += os.Sum[k]
+				for b := range ms.Buckets[k] {
+					ms.Buckets[k][b] += os.Buckets[k][b]
+				}
+			}
+		}
+	}
+	for i := range s.Series {
+		s.Series[i].derive()
+	}
+	sort.Slice(s.Series, func(i, j int) bool { return s.Series[i].Name < s.Series[j].Name })
+	return nil
+}
+
+func copySeries(s *Series) *Series {
+	c := *s
+	c.T = append([]int64(nil), s.T...)
+	c.V = append([]float64(nil), s.V...)
+	c.Bounds = append([]float64(nil), s.Bounds...)
+	c.Count = append([]uint64(nil), s.Count...)
+	c.Sum = append([]float64(nil), s.Sum...)
+	if s.Buckets != nil {
+		c.Buckets = make([][]uint64, len(s.Buckets))
+		for i := range s.Buckets {
+			c.Buckets[i] = append([]uint64(nil), s.Buckets[i]...)
+		}
+	}
+	c.derive()
+	return &c
+}

@@ -166,6 +166,11 @@ type Config struct {
 	// stage latency histograms, and enables the /debug/trace endpoint.
 	// Nil (the default) disables all of it at zero per-request cost.
 	Tracer *trace.Tracer
+	// AlertsFunc, when set, supplies the "alerts" field on /healthz —
+	// typically an obs plane's FiringAlerts. The engine treats the
+	// result as opaque JSON so serve carries no dependency on the
+	// telemetry plane.
+	AlertsFunc func() any
 	// RequestTimeout, when positive, bounds how long a request may sit
 	// in a shard queue: a job dequeued after its deadline is answered
 	// with a timeout error instead of being classified against a stale

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthzAlertsField pins the /healthz alert surface: with an
+// AlertsFunc configured the body carries its result verbatim under
+// "alerts" (empty list when nothing fires), and without one the field
+// is absent — so existing healthz consumers see no change.
+func TestHealthzAlertsField(t *testing.T) {
+	type alert struct {
+		SLO   string `json:"slo"`
+		State string `json:"state"`
+	}
+	firing := []alert{}
+	e := NewEngine(testModel(t, "lan_cong_severe"), Config{
+		Shards:     1,
+		AlertsFunc: func() any { return firing },
+	})
+	defer e.Close()
+
+	get := func() map[string]json.RawMessage {
+		rr := httptest.NewRecorder()
+		e.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+		if rr.Code != 200 {
+			t.Fatalf("healthz = %d: %s", rr.Code, rr.Body.String())
+		}
+		var body map[string]json.RawMessage
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return body
+	}
+
+	if got := string(get()["alerts"]); got != "[]" {
+		t.Fatalf("quiet alerts field = %s, want []", got)
+	}
+
+	firing = []alert{{SLO: "latency", State: "firing"}}
+	var alerts []alert
+	if err := json.Unmarshal(get()["alerts"], &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].SLO != "latency" || alerts[0].State != "firing" {
+		t.Fatalf("alerts = %+v, want the firing latency alert", alerts)
+	}
+
+	plain := NewEngine(testModel(t, "lan_cong_severe"), Config{Shards: 1})
+	defer plain.Close()
+	rr := httptest.NewRecorder()
+	plain.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	var body map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := body["alerts"]; present {
+		t.Fatal("alerts field present without an AlertsFunc")
+	}
+}

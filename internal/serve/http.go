@@ -69,6 +69,9 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		body["status"] = "degraded"
 		body["last_reload_error"] = msg
 	}
+	if f := e.cfg.AlertsFunc; f != nil {
+		body["alerts"] = f()
+	}
 	json.NewEncoder(w).Encode(body)
 }
 
