@@ -6,6 +6,11 @@
 //	vqdiag -model model.json -in sessions.csv [-parallel N] [-confusion]
 //	       [-strict] [-explain] [-log-format text|json]
 //
+// -model accepts vqtrain's JSON or the binary snapshot written by
+// vqtrain -emit-snapshot (loaded in one sequential read, tree or
+// forest). -explain requires a tree model: an ensemble vote has no
+// single decision path.
+//
 // The input CSV uses the same format vqlab writes and is streamed row
 // by row (it never has to fit in memory); if its class column is
 // non-empty the tool also reports accuracy (and, with -confusion, the
@@ -45,7 +50,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		modelPath = flag.String("model", "model.json", "trained model JSON")
+		modelPath = flag.String("model", "model.json", "trained model: vqtrain JSON or binary snapshot")
 		in        = flag.String("in", "", "sessions CSV to diagnose (required)")
 		confusion = flag.Bool("confusion", false, "print the full confusion summary")
 		quiet     = flag.Bool("quiet", false, "suppress per-session lines")
@@ -74,16 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	model, err := vqprobe.LoadModel(mf)
-	mf.Close()
-	if err != nil {
-		fatalf("%v", err)
-	}
-	cm, err := vqprobe.CompileModel(model)
+	cm, err := vqprobe.LoadServingModel(*modelPath)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -100,23 +100,14 @@ func main() {
 
 	var engine *serve.Engine
 	if *modelPath != "" {
-		mf, err := os.Open(*modelPath)
-		if err != nil {
-			fatal(err)
-		}
-		model, err := vqprobe.LoadModel(mf)
-		mf.Close()
-		if err != nil {
-			fatal(err)
-		}
-		compiled, err := model.Compile()
+		compiled, err := vqprobe.LoadServingModel(*modelPath)
 		if err != nil {
 			fatal(err)
 		}
 		engine = serve.NewEngine(compiled, serve.Config{})
 		defer engine.Close()
 		cfg.Engine = engine
-		cfg.ModelTask = string(model.Task)
+		cfg.ModelTask = compiled.Task()
 	}
 
 	if *replay >= 0 {

@@ -28,6 +28,11 @@
 // docs/OBSERVABILITY.md); without it the stock vqserve objectives
 // apply. -obs 0 disables the plane and its endpoints entirely.
 //
+// -model (and -watch) accepts either model format: vqtrain's JSON or
+// the binary snapshot from vqtrain -emit-snapshot. Snapshots decode in
+// a single sequential read — no JSON parsing, no tree re-compilation —
+// so hot-reload cost is independent of model size.
+//
 // With -watch, the model file's mtime is polled and the model reloads
 // automatically when a retrainer overwrites it (continuous training).
 // -trace-buf N keeps the last N spans in memory and stamps results and
@@ -59,16 +64,7 @@ import (
 )
 
 func loadModel(path string) (*serve.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, err := vqprobe.LoadModel(f)
-	if err != nil {
-		return nil, err
-	}
-	return vqprobe.CompileModel(m)
+	return vqprobe.LoadServingModel(path)
 }
 
 // newLogger builds the process logger: text (the default, human
@@ -88,7 +84,7 @@ func newLogger(format string) *slog.Logger {
 
 func main() {
 	var (
-		modelPath = flag.String("model", "model.json", "trained model JSON (from vqtrain)")
+		modelPath = flag.String("model", "model.json", "trained model: vqtrain JSON or binary snapshot (-emit-snapshot)")
 		addr      = flag.String("addr", ":8700", "HTTP listen address")
 		shards    = flag.Int("shards", 0, "ingest shards/workers (0 = NumCPU)")
 		queue     = flag.Int("queue", 256, "per-shard queue depth")
@@ -174,10 +170,12 @@ func main() {
 		Tracer:     tracer,
 		AlertsFunc: alertsFunc,
 	})
+	info := model.Info()
 	logger.Info("serving",
-		"task", model.Task(), "features", len(model.Schema()),
-		"classes", len(model.Classes()), "addr", *addr,
-		"tracing", tracer != nil)
+		"task", model.Task(), "model", info.Kind, "trees", info.Trees,
+		"nodes", info.Nodes, "load_ms", info.LoadMillis,
+		"features", len(model.Schema()), "classes", len(model.Classes()),
+		"addr", *addr, "tracing", tracer != nil)
 
 	if *pprofAddr != "" {
 		// pprof registers on http.DefaultServeMux; the diagnosis surface
@@ -326,7 +324,9 @@ func watchModel(eng *serve.Engine, logger *slog.Logger, path string, every time.
 		}
 		last = st.ModTime()
 		eng.Reload(m)
+		info := m.Info()
 		logger.Info("hot-reloaded model",
-			"features", len(m.Schema()), "classes", len(m.Classes()))
+			"model", info.Kind, "nodes", info.Nodes, "snapshot", info.SnapshotHash,
+			"load_ms", info.LoadMillis, "features", len(m.Schema()), "classes", len(m.Classes()))
 	}
 }

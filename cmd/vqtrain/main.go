@@ -6,7 +6,13 @@
 //
 //	vqtrain -in dataset.csv -out model.json [-task exact]
 //	        [-vps mobile,router,server] [-tree] [-features]
+//	        [-emit-snapshot model.snap]
 //	        [-train-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -emit-snapshot additionally writes the compiled model as a binary
+// c45 snapshot: vqserve and vqdiag load it with a single sequential
+// read instead of re-parsing and re-compiling the JSON tree, so serve
+// reload cost stays flat as models grow.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 		task     = flag.String("task", "exact", "task label recorded in the model")
 		vps      = flag.String("vps", "mobile,router,server", "vantage points recorded in the model")
 		showTree = flag.Bool("tree", false, "print the trained decision tree")
+		snapOut  = flag.String("emit-snapshot", "", "also write the compiled model as a binary snapshot to this path")
 		showSel  = flag.Bool("features", false, "print the selected features")
 		workers  = flag.Int("train-workers", 0, "training worker bound; 0 = GOMAXPROCS, 1 = serial (model is identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
@@ -108,4 +115,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("model written to %s (%d selected features)\n", *out, len(model.SelectedFeatures()))
+
+	if *snapOut != "" {
+		sf, err := os.Create(*snapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = model.SaveSnapshot(sf)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiled snapshot written to %s\n", *snapOut)
+	}
 }

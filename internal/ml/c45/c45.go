@@ -643,6 +643,41 @@ func (t *Tree) classify(n *node, fv metrics.Vector, w float64, acc []float64) {
 	}
 }
 
+// classifyMapped is classify over a pre-resolved row: fmap translates
+// the tree-local feature index of each split into the caller's row
+// index, and a missing feature is a NaN cell rather than an absent map
+// key. Visit order and weight arithmetic mirror classify expression for
+// expression, so the accumulated distribution is bit-identical to a
+// classify call with an equivalent vector. Forest.Predict uses it to
+// resolve the input vector once for the whole ensemble.
+func (t *Tree) classifyMapped(n *node, row []float64, fmap []int32, w float64, acc []float64) {
+	if n.isLeaf() {
+		total := 0.0
+		for _, d := range n.dist {
+			total += d
+		}
+		if total <= 0 {
+			acc[n.class] += w
+			return
+		}
+		for c, d := range n.dist {
+			acc[c] += w * d / total
+		}
+		return
+	}
+	v := row[fmap[n.feature]]
+	if ml.IsMissing(v) {
+		t.classifyMapped(n.left, row, fmap, w*n.leftFrac, acc)
+		t.classifyMapped(n.right, row, fmap, w*(1-n.leftFrac), acc)
+		return
+	}
+	if v <= n.threshold {
+		t.classifyMapped(n.left, row, fmap, w, acc)
+	} else {
+		t.classifyMapped(n.right, row, fmap, w, acc)
+	}
+}
+
 // ---- pruning ----
 
 // zScore for CF=0.25 and friends: inverse standard normal of (1-cf).

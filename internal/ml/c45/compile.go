@@ -10,32 +10,56 @@ import (
 
 // This file is the serving-side counterpart of the recursive *node
 // tree: Compile flattens a trained tree into a contiguous
-// array-of-structs form with feature indices pre-resolved against a
-// fixed schema, so a prediction is a loop over a flat slice — no map
+// struct-of-arrays form with feature indices pre-resolved against a
+// fixed schema, so a prediction is a loop over flat slices — no map
 // lookups and no pointer chasing on the hot path. The arithmetic
 // mirrors Tree.classify operation for operation, so compiled
 // predictions are bit-identical to the pointer tree's.
 
-// cnode is one flattened tree node. Children are stored in preorder,
-// so the left child is always adjacent to its parent.
-type cnode struct {
-	feature int32 // schema row index of the split feature; -1 for leaves
-	left    int32
-	right   int32
-	class   int32 // majority class (leaves)
-	distOff int32 // leaf class distribution, as a window into dists
-	distLen int32
+// nodeArrays is the branch-free struct-of-arrays node layout: one flat
+// slice per field instead of a slice of node structs. Nodes are stored
+// in preorder, so both children of an internal node always have a
+// HIGHER index than their parent — the invariant that lets PredictBatch
+// resolve a whole frontier in one ascending index sweep and lets the
+// snapshot loader reject corrupt child pointers without reachability
+// analysis. The arrays are also exactly what WriteSnapshot serializes:
+// loading a snapshot is a single sequential decode back into this
+// layout, with no per-node reconstruction.
+type nodeArrays struct {
+	feature []int32 // schema row index of the split feature; -1 for leaves
+	left    []int32
+	right   []int32
+	class   []int32 // majority class (leaves)
+	distOff []int32 // leaf class distribution, as a window into dists
+	distLen []int32
 
-	threshold float64
-	leftFrac  float64
-	total     float64 // leaf distribution mass
+	threshold []float64
+	leftFrac  []float64
+	total     []float64 // leaf distribution mass
+}
+
+func (na *nodeArrays) len() int { return len(na.feature) }
+
+// push appends one zeroed leaf-shaped node and returns its index.
+func (na *nodeArrays) push() int32 {
+	at := int32(len(na.feature))
+	na.feature = append(na.feature, -1)
+	na.left = append(na.left, 0)
+	na.right = append(na.right, 0)
+	na.class = append(na.class, 0)
+	na.distOff = append(na.distOff, 0)
+	na.distLen = append(na.distLen, 0)
+	na.threshold = append(na.threshold, 0)
+	na.leftFrac = append(na.leftFrac, 0)
+	na.total = append(na.total, 0)
+	return at
 }
 
 // CompiledTree is the flat, immutable serving form of a Tree.
 type CompiledTree struct {
 	schema  []string
 	classes []string
-	nodes   []cnode
+	nodes   nodeArrays
 	dists   []float64
 	sindex  map[string]int32
 }
@@ -63,7 +87,6 @@ func CompileWithSchema(t *Tree, schema []string) (*CompiledTree, error) {
 	ct := &CompiledTree{
 		schema:  append([]string{}, schema...),
 		classes: append([]string{}, t.classes...),
-		nodes:   make([]cnode, 0, count(t.root)),
 		sindex:  sidx,
 	}
 	if _, err := ct.emit(t, t.root); err != nil {
@@ -74,18 +97,16 @@ func CompileWithSchema(t *Tree, schema []string) (*CompiledTree, error) {
 
 // emit appends n (and, preorder, its subtree) and returns its index.
 func (ct *CompiledTree) emit(t *Tree, n *node) (int32, error) {
-	at := int32(len(ct.nodes))
-	ct.nodes = append(ct.nodes, cnode{feature: -1})
+	at := ct.nodes.push()
 	if n.isLeaf() {
 		total := 0.0
 		for _, d := range n.dist {
 			total += d
 		}
-		c := &ct.nodes[at]
-		c.class = int32(n.class)
-		c.total = total
-		c.distOff = int32(len(ct.dists))
-		c.distLen = int32(len(n.dist))
+		ct.nodes.class[at] = int32(n.class)
+		ct.nodes.total[at] = total
+		ct.nodes.distOff[at] = int32(len(ct.dists))
+		ct.nodes.distLen[at] = int32(len(n.dist))
 		ct.dists = append(ct.dists, n.dist...)
 		return at, nil
 	}
@@ -101,11 +122,10 @@ func (ct *CompiledTree) emit(t *Tree, n *node) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	c := &ct.nodes[at]
-	c.feature = fidx
-	c.threshold = n.threshold
-	c.leftFrac = n.leftFrac
-	c.left, c.right = left, right
+	ct.nodes.feature[at] = fidx
+	ct.nodes.threshold[at] = n.threshold
+	ct.nodes.leftFrac[at] = n.leftFrac
+	ct.nodes.left[at], ct.nodes.right[at] = left, right
 	return at, nil
 }
 
@@ -117,7 +137,11 @@ func (ct *CompiledTree) Schema() []string { return ct.schema }
 func (ct *CompiledTree) Classes() []string { return ct.classes }
 
 // Nodes returns the flattened node count.
-func (ct *CompiledTree) Nodes() int { return len(ct.nodes) }
+func (ct *CompiledTree) Nodes() int { return ct.nodes.len() }
+
+// Trees returns 1: a CompiledTree is a single-member ensemble to
+// callers holding a BatchPredictor.
+func (ct *CompiledTree) Trees() int { return 1 }
 
 // FeatureIndex returns the row index of a feature, or -1.
 func (ct *CompiledTree) FeatureIndex(name string) int {
@@ -163,19 +187,22 @@ type cframe struct {
 
 // classifyRow accumulates the weighted leaf distributions for row into
 // acc, visiting nodes in exactly the order Tree.classify recurses so
-// float accumulation is bit-identical.
+// float accumulation is bit-identical. Because nodes are stored in
+// preorder, this go-left-stack-right traversal visits nodes in strictly
+// ascending index order — the property PredictBatch exploits.
 func (ct *CompiledTree) classifyRow(row []float64, acc []float64) {
 	var local [24]cframe
 	stack := local[:0]
+	nd := &ct.nodes
 	n, w := int32(0), 1.0
 	for {
-		nd := &ct.nodes[n]
-		if nd.feature < 0 {
-			if nd.total <= 0 {
-				acc[nd.class] += w
+		f := nd.feature[n]
+		if f < 0 {
+			if nd.total[n] <= 0 {
+				acc[nd.class[n]] += w
 			} else {
-				for c, d := range ct.dists[nd.distOff : nd.distOff+nd.distLen] {
-					acc[c] += w * d / nd.total
+				for c, d := range ct.dists[nd.distOff[n] : nd.distOff[n]+nd.distLen[n]] {
+					acc[c] += w * d / nd.total[n]
 				}
 			}
 			if len(stack) == 0 {
@@ -186,16 +213,16 @@ func (ct *CompiledTree) classifyRow(row []float64, acc []float64) {
 			n, w = top.n, top.w
 			continue
 		}
-		v := row[nd.feature]
+		v := row[f]
 		if v != v { // NaN: missing at prediction time
-			stack = append(stack, cframe{nd.right, w * (1 - nd.leftFrac)})
-			n, w = nd.left, w*nd.leftFrac
+			stack = append(stack, cframe{nd.right[n], w * (1 - nd.leftFrac[n])})
+			n, w = nd.left[n], w*nd.leftFrac[n]
 			continue
 		}
-		if v <= nd.threshold {
-			n = nd.left
+		if v <= nd.threshold[n] {
+			n = nd.left[n]
 		} else {
-			n = nd.right
+			n = nd.right[n]
 		}
 	}
 }
@@ -292,6 +319,22 @@ func CompileForest(f *Forest) (*CompiledForest, error) {
 
 // Schema returns the union row layout (do not mutate).
 func (cf *CompiledForest) Schema() []string { return cf.schema }
+
+// Classes returns the forest's class labels in index order (do not
+// mutate).
+func (cf *CompiledForest) Classes() []string { return cf.classes }
+
+// Trees returns the ensemble size.
+func (cf *CompiledForest) Trees() int { return len(cf.trees) }
+
+// Nodes returns the total flattened node count across the ensemble.
+func (cf *CompiledForest) Nodes() int {
+	n := 0
+	for _, ct := range cf.trees {
+		n += ct.Nodes()
+	}
+	return n
+}
 
 // RowFromVector converts a named feature vector into schema row form.
 func (cf *CompiledForest) RowFromVector(fv metrics.Vector) []float64 {

@@ -165,20 +165,21 @@ func (ct *CompiledTree) PredictRowExplain(row []float64) *Explanation {
 	acc := make([]float64, len(ct.classes))
 	var local [24]eframe
 	stack := local[:0]
+	nd := &ct.nodes
 	n, w, primary := int32(0), 1.0, true
 	for {
-		nd := &ct.nodes[n]
-		if nd.feature < 0 {
-			if nd.total <= 0 {
-				acc[nd.class] += w
+		f := nd.feature[n]
+		if f < 0 {
+			if nd.total[n] <= 0 {
+				acc[nd.class[n]] += w
 			} else {
-				for c, d := range ct.dists[nd.distOff : nd.distOff+nd.distLen] {
-					acc[c] += w * d / nd.total
+				for c, d := range ct.dists[nd.distOff[n] : nd.distOff[n]+nd.distLen[n]] {
+					acc[c] += w * d / nd.total[n]
 				}
 			}
 			e.Leaves = append(e.Leaves, LeafStep{
-				Class: ct.classes[nd.class], Weight: w,
-				Dist:    append([]float64(nil), ct.dists[nd.distOff:nd.distOff+nd.distLen]...),
+				Class: ct.classes[nd.class[n]], Weight: w,
+				Dist:    append([]float64(nil), ct.dists[nd.distOff[n]:nd.distOff[n]+nd.distLen[n]]...),
 				Primary: primary,
 			})
 			if len(stack) == 0 {
@@ -189,29 +190,29 @@ func (ct *CompiledTree) PredictRowExplain(row []float64) *Explanation {
 			n, w, primary = top.n, top.w, top.primary
 			continue
 		}
-		v := row[nd.feature]
+		v := row[f]
 		if v != v { // NaN: missing at prediction time
 			e.Path = append(e.Path, PathStep{
-				Feature: ct.schema[nd.feature], Threshold: nd.threshold,
+				Feature: ct.schema[f], Threshold: nd.threshold[n],
 				Missing: true, Branch: "both", Weight: w, Primary: primary,
 			})
-			leftPrimary := primary && nd.leftFrac >= 0.5
-			stack = append(stack, eframe{nd.right, w * (1 - nd.leftFrac), primary && !leftPrimary})
-			n, w, primary = nd.left, w*nd.leftFrac, leftPrimary
+			leftPrimary := primary && nd.leftFrac[n] >= 0.5
+			stack = append(stack, eframe{nd.right[n], w * (1 - nd.leftFrac[n]), primary && !leftPrimary})
+			n, w, primary = nd.left[n], w*nd.leftFrac[n], leftPrimary
 			continue
 		}
-		if v <= nd.threshold {
+		if v <= nd.threshold[n] {
 			e.Path = append(e.Path, PathStep{
-				Feature: ct.schema[nd.feature], Threshold: nd.threshold,
+				Feature: ct.schema[f], Threshold: nd.threshold[n],
 				Value: v, Branch: "le", Weight: w, Primary: primary,
 			})
-			n = nd.left
+			n = nd.left[n]
 		} else {
 			e.Path = append(e.Path, PathStep{
-				Feature: ct.schema[nd.feature], Threshold: nd.threshold,
+				Feature: ct.schema[f], Threshold: nd.threshold[n],
 				Value: v, Branch: "gt", Weight: w, Primary: primary,
 			})
-			n = nd.right
+			n = nd.right[n]
 		}
 	}
 	e.Class = ct.classes[majority(acc)]

@@ -2,6 +2,8 @@ package c45
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
 
 	"vqprobe/internal/metrics"
 	"vqprobe/internal/ml"
@@ -16,6 +18,17 @@ import (
 type Forest struct {
 	trees   []*Tree
 	classes []string
+
+	// once guards the lazily-built prediction-path resolution: the union
+	// feature schema across the ensemble plus, per tree, the tree-local
+	// feature → union row index and tree-local class → forest class index
+	// maps. With them a prediction resolves the metrics.Vector into row
+	// form once, instead of one map lookup per node per tree.
+	once   sync.Once
+	union  []string
+	uindex map[string]int
+	fmap   [][]int32
+	cmap   [][]int32
 }
 
 // ForestConfig tunes the ensemble.
@@ -103,22 +116,92 @@ func (t *ForestTrainer) TrainForest(d *ml.Dataset) *Forest {
 	return f
 }
 
+// resolve builds the shared prediction-path state on first use. Sorted
+// union order keeps the schema deterministic; the maps themselves never
+// influence float arithmetic, only where a value is read from.
+func (f *Forest) resolve() {
+	f.once.Do(func() {
+		seen := map[string]bool{}
+		for _, t := range f.trees {
+			for _, feat := range t.features {
+				seen[feat] = true
+			}
+		}
+		f.union = make([]string, 0, len(seen))
+		for feat := range seen {
+			f.union = append(f.union, feat)
+		}
+		sort.Strings(f.union)
+		f.uindex = make(map[string]int, len(f.union))
+		for i, feat := range f.union {
+			f.uindex[feat] = i
+		}
+		cidx := make(map[string]int32, len(f.classes))
+		for i, c := range f.classes {
+			cidx[c] = int32(i)
+		}
+		f.fmap = make([][]int32, len(f.trees))
+		f.cmap = make([][]int32, len(f.trees))
+		for ti, t := range f.trees {
+			fm := make([]int32, len(t.features))
+			for i, feat := range t.features {
+				fm[i] = int32(f.uindex[feat])
+			}
+			cm := make([]int32, len(t.classes))
+			for i, c := range t.classes {
+				cm[i] = cidx[c]
+			}
+			f.fmap[ti], f.cmap[ti] = fm, cm
+		}
+	})
+}
+
 // Predict implements ml.Classifier: probability-weighted vote over the
-// ensemble.
+// ensemble with a deterministic tie-break by class order. The vector is
+// resolved into union-schema row form once; every tree then reads its
+// split values out of the flat row instead of doing one map lookup per
+// node. The per-class vote sums — and therefore the prediction — are
+// identical to the previous per-tree Distribution walk: classifyMapped
+// mirrors classify's float expressions exactly.
 func (f *Forest) Predict(fv metrics.Vector) string {
-	votes := map[string]float64{}
-	for _, tree := range f.trees {
-		for cls, p := range tree.Distribution(fv) {
-			votes[cls] += p
+	f.resolve()
+	row := make([]float64, len(f.union))
+	for i, feat := range f.union {
+		if v, ok := fv[feat]; ok {
+			row[i] = v
+		} else {
+			row[i] = ml.Missing
 		}
 	}
-	best, bi := -1.0, ""
-	for _, cls := range f.classes { // deterministic tie-break by class order
-		if v := votes[cls]; v > best {
-			best, bi = v, cls
+	votes := make([]float64, len(f.classes))
+	var acc []float64
+	for ti, tree := range f.trees {
+		if cap(acc) < len(tree.classes) {
+			acc = make([]float64, len(tree.classes))
+		}
+		acc = acc[:len(tree.classes)]
+		for i := range acc {
+			acc[i] = 0
+		}
+		tree.classifyMapped(tree.root, row, f.fmap[ti], 1, acc)
+		var sum float64
+		for _, v := range acc {
+			sum += v
+		}
+		if sum <= 0 {
+			continue // a no-mass tree casts no vote
+		}
+		for c, v := range acc {
+			votes[f.cmap[ti][c]] += v / sum
 		}
 	}
-	return bi
+	best, bi := -1.0, 0
+	for i, v := range votes { // strict > : first class in order wins ties
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return f.classes[bi]
 }
 
 // Size returns the total node count across the ensemble.

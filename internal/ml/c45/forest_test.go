@@ -62,3 +62,77 @@ func TestForestHandlesMissing(t *testing.T) {
 		t.Errorf("empty-vector prediction %q", got)
 	}
 }
+
+// TestForestPredictMatchesDistributionWalk pins the resolve-once hot
+// path against the definitionally-correct slow path: summing every
+// tree's Distribution and tie-breaking by class order. The two must
+// agree on every instance, including heavily-missing vectors.
+func TestForestPredictMatchesDistributionWalk(t *testing.T) {
+	d := synthDataset(400, 7, 31, 0.3)
+	f := NewForest(ForestConfig{Trees: 9, Seed: 5, Tree: Config{NoPrune: true}}).TrainForest(d)
+	slow := func(fv metrics.Vector) string {
+		votes := map[string]float64{}
+		for _, tree := range f.trees {
+			for cls, p := range tree.Distribution(fv) {
+				votes[cls] += p
+			}
+		}
+		best, bi := -1.0, ""
+		for _, cls := range f.classes {
+			if v := votes[cls]; v > best {
+				best, bi = v, cls
+			}
+		}
+		return bi
+	}
+	for i, inst := range d.Instances {
+		if got, want := f.Predict(inst.Features), slow(inst.Features); got != want {
+			t.Fatalf("instance %d: hot path %q, Distribution walk %q", i, got, want)
+		}
+	}
+}
+
+// leafTree builds a single-leaf tree voting its entire mass for one
+// class — the minimal ensemble member for tie-break tests.
+func leafTree(classes []string, class int) *Tree {
+	dist := make([]float64, len(classes))
+	dist[class] = 1
+	return &Tree{
+		features: nil,
+		classes:  append([]string{}, classes...),
+		root:     &node{feature: -1, class: class, dist: dist},
+	}
+}
+
+// TestForestTieBreakDeterministic pins the majority-vote tie-break: with
+// an exactly tied vote, the class earliest in the forest's class order
+// wins — on Forest.Predict AND on the compiled forms, which must agree.
+func TestForestTieBreakDeterministic(t *testing.T) {
+	classes := []string{"alpha", "beta", "gamma"}
+	// One full-confidence vote each for beta and gamma: a 1.0—1.0 tie
+	// that the class order must break toward beta, never gamma, and
+	// never the unvoted alpha.
+	f := &Forest{
+		classes: classes,
+		trees:   []*Tree{leafTree(classes, 2), leafTree(classes, 1)},
+	}
+	for i := 0; i < 10; i++ { // stable across repeated calls
+		if got := f.Predict(metrics.Vector{}); got != "beta" {
+			t.Fatalf("tie broke to %q, want beta", got)
+		}
+	}
+
+	cf, err := CompileForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := cf.RowFromVector(metrics.Vector{})
+	if got := cf.PredictRow(row); got != "beta" {
+		t.Fatalf("compiled tie broke to %q, want beta", got)
+	}
+	m := cf.NewMatrix(1)
+	m.AppendVector(metrics.Vector{})
+	if got := cf.PredictBatch(m, nil); got[0] != "beta" {
+		t.Fatalf("batch tie broke to %q, want beta", got[0])
+	}
+}

@@ -26,17 +26,38 @@ import (
 )
 
 // Model is an immutable serving snapshot: the trained feature-
-// construction scales plus the compiled decision tree. Engines swap
-// whole snapshots atomically on reload, so a request sees exactly one
-// consistent model.
+// construction scales plus a compiled predictor — a single decision
+// tree or a bagged forest. Engines swap whole snapshots atomically on
+// reload, so a request sees exactly one consistent model.
 type Model struct {
 	task string
 	norm *features.Normalizer
+	bp   c45.BatchPredictor
+	// tree is the compiled tree when the predictor is a single one: the
+	// explain path needs the recorded traversal, which an ensemble vote
+	// does not have. Nil for forest models.
 	tree *c45.CompiledTree
 	// plan holds, per schema row, the feature name and its construction
-	// transform, so normalization touches only the features the tree
+	// transform, so normalization touches only the features the model
 	// consults instead of scanning the full raw vector.
 	plan []rowPlan
+	info ModelInfo
+}
+
+// ModelInfo describes the serving snapshot for /healthz and the
+// vqserve_model_* gauges.
+type ModelInfo struct {
+	// Kind is "tree" or "forest".
+	Kind string `json:"kind"`
+	// Trees is the ensemble size (1 for a single tree).
+	Trees int `json:"trees"`
+	// Nodes is the total compiled node count across the ensemble.
+	Nodes int `json:"nodes"`
+	// SnapshotHash is the content hash of the model file the snapshot
+	// was loaded from; empty when the model was built in-process.
+	SnapshotHash string `json:"snapshot_hash,omitempty"`
+	// LoadMillis is how long loading + compiling the model took.
+	LoadMillis float64 `json:"load_ms,omitempty"`
 }
 
 // rowPlan is the precomputed normalization of one schema row.
@@ -47,18 +68,44 @@ type rowPlan struct {
 	dropped bool
 }
 
-// NewModel assembles a serving snapshot from its trained parts.
+// NewModel assembles a serving snapshot from a compiled single tree.
 func NewModel(task string, norm *features.Normalizer, tree *c45.CompiledTree) *Model {
+	return NewBatchModel(task, norm, tree)
+}
+
+// NewBatchModel assembles a serving snapshot around any compiled
+// predictor — a *c45.CompiledTree or a *c45.CompiledForest. Forest
+// models serve Diagnose and the batched pipeline identically to trees;
+// only the explain path is tree-only.
+func NewBatchModel(task string, norm *features.Normalizer, bp c45.BatchPredictor) *Model {
 	if norm == nil {
 		norm = features.NormalizerFromScales(nil)
 	}
-	m := &Model{task: task, norm: norm, tree: tree}
-	for _, f := range tree.Schema() {
+	m := &Model{task: task, norm: norm, bp: bp}
+	m.tree, _ = bp.(*c45.CompiledTree)
+	kind := "forest"
+	if m.tree != nil {
+		kind = "tree"
+	}
+	m.info = ModelInfo{Kind: kind, Trees: bp.Trees(), Nodes: bp.Nodes()}
+	for _, f := range bp.Schema() {
 		p := norm.Plan(f)
 		m.plan = append(m.plan, rowPlan{name: f, divisor: p.Divisor, scale: p.Scale, dropped: p.Dropped})
 	}
 	return m
 }
+
+// SetProvenance records where the snapshot came from: the content hash
+// of the model file and the measured load+compile duration. Call it
+// before handing the model to an engine — a Model is immutable once
+// serving.
+func (m *Model) SetProvenance(hash string, load time.Duration) {
+	m.info.SnapshotHash = hash
+	m.info.LoadMillis = float64(load.Nanoseconds()) / 1e6
+}
+
+// Info returns the snapshot's descriptive summary.
+func (m *Model) Info() ModelInfo { return m.info }
 
 // fillRow normalizes the raw vector directly into schema row form,
 // bit-identical to Normalizer.ApplyVector followed by
@@ -90,25 +137,37 @@ func (m *Model) fillRow(raw metrics.Vector, row []float64) {
 func (m *Model) Task() string { return m.task }
 
 // Schema returns the feature names the model consults (do not mutate).
-func (m *Model) Schema() []string { return m.tree.Schema() }
+func (m *Model) Schema() []string { return m.bp.Schema() }
 
 // Classes returns the class labels the model can emit (do not mutate).
-func (m *Model) Classes() []string { return m.tree.Classes() }
+func (m *Model) Classes() []string { return m.bp.Classes() }
+
+// Predictor returns the compiled predictor behind the snapshot.
+func (m *Model) Predictor() c45.BatchPredictor { return m.bp }
 
 // Diagnose classifies one raw (un-normalized) feature vector
 // synchronously, bypassing the ingest pipeline.
 func (m *Model) Diagnose(fv metrics.Vector) Result {
 	row := make([]float64, len(m.plan))
 	m.fillRow(fv, row)
-	cls := m.tree.PredictRow(row)
+	cls := m.bp.PredictRow(row)
 	sev, cause := ParseClass(cls)
 	return Result{Class: cls, Severity: sev, Cause: cause}
 }
 
+// errExplainForest is the per-request answer when an explanation is
+// requested from an ensemble: a forest vote has no single decision
+// path to narrate.
+const errExplainForest = "explain is not supported for forest models"
+
 // DiagnoseExplain is Diagnose plus the traversed decision path and its
 // human-readable rule rendering. The class is identical to Diagnose's:
-// the explanation is recorded on the same traversal.
+// the explanation is recorded on the same traversal. Forest models
+// answer with an error — an ensemble vote has no single decision path.
 func (m *Model) DiagnoseExplain(fv metrics.Vector) Result {
+	if m.tree == nil {
+		return Result{Err: errExplainForest}
+	}
 	row := make([]float64, len(m.plan))
 	m.fillRow(fv, row)
 	exp := m.tree.PredictRowExplain(row)
@@ -263,6 +322,11 @@ type Engine struct {
 	// last-good snapshot while /healthz surfaces the condition.
 	reloadErr atomic.Pointer[string]
 
+	// infoMu serializes the vqserve_model_* gauge updates across
+	// concurrent reloads; infoGauge is the currently-lit identity series.
+	infoMu    sync.Mutex
+	infoGauge *metrics.Gauge
+
 	reg   *metrics.Registry
 	obs   *obs
 	start time.Time
@@ -276,6 +340,7 @@ func NewEngine(m *Model, cfg Config) *Engine {
 	e := &Engine{cfg: cfg, reg: cfg.Registry, start: time.Now()}
 	e.model.Store(m)
 	e.obs = newObs(e.reg)
+	e.setModelGauges(m)
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg.QueueDepth, e.reg)
 		e.shards = append(e.shards, sh)
@@ -299,6 +364,31 @@ func (e *Engine) Reload(m *Model) {
 	e.model.Store(m)
 	e.reloadErr.Store(nil)
 	e.obs.reloads.Inc()
+	e.setModelGauges(m)
+}
+
+// setModelGauges publishes the snapshot's identity and size on the
+// vqserve_model_* series: numeric gauges for node/tree counts and load
+// time, plus an info-style gauge whose labels carry the kind and
+// snapshot hash (the currently-served identity is the series at 1; a
+// reload drops the previous identity to 0).
+func (e *Engine) setModelGauges(m *Model) {
+	if m == nil {
+		return
+	}
+	info := m.Info()
+	e.infoMu.Lock()
+	defer e.infoMu.Unlock()
+	e.obs.modelNodes.Set(float64(info.Nodes))
+	e.obs.modelTrees.Set(float64(info.Trees))
+	e.obs.modelLoad.Set(info.LoadMillis / 1e3)
+	g := e.reg.Gauge(fmt.Sprintf("vqserve_model_info{kind=%q,snapshot=%q}", info.Kind, info.SnapshotHash),
+		"serving model identity (1 = currently served)")
+	if prev := e.infoGauge; prev != nil && prev != g {
+		prev.Set(0)
+	}
+	e.infoGauge = g
+	g.Set(1)
 }
 
 // NoteReloadError records a failed reload attempt. The served model is

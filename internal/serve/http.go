@@ -59,6 +59,7 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"task":     m.Task(),
 		"features": len(m.Schema()),
 		"classes":  len(m.Classes()),
+		"model":    m.Info(),
 		"shards":   len(e.shards),
 		//lint:ignore virtclock daemon uptime for /healthz is wall time by design
 		"uptime_seconds": int64(time.Since(e.start).Seconds()),

@@ -44,13 +44,33 @@ func (e *Engine) shardFor(id string) int {
 	return int(h.Sum32() % uint32(len(e.shards)))
 }
 
+// batchScratch is one worker's pooled batch-classification state. The
+// matrix is laid out for a specific model snapshot and rebuilt only
+// when the worker first sees a new snapshot, so steady-state serving
+// allocates nothing per batch.
+type batchScratch struct {
+	model *Model // snapshot the matrix layout belongs to
+	mat   *c45.Matrix
+	bs    c45.BatchScratch
+	idx   []int32
+	fill  []float64 // schema-row staging buffer for prep
+	row   []float64 // scalar-path scratch (explain / no-model jobs)
+	acc   []float64
+
+	// Per batched job, parallel to the matrix rows.
+	jobs   []*job
+	queueD []time.Duration
+	normD  []time.Duration
+}
+
 // runWorker drains one shard: it batches up to MaxBatch queued jobs,
-// loads the model snapshot once per batch, and classifies each job
-// recording per-stage latencies.
+// loads the model snapshot once per batch, and classifies the whole
+// drain through one PredictBatch frontier sweep over a pooled matrix,
+// recording per-stage latencies per request.
 func (e *Engine) runWorker(sh *shard) {
 	defer e.workers.Done()
 	batch := make([]job, 0, e.cfg.MaxBatch)
-	var row, acc []float64
+	ws := &batchScratch{}
 	for {
 		j, ok := <-sh.ch
 		if !ok {
@@ -74,10 +94,179 @@ func (e *Engine) runWorker(sh *shard) {
 		m := e.model.Load()
 		//lint:ignore virtclock serving measures real request latency; there is no virtual clock here
 		dequeued := time.Now()
+		e.processBatch(m, batch, ws, dequeued)
+	}
+}
+
+// processBatch classifies one drained batch. Explain requests and the
+// no-model case take the scalar path (process); everything else is
+// normalized into the worker's pooled matrix and classified in a
+// single batch sweep, whose cost is attributed evenly across the
+// batched requests' predict-stage latencies.
+func (e *Engine) processBatch(m *Model, batch []job, ws *batchScratch, dequeued time.Time) {
+	if m == nil {
 		for i := range batch {
-			e.process(m, &batch[i], &row, &acc, dequeued)
+			e.process(m, &batch[i], &ws.row, &ws.acc, dequeued)
+		}
+		return
+	}
+	if ws.model != m {
+		// First batch against a fresh snapshot: rebuild the pooled matrix
+		// for its schema. Happens once per reload per worker.
+		ws.model = m
+		ws.mat = m.bp.NewMatrix(cap(batch))
+		ws.fill = make([]float64, len(m.plan))
+	}
+	ws.mat.Reset()
+	ws.jobs, ws.queueD, ws.normD = ws.jobs[:0], ws.queueD[:0], ws.normD[:0]
+	for i := range batch {
+		e.prep(m, &batch[i], ws, dequeued)
+	}
+	n := len(ws.jobs)
+	if n == 0 {
+		return
+	}
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
+	t0 := time.Now()
+	errMsg := e.predictBatch(m, ws)
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
+	predD := time.Since(t0)
+	if errMsg != "" {
+		for bi, j := range ws.jobs {
+			e.failBatched(j, ws.queueD[bi], errMsg)
+		}
+		return
+	}
+	share := predD / time.Duration(n)
+	for bi, j := range ws.jobs {
+		e.finish(m, j, int(ws.idx[bi]), ws.queueD[bi], ws.normD[bi], share)
+	}
+}
+
+// prep runs one job's pre-classification stages — timeout and validity
+// checks, fault injection, normalization — and appends the normalized
+// row to the worker's pooled matrix. Jobs that fail a check are
+// answered immediately; jobs that ask for an explanation fall back to
+// the scalar path, which records the traversal. A panic (e.g. from
+// InjectFault) is recovered per-job exactly as on the scalar path.
+func (e *Engine) prep(m *Model, j *job, ws *batchScratch, dequeued time.Time) {
+	if j.req.Explain {
+		e.process(m, j, &ws.row, &ws.acc, dequeued)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.res.ID = j.req.ID
+			j.res.Err = fmt.Sprintf("internal error: recovered panic: %v", r)
+			e.obs.panics.Inc()
+			e.obs.errs.Inc()
+			e.complete(j)
+		}
+	}()
+	queueD := dequeued.Sub(j.enq)
+	fail := func(msg string) {
+		e.obs.queueHist.Observe(queueD.Seconds())
+		j.res.ID = j.req.ID
+		j.res.Err = msg
+		e.obs.errs.Inc()
+		e.complete(j)
+	}
+	if d := e.cfg.RequestTimeout; d > 0 && queueD > d {
+		e.obs.timeouts.Inc()
+		fail(fmt.Sprintf("request timed out after %v in queue (limit %v)", queueD, d))
+		return
+	}
+	if err := ValidateFeatures(j.req.Features); err != nil {
+		e.obs.invalid.Inc()
+		fail(err.Error())
+		return
+	}
+	if f := e.cfg.InjectFault; f != nil {
+		if err := f(&j.req); err != nil {
+			fail(err.Error())
+			return
 		}
 	}
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
+	t0 := time.Now()
+	m.fillRow(metrics.Vector(j.req.Features), ws.fill)
+	ws.mat.AppendRowValues(ws.fill)
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
+	ws.normD = append(ws.normD, time.Since(t0))
+	ws.queueD = append(ws.queueD, queueD)
+	ws.jobs = append(ws.jobs, j)
+}
+
+// predictBatch runs the frontier sweep over the pooled matrix. A panic
+// is recovered here so a poisoned batch fails its requests instead of
+// killing the shard worker; the returned message is empty on success.
+func (e *Engine) predictBatch(m *Model, ws *batchScratch) (errMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.obs.panics.Inc()
+			errMsg = fmt.Sprintf("internal error: recovered panic: %v", r)
+		}
+	}()
+	rows := ws.mat.Rows()
+	if cap(ws.idx) < rows {
+		ws.idx = make([]int32, rows)
+	}
+	ws.idx = ws.idx[:rows]
+	m.bp.PredictBatchIdx(ws.mat, &ws.bs, ws.idx)
+	return ""
+}
+
+// failBatched answers one batched job after the batch sweep failed.
+func (e *Engine) failBatched(j *job, queueD time.Duration, msg string) {
+	e.obs.queueHist.Observe(queueD.Seconds())
+	j.res.ID = j.req.ID
+	j.res.Err = msg
+	e.obs.errs.Inc()
+	e.complete(j)
+}
+
+// finish writes one batched job's successful result and records its
+// stage latencies and trace spans, mirroring the scalar path. predD is
+// this request's even share of the batch sweep's duration.
+func (e *Engine) finish(m *Model, j *job, cls int, queueD, normD, predD time.Duration) {
+	label := m.bp.Classes()[cls]
+	sev, cause := ParseClass(label)
+	*j.res = Result{ID: j.req.ID, Class: label, Severity: sev, Cause: cause}
+	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
+	totalD := time.Since(j.enq)
+
+	if tr := e.cfg.Tracer; tr.Enabled() {
+		end := tr.Now()
+		reqID := tr.RecordSpan("serve", "request", "id="+j.req.ID+" class="+label, 0, end-totalD, totalD)
+		tr.RecordSpan("serve", "queue", "", reqID, end-totalD, queueD)
+		tr.RecordSpan("serve", "normalize", "", reqID, end-normD-predD, normD)
+		tr.RecordSpan("serve", "predict", "", reqID, end-predD, predD)
+		tid := strconv.FormatUint(uint64(reqID), 16)
+		j.res.TraceID = tid
+		e.obs.queueHist.ObserveExemplar(queueD.Seconds(), tid)
+		e.obs.normHist.ObserveExemplar(normD.Seconds(), tid)
+		e.obs.predHist.ObserveExemplar(predD.Seconds(), tid)
+		e.obs.totalHist.ObserveExemplar(totalD.Seconds(), tid)
+	} else {
+		e.obs.queueHist.Observe(queueD.Seconds())
+		e.obs.normHist.Observe(normD.Seconds())
+		e.obs.predHist.Observe(predD.Seconds())
+		e.obs.totalHist.Observe(totalD.Seconds())
+	}
+	e.obs.requests.Inc()
+	e.complete(j)
+}
+
+// complete invokes the job's done callback, swallowing a panic from
+// the caller's code: the job's accounting already stands, and the
+// worker must survive.
+func (e *Engine) complete(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.obs.panics.Inc()
+		}
+	}()
+	j.done()
 }
 
 // process classifies one job against the snapshot m, reusing the
@@ -136,13 +325,17 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 			return
 		}
 	}
+	if j.req.Explain && m.tree == nil {
+		fail(errExplainForest)
+		return
+	}
 	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t0 := time.Now()
 	if len(*row) != len(m.plan) {
 		*row = make([]float64, len(m.plan))
 	}
-	if len(*acc) != len(m.tree.Classes()) {
-		*acc = make([]float64, len(m.tree.Classes()))
+	if len(*acc) != len(m.bp.Classes()) {
+		*acc = make([]float64, len(m.bp.Classes()))
 	}
 	m.fillRow(metrics.Vector(j.req.Features), *row)
 	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
@@ -151,11 +344,14 @@ func (e *Engine) process(m *Model, j *job, row, acc *[]float64, dequeued time.Ti
 
 	var cls string
 	var exp *c45.Explanation
-	if j.req.Explain {
+	switch {
+	case j.req.Explain:
 		exp = m.tree.PredictRowExplain(*row)
 		cls = exp.Class
-	} else {
+	case m.tree != nil:
 		cls = m.tree.PredictRowInto(*row, *acc)
+	default:
+		cls = m.bp.PredictRow(*row)
 	}
 	//lint:ignore virtclock stage timings for /metrics histograms are wall time by design
 	t2 := time.Now()
@@ -203,6 +399,8 @@ type obs struct {
 	submitted, panics, timeouts   *metrics.Counter
 	invalid, retries, reloadFails *metrics.Counter
 	inflight                      *metrics.Gauge
+	modelNodes, modelTrees        *metrics.Gauge
+	modelLoad                     *metrics.Gauge
 	queueHist, normHist, predHist *metrics.Histogram
 	totalHist, batchSize          *metrics.Histogram
 }
@@ -224,6 +422,9 @@ func newObs(reg *metrics.Registry) *obs {
 		retries:     reg.Counter("vqserve_retries_total", "shed requests re-submitted with backoff"),
 		reloadFails: reg.Counter("vqserve_reload_failures_total", "model reload attempts that failed (engine degraded)"),
 		inflight:    reg.Gauge("vqserve_inflight", "requests currently in the pipeline"),
+		modelNodes:  reg.Gauge("vqserve_model_nodes", "compiled nodes in the serving model"),
+		modelTrees:  reg.Gauge("vqserve_model_trees", "trees in the serving model (1 = single tree)"),
+		modelLoad:   reg.Gauge("vqserve_model_load_seconds", "how long loading the serving model took"),
 		queueHist:   stage("queue"),
 		normHist:    stage("normalize"),
 		predHist:    stage("predict"),

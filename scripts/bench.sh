@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# bench.sh — training-path and fleet performance harness.
+# bench.sh — training-path, fleet, and inference performance harness.
 #
 #   scripts/bench.sh run     full-length benchmark run; rewrites the
 #                            committed baselines reports/BENCH_PR3.json
-#                            (training path) and reports/BENCH_PR6.json
-#                            (fleet sessions/sec)
+#                            (training path), reports/BENCH_PR6.json
+#                            (fleet sessions/sec) and
+#                            reports/BENCH_PR8.json (batch/forest
+#                            inference + snapshot load)
 #   scripts/bench.sh check   quick run compared against the committed
 #                            baselines; fails on a gross regression
 #                            (the CI smoke guard)
@@ -13,8 +15,12 @@
 # selection, C4.5 tree building, prediction, and 10-fold
 # cross-validation. The fleet benchmark runs one b.N-session fleet so
 # ns/op is ns per simulated session; bench_report.py derives the
-# sessions/sec figure recorded in the baseline (see
-# docs/PERFORMANCE.md for the methodology).
+# sessions/sec figure recorded in the baseline. The inference set times
+# the serving hot path — scalar vs batch single-tree, batch forest
+# (serial + parallel), the pointer-forest vector path, and binary
+# snapshot load — with one iteration = one prediction, so
+# bench_report.py derives predictions_per_sec and snapshot_load_ms
+# directly (see docs/PERFORMANCE.md for the methodology).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +28,8 @@ BENCHES='BenchmarkFeatureConstruction|BenchmarkFCBFSelection|BenchmarkC45Trainin
 BASELINE=reports/BENCH_PR3.json
 FLEET_BENCH='BenchmarkFleetSessions'
 FLEET_BASELINE=reports/BENCH_PR6.json
+INFER_BENCHES='BenchmarkPredictRowScalar|BenchmarkPredictBatch|BenchmarkForestPredictBatch|BenchmarkForestPredictBatchParallel|BenchmarkForestPredictVector|BenchmarkSnapshotLoad'
+INFER_BASELINE=reports/BENCH_PR8.json
 MODE="${1:-run}"
 
 run_bench() { # $1: -benchtime value
@@ -30,6 +38,10 @@ run_bench() { # $1: -benchtime value
 
 run_fleet_bench() { # $1: -benchtime value (use a fixed Nx: one iteration = one session)
   go test -run '^$' -bench "^${FLEET_BENCH}\$" -benchmem -benchtime "$1" ./internal/fleet/
+}
+
+run_infer_bench() { # $1: -benchtime value (duration-based: iteration counts span 5 orders of magnitude)
+  go test -run '^$' -bench "^(${INFER_BENCHES})\$" -benchmem -benchtime "$1" ./internal/ml/c45/
 }
 
 case "$MODE" in
@@ -42,6 +54,10 @@ run)
   printf '%s\n' "$fleet_out"
   printf '%s\n' "$fleet_out" | python3 scripts/bench_report.py parse >"$FLEET_BASELINE"
   echo "wrote $FLEET_BASELINE"
+  infer_out="$(run_infer_bench 1s)"
+  printf '%s\n' "$infer_out"
+  printf '%s\n' "$infer_out" | python3 scripts/bench_report.py parse >"$INFER_BASELINE"
+  echo "wrote $INFER_BASELINE"
   ;;
 check)
   # 100x: enough iterations to keep the sub-µs benches out of warmup
@@ -55,6 +71,13 @@ check)
   printf '%s\n' "$fleet_out"
   printf '%s\n' "$fleet_out" | python3 scripts/bench_report.py parse |
     python3 scripts/bench_report.py compare "$FLEET_BASELINE"
+  # Duration-based benchtime: the inference set spans ~40 ns
+  # (PredictBatch) to ~1 ms (SnapshotLoad) per iteration, so no fixed
+  # Nx suits all of them.
+  infer_out="$(run_infer_bench 100ms)"
+  printf '%s\n' "$infer_out"
+  printf '%s\n' "$infer_out" | python3 scripts/bench_report.py parse |
+    python3 scripts/bench_report.py compare "$INFER_BASELINE"
   ;;
 *)
   echo "usage: scripts/bench.sh [run|check]" >&2

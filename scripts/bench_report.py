@@ -18,8 +18,19 @@ NS_TOLERANCE = 4.0
 ALLOC_TOLERANCE = 2.5
 
 LINE = re.compile(
-    r"^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op"
+    r"^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ MB/s)?\s+([\d.]+) B/op\s+([\d.]+) allocs/op"
 )
+
+# The inference benchmarks count one iteration per prediction, so
+# ns/op inverts directly into the headline predictions/sec figure.
+PREDICTION_BENCHES = {
+    "BenchmarkPredictRowScalar",
+    "BenchmarkPredictBatch",
+    "BenchmarkForestPredictBatch",
+    "BenchmarkForestPredictBatchParallel",
+    "BenchmarkForestPredictVector",
+}
 
 
 def parse(stream):
@@ -37,6 +48,10 @@ def parse(stream):
             # throughput figure alongside it.
             if m.group(1) == "BenchmarkFleetSessions" and entry["ns_op"] > 0:
                 entry["sessions_per_sec"] = round(1e9 / entry["ns_op"], 1)
+            if m.group(1) in PREDICTION_BENCHES and entry["ns_op"] > 0:
+                entry["predictions_per_sec"] = round(1e9 / entry["ns_op"], 1)
+            if m.group(1) == "BenchmarkSnapshotLoad":
+                entry["snapshot_load_ms"] = round(entry["ns_op"] / 1e6, 3)
             out[m.group(1)] = entry
     return out
 

@@ -8,8 +8,15 @@ package vqprobe
 // surface; docs/SERVING.md describes the architecture.
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
+	"time"
 
+	"vqprobe/internal/features"
 	"vqprobe/internal/ml/c45"
 	"vqprobe/internal/serve"
 )
@@ -61,6 +68,80 @@ func (m *Model) Compile() (*CompiledModel, error) { return CompileModel(m) }
 // consults, in canonical order — the contract an input CSV header or
 // /diagnose feature map is validated against.
 func (m *Model) FeatureSchema() []string { return m.pipeline.Tree.Features() }
+
+// snapshotMeta is the caller blob vqprobe writes into c45 binary
+// snapshots: everything beyond the compiled predictor needed to
+// reconstruct a serving model (the task, vantage points, and the
+// feature-construction scales).
+type snapshotMeta struct {
+	Task   Task               `json:"task"`
+	VPs    []string           `json:"vps,omitempty"`
+	Scales map[string]float64 `json:"scales,omitempty"`
+}
+
+// SaveSnapshot writes the model's compiled serving form as a binary
+// c45 snapshot (see internal/ml/c45/snapshot.go for the format).
+// Unlike the JSON form, loading a snapshot is a single sequential read
+// plus a bounds-checked decode — no parsing, no re-compilation — so
+// vqserve's reload cost stays flat as models grow.
+func (m *Model) SaveSnapshot(w io.Writer) error {
+	ct, err := c45.Compile(m.pipeline.Tree)
+	if err != nil {
+		return fmt.Errorf("vqprobe: compiling model for snapshot: %w", err)
+	}
+	meta, err := json.Marshal(snapshotMeta{Task: m.Task, VPs: m.VPs, Scales: m.pipeline.Norm.Scales()})
+	if err != nil {
+		return fmt.Errorf("vqprobe: encoding snapshot meta: %w", err)
+	}
+	return c45.WriteSnapshot(w, ct, meta)
+}
+
+// LoadServingModel loads a serving model from disk, accepting both
+// model formats by sniffing the file: vqtrain's JSON (parsed and
+// re-compiled) and the binary c45 snapshot written by SaveSnapshot or
+// vqtrain -emit-snapshot (single-read decode; may hold a tree or a
+// forest). Provenance — the file's content hash and the measured load
+// time — is recorded on the returned model and surfaces on /healthz
+// and the vqserve_model_* gauges.
+func LoadServingModel(path string) (*CompiledModel, error) {
+	//lint:ignore virtclock snapshot load time is real-world provenance, recorded for /healthz
+	start := time.Now()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cm *CompiledModel
+	if c45.IsSnapshot(data) {
+		bp, metaRaw, err := c45.ReadSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		var meta snapshotMeta
+		if len(metaRaw) > 0 {
+			if err := json.Unmarshal(metaRaw, &meta); err != nil {
+				return nil, fmt.Errorf("vqprobe: %s: decoding snapshot meta: %w", path, err)
+			}
+		}
+		cm = serve.NewBatchModel(string(meta.Task), features.NormalizerFromScales(meta.Scales), bp)
+	} else {
+		m, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if cm, err = CompileModel(m); err != nil {
+			return nil, err
+		}
+	}
+	sum := sha256.Sum256(data)
+	//lint:ignore virtclock snapshot load time is real-world provenance, recorded for /healthz
+	cm.SetProvenance(fmt.Sprintf("%x", sum[:6]), time.Since(start))
+	return cm, nil
+}
+
+// ModelInfo describes a loaded serving model: kind (tree/forest),
+// ensemble size, node count, and — when loaded from disk — the file's
+// content hash and load time.
+type ModelInfo = serve.ModelInfo
 
 // NewEngine starts an engine serving the given compiled snapshot.
 // Close it to drain.
