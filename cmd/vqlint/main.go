@@ -18,6 +18,8 @@
 //	vqlint -format github ./...            # CI: PR annotations
 //	vqlint -checks virtclock,detrand ./... # only the determinism core
 //	vqlint -exclude floatfmt internal/...  # everything else, one dir tree
+//	vqlint -fix ./...                      # apply machine-generated fixes
+//	vqlint -cache .vqlint.cache ./...      # warm runs skip unchanged packages
 //	vqlint -list                           # analyzer catalog
 package main
 
@@ -45,6 +47,8 @@ func run(argv []string) int {
 		exclude    = fs.String("exclude", "", "comma-separated analyzer names to skip")
 		configPath = fs.String("config", "", "per-directory config file (default: <module>/"+lint.ConfigFileName+")")
 		workers    = fs.Int("workers", 0, "parallel package analyses (0 = GOMAXPROCS)")
+		fix        = fs.Bool("fix", false, "apply machine-generated fixes in place; remaining findings still report")
+		cachePath  = fs.String("cache", "", "incremental cache file: unchanged packages (content + transitive imports) skip re-analysis")
 		list       = fs.Bool("list", false, "list analyzers and exit")
 		showSupp   = fs.Bool("show-suppressed", false, "also print suppressed findings with their reasons (text format)")
 		version    = fs.Bool("version", false, "print version and exit")
@@ -102,19 +106,35 @@ func run(argv []string) int {
 		return fail(err)
 	}
 
-	loader := lint.NewLoader()
-	pkgs, err := loader.LoadModule(root, dirs)
+	runner := &lint.Runner{Analyzers: analyzers, Config: cfg, Workers: *workers}
+	result, err := lint.RunModule(root, dirs, runner, *cachePath)
 	if err != nil {
 		return fail(err)
 	}
-	for _, p := range pkgs {
-		for _, terr := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "vqlint: type error (analysis continues): %v\n", terr)
-		}
+	for _, terr := range result.TypeErrors {
+		fmt.Fprintf(os.Stderr, "vqlint: type error (analysis continues): %v\n", terr)
 	}
+	diags := result.Diags
 
-	runner := &lint.Runner{Analyzers: analyzers, Config: cfg, Workers: *workers}
-	diags := runner.Run(pkgs)
+	if *fix {
+		fres, err := lint.ApplyFixes(diags)
+		if err != nil {
+			return fail(err)
+		}
+		if fres.Applied > 0 {
+			fmt.Fprintf(os.Stderr, "vqlint: applied %d fix(es) in %d file(s)\n", fres.Applied, fres.Files)
+		}
+		// Fixed findings are resolved; only the ones that need a human
+		// still report (and decide the exit code). The next plain run
+		// re-verifies against the rewritten source.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if len(d.Edits) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
 
 	if err := lint.WriteDiagnostics(os.Stdout, diags, outFormat, root); err != nil {
 		return fail(err)

@@ -244,7 +244,9 @@ func drainAndClose(logger *slog.Logger, srv *http.Server, eng *serve.Engine, dea
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("shutdown", "err", err)
 	}
-	eng.Close()
+	if err := eng.Close(); err != nil {
+		logger.Warn("engine close", "err", err)
+	}
 	submitted, requests, errs, shed := eng.Counters()
 	if submitted != requests+errs {
 		logger.Error("drain accounting imbalance: requests dropped",

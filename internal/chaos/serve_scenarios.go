@@ -409,7 +409,9 @@ func (h *Harness) ServeClockSkew(m *serve.Model) {
 	for i := 0; i < 100; i++ {
 		e.DiagnoseBatch([]serve.Request{{ID: fmt.Sprintf("c%d", i), Features: Vec(50, 0)}})
 	}
-	e.Close()
+	if err := e.Close(); err != nil {
+		h.Fatalf("engine close under clock skew: %v", err)
+	}
 	n := 0
 	for _, ev := range tr.Events() {
 		n++

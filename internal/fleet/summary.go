@@ -232,6 +232,8 @@ type FleetSummary struct {
 // EncodeJSON renders the summary as deterministic JSON: the struct has
 // no maps, so field order and therefore bytes are fixed for a given
 // run's inputs.
+//
+//lint:deterministic fleet reports are byte-compared across runs and worker counts
 func (f *FleetSummary) EncodeJSON() ([]byte, error) {
 	return json.MarshalIndent(f, "", " ")
 }
@@ -240,6 +242,8 @@ func (f *FleetSummary) EncodeJSON() ([]byte, error) {
 // byte-stable for identical summaries (fixed iteration order, fixed
 // float formats) — the determinism tests compare these bytes across
 // worker counts.
+//
+//lint:deterministic fleet text reports are byte-compared across runs and worker counts
 func (f *FleetSummary) EncodeText() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: sessions=%d seed=%d shards=%d horizon=%v window=%v\n",

@@ -1,0 +1,177 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/lint"
+)
+
+// writeCacheModule lays out a module where package b's walltaint
+// finding depends on facts from package a: the cross-package case the
+// cache must keep sound when only one side re-analyzes.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "time"
+
+// Stamp reads the wall clock; callers become wall-tainted.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"b/b.go": `package b
+
+import "cachetest/a"
+
+// Encode is a deterministic sink.
+//
+//lint:deterministic cache test: encoded bytes are compared across runs
+func Encode(vals ...int64) string { return "" }
+
+// Flow feeds a wall-derived value into the sink.
+func Flow() string { return Encode(a.Stamp()) }
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func diagKeys(root string, diags []lint.Diagnostic) []string {
+	var keys []string
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		keys = append(keys, fmt.Sprintf("%s:%d:%s:%s", rel, d.Pos.Line, d.Check, d.Message))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendComment(t *testing.T, path string) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModuleCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module repeatedly with the source importer; skipped in -short")
+	}
+	root := writeCacheModule(t)
+	// The source importer resolves module-internal imports by running
+	// `go list` from the process working directory, so the test must
+	// run from inside the throwaway module.
+	chdir(t, root)
+	cachePath := filepath.Join(t.TempDir(), "lint.cache.json")
+	runner := &lint.Runner{Analyzers: lint.All(), Config: &lint.Config{}}
+
+	run := func(label string, wantAnalyzed, wantCached int) lint.ModuleRunResult {
+		t.Helper()
+		res, err := lint.RunModule(root, nil, runner, cachePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, terr := range res.TypeErrors {
+			t.Fatalf("%s: cache module must type-check: %v", label, terr)
+		}
+		if res.Analyzed != wantAnalyzed || res.Cached != wantCached {
+			t.Fatalf("%s: analyzed=%d cached=%d, want %d/%d",
+				label, res.Analyzed, res.Cached, wantAnalyzed, wantCached)
+		}
+		return res
+	}
+
+	cold := run("cold", 2, 0)
+	want := diagKeys(root, cold.Diags)
+	var hasWallTaint, hasVirtClock bool
+	for _, k := range want {
+		if strings.Contains(k, ":walltaint:") {
+			hasWallTaint = true
+		}
+		if strings.Contains(k, ":virtclock:") {
+			hasVirtClock = true
+		}
+	}
+	if !hasWallTaint || !hasVirtClock {
+		t.Fatalf("cold run must find virtclock (a) and walltaint (b); got %v", want)
+	}
+
+	// Warm: everything served from the file, findings byte-identical.
+	warm := run("warm", 0, 2)
+	assertSameDiags(t, "warm", want, diagKeys(root, warm.Diags))
+
+	// Touch only b: a stays cached, but its summary still feeds the
+	// taint fixpoint, so b's cross-package walltaint finding survives.
+	appendComment(t, filepath.Join(root, "b", "b.go"))
+	afterB := run("touch b", 1, 1)
+	assertSameDiags(t, "touch b", want, diagKeys(root, afterB.Diags))
+
+	// Touch a: b's content key covers its transitive module-internal
+	// imports, so both packages re-analyze.
+	appendComment(t, filepath.Join(root, "a", "a.go"))
+	run("touch a", 2, 0)
+
+	// A different analyzer set changes the config hash and voids the
+	// whole cache: stale entries must never answer for a new config.
+	subset := &lint.Runner{Analyzers: lint.All()[:3], Config: &lint.Config{}}
+	res, err := lint.RunModule(root, nil, subset, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analyzed != 2 || res.Cached != 0 {
+		t.Fatalf("config change: analyzed=%d cached=%d, want 2/0", res.Analyzed, res.Cached)
+	}
+}
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func assertSameDiags(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d findings vs %d cold:\nwant %v\ngot  %v", label, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: finding %d differs:\nwant %s\ngot  %s", label, i, want[i], got[i])
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package cfg builds per-function control-flow graphs for the lint
+// engine's dataflow analyzers. The graph is intentionally small: basic
+// blocks hold the statements and header expressions that execute
+// straight-line, edges follow Go's structured control flow (if, for,
+// range, switch, select, labeled break/continue, goto), and a single
+// synthetic Exit block collects every normal function exit (explicit
+// returns and falling off the end of the body).
+//
+// Two properties matter to the analyzers built on top:
+//
+//   - all-paths questions ("is this span ended on every path to
+//     return?") are answered by graph reachability from a definition
+//     point to Exit, so a block that terminates by panicking — or by a
+//     caller-supplied terminal call such as os.Exit or log.Fatal — is
+//     deliberately NOT connected to Exit;
+//   - forward dataflow ("which values are wall-clock-derived here?")
+//     walks Block.Nodes in order, so header expressions (an if
+//     condition, a range operand) appear in the block that evaluates
+//     them, not inside the branch they guard.
+//
+// Block.Nodes elements are leaf statements and expressions: they
+// contain no nested statements except function literals, which start
+// their own graphs. The one exception is *ast.RangeStmt, which appears
+// as its own loop-header element so analyzers can model the per-
+// iteration Key/Value assignment; use HeaderNodes to scan an element
+// without descending into controlled bodies.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: Nodes execute in order, then control moves
+// to one of Succs. A block with no successors that is not the graph's
+// Exit terminates abnormally (panic or a terminal call).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; every normal return reaches it
+	Blocks []*Block
+}
+
+// Options customizes graph construction.
+type Options struct {
+	// IsTerminal reports whether a call never returns (os.Exit,
+	// log.Fatal, runtime.Goexit, testing.T.Fatal...). The builtin panic
+	// is always treated as terminal. May be nil.
+	IsTerminal func(*ast.CallExpr) bool
+}
+
+// New builds the graph of body. A nil body yields a graph whose entry
+// is its exit.
+func New(body *ast.BlockStmt, opts Options) *Graph {
+	b := &builder{opts: opts}
+	b.graph = &Graph{}
+	b.graph.Entry = b.newBlock()
+	b.graph.Exit = b.newBlock()
+	if body != nil {
+		last := b.stmts(b.graph.Entry, body.List)
+		b.edge(last, b.graph.Exit)
+	} else {
+		b.edge(b.graph.Entry, b.graph.Exit)
+	}
+	return b.graph
+}
+
+// HeaderNodes returns the sub-nodes of a Block element that execute in
+// that block. For most elements that is the element itself; for a
+// *ast.RangeStmt header it is the ranged operand plus the Key/Value
+// expressions assigned each iteration (the loop body lives in its own
+// blocks).
+func HeaderNodes(n ast.Node) []ast.Node {
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		out := []ast.Node{rng.X}
+		if rng.Key != nil {
+			out = append(out, rng.Key)
+		}
+		if rng.Value != nil {
+			out = append(out, rng.Value)
+		}
+		return out
+	}
+	return []ast.Node{n}
+}
+
+// builder carries construction state.
+type builder struct {
+	graph *Graph
+	opts  Options
+
+	// control-flow targets for break/continue, innermost last.
+	loops []loopFrame
+	// labeled statements: label name -> frame for break/continue/goto.
+	labels map[string]*labelFrame
+	// pendingLabel is the label of the statement about to build, set by
+	// LabeledStmt and consumed by the loop/switch constructs so
+	// `break outer` resolves.
+	pendingLabel string
+}
+
+type loopFrame struct {
+	label          string
+	breakT, contT  *Block
+	isSwitchSelect bool // break applies, continue does not
+}
+
+type labelFrame struct {
+	target *Block // goto target (start of the labeled statement)
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+// edge connects from -> to unless from is nil (unreachable flow).
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts appends the statement list to cur and returns the block that
+// control reaches after the list, or nil when the list never falls
+// through (it returned, panicked, or branched away).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// add appends a leaf node to cur, tolerating unreachable positions.
+func (b *builder) add(cur *Block, n ast.Node) *Block {
+	if cur == nil {
+		// Unreachable code still deserves analysis (a bug there is a
+		// bug); park it in a fresh disconnected block.
+		cur = b.newBlock()
+	}
+	if n != nil {
+		cur.Nodes = append(cur.Nodes, n)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	// A label set by an enclosing LabeledStmt applies to this statement
+	// only (break/continue labels are legal only on loops and
+	// switch/select, which consume it below).
+	label := b.takeLabel()
+	switch st := s.(type) {
+	case nil:
+		return cur
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, st.List)
+
+	case *ast.ReturnStmt:
+		cur = b.add(cur, st)
+		b.edge(cur, b.graph.Exit)
+		return nil
+
+	case *ast.ExprStmt:
+		cur = b.add(cur, st)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && b.terminal(call) {
+			return nil // panic / os.Exit: no fall-through, no Exit edge
+		}
+		return cur
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur = b.add(cur, st.Init)
+		}
+		cur = b.add(cur, st.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmts(thenB, st.Body.List)
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd := b.stmt(elseB, st.Else)
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur = b.add(cur, st.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if st.Cond != nil {
+			head = b.add(head, st.Cond)
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		if st.Cond != nil {
+			b.edge(head, join) // condition false
+		}
+		b.pushLoop(label, join, post)
+		bodyEnd := b.stmts(bodyB, st.Body.List)
+		b.popLoop()
+		b.edge(bodyEnd, post)
+		if st.Post != nil {
+			post = b.add(post, st.Post)
+		}
+		b.edge(post, head)
+		if len(join.Preds(b.graph)) == 0 {
+			return nil // for {} with no break: nothing follows
+		}
+		return join
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head = b.add(head, st) // header element: X plus Key/Value binding
+		join := b.newBlock()
+		b.edge(head, join) // range may be empty / exhausted
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		b.pushLoop(label, join, head)
+		bodyEnd := b.stmts(bodyB, st.Body.List)
+		b.popLoop()
+		b.edge(bodyEnd, head)
+		return join
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur = b.add(cur, st.Init)
+		}
+		if st.Tag != nil {
+			cur = b.add(cur, st.Tag)
+		}
+		return b.caseClauses(cur, label, st.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur = b.add(cur, st.Init)
+		}
+		cur = b.add(cur, st.Assign)
+		return b.caseClauses(cur, label, st.Body.List, false)
+
+	case *ast.SelectStmt:
+		return b.caseClauses(cur, label, st.Body.List, true)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so goto can target
+		// it; reuse the block a forward goto already created.
+		lf := b.label(st.Label.Name)
+		b.edge(cur, lf.target)
+		b.pendingLabel = st.Label.Name
+		return b.stmt(lf.target, st.Stmt)
+
+	case *ast.BranchStmt:
+		cur = b.add(cur, st)
+		switch st.Tok {
+		case token.BREAK:
+			b.edge(cur, b.breakTarget(labelName(st)))
+		case token.CONTINUE:
+			b.edge(cur, b.continueTarget(labelName(st)))
+		case token.GOTO:
+			if st.Label != nil {
+				b.edge(cur, b.label(st.Label.Name).target)
+			}
+		case token.FALLTHROUGH:
+			// handled by caseClauses via edge to next clause; the
+			// statement itself carries no dataflow.
+			return cur
+		}
+		return nil
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return b.add(cur, s)
+
+	default:
+		return b.add(cur, s)
+	}
+}
+
+// takeLabel consumes the pending label set by an enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// caseClauses builds switch/type-switch/select bodies. Each clause gets
+// its own block; fallthrough connects a clause to the next one.
+func (b *builder) caseClauses(cur *Block, label string, clauses []ast.Stmt, isSelect bool) *Block {
+	join := b.newBlock()
+	b.pushSwitch(label, join)
+	defer b.popLoop()
+
+	hasDefault := false
+	clauseBodies := make([]*Block, len(clauses))
+	var clauseStmts [][]ast.Stmt
+	for i, c := range clauses {
+		blk := b.newBlock()
+		clauseBodies[i] = blk
+		b.edge(cur, blk)
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			clauseStmts = append(clauseStmts, cc.Body)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			clauseStmts = append(clauseStmts, cc.Body)
+		default:
+			clauseStmts = append(clauseStmts, nil)
+		}
+	}
+	// A switch without default may match nothing; a select without
+	// default blocks until one case fires (no skip edge).
+	if !hasDefault && !isSelect {
+		b.edge(cur, join)
+	}
+	for i := range clauses {
+		end := b.stmts(clauseBodies[i], clauseStmts[i])
+		if end != nil && endsInFallthrough(clauseStmts[i]) && i+1 < len(clauses) {
+			b.edge(end, clauseBodies[i+1])
+		} else {
+			b.edge(end, join)
+		}
+	}
+	if isSelect && len(clauses) == 0 {
+		return nil // empty select blocks forever
+	}
+	return join
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) terminal(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.opts.IsTerminal != nil && b.opts.IsTerminal(call)
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, breakT: brk, contT: cont})
+}
+
+func (b *builder) pushSwitch(label string, brk *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, breakT: brk, isSwitchSelect: true})
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) breakTarget(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label == "" || f.label == label {
+			return f.breakT
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if f.isSwitchSelect {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.contT
+		}
+	}
+	return nil
+}
+
+func (b *builder) label(name string) *labelFrame {
+	if b.labels == nil {
+		b.labels = map[string]*labelFrame{}
+	}
+	lf, ok := b.labels[name]
+	if !ok {
+		lf = &labelFrame{target: b.newBlock()}
+		b.labels[name] = lf
+	}
+	return lf
+}
+
+// labelName extracts the optional label of a branch statement.
+func labelName(st *ast.BranchStmt) string {
+	if st.Label == nil {
+		return ""
+	}
+	return st.Label.Name
+}
+
+// Preds computes the predecessor list of blk within g. The builder
+// stores only successor edges; analyses that need predecessors call
+// this (it is O(edges), fine at function scale).
+func (blk *Block) Preds(g *Graph) []*Block {
+	var out []*Block
+	for _, cand := range g.Blocks {
+		for _, s := range cand.Succs {
+			if s == blk {
+				out = append(out, cand)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/lint/cfg"
+)
+
+// build parses src as the body of a function and returns its graph.
+// src is the body only, without braces.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return cfg.New(fn.Body, cfg.Options{
+		IsTerminal: func(call *ast.CallExpr) bool {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				return sel.Sel.Name == "Exit" || strings.HasPrefix(sel.Sel.Name, "Fatal")
+			}
+			return false
+		},
+	})
+}
+
+// exitReachable reports whether Exit is reachable from Entry.
+func exitReachable(g *cfg.Graph) bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(*cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// hasNode reports whether any reachable block contains a node for which
+// pred holds.
+func hasNode(g *cfg.Graph, pred func(ast.Node) bool) bool {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !exitReachable(g) {
+		t.Fatal("straight-line body must reach Exit")
+	}
+}
+
+func TestReturnConnectsToExit(t *testing.T) {
+	g := build(t, "if true {\nreturn\n}\nreturn")
+	if !exitReachable(g) {
+		t.Fatal("return must reach Exit")
+	}
+}
+
+func TestInfiniteLoopNeverReachesExit(t *testing.T) {
+	g := build(t, "for {\n_ = 1\n}")
+	if exitReachable(g) {
+		t.Fatal("for{} without break must not reach Exit")
+	}
+}
+
+func TestLoopBreakReachesExit(t *testing.T) {
+	g := build(t, "for {\nif true {\nbreak\n}\n}")
+	if !exitReachable(g) {
+		t.Fatal("break must connect the loop to its join")
+	}
+}
+
+func TestCondLoopFallsThrough(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n_ = i\n}")
+	if !exitReachable(g) {
+		t.Fatal("conditional for must fall through when the condition fails")
+	}
+}
+
+func TestPanicDoesNotReachExit(t *testing.T) {
+	g := build(t, `panic("boom")`)
+	if exitReachable(g) {
+		t.Fatal("a body ending in panic must not reach Exit")
+	}
+}
+
+func TestTerminalCallDoesNotReachExit(t *testing.T) {
+	g := build(t, "os.Exit(1)")
+	if exitReachable(g) {
+		t.Fatal("a terminal call must not reach Exit")
+	}
+}
+
+func TestPanicInOneBranchOnly(t *testing.T) {
+	g := build(t, "if true {\npanic(\"boom\")\n}\n_ = 1")
+	if !exitReachable(g) {
+		t.Fatal("the non-panicking branch must still reach Exit")
+	}
+}
+
+func TestSwitchWithoutDefaultHasSkipEdge(t *testing.T) {
+	// Every case returns, but without a default the tag may match
+	// nothing and fall through to Exit.
+	g := build(t, "switch 1 {\ncase 1:\nreturn\ncase 2:\nreturn\n}\n")
+	if !exitReachable(g) {
+		t.Fatal("switch without default must keep the no-match edge")
+	}
+}
+
+func TestSelectWithoutDefaultBlocks(t *testing.T) {
+	g := build(t, "ch := make(chan int)\nselect {\ncase <-ch:\nfor {\n}\n}")
+	if exitReachable(g) {
+		t.Fatal("select's only case loops forever; Exit must be unreachable")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}")
+	if !exitReachable(g) {
+		t.Fatal("break outer must connect to the outer loop's join")
+	}
+}
+
+func TestLabeledContinueStaysInLoop(t *testing.T) {
+	g := build(t, "outer:\nfor {\nfor {\ncontinue outer\n}\n}")
+	if exitReachable(g) {
+		t.Fatal("continue outer never leaves the outer loop")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "goto done\nfor {\n}\ndone:\n_ = 1")
+	if !exitReachable(g) {
+		t.Fatal("forward goto must skip the infinite loop")
+	}
+}
+
+func TestRangeHeaderElement(t *testing.T) {
+	g := build(t, "xs := []int{1}\nfor _, v := range xs {\n_ = v\n}")
+	if !hasNode(g, func(n ast.Node) bool { _, ok := n.(*ast.RangeStmt); return ok }) {
+		t.Fatal("range header must appear as a block element")
+	}
+	if !exitReachable(g) {
+		t.Fatal("range loop must fall through on exhaustion")
+	}
+}
+
+func TestFallthroughConnectsClauses(t *testing.T) {
+	// Second clause loops forever: reachable only via fallthrough. Exit
+	// stays reachable through the no-match edge, but the fallthrough
+	// edge must put the infinite loop downstream of case 1.
+	g := build(t, "switch 1 {\ncase 1:\nfallthrough\ncase 2:\n_ = 2\n}")
+	if !exitReachable(g) {
+		t.Fatal("fallthrough chain must still reach Exit")
+	}
+}
+
+func TestHeaderNodesOfRange(t *testing.T) {
+	src := "package p\nfunc f(xs []int) {\nfor i, v := range xs {\n_, _ = i, v\n}\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	rng := fn.Body.List[0].(*ast.RangeStmt)
+	nodes := cfg.HeaderNodes(rng)
+	if len(nodes) != 3 {
+		t.Fatalf("HeaderNodes(range) = %d nodes, want X, Key, Value", len(nodes))
+	}
+	if nodes[0] != rng.X {
+		t.Error("first header node must be the ranged operand")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := cfg.New(nil, cfg.Options{})
+	if !exitReachable(g) {
+		t.Fatal("nil body graph must connect Entry to Exit")
+	}
+}

@@ -54,31 +54,57 @@ var AnalyzerCloseCheck = &Analyzer{
 	},
 }
 
-// readOnlyFiles collects the objects of variables assigned from
-// os.Open anywhere in f: their Close has no buffered writes to lose.
+// readOnlyFiles collects the objects of variables whose EVERY
+// assignment in f is the first result of os.Open: their Close has no
+// buffered writes to lose. Requiring every assignment matters — a
+// variable opened for reading and later reassigned from os.Create is a
+// writer, and exempting it on the strength of the earlier os.Open would
+// hide exactly the truncated-output bug this check exists for.
 func readOnlyFiles(p *Pass, f *ast.File) map[types.Object]bool {
-	out := map[types.Object]bool{}
+	fromOpen := map[types.Object]bool{}
+	otherwise := map[types.Object]bool{}
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return p.Info.Uses[id]
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) < 1 {
-			return true
-		}
-		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if pkgPath, name, isFn := p.PkgFunc(call); !isFn || pkgPath != "os" || name != "Open" {
-			return true
+		isOpen := false
+		if len(assign.Rhs) == 1 {
+			if call, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); isCall {
+				if pkgPath, name, isFn := p.PkgFunc(call); isFn && pkgPath == "os" && name == "Open" {
+					isOpen = true
+				}
+			}
 		}
-		if id, isIdent := assign.Lhs[0].(*ast.Ident); isIdent {
-			if obj := p.Info.Defs[id]; obj != nil {
-				out[obj] = true
-			} else if obj := p.Info.Uses[id]; obj != nil {
-				out[obj] = true
+		for i, lhs := range assign.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent || id.Name == "_" {
+				continue
+			}
+			obj := objOf(id)
+			if obj == nil {
+				continue
+			}
+			if isOpen && i == 0 {
+				fromOpen[obj] = true // the *os.File result of f, err := os.Open(...)
+			} else {
+				otherwise[obj] = true
 			}
 		}
 		return true
 	})
+	out := map[types.Object]bool{}
+	for obj := range fromOpen {
+		if !otherwise[obj] {
+			out[obj] = true
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrFlow reports module-internal calls whose error result is
+// silently dropped: the call stands alone as an expression statement
+// (or is launched with go) and nobody looks at the error. On the serve
+// and fleet hot paths a swallowed error is how a degraded probe keeps
+// reporting healthy numbers — the paper's root-cause attribution is
+// only as good as the error propagation feeding it.
+//
+// Explicit discards (`_ = f()`, `v, _ := f()`) are not findings: the
+// blank identifier is a visible, reviewable decision. Deferred calls
+// are exempt (`defer flush()` has no error path to thread), and only
+// callees inside this module count — stdlib drops like fmt.Println are
+// idiomatic.
+var AnalyzerErrFlow = &Analyzer{
+	Name:     "errflow",
+	Severity: SeverityWarn,
+	Doc: "Reports calls to module-internal functions whose error result is dropped " +
+		"on the floor (bare expression statement or go statement). Explicit blank-" +
+		"identifier discards and deferred calls are exempt; stdlib callees are exempt.",
+	Run: func(p *Pass) {
+		for _, fi := range p.Functions() {
+			inspectSkipFuncLits(fi.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+						checkDroppedError(p, call, "")
+					}
+				case *ast.GoStmt:
+					checkDroppedError(p, st.Call, "goroutine ")
+					return false // the literal's body is its own FuncInfo
+				case *ast.DeferStmt:
+					return false // deferred cleanup: no error path to thread
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkDroppedError reports call if it returns an error that this
+// statement discards and the callee lives in this module.
+func checkDroppedError(p *Pass, call *ast.CallExpr, context string) {
+	callee, ok := calleeFunc(p, call)
+	if !ok || !sameModule(callee.Pkg(), p.Path) {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			p.Report(call.Pos(),
+				context+"call to "+callee.Name()+" drops its error result",
+				"handle the error, or discard it explicitly with `_ = ...` and a comment saying why losing it is safe")
+			return
+		}
+	}
+}
+
+// calleeFunc resolves the static callee of call: a package-level
+// function or a method.
+func calleeFunc(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	if m, _, ok := p.MethodCall(call); ok {
+		return m, true
+	}
+	if p.Info == nil {
+		return nil, false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// sameModule reports whether pkg shares selfPath's module root (the
+// first import-path element), so "vqprobe/internal/serve" matches
+// "vqprobe/internal/fleet" but not "fmt" or "os".
+func sameModule(pkg *types.Package, selfPath string) bool {
+	if pkg == nil {
+		return false
+	}
+	root := func(path string) string {
+		if i := strings.Index(path, "/"); i >= 0 {
+			return path[:i]
+		}
+		return path
+	}
+	return root(pkg.Path()) == root(selfPath)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,105 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"vqprobe/internal/lint"
+)
+
+// handSummaries builds a two-package module by hand:
+//
+//	a.stamp      reads time.Now (taint seed)
+//	a.helper     calls a.stamp
+//	a.quiet      reads time.Now under a suppression (no seed)
+//	b.use        calls a.helper (cross-package propagation)
+//	b.Encode     deterministic sink, clean
+//	b.clean      no edges at all
+func handSummaries() []*lint.PackageSummary {
+	return []*lint.PackageSummary{
+		{
+			Path:   "mod/a",
+			RelDir: "a",
+			Funcs: []*lint.FuncSummary{
+				{Sym: "a.stamp", Sources: []lint.SourceSite{{What: "time.Now"}}},
+				{Sym: "a.helper", Calls: []lint.CallSite{{Sym: "a.stamp"}}},
+				{Sym: "a.quiet", Sources: []lint.SourceSite{{What: "time.Now", Suppressed: true}}},
+			},
+		},
+		{
+			Path:   "mod/b",
+			RelDir: "b",
+			Funcs: []*lint.FuncSummary{
+				{Sym: "b.use", Calls: []lint.CallSite{{Sym: "a.helper"}}},
+				{Sym: "b.Encode", Sink: true, SinkReason: "bytes are diffed"},
+				{Sym: "b.clean"},
+			},
+		},
+	}
+}
+
+func TestBuildModuleFacts(t *testing.T) {
+	facts := lint.BuildModuleFacts(handSummaries())
+
+	if ti := facts.Tainted("a.stamp"); ti == nil || ti.Root != "time.Now" {
+		t.Errorf("a.stamp: want direct time.Now taint, got %+v", ti)
+	}
+	if ti := facts.Tainted("a.helper"); ti == nil || ti.Via != "a.stamp" {
+		t.Errorf("a.helper: want taint via a.stamp, got %+v", ti)
+	}
+	if ti := facts.Tainted("b.use"); ti == nil || ti.Via != "a.helper" {
+		t.Errorf("b.use: want cross-package taint via a.helper, got %+v", ti)
+	}
+	if ti := facts.Tainted("a.quiet"); ti != nil {
+		t.Errorf("a.quiet: suppressed source must not seed taint, got %+v", ti)
+	}
+	if ti := facts.Tainted("b.clean"); ti != nil {
+		t.Errorf("b.clean: want no taint, got %+v", ti)
+	}
+
+	if fs := facts.Sink("b.Encode"); fs == nil || fs.SinkReason != "bytes are diffed" {
+		t.Errorf("b.Encode: want sink with reason, got %+v", fs)
+	}
+	if fs := facts.Sink("b.use"); fs != nil {
+		t.Errorf("b.use: not a sink, got %+v", fs)
+	}
+
+	path := facts.TaintPath("b.use")
+	for _, hop := range []string{"b.use", "a.helper", "a.stamp", "time.Now"} {
+		if !strings.Contains(path, hop) {
+			t.Errorf("witness path %q missing hop %q", path, hop)
+		}
+	}
+	if i, j := strings.Index(path, "a.helper"), strings.Index(path, "a.stamp"); i > j {
+		t.Errorf("witness path %q lists hops out of call order", path)
+	}
+}
+
+// TestBuildModuleFactsDeterministic feeds the same facts in reversed
+// package and function order and demands identical witness paths — the
+// property the sorted BFS worklist exists to provide.
+func TestBuildModuleFactsDeterministic(t *testing.T) {
+	a := lint.BuildModuleFacts(handSummaries())
+
+	rev := handSummaries()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	for _, ps := range rev {
+		fs := ps.Funcs
+		for i, j := 0, len(fs)-1; i < j; i, j = i+1, j-1 {
+			fs[i], fs[j] = fs[j], fs[i]
+		}
+	}
+	b := lint.BuildModuleFacts(rev)
+
+	for sym := range a.Taint {
+		pa, pb := a.TaintPath(sym), b.TaintPath(sym)
+		if pa != pb {
+			t.Errorf("%s: witness path depends on input order:\n  %s\n  %s", sym, pa, pb)
+		}
+	}
+	if len(a.Taint) != len(b.Taint) {
+		t.Errorf("taint set size depends on input order: %d vs %d", len(a.Taint), len(b.Taint))
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Edit is one machine-applicable text replacement: bytes [Start, End)
+// of File are replaced with New. Analyzers attach edits to diagnostics
+// whose suggested fix is mechanical enough to apply safely; `vqlint
+// -fix` applies them. Edits use byte offsets from token.Position, so
+// they are valid only against the exact file contents that were
+// analyzed.
+type Edit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+
+	// DeleteLineIfBlank widens a pure deletion to swallow the whole
+	// line when removing [Start, End) leaves only whitespace on it —
+	// used when deleting a directive comment that sat on its own line.
+	DeleteLineIfBlank bool `json:"deleteLineIfBlank,omitempty"`
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	Files   int // files rewritten
+	Applied int // edits applied
+	Skipped int // edits skipped because they overlapped an earlier edit
+}
+
+// ApplyFixes applies the edits of every unsuppressed diagnostic to the
+// files on disk. Edits within a file are applied in ascending offset
+// order; an edit overlapping one already applied is skipped (the next
+// run applies it against fresh offsets — -fix converges because fixed
+// code no longer produces the diagnostic). Fixing is idempotent: a
+// clean tree stays byte-identical.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	var res FixResult
+	byFile := map[string][]Edit{}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		for _, e := range d.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		var out []byte
+		last := 0 // end of the previous edit in src
+		applied := 0
+		for _, e := range edits {
+			start, end := e.Start, e.End
+			if start < last || end < start || end > len(src) {
+				res.Skipped++
+				continue
+			}
+			if e.DeleteLineIfBlank && e.New == "" {
+				start, end = widenToBlankLine(src, start, end)
+				if start < last {
+					res.Skipped++
+					continue
+				}
+			}
+			out = append(out, src[last:start]...)
+			out = append(out, e.New...)
+			last = end
+			applied++
+		}
+		if applied == 0 {
+			continue
+		}
+		out = append(out, src[last:]...)
+		info, err := os.Stat(file)
+		if err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		if err := os.WriteFile(file, out, info.Mode().Perm()); err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		res.Files++
+		res.Applied += applied
+	}
+	return res, nil
+}
+
+// widenToBlankLine extends a deletion to cover the whole line when the
+// removal would leave only whitespace on it.
+func widenToBlankLine(src []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && (src[ls-1] == ' ' || src[ls-1] == '\t') {
+		ls--
+	}
+	le := end
+	for le < len(src) && (src[le] == ' ' || src[le] == '\t' || src[le] == '\r') {
+		le++
+	}
+	atLineStart := ls == 0 || src[ls-1] == '\n'
+	if atLineStart && le < len(src) && src[le] == '\n' {
+		return ls, le + 1
+	}
+	if atLineStart && le == len(src) {
+		return ls, le
+	}
+	return start, end
+}
+
+// HasEdits reports whether any unsuppressed diagnostic carries an
+// applicable edit.
+func HasEdits(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if !d.Suppressed && len(d.Edits) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vqprobe/internal/lint"
+)
+
+// writeFixModule lays out a throwaway module with two fixable findings:
+// a float printed through %v (floatfmt rewrites the verb) and a
+// suppression naming a check that never fires (stalesuppress deletes
+// the line).
+func writeFixModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixtest\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+import "fmt"
+
+func render(v float64) string {
+	//lint:ignore maporder nothing in this function iterates a map
+	return fmt.Sprintf("v=%v", v)
+}
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runFixModule(t *testing.T, root string) lint.ModuleRunResult {
+	t.Helper()
+	runner := &lint.Runner{Analyzers: lint.All(), Config: &lint.Config{}}
+	res, err := lint.RunModule(root, nil, runner, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range res.TypeErrors {
+		t.Fatalf("fix module must type-check: %v", terr)
+	}
+	return res
+}
+
+// TestFixIdempotent is the -fix contract: one ApplyFixes pass resolves
+// every fixable finding, and a second run over the fixed source finds
+// nothing left to do.
+func TestFixIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module with the source importer; skipped in -short")
+	}
+	root := writeFixModule(t)
+
+	res := runFixModule(t, root)
+	var fixable int
+	for _, d := range res.Diags {
+		if !d.Suppressed && len(d.Edits) > 0 {
+			fixable++
+		}
+	}
+	if fixable != 2 {
+		for _, d := range res.Diags {
+			t.Logf("diag: %s %s (edits=%d suppressed=%v)", d.Check, d.Message, len(d.Edits), d.Suppressed)
+		}
+		t.Fatalf("want 2 fixable findings (floatfmt, stalesuppress), got %d", fixable)
+	}
+
+	fixed, err := lint.ApplyFixes(res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Applied != 2 || fixed.Skipped != 0 {
+		t.Fatalf("ApplyFixes: applied=%d skipped=%d, want 2/0", fixed.Applied, fixed.Skipped)
+	}
+
+	src, err := os.ReadFile(filepath.Join(root, "p", "p.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "%.6g") {
+		t.Errorf("floatfmt fix missing: source still lacks %%.6g:\n%s", src)
+	}
+	if strings.Contains(string(src), "lint:ignore") {
+		t.Errorf("stalesuppress fix missing: directive line survived:\n%s", src)
+	}
+
+	// Second pass: the fixed source must be clean, so -fix followed by
+	// a plain run exits 0 and a second -fix run rewrites nothing.
+	res2 := runFixModule(t, root)
+	for _, d := range res2.Diags {
+		if !d.Suppressed {
+			t.Errorf("finding survived the fix pass: %s: %s", d.Check, d.Message)
+		}
+	}
+	fixed2, err := lint.ApplyFixes(res2.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed2.Applied != 0 {
+		t.Errorf("second ApplyFixes applied %d edits; -fix is not idempotent", fixed2.Applied)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // fmtFormatFuncs maps fmt's formatting functions to the index of their
@@ -53,14 +54,29 @@ var AnalyzerFloatFmt = &Analyzer{
 				return true
 			}
 			args := call.Args[fmtIdx+1:]
-			for _, argIdx := range verbVArgIndexes(format) {
-				if argIdx >= len(args) {
+			for _, verb := range vVerbs(format) {
+				if verb.arg >= len(args) {
 					continue
 				}
-				if isFloat(p.TypeOf(args[argIdx])) {
-					p.Report(args[argIdx].Pos(),
-						"float formatted with %v in fmt."+name+"; width varies per value and run",
-						"use an explicit precision verb such as %.3f or %.6g")
+				if !isFloat(p.TypeOf(args[verb.arg])) {
+					continue
+				}
+				msg := "float formatted with %v in fmt." + name + "; width varies per value and run"
+				fix := "use an explicit precision verb such as %.3f or %.6g"
+				// The fix rewrites the verb's trailing 'v' to '.6g' inside
+				// the source literal — but only when literal bytes map 1:1
+				// to format bytes: raw strings, or quoted strings free of
+				// backslash escapes.
+				if lit.Value[0] == '`' || !strings.Contains(lit.Value, "\\") {
+					litFile, litStart, _ := p.Offsets(lit)
+					p.ReportEdits(args[verb.arg].Pos(), msg, fix, Edit{
+						File:  litFile,
+						Start: litStart + verb.end,
+						End:   litStart + verb.end + 1,
+						New:   ".6g",
+					})
+				} else {
+					p.Report(args[verb.arg].Pos(), msg, fix)
 				}
 			}
 			return true
@@ -68,18 +84,36 @@ var AnalyzerFloatFmt = &Analyzer{
 	},
 }
 
+// vVerb is one bare %v occurrence: the operand index it consumes and
+// the byte span [start, end) of the whole verb within the format
+// string ("%v", "%-8v", ...).
+type vVerb struct {
+	arg        int
+	start, end int
+}
+
 // verbVArgIndexes parses a printf format string and returns the operand
-// indexes consumed by a bare %v verb. It tracks * width/precision
-// operands so indexes stay aligned; explicit argument indexes (%[1]v)
-// abort the scan, returning what was found so far (they are rare and
-// not worth mis-attributing).
+// indexes consumed by a bare %v verb.
 func verbVArgIndexes(format string) []int {
 	var out []int
+	for _, v := range vVerbs(format) {
+		out = append(out, v.arg)
+	}
+	return out
+}
+
+// vVerbs is the span-carrying scanner behind verbVArgIndexes. It tracks
+// * width/precision operands so indexes stay aligned; explicit argument
+// indexes (%[1]v) abort the scan, returning what was found so far (they
+// are rare and not worth mis-attributing).
+func vVerbs(format string) []vVerb {
+	var out []vVerb
 	arg := 0
 	for i := 0; i < len(format); i++ {
 		if format[i] != '%' {
 			continue
 		}
+		start := i
 		i++
 		if i >= len(format) || format[i] == '%' {
 			continue
@@ -115,7 +149,7 @@ func verbVArgIndexes(format string) []int {
 			break
 		}
 		if format[i] == 'v' && !explicitPrec {
-			out = append(out, arg)
+			out = append(out, vVerb{arg: arg, start: start, end: i + 1})
 		}
 		arg++
 	}

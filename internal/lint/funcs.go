@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"vqprobe/internal/lint/cfg"
+)
+
+// FuncInfo identifies one function body in a package: a declared
+// function or method (Decl set) or a function literal (Lit set). The
+// dataflow analyzers iterate these instead of re-walking files, so each
+// statement is attributed to exactly one function.
+type FuncInfo struct {
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Body *ast.BlockStmt
+}
+
+// Pos returns the function's position anchor.
+func (fi *FuncInfo) Pos() ast.Node {
+	if fi.Decl != nil {
+		return fi.Decl
+	}
+	return fi.Lit
+}
+
+// Functions enumerates every function declaration and literal in the
+// package, in file and position order.
+func (p *Pass) Functions() []*FuncInfo {
+	var out []*FuncInfo
+	for _, f := range p.Files {
+		out = append(out, fileFunctions(f)...)
+	}
+	return out
+}
+
+func fileFunctions(f *ast.File) []*FuncInfo {
+	var out []*FuncInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, &FuncInfo{Decl: fn, Body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, &FuncInfo{Lit: fn, Body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// FuncGraph builds (and caches per package) the control-flow graph of
+// one function body. Terminal calls — panic is built in; os.Exit,
+// runtime.Goexit, log.Fatal* and Fatal*-named methods are resolved
+// through type info — end their block without reaching Exit, so
+// all-paths analyses do not demand cleanup on crash paths.
+func (p *Pass) FuncGraph(fi *FuncInfo) *cfg.Graph {
+	if p.pkg != nil {
+		if g, ok := p.pkg.cfgCache[fi.Body]; ok {
+			return g
+		}
+	}
+	g := cfg.New(fi.Body, cfg.Options{IsTerminal: p.isTerminalCall})
+	if p.pkg != nil {
+		if p.pkg.cfgCache == nil {
+			p.pkg.cfgCache = map[*ast.BlockStmt]*cfg.Graph{}
+		}
+		p.pkg.cfgCache[fi.Body] = g
+	}
+	return g
+}
+
+// isTerminalCall reports whether call never returns.
+func (p *Pass) isTerminalCall(call *ast.CallExpr) bool {
+	if pkgPath, name, ok := p.PkgFunc(call); ok {
+		switch {
+		case pkgPath == "os" && name == "Exit":
+			return true
+		case pkgPath == "runtime" && name == "Goexit":
+			return true
+		case pkgPath == "log" && hasAnyPrefix(name, "Fatal", "Panic"):
+			return true
+		}
+		return false
+	}
+	if m, _, ok := p.MethodCall(call); ok {
+		// testing.T-style sinks: Fatal, Fatalf, FailNow, Skip...
+		return hasAnyPrefix(m.Name(), "Fatal") || m.Name() == "FailNow"
+	}
+	return false
+}
+
+// FuncSymbol renders the module-unique symbol of a function object:
+// "pkg/path.Name" for package-level functions, "pkg/path.Recv.Name"
+// for methods (pointer receivers normalized away). Empty for builtins.
+func FuncSymbol(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fmt.Sprintf("%s.(%s).%s", pkg.Path(), t.String(), fn.Name())
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// DeclSymbol resolves a function declaration to its symbol, or "".
+func (p *Pass) DeclSymbol(decl *ast.FuncDecl) string {
+	return declSymbolOf(p.Info, decl)
+}
+
+func declSymbolOf(info *types.Info, decl *ast.FuncDecl) string {
+	if info == nil {
+		return ""
+	}
+	fn, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return FuncSymbol(fn)
+}
+
+// CalleeSymbol resolves a call to the symbol of its static callee:
+// package-level functions and methods with a concrete receiver type.
+// Calls through function values, interface dispatch that go/types does
+// not devirtualize, and conversions return ok=false.
+func (p *Pass) CalleeSymbol(call *ast.CallExpr) (string, bool) {
+	return calleeSymbolOf(p.Info, call)
+}
+
+func calleeSymbolOf(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if m, _, ok := methodCallOf(info, call); ok {
+		if sym := FuncSymbol(m); sym != "" {
+			return sym, true
+		}
+		return "", false
+	}
+	if info == nil {
+		return "", false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if sym := FuncSymbol(fn); sym != "" {
+		return sym, true
+	}
+	return "", false
+}
+
+// inspectSkipFuncLits walks n, invoking fn on every node but not
+// descending into function literal bodies (those are separate
+// FuncInfos).
+func inspectSkipFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		return fn(m)
+	})
+}

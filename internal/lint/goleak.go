@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vqprobe/internal/lint/cfg"
+)
+
+// AnalyzerGoLeak reports goroutines with no termination edge: the
+// spawned function's CFG contains a loop from which no path reaches a
+// normal return — no ctx.Done select arm, no channel-close exit, no
+// break, no done flag. Such a goroutine outlives every request and
+// every test; in a long-lived probe process they accumulate until the
+// scheduler and the heap tell the story. A `for { select { case
+// <-ctx.Done(): return ... } }` worker is clean because the Done arm
+// reaches return; a bare `for { work() }` is the finding.
+//
+// The analysis covers function literals launched inline and named
+// functions defined in the same package. Intentional run-forever
+// daemons suppress with //lint:ignore goleak <reason>.
+var AnalyzerGoLeak = &Analyzer{
+	Name:     "goleak",
+	Severity: SeverityWarn,
+	Doc: "Reports go statements whose goroutine can never terminate: the body's " +
+		"control-flow graph has a cycle that cannot reach a return (no ctx/done/" +
+		"channel-close edge). Covers literals and same-package named functions.",
+	Run: runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	decls := packageFuncDecls(p)
+	for _, fi := range p.Functions() {
+		inspectSkipFuncLits(fi.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goroutineBody(p, decls, g.Call)
+			if body == nil {
+				return true
+			}
+			graph := cfg.New(body, cfg.Options{IsTerminal: p.isTerminalCall})
+			if hasTrappedCycle(graph) {
+				p.Report(g.Pos(),
+					"goroutine "+name+"never terminates: it loops with no path to return "+
+						"(no ctx.Done/channel-close/break edge)",
+					"give the loop a termination edge (select on ctx.Done() or a done channel, "+
+						"or range over a closable channel); if it must run for the process lifetime, "+
+						"suppress with //lint:ignore goleak <reason>")
+			}
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes this package's function declarations by
+// their object, so `go s.loop()` can be followed to loop's body.
+func packageFuncDecls(p *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	if p.Info == nil {
+		return decls
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := p.Info.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goroutineBody resolves the body of the function a go statement
+// launches: an inline literal, or a named function/method declared in
+// this package. Cross-package and dynamic callees return nil (unseen
+// code is not accused).
+func goroutineBody(p *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, ""
+	case *ast.Ident:
+		if p.Info != nil {
+			if decl, ok := decls[p.Info.Uses[fun]]; ok {
+				return decl.Body, decl.Name.Name + " "
+			}
+		}
+	case *ast.SelectorExpr:
+		if p.Info != nil {
+			if decl, ok := decls[p.Info.Uses[fun.Sel]]; ok {
+				return decl.Body, decl.Name.Name + " "
+			}
+		}
+	}
+	return nil, ""
+}
+
+// hasTrappedCycle reports whether the graph contains a block that is
+// reachable from Entry, sits on a cycle, and cannot reach Exit: once
+// control enters that cycle the function never returns. Straight-line
+// bodies that end in panic or block forever on an empty select are not
+// cycles and are not reported (they are bugs of a different shape).
+func hasTrappedCycle(g *cfg.Graph) bool {
+	reach := reachableFrom(g.Entry)
+	exits := canReachExit(g)
+	for blk := range reach {
+		if exits[blk] {
+			continue
+		}
+		if onCycle(blk) {
+			return true
+		}
+	}
+	return false
+}
+
+func reachableFrom(entry *cfg.Block) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{entry: true}
+	stack := []*cfg.Block{entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// canReachExit computes the blocks from which Exit is reachable, by
+// reverse BFS over predecessor edges.
+func canReachExit(g *cfg.Graph) map[*cfg.Block]bool {
+	can := map[*cfg.Block]bool{g.Exit: true}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			if can[blk] {
+				continue
+			}
+			for _, s := range blk.Succs {
+				if can[s] {
+					can[blk] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return can
+}
+
+// onCycle reports whether blk can reach itself through one or more
+// edges.
+func onCycle(blk *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	stack := append([]*cfg.Block(nil), blk.Succs...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == blk {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, cur.Succs...)
+	}
+	return false
+}

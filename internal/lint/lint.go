@@ -58,6 +58,11 @@ type Diagnostic struct {
 	Message  string         // what is wrong
 	Fix      string         // suggested fix text, may be empty
 
+	// Edits are machine-applicable replacements realizing Fix; `vqlint
+	// -fix` applies them (see ApplyFixes). Empty when the fix needs
+	// human judgment.
+	Edits []Edit
+
 	// Suppressed is set by the runner when a `//lint:ignore` directive
 	// covers this diagnostic; SuppressReason carries the directive's
 	// written reason.
@@ -94,6 +99,13 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts holds the module-wide dataflow facts (call graph, taint
+	// summaries, deterministic sinks) shared by every package of the
+	// run. Nil when the runner analyzed a package in isolation without
+	// building facts.
+	Facts *ModuleFacts
+
+	pkg   *Package // back-pointer for per-package caches (CFGs)
 	diags *[]Diagnostic
 }
 
@@ -113,6 +125,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(pos, fmt.Sprintf(format, args...), "")
 }
 
+// ReportPosition is Report for an already-resolved position — dataflow
+// facts carry token.Position, not token.Pos, across packages.
+func (p *Pass) ReportPosition(pos token.Position, message, fix string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      pos,
+		Message:  message,
+		Fix:      fix,
+	})
+}
+
+// ReportEdits records a finding whose suggested fix is mechanical:
+// edits carry the byte-offset replacements `vqlint -fix` applies.
+func (p *Pass) ReportEdits(pos token.Pos, message, fix string, edits ...Edit) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      p.Fset.Position(pos),
+		Message:  message,
+		Fix:      fix,
+		Edits:    edits,
+	})
+}
+
+// Offsets returns the byte-offset range of node for constructing Edits.
+func (p *Pass) Offsets(n ast.Node) (file string, start, end int) {
+	ps, pe := p.Fset.Position(n.Pos()), p.Fset.Position(n.End())
+	return ps.Filename, ps.Offset, pe.Offset
+}
+
 // TypeOf returns the type of e, or nil when type information is
 // unavailable (e.g. the package had type errors).
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
@@ -126,6 +169,15 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // returns its name and defining package path. ok is false for method
 // calls, conversions, and calls of local function values.
 func (p *Pass) PkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	return pkgFuncOf(p.Info, call)
+}
+
+// pkgFuncOf is PkgFunc against raw type info, usable outside a Pass
+// (the summarize phase runs before analyzers do).
+func pkgFuncOf(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	if info == nil {
+		return "", "", false
+	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	var id *ast.Ident
 	if isSel {
@@ -135,7 +187,7 @@ func (p *Pass) PkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
 	} else {
 		return "", "", false
 	}
-	obj, found := p.Info.Uses[id]
+	obj, found := info.Uses[id]
 	if !found {
 		return "", "", false
 	}
@@ -153,11 +205,19 @@ func (p *Pass) PkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
 // method object and the receiver's static type. ok is false for plain
 // function calls.
 func (p *Pass) MethodCall(call *ast.CallExpr) (m *types.Func, recv types.Type, ok bool) {
+	return methodCallOf(p.Info, call)
+}
+
+// methodCallOf is MethodCall against raw type info.
+func methodCallOf(info *types.Info, call *ast.CallExpr) (m *types.Func, recv types.Type, ok bool) {
+	if info == nil {
+		return nil, nil, false
+	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
 		return nil, nil, false
 	}
-	selection, found := p.Info.Selections[sel]
+	selection, found := info.Selections[sel]
 	if !found || selection.Kind() != types.MethodVal {
 		return nil, nil, false
 	}

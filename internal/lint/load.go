@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"vqprobe/internal/lint/cfg"
 )
 
 // Package is one parsed and type-checked (non-test) package of the
@@ -31,6 +33,13 @@ type Package struct {
 	// entry here usually means a loader limitation worth surfacing
 	// rather than hiding.
 	TypeErrors []error
+
+	// Per-package caches filled lazily by the runner. A package is
+	// analyzed by one goroutine at a time, so these are unguarded.
+	directives     map[string][]ignoreDirective
+	directiveDiags []Diagnostic
+	summary        *PackageSummary
+	cfgCache       map[*ast.BlockStmt]*cfg.Graph
 }
 
 // Loader parses and type-checks packages using only the standard

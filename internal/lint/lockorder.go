@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockOrder reports inconsistent pairwise mutex acquisition
+// order within a package: one function locks A then B while holding A,
+// another locks B then A while holding B. Two goroutines running those
+// functions concurrently can each hold one mutex and wait forever on
+// the other — the classic ABBA deadlock, which no unit test reliably
+// reproduces because it needs the losing interleaving.
+//
+// Mutexes are identified structurally: a field access `x.mu` is keyed
+// by the receiver's type and field name (so every Server instance's mu
+// is the same lock for ordering purposes), a plain variable by its
+// object. A deferred Unlock keeps the mutex held for the rest of the
+// function, which is exactly how the repo's hot paths hold locks.
+var AnalyzerLockOrder = &Analyzer{
+	Name:     "lockorder",
+	Severity: SeverityWarn,
+	Doc: "Reports pairs of mutexes acquired in opposite orders by different code " +
+		"paths of the same package (ABBA deadlock risk). Mutex identity is the " +
+		"receiver type + field for fields, the variable for package/local vars.",
+	Run: runLockOrder,
+}
+
+// lockPair is one observed ordering: second acquired while first held.
+type lockPair struct {
+	first, second string
+}
+
+type lockSite struct {
+	pair lockPair
+	pos  token.Position
+}
+
+func runLockOrder(p *Pass) {
+	var sites []lockSite
+	for _, fi := range p.Functions() {
+		sites = append(sites, lockOrderFunc(p, fi)...)
+	}
+
+	// Index the observed directions; a pair conflicts when both (A,B)
+	// and (B,A) occurred somewhere in the package.
+	seen := map[lockPair]lockSite{}
+	for _, s := range sites {
+		if _, ok := seen[s.pair]; !ok {
+			seen[s.pair] = s
+		}
+	}
+	var conflicts []lockSite
+	for pair, site := range seen {
+		rev := lockPair{first: pair.second, second: pair.first}
+		if _, ok := seen[rev]; ok {
+			conflicts = append(conflicts, site)
+		}
+	}
+	sort.Slice(conflicts, func(i, j int) bool {
+		a, b := conflicts[i].pos, conflicts[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, c := range conflicts {
+		p.ReportPosition(c.pos,
+			"mutex "+c.pair.second+" acquired while holding "+c.pair.first+
+				", but elsewhere in this package they are acquired in the opposite order (ABBA deadlock risk)",
+			"pick one acquisition order for "+c.pair.first+" and "+c.pair.second+" and use it everywhere")
+	}
+}
+
+// lockOrderFunc walks one function in statement order tracking the held
+// set: Lock/RLock acquires, direct Unlock/RUnlock releases, deferred
+// unlocks hold to function end.
+func lockOrderFunc(p *Pass, fi *FuncInfo) []lockSite {
+	var held []string
+	var sites []lockSite
+	inspectSkipFuncLits(fi.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred Unlock releases at exit: stays held
+		case *ast.CallExpr:
+			key, op, ok := mutexOp(p, st)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != key {
+						sites = append(sites, lockSite{
+							pair: lockPair{first: h, second: key},
+							pos:  p.Fset.Position(st.Pos()),
+						})
+					}
+				}
+				held = append(held, key)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// mutexOp classifies call as a Lock/Unlock-family method on a
+// sync.Mutex or sync.RWMutex and returns the lock's structural key.
+func mutexOp(p *Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	m, recv, isMethod := p.MethodCall(call)
+	if !isMethod {
+		return "", "", false
+	}
+	switch m.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexType(recv) {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	key, ok = lockKey(p, sel.X)
+	return key, m.Name(), ok
+}
+
+// isMutexType reports whether t is sync.Mutex / sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t interface{ String() string }) bool {
+	s := strings.TrimPrefix(t.String(), "*")
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// lockKey renders the structural identity of the locked expression:
+// "Type.field" for field accesses, "pkgvar name" for identifiers.
+// Expressions it cannot name (map lookups, function results) return
+// ok=false and are not tracked.
+func lockKey(p *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		t := p.TypeOf(x.X)
+		if t == nil {
+			return "", false
+		}
+		return typeShortName(t) + "." + x.Sel.Name, true
+	}
+	return "", false
+}
+
+// typeShortName trims package paths and pointers off a type's name.
+func typeShortName(t interface{ String() string }) string {
+	s := strings.TrimPrefix(t.String(), "*")
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -8,18 +8,30 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerVirtClock,
 		AnalyzerDetRand,
+		AnalyzerWallTaint,
 		AnalyzerMapOrder,
 		AnalyzerSpanLeak,
 		AnalyzerCloseCheck,
 		AnalyzerMutexCopy,
 		AnalyzerFloatFmt,
 		AnalyzerCtxFirst,
+		AnalyzerErrFlow,
+		AnalyzerLockOrder,
+		AnalyzerGoLeak,
 		{
 			Name:     DirectiveCheckName,
 			Severity: SeverityError,
 			Doc: "Validates //lint:ignore directives: each must name a known check " +
 				"and carry a written reason. Runs unconditionally — a malformed " +
 				"suppression is itself an invariant violation.",
+		},
+		{
+			Name:     StaleSuppressCheckName,
+			Severity: SeverityWarn,
+			Doc: "Audits //lint:ignore directives for staleness: a directive that " +
+				"suppresses nothing (and whose named checks all ran) is reported " +
+				"and deletable with -fix. Implemented inside the runner, after " +
+				"suppression resolution.",
 		},
 	}
 }

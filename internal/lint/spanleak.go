@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+
+	"vqprobe/internal/lint/cfg"
 )
 
 // AnalyzerSpanLeak enforces the tracing contract from
@@ -12,22 +14,25 @@ import (
 // observe, which is the worst kind of observability bug because nothing
 // fails.
 //
-// The check is structural, not a full all-paths dataflow: a started
-// span must either (a) have End/EndDetail called on it somewhere in the
-// same function, or (b) escape the function (stored in a field or
-// variable visible outside, passed along, returned), in which case the
-// receiver owns the obligation. Discarding the result of a Start* call
-// — as an expression statement or into the blank identifier — is always
-// a leak.
+// v2 is an all-paths CFG analysis: from the Start* call, every path to
+// a normal function exit must pass a discharging use of the span — an
+// End/EndDetail call (deferred or direct; a defer discharges exactly
+// the paths that execute it), or an escape that transfers ownership
+// (passed as an argument, returned, stored into a structure, captured
+// by a closure, reassigned, address taken, sent on a channel). A path
+// that ends in panic or a terminal call (os.Exit, log.Fatal) carries no
+// obligation. Discarding the result of a Start* call — as an expression
+// statement or into the blank identifier — is always a leak.
 var AnalyzerSpanLeak = &Analyzer{
 	Name:     "spanleak",
 	Severity: SeverityError,
-	Doc: "Requires every span returned by a Start* method (a result type with an " +
-		"End method) to be ended in the starting function or to escape it; " +
-		"discarded Start* results are reported unconditionally.",
-	RunFile: func(p *Pass, f *ast.File) {
-		for _, body := range funcBodies(f) {
-			checkSpanLeakBody(p, body)
+	Doc: "All-paths analysis over the function CFG: every span returned by a Start* " +
+		"method (a result type with an End method) must be ended or escape on every " +
+		"path to a normal return; paths that panic or call os.Exit are exempt. " +
+		"Discarded Start* results are reported unconditionally.",
+	Run: func(p *Pass) {
+		for _, fi := range p.Functions() {
+			checkSpanLeakFunc(p, fi)
 		}
 	},
 }
@@ -56,23 +61,27 @@ func isSpanStart(p *Pass, call *ast.CallExpr) bool {
 	return HasMethod(t, "End")
 }
 
-func checkSpanLeakBody(p *Pass, body *ast.BlockStmt) {
-	inspectSkippingNestedFuncs(body, func(n ast.Node) bool {
-		switch stmt := n.(type) {
-		case *ast.ExprStmt:
-			if call, ok := stmt.X.(*ast.CallExpr); ok && isSpanStart(p, call) {
-				p.Report(call.Pos(),
-					"span started and immediately discarded; it will never be recorded",
-					"assign the span and call End (or defer span.End()) when the interval closes")
+// checkSpanLeakFunc scans one function's CFG for span starts and runs
+// the all-paths obligation check on each.
+func checkSpanLeakFunc(p *Pass, fi *FuncInfo) {
+	g := p.FuncGraph(fi)
+	for _, blk := range g.Blocks {
+		for idx, n := range blk.Nodes {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isSpanStart(p, call) {
+					p.Report(call.Pos(),
+						"span started and immediately discarded; it will never be recorded",
+						"assign the span and call End (or defer span.End()) when the interval closes")
+				}
+			case *ast.AssignStmt:
+				checkSpanAssign(p, g, blk, idx, stmt)
 			}
-		case *ast.AssignStmt:
-			checkSpanAssign(p, body, stmt)
 		}
-		return true
-	})
+	}
 }
 
-func checkSpanAssign(p *Pass, body *ast.BlockStmt, assign *ast.AssignStmt) {
+func checkSpanAssign(p *Pass, g *cfg.Graph, blk *cfg.Block, idx int, assign *ast.AssignStmt) {
 	// Only the aligned form x := Start() / x = Start() matters; a span
 	// in a multi-value context came from a function the analyzer
 	// already vetted at its own return site.
@@ -99,9 +108,11 @@ func checkSpanAssign(p *Pass, body *ast.BlockStmt, assign *ast.AssignStmt) {
 			if obj == nil {
 				continue
 			}
-			if !spanEndedOrEscapes(p, body, obj, lhs) {
+			if leakPath(g, blk, idx+1, func(n ast.Node) bool {
+				return dischargesSpan(p, n, obj, lhs)
+			}) {
 				p.Reportf(call.Pos(),
-					"span %s is never ended and never escapes this function; the interval will be lost",
+					"span %s is not ended on every path: some path reaches return without End and without the span escaping",
 					lhs.Name)
 			}
 		default:
@@ -111,46 +122,110 @@ func checkSpanAssign(p *Pass, body *ast.BlockStmt, assign *ast.AssignStmt) {
 	}
 }
 
-// spanEndedOrEscapes scans the function body for either an
-// End/EndDetail call on obj or any use that lets obj outlive the
-// function's span-tracking (argument, return, composite literal,
-// further assignment, address-taken, channel send).
-func spanEndedOrEscapes(p *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
-	ok := false
-	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
-		if ok {
-			return false
+// leakPath reports whether some path from node startIdx of start
+// reaches the graph's Exit without passing a node for which discharges
+// returns true. Blocks with no successors that are not Exit terminate
+// abnormally and carry no obligation.
+func leakPath(g *cfg.Graph, start *cfg.Block, startIdx int, discharges func(ast.Node) bool) bool {
+	visited := make(map[*cfg.Block]bool)
+	var walk func(blk *cfg.Block, idx int) bool
+	walk = func(blk *cfg.Block, idx int) bool {
+		for i := idx; i < len(blk.Nodes); i++ {
+			if discharges(blk.Nodes[i]) {
+				return false // this path is clean
+			}
 		}
-		id, isIdent := n.(*ast.Ident)
-		if !isIdent || id == def || p.Info.Uses[id] != obj {
+		if blk == g.Exit {
+			return true // reached a normal return undischarged
+		}
+		for _, s := range blk.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start, startIdx)
+}
+
+// dischargesSpan reports whether node n discharges the span obligation
+// for obj: an End/EndDetail call on it, or a use that transfers
+// ownership out of this function's tracking. Unlike statement
+// attribution, this deliberately descends into function literals — a
+// `defer func() { span.End() }()` closure discharges the span, and any
+// capture hands the obligation to the closure.
+func dischargesSpan(p *Pass, n ast.Node, obj types.Object, def *ast.Ident) bool {
+	found := false
+	for _, h := range cfg.HeaderNodes(n) {
+		inspectWithStack(h, func(m ast.Node, stack []ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				// Captured by a closure: if the closure mentions obj at
+				// all, ownership moved (the closure's own body is checked
+				// as its own function).
+				if usesObject(p, m, obj, def) {
+					found = true
+				}
+				return false
+			}
+			id, isIdent := m.(*ast.Ident)
+			if !isIdent || id == def || p.Info.Uses[id] != obj {
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			parent := stack[len(stack)-1]
+			switch pn := parent.(type) {
+			case *ast.SelectorExpr:
+				// span.End() / span.EndDetail(...) discharges the
+				// obligation; any other method call (span.ID()) does not.
+				if pn.Sel.Name == "End" || pn.Sel.Name == "EndDetail" {
+					found = true
+				}
+			case *ast.CallExpr:
+				for _, a := range pn.Args {
+					if a == m {
+						found = true // passed along: callee takes ownership
+					}
+				}
+			case *ast.AssignStmt:
+				for _, r := range pn.Rhs {
+					if r == m {
+						found = true // reassigned somewhere with its own tracking
+					}
+				}
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+				found = true
+			case *ast.UnaryExpr:
+				found = pn.Op.String() == "&"
+			}
+			return true
+		})
+		if found {
 			return true
 		}
-		parent := stack[len(stack)-1]
-		switch pn := parent.(type) {
-		case *ast.SelectorExpr:
-			// span.End() / span.EndDetail(...) discharges the
-			// obligation; any other method call (span.ID()) does not.
-			if pn.Sel.Name == "End" || pn.Sel.Name == "EndDetail" {
-				ok = true
-			}
-		case *ast.CallExpr:
-			for _, a := range pn.Args {
-				if a == n {
-					ok = true // passed along: callee takes ownership
-				}
-			}
-		case *ast.AssignStmt:
-			for _, r := range pn.Rhs {
-				if r == n {
-					ok = true // reassigned somewhere with its own tracking
-				}
-			}
-		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
-			ok = true
-		case *ast.UnaryExpr:
-			ok = pn.Op.String() == "&"
+	}
+	return false
+}
+
+// usesObject reports whether obj is referenced anywhere under n.
+func usesObject(p *Pass, n ast.Node, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if used {
+			return false
 		}
-		return true
+		if id, ok := m.(*ast.Ident); ok && id != def && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
 	})
-	return ok
+	return used
 }

@@ -24,8 +24,14 @@ const directivePrefix = "//lint:ignore"
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	pos    token.Position
+	end    token.Position // end of the comment, for the stalesuppress autofix
 	checks []string
 	reason string
+
+	// used is set by applySuppressions when the directive suppressed at
+	// least one diagnostic this run; stalesuppress reports directives
+	// that stay false even though every check they name ran.
+	used bool
 }
 
 // matches reports whether the directive covers check `name` on `line`
@@ -85,24 +91,32 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]*Analyze
 			if !valid {
 				continue
 			}
-			out = append(out, ignoreDirective{pos: pos, checks: checks, reason: reason})
+			out = append(out, ignoreDirective{
+				pos:    pos,
+				end:    fset.Position(c.End()),
+				checks: checks,
+				reason: reason,
+			})
 		}
 	}
 	return out
 }
 
 // applySuppressions marks diagnostics covered by a directive in their
-// file. Directive diagnostics themselves are never suppressed.
+// file and flags each directive that earned its keep. Directive and
+// stalesuppress diagnostics themselves are never suppressed.
 func applySuppressions(diags []Diagnostic, byFile map[string][]ignoreDirective) {
 	for i := range diags {
 		d := &diags[i]
-		if d.Check == DirectiveCheckName {
+		if d.Check == DirectiveCheckName || d.Check == StaleSuppressCheckName {
 			continue
 		}
-		for _, dir := range byFile[d.Pos.Filename] {
-			if dir.matches(d.Check, d.Pos.Line) {
+		dirs := byFile[d.Pos.Filename]
+		for j := range dirs {
+			if dirs[j].matches(d.Check, d.Pos.Line) {
 				d.Suppressed = true
-				d.SuppressReason = dir.reason
+				d.SuppressReason = dirs[j].reason
+				dirs[j].used = true
 				break
 			}
 		}

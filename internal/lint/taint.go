@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DeterministicMarker is the doc-comment marker that declares a
+// function a deterministic sink: its inputs must never be derived from
+// the wall clock or the global RNG, and the function itself must never
+// transitively reach them. The fleet encoders, sketch merges, snapshot
+// writers, and the obs sampling path carry it.
+//
+//	//lint:deterministic <why byte-identical output matters here>
+const DeterministicMarker = "//lint:deterministic"
+
+// SourceSite is one direct wall-clock or global-RNG call inside a
+// function. Suppressed sites (//lint:ignore virtclock/detrand/walltaint
+// on the line) are recorded but do not seed taint: the suppression
+// documents that wall time is intentional there.
+type SourceSite struct {
+	Pos        token.Position `json:"pos"`
+	What       string         `json:"what"` // e.g. "time.Now", "rand.Intn"
+	Suppressed bool           `json:"suppressed,omitempty"`
+}
+
+// CallSite is one statically resolved outgoing call edge.
+type CallSite struct {
+	Sym string         `json:"sym"`
+	Pos token.Position `json:"pos"`
+}
+
+// FuncSummary is the per-function fact record the module-wide analysis
+// is built from. Summaries are self-contained and serializable, so the
+// incremental cache can contribute a package's facts without re-loading
+// its source.
+type FuncSummary struct {
+	Sym        string         `json:"sym"`
+	Pos        token.Position `json:"pos"`
+	Calls      []CallSite     `json:"calls,omitempty"`
+	Sources    []SourceSite   `json:"sources,omitempty"`
+	Sink       bool           `json:"sink,omitempty"`
+	SinkReason string         `json:"sinkReason,omitempty"`
+}
+
+// PackageSummary aggregates one package's function summaries.
+type PackageSummary struct {
+	Path   string         `json:"path"`
+	RelDir string         `json:"relDir"`
+	Funcs  []*FuncSummary `json:"funcs"`
+}
+
+// taintSuppressors are the checks whose //lint:ignore directive stops a
+// wall/rand call site from seeding taint: the three determinism checks
+// share one audit trail.
+var taintSuppressors = []string{"virtclock", "detrand", "walltaint"}
+
+// classifySourceCall reports whether call reads the wall clock or draws
+// from the global RNG, returning a human-readable name.
+func classifySourceCall(info callResolver, call *ast.CallExpr) (what string, isSource bool) {
+	pkgPath, name, ok := info.pkgFunc(call)
+	if !ok {
+		return "", false
+	}
+	switch pkgPath {
+	case "time":
+		if _, banned := wallClockFuncs[name]; banned {
+			return "time." + name, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !detrandAllowed[name] {
+			return "rand." + name, true
+		}
+	}
+	return "", false
+}
+
+// callResolver abstracts Pass-free call resolution for the summarize
+// phase.
+type callResolver struct{ pkg *Package }
+
+func (r callResolver) pkgFunc(call *ast.CallExpr) (string, string, bool) {
+	return pkgFuncOf(r.pkg.Info, call)
+}
+
+// SummarizePackage computes pkg's function summaries. Directives must
+// already be parsed onto the package (the runner does this first) so
+// suppressed source sites are marked.
+func SummarizePackage(pkg *Package) *PackageSummary {
+	if pkg.summary != nil {
+		return pkg.summary
+	}
+	res := callResolver{pkg}
+	sum := &PackageSummary{Path: pkg.Path, RelDir: pkg.RelDir}
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		dirs := pkg.directives[fileName]
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sym := declSymbolOf(pkg.Info, fn)
+			if sym == "" {
+				continue
+			}
+			fs := &FuncSummary{Sym: sym, Pos: pkg.Fset.Position(fn.Name.Pos())}
+			fs.Sink, fs.SinkReason = deterministicMarker(fn.Doc)
+			seenCall := map[string]bool{}
+			// Function literals inside fn are attributed to fn: a
+			// goroutine or closure reading the wall clock taints its
+			// enclosing function. Coarse, but conservative in the
+			// direction that keeps determinism provable.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				pos := pkg.Fset.Position(call.Pos())
+				if what, isSource := classifySourceCall(res, call); isSource {
+					fs.Sources = append(fs.Sources, SourceSite{
+						Pos:        pos,
+						What:       what,
+						Suppressed: suppressesTaint(dirs, pos.Line),
+					})
+					return true
+				}
+				if sym, resolved := calleeSymbolOf(pkg.Info, call); resolved && !seenCall[sym] {
+					seenCall[sym] = true
+					fs.Calls = append(fs.Calls, CallSite{Sym: sym, Pos: pos})
+				}
+				return true
+			})
+			sum.Funcs = append(sum.Funcs, fs)
+		}
+	}
+	pkg.summary = sum
+	return sum
+}
+
+// suppressesTaint reports whether a directive on line names one of the
+// determinism checks. A match counts as the directive being used:
+// stopping a source from seeding module-wide taint is real work even
+// when no call-site diagnostic lands on the directive's own line (a
+// walltaint-only suppression surfaces nowhere else).
+func suppressesTaint(dirs []ignoreDirective, line int) bool {
+	found := false
+	for i := range dirs {
+		for _, check := range taintSuppressors {
+			if dirs[i].matches(check, line) {
+				dirs[i].used = true
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// deterministicMarker scans a doc comment for the //lint:deterministic
+// marker and returns its trailing reason.
+func deterministicMarker(doc *ast.CommentGroup) (bool, string) {
+	if doc == nil {
+		return false, ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, DeterministicMarker); ok {
+			return true, strings.TrimSpace(rest)
+		}
+	}
+	return false, ""
+}
+
+// TaintInfo explains why a function is wall-tainted: Root is the
+// originating source ("time.Now", "rand.Intn"), Via the direct callee
+// the taint arrived through ("" when the function calls the source
+// itself), Pos the call site inside the tainted function.
+type TaintInfo struct {
+	Root string
+	Via  string
+	Pos  token.Position
+}
+
+// ModuleFacts is the cross-package dataflow index: every function
+// summary keyed by symbol, the transitive wall-taint set, and the
+// deterministic sinks.
+type ModuleFacts struct {
+	Funcs map[string]*FuncSummary
+	Taint map[string]*TaintInfo
+}
+
+// BuildModuleFacts merges package summaries and runs the taint fixpoint
+// over the call graph. Propagation is breadth-first from the direct
+// source sites with sorted worklists, so the recorded witness paths are
+// deterministic regardless of package analysis order.
+func BuildModuleFacts(sums []*PackageSummary) *ModuleFacts {
+	m := &ModuleFacts{
+		Funcs: map[string]*FuncSummary{},
+		Taint: map[string]*TaintInfo{},
+	}
+	for _, ps := range sums {
+		for _, fs := range ps.Funcs {
+			m.Funcs[fs.Sym] = fs
+		}
+	}
+
+	// Reverse call edges: callee symbol -> callers.
+	type callerEdge struct {
+		sym string
+		pos token.Position
+	}
+	callers := map[string][]callerEdge{}
+	for _, ps := range sums {
+		for _, fs := range ps.Funcs {
+			for _, c := range fs.Calls {
+				callers[c.Sym] = append(callers[c.Sym], callerEdge{sym: fs.Sym, pos: c.Pos})
+			}
+		}
+	}
+	for _, edges := range callers {
+		sort.Slice(edges, func(i, j int) bool { return edges[i].sym < edges[j].sym })
+	}
+
+	// Seed: functions with an unsuppressed direct source.
+	var queue []string
+	for _, ps := range sums {
+		for _, fs := range ps.Funcs {
+			for _, src := range fs.Sources {
+				if src.Suppressed {
+					continue
+				}
+				if m.Taint[fs.Sym] == nil {
+					m.Taint[fs.Sym] = &TaintInfo{Root: src.What, Pos: src.Pos}
+					queue = append(queue, fs.Sym)
+				}
+				break
+			}
+		}
+	}
+	sort.Strings(queue)
+
+	// BFS up the reverse edges: a caller of a tainted function is
+	// tainted.
+	for len(queue) > 0 {
+		sym := queue[0]
+		queue = queue[1:]
+		for _, edge := range callers[sym] {
+			if m.Taint[edge.sym] != nil {
+				continue
+			}
+			m.Taint[edge.sym] = &TaintInfo{Root: m.Taint[sym].Root, Via: sym, Pos: edge.pos}
+			queue = append(queue, edge.sym)
+		}
+	}
+	return m
+}
+
+// Tainted returns the taint record for sym, or nil.
+func (m *ModuleFacts) Tainted(sym string) *TaintInfo { return m.Taint[sym] }
+
+// Sink returns the summary of sym when it is a deterministic sink.
+func (m *ModuleFacts) Sink(sym string) *FuncSummary {
+	if fs := m.Funcs[sym]; fs != nil && fs.Sink {
+		return fs
+	}
+	return nil
+}
+
+// TaintPath renders the witness call chain from sym to its root source,
+// e.g. "EncodeText → stamp → time.Now". Symbols are shortened to their
+// last path element for readability.
+func (m *ModuleFacts) TaintPath(sym string) string {
+	var parts []string
+	seen := map[string]bool{}
+	for cur := sym; cur != "" && !seen[cur]; {
+		seen[cur] = true
+		parts = append(parts, shortSym(cur))
+		ti := m.Taint[cur]
+		if ti == nil {
+			break
+		}
+		if ti.Via == "" {
+			parts = append(parts, ti.Root)
+			break
+		}
+		cur = ti.Via
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// shortSym trims the package path off a symbol: "a/b/c.T.M" -> "c.T.M".
+func shortSym(sym string) string {
+	if i := strings.LastIndex(sym, "/"); i >= 0 {
+		return sym[i+1:]
+	}
+	return sym
+}

@@ -1,0 +1,62 @@
+// Package errflow is golden-file input for the errflow analyzer:
+// module-internal calls whose error result is silently dropped.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mightFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+type store struct{}
+
+func (s *store) Sync() error { return nil }
+
+func dropped() {
+	mightFail() // want "call to mightFail drops its error result"
+}
+
+func droppedMethod(s *store) {
+	s.Sync() // want "call to Sync drops its error result"
+}
+
+func droppedGo() {
+	go mightFail() // want "goroutine call to mightFail drops its error result"
+}
+
+// explicitDiscard stays silent: the blank identifier is a visible,
+// reviewable decision.
+func explicitDiscard() {
+	_ = mightFail()
+	v, _ := value()
+	_ = v
+}
+
+// handled stays silent: the error is looked at.
+func handled() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredCleanup stays silent: defer has no error path to thread.
+func deferredCleanup(s *store) {
+	defer s.Sync()
+}
+
+// noErrorResult stays silent: nothing to drop.
+func noErrorResult() {
+	pure()
+}
+
+// stdlibExempt stays silent: fmt.Println returns an error nobody
+// checks, by universal idiom.
+func stdlibExempt() {
+	fmt.Println("ok")
+}

@@ -1,0 +1,102 @@
+// Package goleak is golden-file input for the goleak analyzer:
+// goroutines whose control flow can never reach a return.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leakyLiteral() {
+	go func() { // want "goroutine never terminates"
+		for {
+			work()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leakyNamed() {
+	go spin() // want "goroutine spin never terminates"
+}
+
+// ctxBound stays silent: the Done arm reaches return.
+func ctxBound(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// doneChannel stays silent: the done arm breaks the loop.
+func doneChannel(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// rangeOverChannel stays silent: closing jobs ends the range loop.
+func rangeOverChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// wgWorker stays silent: range exit reaches the deferred Done and
+// return.
+func wgWorker(wg *sync.WaitGroup, jobs chan int) {
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// boundedLoop stays silent: the break edge escapes the cycle.
+func boundedLoop(n int) {
+	go func() {
+		i := 0
+		for {
+			if i >= n {
+				break
+			}
+			i++
+		}
+	}()
+}
+
+// oneShot stays silent: straight-line body returns.
+func oneShot(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// crossPackageUnseen stays silent: the callee's body is not visible,
+// and unseen code is not accused.
+func crossPackageUnseen(ctx context.Context) {
+	go context.AfterFunc(ctx, work)
+}

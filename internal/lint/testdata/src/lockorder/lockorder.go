@@ -1,0 +1,92 @@
+// Package lockorder is golden-file input for the lockorder analyzer:
+// pairwise mutex acquisition order must be consistent package-wide.
+package lockorder
+
+import "sync"
+
+type server struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+}
+
+// abOrder and baOrder disagree: two goroutines running them can each
+// hold one mutex and wait on the other forever.
+func (s *server) abOrder() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.statsMu.Lock() // want "server.statsMu acquired while holding .*server.mu"
+	defer s.statsMu.Unlock()
+}
+
+func (s *server) baOrder() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.mu.Lock() // want "server.mu acquired while holding .*server.statsMu"
+	defer s.mu.Unlock()
+}
+
+type queue struct {
+	head sync.Mutex
+	tail sync.Mutex
+}
+
+// consistent order everywhere — stays silent.
+func (q *queue) push() {
+	q.head.Lock()
+	q.tail.Lock()
+	q.tail.Unlock()
+	q.head.Unlock()
+}
+
+func (q *queue) pop() {
+	q.head.Lock()
+	defer q.head.Unlock()
+	q.tail.Lock()
+	defer q.tail.Unlock()
+}
+
+var muA, muB sync.Mutex
+
+func globalAB() {
+	muA.Lock()
+	muB.Lock() // want "muB acquired while holding muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func globalBA() {
+	muB.Lock()
+	muA.Lock() // want "muA acquired while holding muB"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// sequential stays silent: the first mutex is released before the
+// second is taken, so no ordering pair exists.
+func sequential() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+type cache struct {
+	rw sync.RWMutex
+	m  sync.Mutex
+}
+
+// rwConsistent stays silent: RLock participates in ordering but both
+// functions agree on rw-then-m.
+func (c *cache) read() {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.m.Lock()
+	defer c.m.Unlock()
+}
+
+func (c *cache) write() {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.m.Lock()
+	defer c.m.Unlock()
+}

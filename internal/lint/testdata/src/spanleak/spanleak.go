@@ -39,7 +39,7 @@ func blanked(t *Tracer) {
 }
 
 func neverEnded(t *Tracer) uint64 {
-	s := t.StartSpan("sim", "step") // want "span s is never ended and never escapes"
+	s := t.StartSpan("sim", "step") // want "span s is not ended on every path"
 	return s.ID()
 }
 
@@ -85,4 +85,67 @@ func batches(t *Tracer) int {
 		return 0
 	}
 	return len(spans)
+}
+
+// --- v2 all-paths cases: End on one branch is not End on every path ---
+
+// endedOnOneBranch leaks on the early-return path: v1's "End appears
+// somewhere" scan missed exactly this.
+func endedOnOneBranch(t *Tracer, fast bool) uint64 {
+	s := t.StartSpan("sim", "step") // want "span s is not ended on every path"
+	if fast {
+		return s.ID() // leaves without ending
+	}
+	s.End()
+	return 0
+}
+
+// endedOnEveryBranch discharges both paths — stays silent.
+func endedOnEveryBranch(t *Tracer, fast bool) uint64 {
+	s := t.StartSpan("sim", "step")
+	if fast {
+		s.End()
+		return s.ID()
+	}
+	s.End()
+	return 0
+}
+
+// panicPathExempt: the only undischarged path panics, and a crashing
+// process owes no span — stays silent.
+func panicPathExempt(t *Tracer, ok bool) {
+	s := t.StartSpan("sim", "step")
+	if !ok {
+		panic("invariant violated")
+	}
+	s.End()
+}
+
+// deferInBranch covers only the paths that registered it: the early
+// return before the defer leaks.
+func deferInBranch(t *Tracer, skip bool) uint64 {
+	s := t.StartSpan("sim", "step") // want "span s is not ended on every path"
+	if skip {
+		return 0
+	}
+	defer s.End()
+	return s.ID()
+}
+
+// loopBackEdge: End only happens inside a conditional that may never
+// run; the zero-iteration path leaks.
+func loopBackEdge(t *Tracer, n int) {
+	s := t.StartSpan("sim", "loop") // want "span s is not ended on every path"
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			s.End()
+		}
+	}
+}
+
+// closureDischarge: a deferred closure ending the span discharges it —
+// stays silent.
+func closureDischarge(t *Tracer) {
+	s := t.StartSpan("sim", "step")
+	defer func() { s.End() }()
 }

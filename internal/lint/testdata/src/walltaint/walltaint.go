@@ -1,0 +1,97 @@
+// Package walltaint is golden-file input for the walltaint analyzer:
+// cross-function taint from wall-clock/global-RNG sources into
+// deterministic sinks. The helpers are the point — no reported line
+// mentions time or rand directly, which is exactly what the call-site
+// checks (virtclock, detrand) cannot see.
+package walltaint
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock; every transitive caller is tainted.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// helperChain adds a hop so witness paths have two links.
+func helperChain() int64 { return stamp() }
+
+// jitter draws from the global RNG.
+func jitter() float64 { return rand.Float64() }
+
+// Encode is a deterministic sink: same inputs must give same bytes.
+//
+//lint:deterministic golden: encoded reports are diffed across runs
+func Encode(vals ...int64) string { return "" }
+
+// EncodeF is a float-accepting sink.
+//
+//lint:deterministic golden: float channel of the same contract
+func EncodeF(v float64) string { return "" }
+
+// record is NOT a sink — tainted values may flow here freely.
+func record(v int64) {}
+
+// Snapshot is a sink that is itself tainted: its own call tree reaches
+// the wall clock.
+//
+//lint:deterministic golden: snapshot bytes are content-addressed
+func Snapshot() int64 {
+	return stamp() // want "deterministic sink walltaint.Snapshot transitively reaches time.Now"
+}
+
+// flowViaHelper: the classic miss — time.Now is two calls away.
+func flowViaHelper() string {
+	ts := helperChain()
+	return Encode(ts) // want "wall-derived value .*helperChain -> .*stamp -> time.Now.* flows into deterministic sink walltaint.Encode"
+}
+
+// flowDirectArg: tainted call directly in the argument list.
+func flowDirectArg() string {
+	return Encode(stamp()) // want "wall-derived value .* flows into deterministic sink walltaint.Encode"
+}
+
+// flowRand: the RNG channel taints the float sink.
+func flowRand() string {
+	v := jitter()
+	return EncodeF(v) // want "wall-derived value .* flows into deterministic sink walltaint.EncodeF"
+}
+
+// orderSensitive stays silent: x is only tainted AFTER the sink call.
+// Flow sensitivity is the difference between this and a false positive.
+func orderSensitive() string {
+	var x int64
+	out := Encode(x)
+	x = stamp()
+	record(x)
+	return out
+}
+
+// loopCarried fires: the loop's back edge carries last iteration's
+// taint into this iteration's sink call.
+func loopCarried() {
+	var acc int64
+	for i := 0; i < 3; i++ {
+		Encode(acc) // want "wall-derived value .* flows into deterministic sink walltaint.Encode"
+		acc = stamp()
+	}
+}
+
+// suppressedSource stays silent everywhere: the directive on the
+// source line declares wall time intentional, which stops the taint
+// before it propagates.
+func suppressedSource() string {
+	//lint:ignore walltaint golden: wall time shown to humans only, never encoded deterministically
+	t := time.Now().Unix()
+	return Encode(t)
+}
+
+// notASink stays silent: record carries no deterministic contract.
+func notASink() {
+	record(stamp())
+}
+
+// cleanFlow stays silent: nothing wall-derived in sight.
+func cleanFlow(seed int64) string {
+	return Encode(seed + 1)
+}

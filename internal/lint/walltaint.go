@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vqprobe/internal/lint/cfg"
+)
+
+// AnalyzerWallTaint is the cross-package determinism check. The
+// call-site checks (virtclock, detrand) see only the line that reads
+// the wall clock; walltaint follows the value. Using the module call
+// graph it computes every function that transitively reaches time.Now
+// or the global math/rand, then runs a forward dataflow over each
+// function's CFG and fires when a wall-derived value reaches a
+// deterministic sink — a function marked //lint:deterministic (the
+// fleet encoders, sketch merges, snapshot writers, obs sampling).
+//
+// Suppressing the source suppresses the taint: a //lint:ignore
+// virtclock/detrand/walltaint on the reading line declares wall time
+// intentional there, and nothing downstream fires. That makes walltaint
+// the check that catches the OTHER case: a suppressed-nowhere helper
+// whose result quietly flows into an encoder three packages away.
+var AnalyzerWallTaint = &Analyzer{
+	Name:     "walltaint",
+	Severity: SeverityError,
+	Doc: "Cross-package taint analysis: reports wall-clock- or global-RNG-derived " +
+		"values flowing into deterministic sinks (functions marked //lint:deterministic), " +
+		"and sinks that transitively reach time.Now / math/rand themselves. " +
+		"Call-site suppressions (virtclock/detrand/walltaint) stop taint at the source.",
+	Run: runWallTaint,
+}
+
+const wallTaintFix = "derive the value from the virtual clock or a seeded RNG, or move the " +
+	"wall-clock read out of the deterministic path; if wall time is intentional here, " +
+	"suppress the source line with //lint:ignore walltaint <reason>"
+
+func runWallTaint(p *Pass) {
+	if p.Facts == nil || p.Info == nil {
+		return // isolated run without the facts phase, or type errors
+	}
+
+	// Sinks that are themselves tainted: the marked function reaches a
+	// source through its own call tree.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sym := p.DeclSymbol(fn)
+			fs := p.Facts.Sink(sym)
+			if fs == nil {
+				continue
+			}
+			if ti := p.Facts.Tainted(sym); ti != nil {
+				p.ReportPosition(ti.Pos,
+					"deterministic sink "+shortSym(sym)+" transitively reaches "+ti.Root+
+						" ("+p.Facts.TaintPath(sym)+"); sink contract: "+fs.SinkReason,
+					wallTaintFix)
+			}
+		}
+	}
+
+	// Values flowing into sink calls: forward dataflow per function.
+	for _, fi := range p.Functions() {
+		p.wallTaintFunc(fi)
+	}
+}
+
+// taintSrc explains why a value is wall-derived, for the message.
+type taintSrc struct {
+	root string // "time.Now", "rand.Intn"
+	path string // witness call chain, e.g. "stamp -> time.Now"
+}
+
+// wallTaintFunc runs the gen-only forward taint lattice over one
+// function: an object assigned from a tainted expression is tainted in
+// every block reachable from the assignment (no kills — conservative),
+// and a tainted expression passed to a deterministic sink is a finding.
+// Flow sensitivity is what keeps `sink(x); x = helper()` quiet while a
+// loop's back edge correctly taints the second iteration.
+func (p *Pass) wallTaintFunc(fi *FuncInfo) {
+	g := p.FuncGraph(fi)
+
+	in := make([]map[types.Object]taintSrc, len(g.Blocks))
+	for i := range in {
+		in[i] = map[types.Object]taintSrc{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range g.Blocks {
+			out := cloneTaint(in[blk.Index])
+			for _, n := range blk.Nodes {
+				p.taintTransfer(n, out, nil)
+			}
+			for _, succ := range blk.Succs {
+				if mergeTaint(in[succ.Index], out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass: replay each block from its fixpoint in-state.
+	for _, blk := range g.Blocks {
+		state := cloneTaint(in[blk.Index])
+		for _, n := range blk.Nodes {
+			p.taintTransfer(n, state, func(call *ast.CallExpr, sinkSym string, src taintSrc) {
+				sink := p.Facts.Sink(sinkSym)
+				reason := ""
+				if sink != nil {
+					reason = "; sink contract: " + sink.SinkReason
+				}
+				p.Report(call.Pos(),
+					"wall-derived value ("+src.path+") flows into deterministic sink "+
+						shortSym(sinkSym)+reason,
+					wallTaintFix)
+			})
+		}
+	}
+}
+
+// taintTransfer processes one CFG node against state: first checks sink
+// calls inside it (reporting through onSink when non-nil), then applies
+// assignment gens. Function literals are skipped — they are separate
+// FuncInfos with their own graphs.
+func (p *Pass) taintTransfer(n ast.Node, state map[types.Object]taintSrc, onSink func(*ast.CallExpr, string, taintSrc)) {
+	for _, h := range cfg.HeaderNodes(n) {
+		if onSink != nil {
+			inspectSkipFuncLits(h, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sym, ok := p.CalleeSymbol(call)
+				if !ok || p.Facts.Sink(sym) == nil {
+					return true
+				}
+				args := append([]ast.Expr(nil), call.Args...)
+				if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+					args = append(args, sel.X)
+				}
+				for _, arg := range args {
+					if src, tainted := p.exprTaint(arg, state); tainted {
+						onSink(call, sym, src)
+						break
+					}
+				}
+				return true
+			})
+		}
+		p.taintGen(h, state)
+	}
+}
+
+// taintGen records objects assigned from tainted expressions.
+func (p *Pass) taintGen(n ast.Node, state map[types.Object]taintSrc) {
+	mark := func(lhs ast.Expr, src taintSrc) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				state[obj] = src
+			}
+		}
+	}
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			// x, y := taintedCall(): every result is tainted.
+			if src, tainted := p.exprTaint(st.Rhs[0], state); tainted {
+				for _, lhs := range st.Lhs {
+					mark(lhs, src)
+				}
+			}
+			return
+		}
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) {
+				break
+			}
+			if src, tainted := p.exprTaint(rhs, state); tainted {
+				mark(st.Lhs[i], src)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, isVal := spec.(*ast.ValueSpec)
+			if !isVal {
+				continue
+			}
+			multi := len(vs.Values) == 1 && len(vs.Names) > 1
+			for i, name := range vs.Names {
+				vi := i
+				if multi {
+					vi = 0
+				}
+				if vi >= len(vs.Values) {
+					break
+				}
+				if src, tainted := p.exprTaint(vs.Values[vi], state); tainted {
+					mark(name, src)
+				}
+			}
+		}
+	}
+}
+
+// exprTaint reports whether evaluating e yields a wall-derived value:
+// it mentions a tainted object, calls a tainted function, or calls a
+// source directly (unsuppressed).
+func (p *Pass) exprTaint(e ast.Expr, state map[types.Object]taintSrc) (taintSrc, bool) {
+	var found taintSrc
+	tainted := false
+	inspectSkipFuncLits(e, func(m ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch node := m.(type) {
+		case *ast.Ident:
+			if obj := p.Info.ObjectOf(node); obj != nil {
+				if src, ok := state[obj]; ok {
+					found, tainted = src, true
+				}
+			}
+		case *ast.CallExpr:
+			if src, ok := p.callTaint(node); ok {
+				found, tainted = src, true
+			}
+		}
+		return !tainted
+	})
+	return found, tainted
+}
+
+// callTaint classifies a call as wall-derived: a direct unsuppressed
+// source read, or a call to a function the module facts mark tainted.
+func (p *Pass) callTaint(call *ast.CallExpr) (taintSrc, bool) {
+	if what, isSource := classifySourceCall(callResolver{p.pkg}, call); isSource {
+		pos := p.Fset.Position(call.Pos())
+		if p.pkg != nil && suppressesTaint(p.pkg.directives[pos.Filename], pos.Line) {
+			return taintSrc{}, false
+		}
+		return taintSrc{root: what, path: what}, true
+	}
+	if sym, ok := p.CalleeSymbol(call); ok {
+		if ti := p.Facts.Tainted(sym); ti != nil {
+			return taintSrc{root: ti.Root, path: p.Facts.TaintPath(sym)}, true
+		}
+	}
+	return taintSrc{}, false
+}
+
+func cloneTaint(m map[types.Object]taintSrc) map[types.Object]taintSrc {
+	out := make(map[types.Object]taintSrc, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeTaint unions src into dst, reporting whether dst grew.
+func mergeTaint(dst, src map[types.Object]taintSrc) bool {
+	grew := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			grew = true
+		}
+	}
+	return grew
+}

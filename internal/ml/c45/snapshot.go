@@ -126,6 +126,8 @@ func (e *senc) tree(ct *CompiledTree, classIdx []int32) {
 // *CompiledForest) plus an opaque caller meta blob. The written bytes
 // round-trip through ReadSnapshot to a model whose predictions are
 // bit-identical to the original's.
+//
+//lint:deterministic snapshot bytes are content-addressed; identical models must write identical bytes
 func WriteSnapshot(w io.Writer, model BatchPredictor, meta []byte) error {
 	if len(meta) > snapMaxMeta {
 		return fmt.Errorf("c45: snapshot meta %d bytes exceeds the %d limit", len(meta), snapMaxMeta)

@@ -71,6 +71,8 @@ func New(cfg Config) *Plane {
 // Sample takes one tick at time now (on whatever clock the caller
 // drives — virtual in simulations, wall in RunWall): it snapshots the
 // registry into the ring store and re-evaluates every SLO.
+//
+//lint:deterministic simulation replays compare plane state tick-for-tick; now must come from the driving clock
 func (p *Plane) Sample(now time.Duration) {
 	p.Ingest(now, p.cfg.Registry.Snapshot())
 }

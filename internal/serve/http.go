@@ -39,11 +39,13 @@ func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
 	tr := e.cfg.Tracer
 	if r.URL.Query().Get("format") == "ndjson" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		tr.WriteNDJSON(w)
+		// Mid-response write errors mean the client hung up; the status
+		// line is already gone, so there is nothing useful to send back.
+		_ = tr.WriteNDJSON(w)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	tr.WriteChromeTrace(w)
+	_ = tr.WriteChromeTrace(w)
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {

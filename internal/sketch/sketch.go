@@ -100,6 +100,8 @@ func (h *Hist) bin(v float64) int {
 }
 
 // Merge adds o's bins into h. The histograms must share an edge set.
+//
+//lint:deterministic shard-merge order must not change merged bytes; wall-derived inputs would
 func (h *Hist) Merge(o *Hist) {
 	if len(h.Edges) != len(o.Edges) {
 		panic("sketch: merging histograms with different shapes")

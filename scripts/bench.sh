@@ -4,9 +4,10 @@
 #   scripts/bench.sh run     full-length benchmark run; rewrites the
 #                            committed baselines reports/BENCH_PR3.json
 #                            (training path), reports/BENCH_PR6.json
-#                            (fleet sessions/sec) and
-#                            reports/BENCH_PR8.json (batch/forest
-#                            inference + snapshot load)
+#                            (fleet sessions/sec), reports/BENCH_PR8.json
+#                            (batch/forest inference + snapshot load)
+#                            and reports/BENCH_PR9.json (self-lint
+#                            cold vs cached-warm)
 #   scripts/bench.sh check   quick run compared against the committed
 #                            baselines; fails on a gross regression
 #                            (the CI smoke guard)
@@ -30,6 +31,8 @@ FLEET_BENCH='BenchmarkFleetSessions'
 FLEET_BASELINE=reports/BENCH_PR6.json
 INFER_BENCHES='BenchmarkPredictRowScalar|BenchmarkPredictBatch|BenchmarkForestPredictBatch|BenchmarkForestPredictBatchParallel|BenchmarkForestPredictVector|BenchmarkSnapshotLoad'
 INFER_BASELINE=reports/BENCH_PR8.json
+LINT_BENCHES='BenchmarkSelfLintCold|BenchmarkSelfLintWarm'
+LINT_BASELINE=reports/BENCH_PR9.json
 MODE="${1:-run}"
 
 run_bench() { # $1: -benchtime value
@@ -42,6 +45,10 @@ run_fleet_bench() { # $1: -benchtime value (use a fixed Nx: one iteration = one 
 
 run_infer_bench() { # $1: -benchtime value (duration-based: iteration counts span 5 orders of magnitude)
   go test -run '^$' -bench "^(${INFER_BENCHES})\$" -benchmem -benchtime "$1" ./internal/ml/c45/
+}
+
+run_lint_bench() { # always 1x: one cold iteration type-checks the whole module (~13s)
+  go test -run '^$' -bench "^(${LINT_BENCHES})\$" -benchmem -benchtime 1x ./internal/lint/
 }
 
 case "$MODE" in
@@ -58,6 +65,10 @@ run)
   printf '%s\n' "$infer_out"
   printf '%s\n' "$infer_out" | python3 scripts/bench_report.py parse >"$INFER_BASELINE"
   echo "wrote $INFER_BASELINE"
+  lint_out="$(run_lint_bench)"
+  printf '%s\n' "$lint_out"
+  printf '%s\n' "$lint_out" | python3 scripts/bench_report.py parse >"$LINT_BASELINE"
+  echo "wrote $LINT_BASELINE"
   ;;
 check)
   # 100x: enough iterations to keep the sub-µs benches out of warmup
@@ -78,6 +89,10 @@ check)
   printf '%s\n' "$infer_out"
   printf '%s\n' "$infer_out" | python3 scripts/bench_report.py parse |
     python3 scripts/bench_report.py compare "$INFER_BASELINE"
+  lint_out="$(run_lint_bench)"
+  printf '%s\n' "$lint_out"
+  printf '%s\n' "$lint_out" | python3 scripts/bench_report.py parse |
+    python3 scripts/bench_report.py compare "$LINT_BASELINE"
   ;;
 *)
   echo "usage: scripts/bench.sh [run|check]" >&2

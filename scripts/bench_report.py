@@ -52,7 +52,15 @@ def parse(stream):
                 entry["predictions_per_sec"] = round(1e9 / entry["ns_op"], 1)
             if m.group(1) == "BenchmarkSnapshotLoad":
                 entry["snapshot_load_ms"] = round(entry["ns_op"] / 1e6, 3)
+            if m.group(1).startswith("BenchmarkSelfLint"):
+                entry["self_lint_ms"] = round(entry["ns_op"] / 1e6, 1)
             out[m.group(1)] = entry
+    # The headline figure of the incremental lint cache: how much of
+    # the cold run (full type-check + analysis) the warm run skips.
+    cold = out.get("BenchmarkSelfLintCold")
+    warm = out.get("BenchmarkSelfLintWarm")
+    if cold and warm and warm["ns_op"] > 0:
+        warm["cache_speedup"] = round(cold["ns_op"] / warm["ns_op"], 1)
     return out
 
 
@@ -70,6 +78,14 @@ def main():
             baseline = json.load(f)
         current = json.load(sys.stdin)
         failures = []
+        # The lint cache must stay a real cache: a warm self-lint run
+        # below 5x over cold means the content keys stopped hitting.
+        warm = current.get("BenchmarkSelfLintWarm")
+        if warm is not None and warm.get("cache_speedup", 0) < 5:
+            failures.append(
+                f"BenchmarkSelfLintWarm: cache_speedup "
+                f"{warm.get('cache_speedup')} < 5x over cold"
+            )
         for name, base in sorted(baseline.items()):
             cur = current.get(name)
             if cur is None:
