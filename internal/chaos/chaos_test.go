@@ -98,6 +98,34 @@ func TestServePredictionsStableAcrossChaos(t *testing.T) {
 	})
 }
 
+// The router scenarios extend the harness to the multi-replica
+// topology: replica killed mid-batch, split-brain reload, retry storm
+// against a flapping replica, client disconnect through the proxy.
+
+func TestRouteReplicaKill(t *testing.T) {
+	withLeakCheck(t, func(h *Harness) {
+		h.RouteReplicaKill(func() *serve.Model { return BuildModel(t, "lan_cong_severe") })
+	})
+}
+
+func TestRouteSplitBrainReload(t *testing.T) {
+	withLeakCheck(t, func(h *Harness) {
+		h.RouteSplitBrainReload(func() *serve.Model { return BuildModel(t, "lan_cong_severe") })
+	})
+}
+
+func TestRouteRetryStorm(t *testing.T) {
+	withLeakCheck(t, func(h *Harness) {
+		h.RouteRetryStorm(func() *serve.Model { return BuildModel(t, "lan_cong_severe") })
+	})
+}
+
+func TestRouteClientDisconnect(t *testing.T) {
+	withLeakCheck(t, func(h *Harness) {
+		h.RouteClientDisconnect(BuildModel(t, "lan_cong_severe"))
+	})
+}
+
 func TestSimFlakySessionTerminates(t *testing.T) {
 	// Several independent schedules from one master seed: the harness
 	// chains sub-seeds off h.Rand, so the whole sweep replays from one

@@ -1,0 +1,91 @@
+package route
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// healthzBody is the slice of vqserve's /healthz answer the router
+// consumes: liveness status, the degraded-mode reason, and the serving
+// model's identity hash (the staged-rollout verification handle).
+type healthzBody struct {
+	Status          string `json:"status"`
+	LastReloadError string `json:"last_reload_error"`
+	Model           struct {
+		SnapshotHash string `json:"snapshot_hash"`
+	} `json:"model"`
+}
+
+// maxHealthzBody bounds one /healthz response read (64 KiB).
+const maxHealthzBody = 64 << 10
+
+// fetchHealthz performs one /healthz probe against a replica.
+func (rt *Router) fetchHealthz(ctx context.Context, rep *replica) (healthzBody, error) {
+	var hb healthzBody
+	hctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		return hb, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return hb, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxHealthzBody))
+	if err != nil {
+		return hb, err
+	}
+	// 503 still carries a JSON body ("no model"): parse before judging
+	// the status code so the error names the replica's own words.
+	if err := json.Unmarshal(body, &hb); err != nil {
+		return hb, fmt.Errorf("healthz HTTP %d: unparseable body: %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return hb, fmt.Errorf("healthz HTTP %d: status %q", resp.StatusCode, hb.Status)
+	}
+	return hb, nil
+}
+
+// pollOne probes one replica and applies the resulting state
+// transition.
+func (rt *Router) pollOne(ctx context.Context, rep *replica) {
+	hb, err := rt.fetchHealthz(ctx, rep)
+	switch {
+	case err != nil:
+		rt.noteFailure(rep, err.Error())
+	case hb.Status == "ok":
+		rt.noteHealthy(rep, hb.Model.SnapshotHash)
+	case hb.Status == "degraded":
+		why := hb.LastReloadError
+		if why == "" {
+			why = "replica reports degraded"
+		}
+		rt.noteDegraded(rep, hb.Model.SnapshotHash, why)
+	default:
+		rt.noteFailure(rep, fmt.Sprintf("healthz status %q", hb.Status))
+	}
+}
+
+// PollHealth sweeps every replica's /healthz once, concurrently, and
+// applies state transitions: ok → Healthy, degraded → Degraded (traffic
+// shifts and rollouts hold), repeated failure → Down (ejected until a
+// probe succeeds). cmd/vqroute runs this on a wall ticker; tests call
+// it directly, which is what keeps the package itself clock-free.
+func (rt *Router) PollHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.reps {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.pollOne(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+	rt.obs.healthPolls.Inc()
+}

@@ -1,0 +1,286 @@
+package route
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedReplica is a vqserve stand-in with exact control over the
+// wire behavior, recording every batch of IDs it was asked to serve.
+type scriptedReplica struct {
+	mu      sync.Mutex
+	batches [][]string
+	// serveRows answers one /diagnose request; nil means "answer every
+	// row with class good".
+	serveRows func(w http.ResponseWriter, r *http.Request, ids []string)
+	srv       *httptest.Server
+}
+
+func newScriptedReplica(t testing.TB) *scriptedReplica {
+	t.Helper()
+	fr := &scriptedReplica{}
+	fr.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","model":{"snapshot_hash":"h"}}`)
+		case "/diagnose":
+			ids := scanIDs(r.Body)
+			fr.mu.Lock()
+			fr.batches = append(fr.batches, ids)
+			serve := fr.serveRows
+			fr.mu.Unlock()
+			if serve == nil {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				for _, id := range ids {
+					fmt.Fprintf(w, `{"id":%q,"class":"good"}`+"\n", id)
+				}
+				return
+			}
+			serve(w, r, ids)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(fr.srv.Close)
+	return fr
+}
+
+func scanIDs(body io.Reader) []string {
+	var ids []string
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var hdr struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &hdr); err == nil {
+			ids = append(ids, hdr.ID)
+		}
+	}
+	return ids
+}
+
+func (fr *scriptedReplica) servedIDs() []string {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	var all []string
+	for _, b := range fr.batches {
+		all = append(all, b...)
+	}
+	return all
+}
+
+func TestProxyMergesInInputOrder(t *testing.T) {
+	a := startEngine(t, "h1", nil)
+	b := startEngine(t, "h1", nil)
+	rt := newRouter(t, Config{Replicas: []string{a.URL, b.URL}})
+
+	ids := make([]string, 12)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("sess-%d", i)
+	}
+	// A malformed line and a blank line ride along mid-batch: the
+	// malformed one must keep its true input line number, the blank one
+	// must vanish, and neither may shift any classified row's slot.
+	body := ndjson(ids[:6]...) + "this is not json\n\n" + ndjson(ids[6:]...)
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diagnose", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	rows := readRows(t, rec.Body)
+	if len(rows) != len(ids)+1 {
+		t.Fatalf("got %d result rows, want %d", len(rows), len(ids)+1)
+	}
+	for i, r := range rows {
+		switch {
+		case i < 6:
+			if r.ID != ids[i] || r.Err != "" {
+				t.Fatalf("slot %d: %+v, want %s classified", i, r, ids[i])
+			}
+		case i == 6:
+			if !strings.Contains(r.Err, "line 7") {
+				t.Fatalf("malformed line lost its input line number: %+v", r)
+			}
+		default:
+			if r.ID != ids[i-1] || r.Err != "" {
+				t.Fatalf("slot %d: %+v, want %s classified", i, r, ids[i-1])
+			}
+		}
+	}
+}
+
+// TestProxyFailoverExactlyOnce is the replica-kill contract: when a
+// replica dies mid-stream, rows it already answered stay answered and
+// only the unserved tail re-routes, so every acknowledged row is
+// classified exactly once.
+func TestProxyFailoverExactlyOnce(t *testing.T) {
+	broken := newScriptedReplica(t)
+	healthy := newScriptedReplica(t)
+	rt := newRouter(t, Config{Replicas: []string{broken.srv.URL, healthy.srv.URL}})
+
+	// The broken replica answers exactly one row, then the connection
+	// dies mid-stream.
+	broken.serveRows = func(w http.ResponseWriter, _ *http.Request, ids []string) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, `{"id":%q,"class":"good"}`+"\n", ids[0])
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}
+
+	var ids, toBroken []string
+	for i := 0; len(toBroken) < 3 || len(ids)-len(toBroken) < 3; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		ids = append(ids, id)
+		if rt.ring.owner(id) == 0 {
+			toBroken = append(toBroken, id)
+		}
+		if i > 1000 {
+			t.Fatal("ring never assigned enough sessions to both replicas")
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diagnose", strings.NewReader(ndjson(ids...))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	rows := readRows(t, rec.Body)
+	if len(rows) != len(ids) {
+		t.Fatalf("got %d result rows for %d inputs", len(rows), len(ids))
+	}
+	seen := map[string]int{}
+	for i, r := range rows {
+		if r.ID != ids[i] {
+			t.Fatalf("slot %d holds %q, want %q — order broke across failover", i, r.ID, ids[i])
+		}
+		if r.Err != "" {
+			t.Fatalf("row %s lost to failover: %q", r.ID, r.Err)
+		}
+		seen[r.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %s answered %d times", id, n)
+		}
+	}
+	// The failed-over tail must be exactly the broken replica's batch
+	// minus the one row it served — nothing re-sent, nothing dropped.
+	healthyGot := map[string]int{}
+	for _, id := range healthy.servedIDs() {
+		healthyGot[id]++
+	}
+	for i, id := range toBroken {
+		want := 1
+		if i == 0 {
+			want = 0 // served by the broken replica before it died
+		}
+		if healthyGot[id] != want {
+			t.Fatalf("failover row %s sent to healthy replica %d times, want %d", id, healthyGot[id], want)
+		}
+	}
+	if got := rt.obs.failovers.Value(); got != 1 {
+		t.Fatalf("failovers counter %d, want 1", got)
+	}
+	if rt.reps[0].errsC.Value() == 0 {
+		t.Fatal("broken replica's failure left no error count")
+	}
+}
+
+func TestProxyShedsWith429(t *testing.T) {
+	a := newScriptedReplica(t)
+	b := newScriptedReplica(t)
+	rt := newRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}, MaxInflight: 2, RetryAfter: 3 * time.Second})
+	rt.reps[0].inflight.Store(2)
+	rt.reps[1].inflight.Store(2)
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diagnose", strings.NewReader(ndjson("s1", "s2"))))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated fleet answered HTTP %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want 3", got)
+	}
+	if got := rt.obs.shed.Value(); got != 2 {
+		t.Fatalf("shed counter %d, want 2", got)
+	}
+	// No replica saw the rows: shedding means not retrying into overload.
+	if len(a.servedIDs())+len(b.servedIDs()) != 0 {
+		t.Fatal("shed rows still reached a replica")
+	}
+}
+
+func TestProxyAllDownAnswers503(t *testing.T) {
+	a := newScriptedReplica(t)
+	rt := newRouter(t, Config{Replicas: []string{a.srv.URL}})
+	rt.reps[0].state.Store(int32(Down))
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diagnose", strings.NewReader(ndjson("s1"))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet answered HTTP %d, want 503", rec.Code)
+	}
+}
+
+// TestProxyClientDisconnectCancelsUpstream is the satellite-3 audit
+// pin: when the downstream client goes away mid-request, the router
+// must cancel its upstream replica requests instead of leaving them
+// running against a dead socket.
+func TestProxyClientDisconnectCancelsUpstream(t *testing.T) {
+	gotUpstream := make(chan struct{})
+	upstreamCanceled := make(chan struct{})
+	var once sync.Once
+	slow := newScriptedReplica(t)
+	slow.serveRows = func(_ http.ResponseWriter, r *http.Request, _ []string) {
+		once.Do(func() { close(gotUpstream) })
+		// Hold the request open until the router cancels it; the
+		// timeout is only a failure backstop.
+		select {
+		case <-r.Context().Done():
+			close(upstreamCanceled)
+		case <-time.After(5 * time.Second):
+		}
+	}
+	rt := newRouter(t, Config{Replicas: []string{slow.srv.URL}})
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, router.URL+"/diagnose", strings.NewReader(ndjson("s1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	<-gotUpstream // the replica is holding the proxied request
+	cancel()      // client disconnects mid-flight
+
+	select {
+	case <-upstreamCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("upstream replica request was not canceled after client disconnect")
+	}
+	if err := <-done; err == nil {
+		t.Fatal("canceled client request reported success")
+	}
+}

@@ -239,9 +239,22 @@ type Config struct {
 	// request shed by a full queue before giving up and surfacing
 	// ErrOverloaded. Zero disables retries (every shed is final).
 	RetryMax int
-	// RetryBackoff is the pause before each re-submission; doubles per
-	// attempt. Zero with RetryMax > 0 selects 1ms.
+	// RetryBackoff is the base pause before a re-submission. The
+	// backoff window doubles per attempt up to RetryBackoffMax, and the
+	// actual delay is drawn from the upper half of the window by a
+	// seeded jitter stream (see retryDelay). Zero with RetryMax > 0
+	// selects 1ms.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubling backoff window so a long retry
+	// budget cannot balloon into multi-second stalls. Zero with
+	// RetryMax > 0 selects 16× RetryBackoff.
+	RetryBackoffMax time.Duration
+	// RetrySeed seeds the deterministic retry-jitter stream. Zero (the
+	// default) draws a process-unique per-engine seed so concurrent
+	// engines — and the router tier fronting many of them — never sleep
+	// on identical schedules; set it explicitly to reproduce one
+	// engine's exact schedule in a test.
+	RetrySeed uint64
 	// InjectFault, when set, runs inside the worker just before
 	// classification. A non-nil return fails the request with that
 	// error; a panic exercises the worker's recovery path. This is the
@@ -261,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryMax > 0 && c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryMax > 0 && c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 16 * c.RetryBackoff
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -327,10 +343,24 @@ type Engine struct {
 	infoMu    sync.Mutex
 	infoGauge *metrics.Gauge
 
+	// retrySeed is the engine's jitter-stream identity; retrySeq
+	// sub-seeds each retrying call so concurrent batches on one engine
+	// desynchronize too. sleep is the backoff pause — a seam so retry
+	// tests can record the schedule instead of waiting it out.
+	retrySeed uint64
+	retrySeq  atomic.Uint64
+	sleep     func(time.Duration)
+
 	reg   *metrics.Registry
 	obs   *obs
 	start time.Time
 }
+
+// engineSeq numbers engines process-wide: the default retry-jitter
+// seed must differ between engines created in the same process, or
+// identical shed pressure would produce identical (lockstep) backoff
+// schedules — the retry-storm pattern the jitter exists to break.
+var engineSeq atomic.Uint64
 
 // NewEngine starts the shard workers and returns a ready engine
 // serving the given snapshot.
@@ -338,6 +368,13 @@ func NewEngine(m *Model, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	//lint:ignore virtclock process start time for /healthz uptime is wall time by design
 	e := &Engine{cfg: cfg, reg: cfg.Registry, start: time.Now()}
+	e.retrySeed = cfg.RetrySeed
+	if e.retrySeed == 0 {
+		e.retrySeed = splitmix64(engineSeq.Add(1))
+	}
+	// The pause is wall time by design (serving has no virtual clock);
+	// keeping it behind a func field lets tests capture the schedule.
+	e.sleep = time.Sleep
 	e.model.Store(m)
 	e.obs = newObs(e.reg)
 	e.setModelGauges(m)
@@ -439,20 +476,61 @@ func (e *Engine) Submit(req Request, res *Result, done func()) error {
 	return nil
 }
 
-// submitRetry is Submit plus bounded retry with exponential backoff on
-// shed (ErrOverloaded) responses — transient overload smooths out,
-// sustained overload still surfaces after RetryMax attempts.
+// splitmix64 is the SplitMix64 mixer (Steele et al.): a bijective
+// avalanche over 64 bits, so consecutive engine/call sequence numbers
+// spread into decorrelated jitter seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// retryDelay is attempt's jittered backoff: the window doubles from
+// base, saturating at max, and the delay is drawn uniformly from
+// [window/2, window] by a SplitMix64 hash of (seed, attempt). The
+// draw is a pure function — same seed, same schedule — but distinct
+// seeds decorrelate, so a fleet of clients shedding off the same
+// saturated queue spreads its retries across the window instead of
+// re-arriving in lockstep waves.
+func retryDelay(seed uint64, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	window := base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max || window <= 0 { // beyond the cap, or doubled past overflow
+		window = max
+	}
+	half := window - window/2
+	r := splitmix64(seed ^ splitmix64(uint64(attempt)+1))
+	return window/2 + time.Duration(r%uint64(half+1))
+}
+
+// nextRetrySeed sub-seeds one retrying call's jitter stream, so two
+// concurrent DiagnoseBatch calls on the same engine also diverge.
+func (e *Engine) nextRetrySeed() uint64 {
+	return splitmix64(e.retrySeed ^ splitmix64(e.retrySeq.Add(1)))
+}
+
+// submitRetry is Submit plus bounded retry on shed (ErrOverloaded)
+// responses — transient overload smooths out, sustained overload still
+// surfaces after RetryMax attempts. Each pause comes from retryDelay:
+// capped doubling with seeded jitter, never a lockstep schedule.
 func (e *Engine) submitRetry(req Request, res *Result, done func()) error {
 	err := e.Submit(req, res, done)
-	if e.cfg.RetryMax <= 0 {
+	if e.cfg.RetryMax <= 0 || !errors.Is(err, ErrOverloaded) {
 		return err
 	}
-	backoff := e.cfg.RetryBackoff
+	seed := e.nextRetrySeed()
 	for attempt := 0; attempt < e.cfg.RetryMax && errors.Is(err, ErrOverloaded); attempt++ {
 		e.obs.retries.Inc()
-		//lint:ignore virtclock retry backoff paces real queue pressure; serving has no virtual clock
-		time.Sleep(backoff)
-		backoff *= 2
+		e.sleep(retryDelay(seed, attempt, e.cfg.RetryBackoff, e.cfg.RetryBackoffMax))
 		err = e.Submit(req, res, done)
 	}
 	return err
@@ -482,17 +560,51 @@ func ValidateFeatures(fv map[string]float64) error {
 // DiagnoseBatch classifies a batch through the pipeline and returns
 // results in request order. Requests rejected by the shed policy (or a
 // closed engine) come back with Err set.
+//
+// Shed handling is two-phase so one saturated shard cannot
+// head-of-line-block the rest of the batch: every row is submitted
+// first, then only the shed rows are re-submitted, one shared jittered
+// backoff per retry round. A batch with a single shed row therefore
+// completes in roughly one backoff, not N of them.
 func (e *Engine) DiagnoseBatch(reqs []Request) []Result {
 	res := make([]Result, len(reqs))
 	e.obs.inflight.Add(float64(len(reqs)))
 	defer e.obs.inflight.Add(-float64(len(reqs)))
 	var wg sync.WaitGroup
+	var shed []int // indices still waiting on queue space
 	for i := range reqs {
 		wg.Add(1)
-		if err := e.submitRetry(reqs[i], &res[i], wg.Done); err != nil {
+		err := e.Submit(reqs[i], &res[i], wg.Done)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrOverloaded) && e.cfg.RetryMax > 0:
+			shed = append(shed, i)
+		default:
 			res[i] = Result{ID: reqs[i].ID, Err: err.Error()}
 			wg.Done()
 		}
+	}
+	seed := e.nextRetrySeed()
+	for attempt := 0; attempt < e.cfg.RetryMax && len(shed) > 0; attempt++ {
+		e.sleep(retryDelay(seed, attempt, e.cfg.RetryBackoff, e.cfg.RetryBackoffMax))
+		remaining := shed[:0]
+		for _, i := range shed {
+			e.obs.retries.Inc()
+			err := e.Submit(reqs[i], &res[i], wg.Done)
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrOverloaded):
+				remaining = append(remaining, i)
+			default:
+				res[i] = Result{ID: reqs[i].ID, Err: err.Error()}
+				wg.Done()
+			}
+		}
+		shed = remaining
+	}
+	for _, i := range shed {
+		res[i] = Result{ID: reqs[i].ID, Err: ErrOverloaded.Error()}
+		wg.Done()
 	}
 	wg.Wait()
 	return res

@@ -120,6 +120,13 @@ func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	for i, res := range e.DiagnoseBatch(reqs) {
 		results[slots[i]] = res
 	}
+	// The client may have hung up while the batch was in flight (the
+	// server cancels the request context on disconnect). The engine
+	// work is already done and accounted — results are simply not worth
+	// serializing to a dead socket.
+	if r.Context().Err() != nil {
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for i := range results {

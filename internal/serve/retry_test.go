@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBounds pins the jitter contract: every delay lands in
+// the upper half of the attempt's window, the window doubles from the
+// base, and it saturates at the cap no matter how many attempts run.
+func TestRetryDelayBounds(t *testing.T) {
+	const base, cap = time.Millisecond, 16 * time.Millisecond
+	for seed := uint64(1); seed < 50; seed++ {
+		window := base
+		for attempt := 0; attempt < 30; attempt++ {
+			d := retryDelay(seed, attempt, base, cap)
+			if d < window/2 || d > window {
+				t.Fatalf("seed=%d attempt=%d: delay %v outside [%v, %v]", seed, attempt, d, window/2, window)
+			}
+			if d > cap {
+				t.Fatalf("seed=%d attempt=%d: delay %v exceeds cap %v", seed, attempt, d, cap)
+			}
+			if window < cap {
+				window *= 2
+			}
+			if window > cap {
+				window = cap
+			}
+		}
+	}
+}
+
+// TestRetryDelayDeterministic: the delay is a pure function of
+// (seed, attempt) — same inputs, same schedule, so a failing retry
+// interleaving replays exactly from its seed.
+func TestRetryDelayDeterministic(t *testing.T) {
+	for attempt := 0; attempt < 10; attempt++ {
+		a := retryDelay(42, attempt, time.Millisecond, 16*time.Millisecond)
+		b := retryDelay(42, attempt, time.Millisecond, 16*time.Millisecond)
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %v then %v", attempt, a, b)
+		}
+	}
+}
+
+// TestRetryDelayDegenerateInputs: zero or inverted base/cap inputs
+// must still produce a positive, bounded delay, never a panic or a
+// zero-length busy loop.
+func TestRetryDelayDegenerateInputs(t *testing.T) {
+	cases := []struct{ base, max time.Duration }{
+		{0, 0},
+		{0, time.Millisecond},
+		{time.Millisecond, 0}, // cap below base: clamps up to base
+		{time.Second, time.Millisecond},
+	}
+	for _, c := range cases {
+		for attempt := 0; attempt < 5; attempt++ {
+			d := retryDelay(9, attempt, c.base, c.max)
+			if d <= 0 {
+				t.Fatalf("base=%v max=%v attempt=%d: non-positive delay %v", c.base, c.max, attempt, d)
+			}
+			if d > time.Second {
+				t.Fatalf("base=%v max=%v attempt=%d: delay %v above every input", c.base, c.max, attempt, d)
+			}
+		}
+	}
+}
+
+// wedgedEngine builds an engine whose single shard is saturated: the
+// worker is wedged on the gate channel and both queue slots are full,
+// so every further Submit sheds deterministically until the gate opens.
+// The returned WaitGroup is done when both filler jobs complete.
+func wedgedEngine(t *testing.T, cfg Config) (e *Engine, gate chan struct{}, fillers *sync.WaitGroup) {
+	t.Helper()
+	gate = make(chan struct{})
+	wedged := make(chan struct{}, 2)
+	cfg.Shards, cfg.QueueDepth, cfg.MaxBatch, cfg.Policy = 1, 1, 1, Shed
+	cfg.InjectFault = func(r *Request) error {
+		if strings.HasPrefix(r.ID, "filler") {
+			wedged <- struct{}{}
+			<-gate
+		}
+		return nil
+	}
+	e = NewEngine(testModel(t, "lan_cong_severe"), cfg)
+	fillers = &sync.WaitGroup{}
+	var res [2]Result
+	for i := 0; i < 2; i++ {
+		fillers.Add(1)
+		if err := e.Submit(Request{ID: fmt.Sprintf("filler%d", i), Features: fv(50, 0)}, &res[i], fillers.Done); err != nil {
+			t.Fatalf("filler %d rejected: %v", i, err)
+		}
+		if i == 0 {
+			<-wedged // the worker holds filler0; the queue slot is free again
+		}
+	}
+	return e, gate, fillers
+}
+
+// recordSleeps replaces the engine's backoff pause with a recorder, so
+// a test can assert the exact schedule without waiting it out.
+func recordSleeps(e *Engine) (schedule *[]time.Duration, mu *sync.Mutex) {
+	var s []time.Duration
+	var m sync.Mutex
+	e.sleep = func(d time.Duration) {
+		m.Lock()
+		s = append(s, d)
+		m.Unlock()
+	}
+	return &s, &m
+}
+
+// TestRetrySchedulesDesynchronized is the retry-storm regression: two
+// engines under identical shed pressure must not sleep on identical
+// schedules. Before the seeded jitter, both slept exactly
+// 1ms, 2ms, 4ms, ... — so every client that shed together retried
+// together, re-saturating the queue in synchronized waves.
+func TestRetrySchedulesDesynchronized(t *testing.T) {
+	run := func() []time.Duration {
+		e, gate, fillers := wedgedEngine(t, Config{RetryMax: 6, RetryBackoff: time.Millisecond})
+		sched, mu := recordSleeps(e)
+		res := e.DiagnoseBatch([]Request{{ID: "victim", Features: fv(50, 0)}})
+		if !strings.Contains(res[0].Err, ErrOverloaded.Error()) {
+			t.Fatalf("saturated engine answered %+v, want shed", res[0])
+		}
+		close(gate)
+		fillers.Wait()
+		e.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Duration(nil), (*sched)...)
+	}
+	a, b := run(), run()
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("want 6 backoff pauses per engine, got %d and %d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("two engines slept on the identical schedule %v — retries are in lockstep", a)
+	}
+}
+
+// TestRetryScheduleReproducible: pinning RetrySeed makes one engine's
+// schedule replayable — the desynchronization is seeded, not random.
+func TestRetryScheduleReproducible(t *testing.T) {
+	run := func() []time.Duration {
+		e, gate, fillers := wedgedEngine(t, Config{RetryMax: 4, RetryBackoff: time.Millisecond, RetrySeed: 99})
+		sched, mu := recordSleeps(e)
+		e.DiagnoseBatch([]Request{{ID: "victim", Features: fv(50, 0)}})
+		close(gate)
+		fillers.Wait()
+		e.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Duration(nil), (*sched)...)
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no backoff pauses recorded")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same RetrySeed produced different schedules:\n%v\n%v", a, b)
+	}
+}
+
+// TestRetryBackoffCapped: the recorded schedule never exceeds
+// RetryBackoffMax even when the doubling would overshoot it.
+func TestRetryBackoffCapped(t *testing.T) {
+	const cap = 4 * time.Millisecond
+	e, gate, fillers := wedgedEngine(t, Config{RetryMax: 12, RetryBackoff: time.Millisecond, RetryBackoffMax: cap})
+	sched, mu := recordSleeps(e)
+	e.DiagnoseBatch([]Request{{ID: "victim", Features: fv(50, 0)}})
+	close(gate)
+	fillers.Wait()
+	e.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*sched) != 12 {
+		t.Fatalf("want 12 pauses, got %d", len(*sched))
+	}
+	for i, d := range *sched {
+		if d > cap {
+			t.Fatalf("pause %d = %v exceeds RetryBackoffMax %v", i, d, cap)
+		}
+	}
+}
+
+// TestBatchRetryNonBlocking is the head-of-line-blocking regression:
+// DiagnoseBatch must submit every row before retrying the shed ones,
+// with one shared backoff per retry round. A batch of N shed rows
+// therefore pauses at most RetryMax times — the old per-row
+// synchronous retry slept up to N×RetryMax times, serially, on the
+// submission loop.
+func TestBatchRetryNonBlocking(t *testing.T) {
+	const rows, retryMax = 10, 3
+	e, gate, fillers := wedgedEngine(t, Config{RetryMax: retryMax, RetryBackoff: time.Millisecond})
+	sched, mu := recordSleeps(e)
+	var reqs []Request
+	for i := 0; i < rows; i++ {
+		reqs = append(reqs, Request{ID: fmt.Sprintf("r%d", i), Features: fv(50, 0)})
+	}
+	res := e.DiagnoseBatch(reqs)
+	for i, r := range res {
+		if !strings.Contains(r.Err, ErrOverloaded.Error()) {
+			t.Fatalf("row %d on a saturated engine answered %+v, want shed", i, r)
+		}
+	}
+	close(gate)
+	fillers.Wait()
+	e.Close()
+	mu.Lock()
+	pauses := len(*sched)
+	mu.Unlock()
+	if pauses != retryMax {
+		t.Fatalf("%d-row shed batch paused %d times, want one per retry round (%d)", rows, pauses, retryMax)
+	}
+	if got := e.obs.retries.Value(); got != rows*retryMax {
+		t.Errorf("retries counter %d, want %d (every shed row re-submitted each round)", got, rows*retryMax)
+	}
+	submitted, requests, errs, _ := e.Counters()
+	if submitted != requests+errs {
+		t.Errorf("accounting imbalance: submitted=%d classified=%d errors=%d", submitted, requests, errs)
+	}
+}
+
+// TestBatchOneShedRowOneBackoff pins the satellite case end to end: a
+// batch with one shed row completes after ~one backoff. The recorder
+// doubles as the recovery trigger — the first pause opens the gate and
+// waits for the queue to drain, so the single retry deterministically
+// succeeds.
+func TestBatchOneShedRowOneBackoff(t *testing.T) {
+	e, gate, fillers := wedgedEngine(t, Config{RetryMax: 5, RetryBackoff: time.Millisecond})
+	var pauses int
+	e.sleep = func(time.Duration) {
+		pauses++
+		if pauses == 1 {
+			close(gate)
+			fillers.Wait() // queue drained: the retry must now land
+		}
+	}
+	res := e.DiagnoseBatch([]Request{{ID: "victim", Features: fv(50, 0)}})
+	if res[0].Err != "" || res[0].Class == "" {
+		t.Fatalf("shed row did not classify after recovery: %+v", res[0])
+	}
+	if pauses != 1 {
+		t.Fatalf("one recoverable shed row took %d backoffs, want 1", pauses)
+	}
+	e.Close()
+	submitted, requests, errs, _ := e.Counters()
+	if submitted != requests+errs {
+		t.Errorf("accounting imbalance: submitted=%d classified=%d errors=%d", submitted, requests, errs)
+	}
+}

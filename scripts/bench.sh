@@ -5,9 +5,10 @@
 #                            committed baselines reports/BENCH_PR3.json
 #                            (training path), reports/BENCH_PR6.json
 #                            (fleet sessions/sec), reports/BENCH_PR8.json
-#                            (batch/forest inference + snapshot load)
-#                            and reports/BENCH_PR9.json (self-lint
-#                            cold vs cached-warm)
+#                            (batch/forest inference + snapshot load),
+#                            reports/BENCH_PR9.json (self-lint cold vs
+#                            cached-warm) and reports/BENCH_PR10.json
+#                            (router throughput + failover latency)
 #   scripts/bench.sh check   quick run compared against the committed
 #                            baselines; fails on a gross regression
 #                            (the CI smoke guard)
@@ -21,7 +22,11 @@
 # (serial + parallel), the pointer-forest vector path, and binary
 # snapshot load — with one iteration = one prediction, so
 # bench_report.py derives predictions_per_sec and snapshot_load_ms
-# directly (see docs/PERFORMANCE.md for the methodology).
+# directly (see docs/PERFORMANCE.md for the methodology). The router
+# set drives full /diagnose round trips through an in-process vqroute
+# handler over loopback replicas: rows/s is proxy throughput, and the
+# failover bench's ns/op is the detect-and-re-route latency for a
+# batch whose sticky replica rejects it (docs/ROUTING.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +38,8 @@ INFER_BENCHES='BenchmarkPredictRowScalar|BenchmarkPredictBatch|BenchmarkForestPr
 INFER_BASELINE=reports/BENCH_PR8.json
 LINT_BENCHES='BenchmarkSelfLintCold|BenchmarkSelfLintWarm'
 LINT_BASELINE=reports/BENCH_PR9.json
+ROUTE_BENCHES='BenchmarkRouterDiagnose|BenchmarkRouterFailover'
+ROUTE_BASELINE=reports/BENCH_PR10.json
 MODE="${1:-run}"
 
 run_bench() { # $1: -benchtime value
@@ -49,6 +56,10 @@ run_infer_bench() { # $1: -benchtime value (duration-based: iteration counts spa
 
 run_lint_bench() { # always 1x: one cold iteration type-checks the whole module (~13s)
   go test -run '^$' -bench "^(${LINT_BENCHES})\$" -benchmem -benchtime 1x ./internal/lint/
+}
+
+run_route_bench() { # $1: -benchtime value (duration-based: one iteration = one HTTP round trip, ~0.1–1 ms)
+  go test -run '^$' -bench "^(${ROUTE_BENCHES})\$" -benchmem -benchtime "$1" ./internal/route/
 }
 
 case "$MODE" in
@@ -69,6 +80,10 @@ run)
   printf '%s\n' "$lint_out"
   printf '%s\n' "$lint_out" | python3 scripts/bench_report.py parse >"$LINT_BASELINE"
   echo "wrote $LINT_BASELINE"
+  route_out="$(run_route_bench 1s)"
+  printf '%s\n' "$route_out"
+  printf '%s\n' "$route_out" | python3 scripts/bench_report.py parse >"$ROUTE_BASELINE"
+  echo "wrote $ROUTE_BASELINE"
   ;;
 check)
   # 100x: enough iterations to keep the sub-µs benches out of warmup
@@ -93,6 +108,10 @@ check)
   printf '%s\n' "$lint_out"
   printf '%s\n' "$lint_out" | python3 scripts/bench_report.py parse |
     python3 scripts/bench_report.py compare "$LINT_BASELINE"
+  route_out="$(run_route_bench 100ms)"
+  printf '%s\n' "$route_out"
+  printf '%s\n' "$route_out" | python3 scripts/bench_report.py parse |
+    python3 scripts/bench_report.py compare "$ROUTE_BASELINE"
   ;;
 *)
   echo "usage: scripts/bench.sh [run|check]" >&2

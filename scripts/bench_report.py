@@ -19,7 +19,8 @@ ALLOC_TOLERANCE = 2.5
 
 LINE = re.compile(
     r"^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
-    r"(?:\s+[\d.]+ MB/s)?\s+([\d.]+) B/op\s+([\d.]+) allocs/op"
+    r"(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) rows/s)?"
+    r"\s+([\d.]+) B/op\s+([\d.]+) allocs/op"
 )
 
 # The inference benchmarks count one iteration per prediction, so
@@ -40,9 +41,13 @@ def parse(stream):
         if m:
             entry = {
                 "ns_op": float(m.group(2)),
-                "b_op": float(m.group(3)),
-                "allocs_op": float(m.group(4)),
+                "b_op": float(m.group(4)),
+                "allocs_op": float(m.group(5)),
             }
+            # Router benches emit a custom rows/s metric (rows proxied
+            # per second through the full HTTP round trip).
+            if m.group(3):
+                entry["rows_per_sec"] = round(float(m.group(3)), 1)
             # The fleet benchmark runs one b.N-session fleet, so ns/op
             # is ns per simulated session — record the headline
             # throughput figure alongside it.
@@ -54,6 +59,11 @@ def parse(stream):
                 entry["snapshot_load_ms"] = round(entry["ns_op"] / 1e6, 3)
             if m.group(1).startswith("BenchmarkSelfLint"):
                 entry["self_lint_ms"] = round(entry["ns_op"] / 1e6, 1)
+            # One failover-bench iteration is one single-row batch that
+            # fails on its sticky replica and re-routes: ns/op is the
+            # full detect-and-re-route latency.
+            if m.group(1) == "BenchmarkRouterFailover":
+                entry["failover_ms"] = round(entry["ns_op"] / 1e6, 3)
             out[m.group(1)] = entry
     # The headline figure of the incremental lint cache: how much of
     # the cold run (full type-check + analysis) the warm run skips.
